@@ -1,0 +1,63 @@
+//! Criterion bench for E2: the three MSF maintainers over one stream —
+//! this paper's batch structure, the sequential link-cut baseline [47],
+//! and from-scratch recomputation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+use bimst_linkcut::IncrementalMsf;
+use bimst_msf::Edge;
+use bimst_primitives::WKey;
+
+fn bench_baselines(c: &mut Criterion) {
+    let n = 20_000usize;
+    let m = 1usize << 14;
+    let l = 1024usize;
+    let edges = erdos_renyi(n as u32, m, 17);
+
+    let mut g = c.benchmark_group("maintainers");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(m as u64));
+
+    g.bench_function("bimst_batch_1024", |b| {
+        b.iter(|| {
+            let mut msf = BatchMsf::new(n, 3);
+            for chunk in edges.chunks(l) {
+                msf.batch_insert(chunk);
+            }
+            std::hint::black_box(msf.msf_weight())
+        });
+    });
+
+    g.bench_function("linkcut_sequential", |b| {
+        b.iter(|| {
+            let mut inc = IncrementalMsf::new(n);
+            for &(u, v, w, id) in &edges {
+                inc.insert(u, v, w, id);
+            }
+            std::hint::black_box(inc.msf_weight())
+        });
+    });
+
+    g.bench_function("recompute_kruskal_per_batch", |b| {
+        b.iter(|| {
+            let mut seen: Vec<Edge> = Vec::new();
+            let mut last = 0usize;
+            for chunk in edges.chunks(l) {
+                seen.extend(
+                    chunk
+                        .iter()
+                        .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id))),
+                );
+                last = bimst_msf::kruskal(n, &seen).len();
+            }
+            std::hint::black_box(last)
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for E1/T1.msf: batch-incremental MSF insertion
+//! throughput across batch sizes (Theorem 1.1's work shape).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+
+fn bench_batch_insert(c: &mut Criterion) {
+    let n = 50_000usize;
+    let m = 1usize << 15;
+    let edges = erdos_renyi(n as u32, m, 42);
+
+    let mut g = c.benchmark_group("batch_insert");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(m as u64));
+    for l in [1usize, 64, 4096, m] {
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, &l| {
+            b.iter(|| {
+                let mut msf = BatchMsf::new(n, 7);
+                for chunk in edges.chunks(l) {
+                    msf.batch_insert(chunk);
+                }
+                std::hint::black_box(msf.msf_weight())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_insert_topologies(c: &mut Criterion) {
+    use bimst_graphgen::{grid, preferential_attachment};
+    let mut g = c.benchmark_group("batch_insert_topology");
+    g.sample_size(10);
+    let workloads: Vec<(&str, usize, Vec<(u32, u32, f64, u64)>)> = vec![
+        ("erdos_renyi", 20_000, erdos_renyi(20_000, 40_000, 1)),
+        ("power_law", 20_000, preferential_attachment(20_000, 2, 2)),
+        ("grid", 19_600, grid(140, 140, 3)),
+    ];
+    for (name, n, edges) in workloads {
+        g.throughput(Throughput::Elements(edges.len() as u64));
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut msf = BatchMsf::new(n, 9);
+                for chunk in edges.chunks(1024) {
+                    msf.batch_insert(chunk);
+                }
+                std::hint::black_box(msf.num_components())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_insert, bench_insert_topologies);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench for E5 (ablation): the static MSF used inside
+//! Algorithm 2 on `O(ℓ)`-size graphs — Kruskal (default) vs Borůvka vs the
+//! paper-specified KKT sampling algorithm [12, 37].
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use bimst_msf::{boruvka, kkt_msf, kruskal, Edge};
+use bimst_primitives::hash::hash2;
+use bimst_primitives::WKey;
+
+fn edges_for(m: usize, n: u32) -> Vec<Edge> {
+    (0..m as u64)
+        .map(|i| {
+            Edge::new(
+                (hash2(1, 2 * i) % n as u64) as u32,
+                (hash2(1, 2 * i + 1) % n as u64) as u32,
+                WKey::new((hash2(2, i) % 1_000_000) as f64, i),
+            )
+        })
+        .collect()
+}
+
+fn bench_inner_msf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("inner_msf");
+    g.sample_size(10);
+    for m in [1_000usize, 10_000, 100_000] {
+        let n = (m / 4).max(16) as u32;
+        let edges = edges_for(m, n);
+        g.throughput(Throughput::Elements(m as u64));
+        g.bench_with_input(BenchmarkId::new("kruskal", m), &edges, |b, e| {
+            b.iter(|| std::hint::black_box(kruskal(n as usize, e).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("boruvka", m), &edges, |b, e| {
+            b.iter(|| std::hint::black_box(boruvka(n as usize, e).len()));
+        });
+        g.bench_with_input(BenchmarkId::new("kkt", m), &edges, |b, e| {
+            b.iter(|| std::hint::black_box(kkt_msf(n as usize, e, 9).len()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inner_msf);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Criterion bench for the Table 1 application rows: insert+expire
+//! throughput of every sliding-window structure at a fixed batch size.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use bimst_graphgen::EdgeStream;
+use bimst_sliding::inc::IncConn;
+use bimst_sliding::{ApproxMsfWeight, CycleFree, KCertificate, SwBipartite, SwConnEager};
+
+const N: usize = 20_000;
+const M: usize = 1 << 13;
+const L: usize = 512;
+
+/// Drives `m` edges through insert/expire with a fixed window of 4·L.
+fn drive<T>(
+    mut s: T,
+    mut insert: impl FnMut(&mut T, &[(u32, u32)]),
+    mut expire: impl FnMut(&mut T, u64),
+) -> T {
+    let mut stream = EdgeStream::uniform(N as u32, 5);
+    let mut in_window = 0u64;
+    for _ in 0..(M / L) {
+        let batch = stream.next_batch(L);
+        let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
+        insert(&mut s, &pairs);
+        in_window += L as u64;
+        if in_window > 4 * L as u64 {
+            expire(&mut s, in_window - 4 * L as u64);
+            in_window = 4 * L as u64;
+        }
+    }
+    s
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sliding_apps");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(M as u64));
+
+    g.bench_function("inc_conn_unionfind", |b| {
+        b.iter(|| {
+            let s = drive(
+                IncConn::new(N),
+                |s, p| {
+                    s.batch_insert(p);
+                },
+                |_, _| {},
+            );
+            std::hint::black_box(s.num_components())
+        });
+    });
+
+    g.bench_function("sw_conn_eager", |b| {
+        b.iter(|| {
+            let s = drive(
+                SwConnEager::new(N, 1),
+                |s, p| {
+                    s.batch_insert(p);
+                },
+                |s, d| s.batch_expire(d),
+            );
+            std::hint::black_box(s.num_components())
+        });
+    });
+
+    g.bench_function("sw_bipartite", |b| {
+        b.iter(|| {
+            let s = drive(
+                SwBipartite::new(N, 2),
+                |s, p| s.batch_insert(p),
+                |s, d| s.batch_expire(d),
+            );
+            std::hint::black_box(s.is_bipartite())
+        });
+    });
+
+    g.bench_function("sw_cyclefree", |b| {
+        b.iter(|| {
+            let s = drive(
+                CycleFree::new(N, 3),
+                |s, p| s.batch_insert(p),
+                |s, d| s.batch_expire(d),
+            );
+            std::hint::black_box(s.has_cycle())
+        });
+    });
+
+    g.bench_function("sw_kcert_k4", |b| {
+        b.iter(|| {
+            let s = drive(
+                KCertificate::new(N, 4, 4),
+                |s, p| {
+                    s.batch_insert(p);
+                },
+                |s, d| s.batch_expire(d),
+            );
+            std::hint::black_box(s.make_cert().len())
+        });
+    });
+
+    g.bench_function("sw_approx_msf_eps0.5", |b| {
+        b.iter(|| {
+            let mut s = ApproxMsfWeight::new(N, 0.5, 64.0, 6);
+            let mut stream = EdgeStream::uniform(N as u32, 5);
+            let mut in_window = 0u64;
+            for _ in 0..(M / L) {
+                let batch = stream.next_batch(L);
+                let weighted: Vec<(u32, u32, f64)> = batch
+                    .iter()
+                    .map(|&(u, v, w, _)| (u, v, 1.0 + w * 63.0))
+                    .collect();
+                s.batch_insert(&weighted);
+                in_window += L as u64;
+                if in_window > 4 * L as u64 {
+                    s.batch_expire(in_window - 4 * L as u64);
+                    in_window = 4 * L as u64;
+                }
+            }
+            std::hint::black_box(s.weight())
+        });
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

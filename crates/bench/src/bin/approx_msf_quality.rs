@@ -1,0 +1,88 @@
+//! E7 — approximate MSF weight error vs ε (Theorem 5.4, measured).
+//!
+//! Windowed weighted streams; after every slide the estimate must sit in
+//! `[W, (1+ε)·W]` of the exact window MSF weight. Reports the observed
+//! ratio distribution and the level count R (space/work driver).
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin approx_msf_quality
+//! ```
+
+use bimst_bench::row;
+use bimst_graphgen::EdgeStream;
+use bimst_msf::Edge;
+use bimst_primitives::WKey;
+use bimst_sliding::ApproxMsfWeight;
+
+fn exact_weight(n: usize, window: &[(u32, u32, f64)]) -> f64 {
+    let edges: Vec<Edge> = window
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v, w))| Edge::new(u, v, WKey::new(w, i as u64)))
+        .collect();
+    bimst_msf::kruskal(n, &edges)
+        .into_iter()
+        .map(|i| edges[i].key.w)
+        .sum()
+}
+
+fn main() {
+    let n = 300usize;
+    let wmax = 256.0;
+    println!("E7 — (1+ε)-MSF weight over a sliding window: n = {n}, weights in [1, {wmax}]");
+    println!("50 slides of a 1200-edge window; ratio = estimate / exact ∈ [1, 1+ε]\n");
+
+    let widths = [8, 8, 12, 12, 12];
+    row(
+        &[
+            "ε".into(),
+            "R".into(),
+            "min ratio".into(),
+            "mean ratio".into(),
+            "max ratio".into(),
+        ],
+        &widths,
+    );
+
+    for &eps in &[0.05f64, 0.1, 0.25, 0.5, 1.0] {
+        let mut a = ApproxMsfWeight::new(n, eps, wmax, 3);
+        let mut stream = EdgeStream::uniform(n as u32, 11);
+        let mut all: Vec<(u32, u32, f64)> = Vec::new();
+        let mut tw = 0usize;
+        let mut ratios: Vec<f64> = Vec::new();
+        for _ in 0..50 {
+            let batch = stream.next_batch(120);
+            let weighted: Vec<(u32, u32, f64)> = batch
+                .iter()
+                .map(|&(u, v, w, _)| (u, v, 1.0 + w * (wmax - 1.0)))
+                .collect();
+            a.batch_insert(&weighted);
+            all.extend_from_slice(&weighted);
+            if all.len() - tw > 1200 {
+                let d = all.len() - tw - 1200;
+                a.batch_expire(d as u64);
+                tw += d;
+            }
+            let exact = exact_weight(n, &all[tw..]);
+            if exact > 0.0 {
+                ratios.push(a.weight() / exact);
+            }
+        }
+        let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ratios.iter().cloned().fold(0.0, f64::max);
+        let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+        assert!(min >= 1.0 - 1e-9, "estimate below exact for ε = {eps}");
+        assert!(max <= 1.0 + eps + 1e-9, "estimate above (1+ε) for ε = {eps}");
+        row(
+            &[
+                format!("{eps}"),
+                format!("{}", a.num_levels()),
+                format!("{min:.4}"),
+                format!("{mean:.4}"),
+                format!("{max:.4}"),
+            ],
+            &widths,
+        );
+    }
+    println!("\nbounds asserted per row: 1 ≤ ratio ≤ 1+ε for every slide");
+}

@@ -1,0 +1,109 @@
+//! E2 — batch-incremental MSF vs the baselines.
+//!
+//! Same edge stream, three maintainers:
+//! * `bimst` — this paper (Algorithm 2),
+//! * `link-cut` — the classic sequential incremental MSF (paper ref. 47),
+//! * `recompute` — from-scratch parallel Kruskal after every batch.
+//!
+//! The paper's bounds predict: link-cut wins at ℓ = 1 (lower constants, no
+//! batch machinery), `bimst` overtakes as ℓ grows (work per edge falls like
+//! `lg(1 + n/ℓ)` and parallelism kicks in), and recompute is only
+//! competitive when `ℓ ≈ m`.
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin crossover [n] [m]
+//! ```
+
+use bimst_bench::{batch_sweep, median_secs, ns_per_edge, row};
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+use bimst_linkcut::IncrementalMsf;
+use bimst_msf::Edge;
+use bimst_primitives::WKey;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50_000);
+    let m: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 16);
+
+    println!("E2 — who wins at which batch size: n = {n}, stream of {m} ER edges");
+    println!("(ns/edge; lower is better)\n");
+    let widths = [9, 12, 12, 14];
+    row(
+        &[
+            "ℓ".into(),
+            "bimst".into(),
+            "link-cut".into(),
+            "recompute".into(),
+        ],
+        &widths,
+    );
+
+    let edges = erdos_renyi(n as u32, m, 17);
+    for l in batch_sweep(m) {
+        let bimst = median_secs(3, |rep| {
+            let mut msf = BatchMsf::new(n, 3 + rep as u64);
+            for chunk in edges.chunks(l) {
+                msf.batch_insert(chunk);
+            }
+        });
+        // The sequential baseline does not depend on ℓ; measure once per ℓ
+        // anyway to keep the comparison honest about cache state.
+        let linkcut = median_secs(1, |_| {
+            let mut inc = IncrementalMsf::new(n);
+            for &(u, v, w, id) in &edges {
+                inc.insert(u, v, w, id);
+            }
+        });
+        // Recompute: full Kruskal over everything seen after each batch —
+        // only run to completion when the batch count is sane, else
+        // extrapolate from a prefix.
+        let batches = m.div_ceil(l);
+        let recompute = if batches <= 64 {
+            median_secs(1, |_| {
+                let mut seen: Vec<Edge> = Vec::new();
+                for chunk in edges.chunks(l) {
+                    seen.extend(
+                        chunk
+                            .iter()
+                            .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id))),
+                    );
+                    let _ = bimst_msf::kruskal(n, &seen);
+                }
+            })
+        } else {
+            // Cost model: each batch re-sorts everything seen so far; the
+            // first 64 batches already dominate a measurable prefix.
+            let prefix = 64 * l;
+            let t = median_secs(1, |_| {
+                let mut seen: Vec<Edge> = Vec::new();
+                for chunk in edges[..prefix.min(m)].chunks(l) {
+                    seen.extend(
+                        chunk
+                            .iter()
+                            .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id))),
+                    );
+                    let _ = bimst_msf::kruskal(n, &seen);
+                }
+            });
+            // Σ over all batches of (i·ℓ) scales quadratically in the batch
+            // count; scale the measured prefix accordingly.
+            let full_batches = batches as f64;
+            t * (full_batches * full_batches) / (64.0 * 64.0)
+        };
+        row(
+            &[
+                format!("{l}"),
+                ns_per_edge(bimst, m),
+                ns_per_edge(linkcut, m),
+                if batches <= 64 {
+                    ns_per_edge(recompute, m)
+                } else {
+                    format!("~{}", ns_per_edge(recompute, m))
+                },
+            ],
+            &widths,
+        );
+    }
+    println!("\n(~ marks recompute costs extrapolated quadratically from a 64-batch prefix)");
+}

@@ -1,0 +1,102 @@
+//! E6 — sparsifier quality (Theorem 5.8, measured).
+//!
+//! Planted-cut graphs: two dense communities joined by a thin bridge. We
+//! report sparsifier size and the worst/mean relative cut error over the
+//! planted cut plus many random cuts, across ε and sampling aggressiveness.
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin sparsifier_quality
+//! ```
+
+use bimst_bench::row;
+use bimst_primitives::hash::hash2;
+use bimst_sliding::{Sparsifier, SparsifierConfig};
+use std::collections::HashSet;
+
+fn cut_weight(edges: &[(u32, u32, f64)], side: &HashSet<u32>) -> f64 {
+    edges
+        .iter()
+        .filter(|&&(u, v, _)| side.contains(&u) != side.contains(&v))
+        .map(|&(_, _, w)| w)
+        .sum()
+}
+
+fn main() {
+    let half = 60u32;
+    let n = (2 * half) as usize;
+    println!("E6 — sparsifier cut preservation on a planted-cut graph (n = {n})");
+    println!("two ~50%-dense communities, 8 bridges; 40 random cuts + the planted cut\n");
+
+    let widths = [8, 14, 10, 10, 12, 12, 12];
+    row(
+        &[
+            "ε".into(),
+            "sample_fac".into(),
+            "edges".into(),
+            "kept".into(),
+            "planted".into(),
+            "mean err".into(),
+            "max err".into(),
+        ],
+        &widths,
+    );
+
+    // The windowed graph.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for a in 0..half {
+        for b in (a + 1)..half {
+            if hash2(1, ((a as u64) << 32) | b as u64) % 2 == 0 {
+                edges.push((a, b));
+                edges.push((half + a, half + b));
+            }
+        }
+    }
+    for i in 0..8 {
+        edges.push((i, half + i));
+    }
+    let orig: Vec<(u32, u32, f64)> = edges.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+    let planted: HashSet<u32> = (0..half).collect();
+
+    for &eps in &[0.3f64, 0.5, 1.0] {
+        for fac_scale in [1.0f64, 0.25, 0.05] {
+            let mut cfg = SparsifierConfig::scaled(n, eps);
+            cfg.sample_factor *= fac_scale;
+            let mut s = Sparsifier::new(n, cfg, 13);
+            s.batch_insert(&edges);
+            let sp: Vec<(u32, u32, f64)> =
+                s.sparsify().iter().map(|&(u, v, w, _)| (u, v, w)).collect();
+
+            let mut errs: Vec<f64> = Vec::new();
+            let co = cut_weight(&orig, &planted);
+            let cs = cut_weight(&sp, &planted);
+            let planted_err = (cs - co).abs() / co;
+            for trial in 0..40u64 {
+                let side: HashSet<u32> = (0..n as u32)
+                    .filter(|&v| hash2(trial + 500, v as u64) % 2 == 0)
+                    .collect();
+                let co = cut_weight(&orig, &side);
+                if co == 0.0 {
+                    continue;
+                }
+                errs.push((cut_weight(&sp, &side) - co).abs() / co);
+            }
+            let mean = errs.iter().sum::<f64>() / errs.len() as f64;
+            let max = errs.iter().cloned().fold(planted_err, f64::max);
+            row(
+                &[
+                    format!("{eps}"),
+                    format!("{:.1}", cfg.sample_factor),
+                    format!("{}", sp.len()),
+                    format!("{:.0}%", 100.0 * sp.len() as f64 / edges.len() as f64),
+                    format!("{planted_err:.3}"),
+                    format!("{mean:.3}"),
+                    format!("{max:.3}"),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!("\nexpected shape: error grows as sample_factor shrinks (more aggressive");
+    println!("sampling); the planted sparse cut stays near-exact because its edges have");
+    println!("low connectivity and are sampled with probability ≈ 1 (Fung et al.)");
+}

@@ -1,0 +1,57 @@
+//! E3 — self-relative parallel speedup.
+//!
+//! Large-batch MSF insertion under rayon pools of 1, 2, 4, … threads.
+//! The span bound (`O(lg² n)` per batch) predicts speedup that grows with
+//! batch size; tiny batches have too little parallel slack to scale.
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin speedup [n] [m]
+//! ```
+
+use bimst_bench::{median_secs, row};
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(200_000);
+    let m: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let max_threads = std::thread::available_parallelism().map_or(8, |p| p.get());
+
+    println!("E3 — self-relative speedup: n = {n}, {m} ER edges, ℓ = 65536");
+    let mut threads = vec![1usize];
+    while *threads.last().unwrap() * 2 <= max_threads {
+        threads.push(threads.last().unwrap() * 2);
+    }
+    let widths = [9, 12, 10];
+    row(&["threads".into(), "secs".into(), "speedup".into()], &widths);
+
+    let edges = erdos_renyi(n as u32, m, 5);
+    let l = 65_536usize;
+    let mut base = 0.0f64;
+    for &p in &threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(p)
+            .build()
+            .expect("pool");
+        let secs = pool.install(|| {
+            median_secs(3, |rep| {
+                let mut msf = BatchMsf::new(n, 11 + rep as u64);
+                for chunk in edges.chunks(l) {
+                    msf.batch_insert(chunk);
+                }
+            })
+        });
+        if p == 1 {
+            base = secs;
+        }
+        row(
+            &[
+                format!("{p}"),
+                format!("{secs:.3}"),
+                format!("{:.2}x", base / secs),
+            ],
+            &widths,
+        );
+    }
+}

@@ -1,0 +1,436 @@
+//! Batch-incremental minimum spanning forest (§4, Algorithm 2).
+//!
+//! `BatchInsert(E⁺)`:
+//!
+//! 1. `K` ← endpoints of `E⁺` (deduplicated).
+//! 2. `C` ← compressed path trees of the current MSF with respect to `K`
+//!    (Algorithm 1) — all pairwise heaviest path edges, hence all cycles any
+//!    subset of `E⁺` could close, in `O(ℓ)` space.
+//! 3. `M` ← MSF(`C ∪ E⁺`) — an `O(ℓ)`-edge static problem.
+//! 4. Cut `E(C) \ E(M)` from the dynamic forest (each such edge is heaviest
+//!    on some cycle of the new graph — the red rule), link `E(M) ∩ E⁺`.
+//!
+//! Theorem 4.1 proves the result is exactly the MSF of the new graph;
+//! Theorem 4.2 gives `O(ℓ lg(1 + n/ℓ))` expected work and `O(lg² n)` span.
+
+use bimst_primitives::{EdgeId, FxHashMap, FxHashSet, VertexId, WKey};
+use bimst_rctree::RcForest;
+
+use crate::cpt::{compressed_path_tree, path_max};
+
+/// Outcome of a batch insertion.
+#[derive(Clone, Debug, Default)]
+pub struct InsertResult {
+    /// Ids from the batch that entered the MSF.
+    pub inserted: Vec<EdgeId>,
+    /// Ids of previous MSF edges evicted by the batch (each was heaviest on
+    /// a cycle created by the new edges).
+    pub evicted: Vec<EdgeId>,
+    /// Ids from the batch that were rejected immediately (heaviest on a
+    /// cycle among `C ∪ E⁺`, or self-loops).
+    pub rejected: Vec<EdgeId>,
+}
+
+/// A dynamically maintained minimum spanning forest under batch edge
+/// insertions (Theorem 1.1).
+///
+/// Weights are `f64` with edge-id tie-breaking, so the MSF is unique. Edge
+/// ids are caller-chosen `u64`s, unique among edges *currently in the MSF*
+/// (an id may be reused after eviction; the sliding-window layer uses the
+/// stream position `τ(e)`).
+pub struct BatchMsf {
+    forest: RcForest,
+    weight_sum: f64,
+}
+
+impl BatchMsf {
+    /// An edgeless MSF over `n` vertices. `seed` drives the randomized
+    /// substrate; identical seeds and update histories give identical
+    /// structures.
+    pub fn new(n: usize, seed: u64) -> Self {
+        BatchMsf {
+            forest: RcForest::new(n, seed),
+            weight_sum: 0.0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.forest.num_vertices()
+    }
+
+    /// Number of edges currently in the MSF.
+    pub fn msf_edge_count(&self) -> usize {
+        self.forest.num_edges()
+    }
+
+    /// Total weight of the MSF. Maintained incrementally, `O(1)`.
+    pub fn msf_weight(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Number of connected components (isolated vertices included), `O(1)`.
+    pub fn num_components(&self) -> usize {
+        self.forest.num_components()
+    }
+
+    /// Whether `u` and `v` are connected. `O(lg n)` w.h.p.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.forest.connected(u, v)
+    }
+
+    /// Heaviest edge key on the MSF path between `u` and `v` (`None` if
+    /// disconnected or equal). `O(lg n)` expected.
+    pub fn path_max(&self, u: VertexId, v: VertexId) -> Option<WKey> {
+        path_max(&self.forest, u, v)
+    }
+
+    /// Whether edge `id` is currently in the MSF.
+    pub fn contains_edge(&self, id: EdgeId) -> bool {
+        self.forest.has_edge(id)
+    }
+
+    /// The `(u, v, key)` of an MSF edge.
+    pub fn edge_info(&self, id: EdgeId) -> Option<(VertexId, VertexId, WKey)> {
+        self.forest.edge_info(id)
+    }
+
+    /// Iterates over the MSF edges as `(id, u, v, key)`.
+    pub fn iter_msf_edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId, WKey)> + '_ {
+        self.forest.iter_edges()
+    }
+
+    /// Read access to the underlying dynamic forest (advanced queries,
+    /// verification).
+    pub fn forest(&self) -> &RcForest {
+        &self.forest
+    }
+
+    /// Deletes a batch of current MSF edges by id, with **no replacement
+    /// search**.
+    ///
+    /// This is *not* fully dynamic deletion: it exists for the
+    /// sliding-window layer (§5), where the recent-edge property guarantees
+    /// that an expired MSF edge has no unexpired replacement — under recency
+    /// weights (`w = −τ`), the incremental MSF restricted to unexpired edges
+    /// is exactly the MSF of the unexpired graph. Callers outside that
+    /// setting must ensure the same "no replacement exists" invariant or the
+    /// structure stops being an MSF of their intended edge set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is not a current MSF edge.
+    pub fn batch_delete(&mut self, ids: &[EdgeId]) {
+        for &id in ids {
+            let (_, _, k) = self
+                .forest
+                .edge_info(id)
+                .unwrap_or_else(|| panic!("delete of unknown MSF edge {id}"));
+            self.weight_sum -= k.w;
+        }
+        self.forest.batch_cut(ids);
+    }
+
+    /// Inserts a batch of edges `(u, v, weight, id)` — Algorithm 2.
+    ///
+    /// Self-loops are rejected. Ids must be unique within the batch and
+    /// distinct from ids currently in the MSF.
+    ///
+    /// Returns which batch edges entered, which old MSF edges were evicted,
+    /// and which batch edges were rejected.
+    pub fn batch_insert(&mut self, batch: &[(VertexId, VertexId, f64, EdgeId)]) -> InsertResult {
+        let mut res = InsertResult::default();
+        if batch.is_empty() {
+            return res;
+        }
+        // Line 2: K ← endpoints of E⁺ (self-loops rejected outright).
+        let mut marks: Vec<VertexId> = Vec::with_capacity(batch.len() * 2);
+        let mut eplus: Vec<(VertexId, VertexId, f64, EdgeId)> = Vec::with_capacity(batch.len());
+        {
+            let mut seen_ids: FxHashSet<EdgeId> = FxHashSet::default();
+            for &(u, v, w, id) in batch {
+                assert!(seen_ids.insert(id), "duplicate edge id {id} in batch");
+                assert!(
+                    !self.forest.has_edge(id),
+                    "edge id {id} already in the MSF"
+                );
+                if u == v {
+                    res.rejected.push(id);
+                    continue;
+                }
+                marks.push(u);
+                marks.push(v);
+                eplus.push((u, v, w, id));
+            }
+        }
+        if eplus.is_empty() {
+            return res;
+        }
+        marks.sort_unstable();
+        marks.dedup();
+
+        // Line 3: compressed path trees over the endpoints.
+        let cpt = compressed_path_tree(&self.forest, &marks);
+
+        // Line 4: M ← MSF(C ∪ E⁺) on densely relabeled vertices.
+        let mut label: FxHashMap<VertexId, u32> = FxHashMap::default();
+        let relabel = |v: VertexId, label: &mut FxHashMap<VertexId, u32>| -> u32 {
+            let next = label.len() as u32;
+            *label.entry(v).or_insert(next)
+        };
+        // Provenance: Some(forest edge id) for CPT edges, None for batch
+        // edges (tracked by position).
+        let mut edges: Vec<bimst_msf::Edge> = Vec::with_capacity(cpt.edges.len() + eplus.len());
+        let ncpt = cpt.edges.len();
+        for e in &cpt.edges {
+            let u = relabel(e.u, &mut label);
+            let v = relabel(e.v, &mut label);
+            edges.push(bimst_msf::Edge::new(u, v, e.key));
+        }
+        for &(u, v, w, id) in &eplus {
+            let u = relabel(u, &mut label);
+            let v = relabel(v, &mut label);
+            edges.push(bimst_msf::Edge::new(u, v, WKey::new(w, id)));
+        }
+        let m = bimst_msf::msf(label.len(), &edges);
+        let in_m: FxHashSet<usize> = m.into_iter().collect();
+
+        // Lines 5-6: evict E(C) \ E(M); link E(M) ∩ E⁺.
+        let mut cuts: Vec<EdgeId> = Vec::new();
+        for (i, e) in cpt.edges.iter().enumerate() {
+            if !in_m.contains(&i) {
+                cuts.push(e.key.id);
+                res.evicted.push(e.key.id);
+            }
+        }
+        let mut links: Vec<(VertexId, VertexId, f64, EdgeId)> = Vec::new();
+        for (j, &(u, v, w, id)) in eplus.iter().enumerate() {
+            if in_m.contains(&(ncpt + j)) {
+                links.push((u, v, w, id));
+                res.inserted.push(id);
+            } else {
+                res.rejected.push(id);
+            }
+        }
+        for &id in &res.evicted {
+            let (_, _, k) = self.forest.edge_info(id).expect("evicted edge is live");
+            self.weight_sum -= k.w;
+        }
+        for &(_, _, w, _) in &links {
+            self.weight_sum += w;
+        }
+        self.forest.batch_update(&cuts, &links);
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimst_msf::{is_msf, Edge};
+
+    /// Oracle: recompute the MSF of all edges ever inserted with Kruskal and
+    /// compare edge sets.
+    struct Oracle {
+        n: usize,
+        all: Vec<(u32, u32, f64, u64)>,
+    }
+
+    impl Oracle {
+        fn new(n: usize) -> Self {
+            Oracle { n, all: Vec::new() }
+        }
+
+        fn insert(&mut self, batch: &[(u32, u32, f64, u64)]) {
+            self.all.extend_from_slice(batch);
+        }
+
+        fn msf_ids(&self) -> Vec<u64> {
+            let edges: Vec<Edge> = self
+                .all
+                .iter()
+                .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id)))
+                .collect();
+            let mut ids: Vec<u64> = bimst_msf::kruskal(self.n, &edges)
+                .into_iter()
+                .map(|i| edges[i].key.id)
+                .collect();
+            ids.sort_unstable();
+            ids
+        }
+    }
+
+    fn assert_matches_oracle(msf: &BatchMsf, oracle: &Oracle) {
+        let mut got: Vec<u64> = msf.iter_msf_edges().map(|(id, ..)| id).collect();
+        got.sort_unstable();
+        assert_eq!(got, oracle.msf_ids());
+        // And the forest really is the MSF of everything inserted.
+        let edges: Vec<Edge> = oracle
+            .all
+            .iter()
+            .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id)))
+            .collect();
+        let idx: std::collections::HashMap<u64, usize> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.key.id, i))
+            .collect();
+        let forest: Vec<usize> = msf.iter_msf_edges().map(|(id, ..)| idx[&id]).collect();
+        assert!(is_msf(oracle.n, &edges, &forest));
+        // Weight bookkeeping.
+        let expect: f64 = msf.iter_msf_edges().map(|(.., k)| k.w).sum();
+        assert!((msf.msf_weight() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quickstart_square_with_diagonal() {
+        let mut msf = BatchMsf::new(4, 1);
+        let res = msf.batch_insert(&[
+            (0, 1, 1.0, 10),
+            (1, 2, 2.0, 11),
+            (2, 3, 3.0, 12),
+            (3, 0, 4.0, 13),
+            (0, 2, 2.5, 14),
+        ]);
+        let mut ins = res.inserted.clone();
+        ins.sort_unstable();
+        assert_eq!(ins, vec![10, 11, 12]);
+        let mut rej = res.rejected.clone();
+        rej.sort_unstable();
+        assert_eq!(rej, vec![13, 14]);
+        assert!(res.evicted.is_empty());
+        assert_eq!(msf.msf_weight(), 6.0);
+        assert_eq!(msf.num_components(), 1);
+    }
+
+    #[test]
+    fn eviction_by_lighter_batch() {
+        let mut msf = BatchMsf::new(3, 2);
+        msf.batch_insert(&[(0, 1, 10.0, 1), (1, 2, 20.0, 2)]);
+        // A light edge closing the cycle evicts the heaviest (id 2).
+        let res = msf.batch_insert(&[(0, 2, 1.0, 3)]);
+        assert_eq!(res.inserted, vec![3]);
+        assert_eq!(res.evicted, vec![2]);
+        assert!(!msf.contains_edge(2));
+        assert!(msf.contains_edge(3));
+        assert_eq!(msf.msf_weight(), 11.0);
+    }
+
+    #[test]
+    fn single_edge_batches_match_oracle() {
+        use bimst_primitives::hash::hash2;
+        let n = 50usize;
+        let mut msf = BatchMsf::new(n, 3);
+        let mut oracle = Oracle::new(n);
+        for i in 0..200u64 {
+            let u = (hash2(1, 2 * i) % n as u64) as u32;
+            let v = (hash2(1, 2 * i + 1) % n as u64) as u32;
+            if u == v {
+                continue;
+            }
+            let w = (hash2(2, i) % 1000) as f64;
+            let batch = [(u, v, w, i)];
+            msf.batch_insert(&batch);
+            oracle.insert(&batch);
+        }
+        assert_matches_oracle(&msf, &oracle);
+    }
+
+    #[test]
+    fn large_batches_match_oracle() {
+        use bimst_primitives::hash::hash2;
+        let n = 300usize;
+        let mut msf = BatchMsf::new(n, 5);
+        let mut oracle = Oracle::new(n);
+        let mut id = 0u64;
+        for round in 0..6u64 {
+            let l = 1usize << (2 * round); // 1, 4, 16, 64, 256, 1024
+            let mut batch = Vec::new();
+            for _ in 0..l {
+                let u = (hash2(round, 2 * id) % n as u64) as u32;
+                let v = (hash2(round, 2 * id + 1) % n as u64) as u32;
+                let w = (hash2(7, id) % 10_000) as f64;
+                batch.push((u, v, w, id));
+                id += 1;
+            }
+            batch.retain(|&(u, v, _, _)| u != v);
+            msf.batch_insert(&batch);
+            oracle.insert(&batch);
+            assert_matches_oracle(&msf, &oracle);
+        }
+        msf.forest().verify_against_scratch().unwrap();
+    }
+
+    #[test]
+    fn whole_graph_as_one_batch_equals_static_msf() {
+        use bimst_primitives::hash::hash2;
+        let n = 500usize;
+        let batch: Vec<(u32, u32, f64, u64)> = (0..3000u64)
+            .filter_map(|i| {
+                let u = (hash2(11, 2 * i) % n as u64) as u32;
+                let v = (hash2(11, 2 * i + 1) % n as u64) as u32;
+                (u != v).then_some((u, v, (hash2(13, i) % 100_000) as f64, i))
+            })
+            .collect();
+        let mut msf = BatchMsf::new(n, 7);
+        let mut oracle = Oracle::new(n);
+        msf.batch_insert(&batch);
+        oracle.insert(&batch);
+        assert_matches_oracle(&msf, &oracle);
+    }
+
+    #[test]
+    fn parallel_duplicate_edges_in_one_batch() {
+        // Two edges between the same endpoints: only the lighter enters.
+        let mut msf = BatchMsf::new(2, 8);
+        let res = msf.batch_insert(&[(0, 1, 5.0, 1), (0, 1, 3.0, 2)]);
+        assert_eq!(res.inserted, vec![2]);
+        assert_eq!(res.rejected, vec![1]);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut msf = BatchMsf::new(3, 9);
+        let res = msf.batch_insert(&[(1, 1, 1.0, 5), (0, 1, 2.0, 6)]);
+        assert_eq!(res.rejected, vec![5]);
+        assert_eq!(res.inserted, vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge id")]
+    fn duplicate_ids_in_batch_panic() {
+        let mut msf = BatchMsf::new(3, 10);
+        msf.batch_insert(&[(0, 1, 1.0, 5), (1, 2, 2.0, 5)]);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let mut msf = BatchMsf::new(3, 11);
+        let res = msf.batch_insert(&[]);
+        assert!(res.inserted.is_empty() && res.evicted.is_empty());
+        assert_eq!(msf.msf_edge_count(), 0);
+    }
+
+    #[test]
+    fn weights_can_be_negative_and_tied() {
+        let mut msf = BatchMsf::new(4, 12);
+        // Recency-style weights (all negative, ties broken by id) — the
+        // sliding-window layer depends on this working.
+        msf.batch_insert(&[(0, 1, -1.0, 1), (1, 2, -2.0, 2), (2, 3, -2.0, 3)]);
+        assert_eq!(msf.msf_edge_count(), 3);
+        let res = msf.batch_insert(&[(0, 2, -3.0, 4)]);
+        // Cycle 0-1-2-0: heaviest is -1 (id 1) → evicted.
+        assert_eq!(res.evicted, vec![1]);
+        assert_eq!(msf.msf_weight(), -7.0);
+    }
+
+    #[test]
+    fn path_max_after_updates() {
+        let mut msf = BatchMsf::new(4, 13);
+        msf.batch_insert(&[(0, 1, 1.0, 1), (1, 2, 9.0, 2), (2, 3, 4.0, 3)]);
+        assert_eq!(msf.path_max(0, 3).unwrap().w, 9.0);
+        // Replace the heavy middle edge via a cheaper alternative path.
+        msf.batch_insert(&[(1, 2, 2.0, 4)]);
+        assert_eq!(msf.path_max(0, 3).unwrap().w, 4.0);
+    }
+}

@@ -1,0 +1,457 @@
+//! The compressed path tree (§3 of the paper, Algorithm 1).
+//!
+//! Given a weighted forest with some *marked* vertices, the compressed path
+//! tree is the union of all pairwise paths between marked vertices with
+//! every unmarked vertex of degree ≤ 2 spliced out, each spliced edge
+//! keeping the heaviest key of the edges it replaced. It answers every
+//! pairwise "heaviest edge between marked vertices" query and has `O(ℓ)`
+//! vertices (Lemma 3.2).
+//!
+//! The algorithm marks the `O(ℓ lg(1+n/ℓ))` RC-tree clusters that contain a
+//! marked vertex (bottom-up), then expands top-down (`ExpandCluster`):
+//! an **unmarked** cluster contributes only its boundary — for a binary
+//! cluster, a single edge labelled with the heaviest key on its
+//! boundary-to-boundary path, read off the cluster in `O(1)` — while a
+//! marked cluster recurses into its ≤ 6 children and prunes its
+//! representative (`Prune`).
+//!
+//! Because the underlying forest is ternarized, the expansion runs over
+//! *base nodes* (heads and phantoms); the final step contracts the phantom
+//! (`−∞`-keyed) edges, collapsing every spine back to its owning vertex.
+//! Phantom Steiner nodes have degree ≥ 3 in the raw tree, so the collapsed
+//! owner keeps degree ≥ 3 and no re-pruning is needed (see `DESIGN.md`).
+
+use bimst_primitives::{AVec, FxHashMap, FxHashSet, VertexId, WKey};
+use bimst_rctree::cluster::NodeId;
+use bimst_rctree::{ClusterId, ClusterKind, RcForest, NONE_CLUSTER};
+
+use rayon::prelude::*;
+
+/// An edge of a compressed path tree. `key.id` is the id of the heaviest
+/// original edge on the path this edge represents — the identification that
+/// lets Algorithm 2 cut real edges.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CptEdge {
+    /// One endpoint (original vertex).
+    pub u: VertexId,
+    /// Other endpoint (original vertex).
+    pub v: VertexId,
+    /// Heaviest key on the represented path.
+    pub key: WKey,
+}
+
+/// A compressed path tree (possibly a forest: one tree per component that
+/// contains a marked vertex).
+#[derive(Clone, Debug, Default)]
+pub struct Cpt {
+    /// All vertices: the marked vertices plus Steiner (branching) vertices.
+    pub vertices: Vec<VertexId>,
+    /// The compressed edges.
+    pub edges: Vec<CptEdge>,
+}
+
+/// Working graph during expansion, over base nodes. Ternarization bounds
+/// every degree by 3.
+struct ExpGraph {
+    adj: FxHashMap<NodeId, AVec<(NodeId, WKey), 3>>,
+}
+
+impl ExpGraph {
+    fn new() -> Self {
+        ExpGraph {
+            adj: FxHashMap::default(),
+        }
+    }
+
+    fn ensure_vertex(&mut self, v: NodeId) {
+        self.adj.entry(v).or_default();
+    }
+
+    fn add_edge(&mut self, a: NodeId, b: NodeId, k: WKey) {
+        self.adj.entry(a).or_default().push((b, k));
+        self.adj.entry(b).or_default().push((a, k));
+    }
+
+    fn remove_edge(&mut self, a: NodeId, b: NodeId) -> WKey {
+        let mut key = None;
+        if let Some(l) = self.adj.get_mut(&a) {
+            l.retain(|&(x, k)| {
+                if x == b && key.is_none() {
+                    key = Some(k);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let key = key.expect("remove of absent edge");
+        let mut removed = false;
+        if let Some(l) = self.adj.get_mut(&b) {
+            l.retain(|&(x, k)| {
+                if x == a && k == key && !removed {
+                    removed = true;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        debug_assert!(removed, "asymmetric expansion graph");
+        key
+    }
+
+    fn degree(&self, v: NodeId) -> usize {
+        self.adj.get(&v).map_or(0, |l| l.len())
+    }
+
+    /// Splices out the (unmarked, degree-2) vertex `v`, merging its two
+    /// incident edges under the heavier key.
+    fn splice_out(&mut self, v: NodeId) {
+        let l = self.adj.get(&v).expect("splice of absent vertex");
+        debug_assert_eq!(l.len(), 2);
+        let (x, kx) = l[0];
+        let (y, ky) = l[1];
+        self.remove_edge(v, x);
+        self.remove_edge(v, y);
+        self.adj.remove(&v);
+        self.add_edge(x, y, kx.max(ky));
+    }
+
+    /// The `Prune` primitive of Algorithm 1, applied to a representative.
+    fn prune(&mut self, v: NodeId, marked_heads: &FxHashSet<NodeId>) {
+        if marked_heads.contains(&v) {
+            return;
+        }
+        match self.degree(v) {
+            2 => self.splice_out(v),
+            1 => {
+                let (u, _) = self.adj[&v][0];
+                self.remove_edge(v, u);
+                self.adj.remove(&v);
+                if !marked_heads.contains(&u) && self.degree(u) == 2 {
+                    self.splice_out(u);
+                }
+            }
+            0 => {
+                // An unmarked isolated representative contributes nothing.
+                // (Unreachable for well-formed marked clusters; kept as a
+                // safe fallback.)
+                debug_assert!(false, "unmarked degree-0 representative {v}");
+                self.adj.remove(&v);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Recursive `ExpandCluster` (Algorithm 1), accumulating into `g`.
+fn expand(f: &RcForest, c: ClusterId, marked: &FxHashSet<ClusterId>, marked_heads: &FxHashSet<NodeId>, g: &mut ExpGraph) {
+    let cl = f.cluster(c);
+    if !marked.contains(&c) {
+        // Lines 3-9: an unmarked cluster is summarized by its boundary.
+        match cl.kind {
+            ClusterKind::LeafEdge { a, b, key } => g.add_edge(a, b, key),
+            ClusterKind::Binary { bound: (a, b), key, .. } => g.add_edge(a, b, key),
+            ClusterKind::Unary { boundary, .. } => g.ensure_vertex(boundary),
+            // Nullary (root) and leaf-vertex clusters have no boundary.
+            ClusterKind::Root { .. } | ClusterKind::LeafVertex { .. } => {}
+        }
+        return;
+    }
+    match cl.kind {
+        // Lines 10-11: a marked leaf vertex.
+        ClusterKind::LeafVertex { node } => g.ensure_vertex(node),
+        ClusterKind::LeafEdge { .. } => unreachable!("edge clusters are never marked"),
+        // Lines 12-14: recurse and prune the representative.
+        ClusterKind::Unary { rep, .. }
+        | ClusterKind::Binary { rep, .. }
+        | ClusterKind::Root { rep } => {
+            for ch in cl.children.iter() {
+                expand(f, ch, marked, marked_heads, g);
+            }
+            g.prune(rep, marked_heads);
+        }
+    }
+}
+
+/// Computes the compressed path tree of the forest with respect to `marks`
+/// (original vertex ids; duplicates allowed). Components containing no mark
+/// contribute nothing. `O(ℓ lg(1 + n/ℓ))` expected work.
+pub fn compressed_path_tree(f: &RcForest, marks: &[VertexId]) -> Cpt {
+    if marks.is_empty() {
+        return Cpt::default();
+    }
+    // Dedup marks; map to head nodes.
+    let mut heads: Vec<NodeId> = marks.iter().map(|&v| f.head(v)).collect();
+    heads.sort_unstable();
+    heads.dedup();
+    let marked_heads: FxHashSet<NodeId> = heads.iter().copied().collect();
+
+    // Bottom-up marking of clusters; collect the distinct roots reached.
+    let mut marked: FxHashSet<ClusterId> = FxHashSet::default();
+    let mut roots: Vec<ClusterId> = Vec::new();
+    for &h in &heads {
+        let mut c = f.leaf_cluster(h);
+        loop {
+            if !marked.insert(c) {
+                break; // merged into an already-marked path
+            }
+            let p = f.parent(c);
+            if p == NONE_CLUSTER {
+                roots.push(c);
+                break;
+            }
+            c = p;
+        }
+    }
+
+    // Top-down expansion, one tree per root, in parallel across roots.
+    let expand_root = |&root: &ClusterId| -> (Vec<VertexId>, Vec<CptEdge>) {
+        let mut g = ExpGraph::new();
+        expand(f, root, &marked, &marked_heads, &mut g);
+        // Contract phantom edges: every base node maps to its owner.
+        let mut verts: Vec<VertexId> = g.adj.keys().map(|&n| f.owner(n)).collect();
+        verts.sort_unstable();
+        verts.dedup();
+        let mut edges = Vec::new();
+        for (&a, l) in &g.adj {
+            for (b, k) in l.iter() {
+                if a < b && !k.is_phantom() {
+                    edges.push(CptEdge {
+                        u: f.owner(a),
+                        v: f.owner(b),
+                        key: k,
+                    });
+                }
+            }
+        }
+        (verts, edges)
+    };
+    let parts: Vec<(Vec<VertexId>, Vec<CptEdge>)> = if roots.len() >= 8 {
+        roots.par_iter().map(expand_root).collect()
+    } else {
+        roots.iter().map(expand_root).collect()
+    };
+
+    let mut out = Cpt::default();
+    for (vs, es) in parts {
+        out.vertices.extend(vs);
+        out.edges.extend(es);
+    }
+    out
+}
+
+/// Heaviest edge key on the path between `u` and `v`, or `None` if they are
+/// disconnected or equal. `O(lg n)` expected: a compressed path tree over
+/// two marks is a single edge.
+pub fn path_max(f: &RcForest, u: VertexId, v: VertexId) -> Option<WKey> {
+    if u == v {
+        return None;
+    }
+    let cpt = compressed_path_tree(f, &[u, v]);
+    debug_assert!(cpt.edges.len() <= 1, "2-mark CPT must be a single edge");
+    cpt.edges.first().map(|e| {
+        debug_assert!(
+            (e.u == u && e.v == v) || (e.u == v && e.v == u),
+            "2-mark CPT edge must join the marks"
+        );
+        e.key
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimst_rctree::naive::NaiveForest;
+
+    fn build_both(n: usize, links: &[(u32, u32, f64, u64)], seed: u64) -> (RcForest, NaiveForest) {
+        let mut rc = RcForest::new(n, seed);
+        let mut nv = NaiveForest::new(n);
+        rc.batch_update(&[], links);
+        nv.batch_update(&[], links);
+        (rc, nv)
+    }
+
+    #[test]
+    fn path_max_matches_naive_on_path() {
+        let links: Vec<(u32, u32, f64, u64)> = [(0, 1, 5.0), (1, 2, 9.0), (2, 3, 2.0), (3, 4, 7.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| (u, v, w, i as u64))
+            .collect();
+        let (rc, nv) = build_both(5, &links, 13);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                assert_eq!(path_max(&rc, u, v), nv.path_max(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn path_max_on_star_goes_through_center() {
+        // High-degree center: exercises spines/phantom contraction.
+        let links: Vec<(u32, u32, f64, u64)> = (1..20u32)
+            .map(|v| (0, v, v as f64, v as u64))
+            .collect();
+        let (rc, nv) = build_both(20, &links, 29);
+        for u in 1..20u32 {
+            for v in (u + 1)..20u32 {
+                assert_eq!(path_max(&rc, u, v), nv.path_max(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_gives_none() {
+        let (rc, _) = build_both(4, &[(0, 1, 1.0, 0)], 31);
+        assert_eq!(path_max(&rc, 0, 2), None);
+        assert_eq!(path_max(&rc, 0, 0), None);
+        assert_eq!(path_max(&rc, 0, 1).unwrap().w, 1.0);
+    }
+
+    #[test]
+    fn figure_1_compressed_path_tree() {
+        // The exact example of Figure 1 of the paper. We lay out the tree
+        // from the figure: gray (marked) vertices A..E and the weighted
+        // paths between them. Vertex numbering below follows a left-to-right
+        // reading of the figure; what matters is the path weight structure:
+        //   A-...-B heaviest 6, A-...-branch 10 side, etc.
+        //
+        // Figure 1 tree (vertices 0..=17): marked A=0, B=1, C=2, D=3, E=4.
+        // Unmarked internal vertices 5..=17. Edges with the figure weights:
+        let links: Vec<(u32, u32, f64, u64)> = [
+            // A --10-- s1; s1 --2-- s2 ; s2 --5-- B   (A..B path: 10,2,5)
+            (0, 5, 10.0),
+            (5, 6, 2.0),
+            (6, 1, 5.0),
+            // s1 --6-- s3 (junction toward C/D/E side)
+            (5, 7, 6.0),
+            // s3 --3-- s4; s4 --9-- C  (toward C: 3,9)
+            (7, 8, 3.0),
+            (8, 2, 9.0),
+            // s4 --4-- s5; s5 --7-- D  (toward D: 4,7)
+            (8, 9, 4.0),
+            (9, 3, 7.0),
+            // s3 --2(b)-- s6; s6 --12-- s7; s7 --5(b)-- E ... E side: 1,12,5?
+            // Figure lists remaining weights 1, 12, 5, 4, 3 on the E branch
+            // and dangling (non-path) edges 8, 4, 3.
+            (7, 10, 1.0),
+            (10, 11, 12.0),
+            (11, 4, 3.0),
+            // Dangling unmarked subtrees (pruned away entirely):
+            (6, 12, 8.0),
+            (9, 13, 4.0),
+            (11, 14, 5.0),
+            (12, 15, 3.0),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v, w))| (u, v, w, i as u64))
+        .collect();
+        let (rc, nv) = build_both(16, &links, 37);
+        let cpt = compressed_path_tree(&rc, &[0, 1, 2, 3, 4]);
+        // Compressed path tree on 5 marks: at most 2*5-2 vertices and a
+        // tree's worth of edges.
+        assert!(cpt.edges.len() <= 8);
+        assert!(cpt.vertices.len() <= 8);
+        assert_eq!(cpt.edges.len() + 1, cpt.vertices.len(), "CPT is a tree");
+        // Every pairwise heaviest-edge query must agree with the naive
+        // forest — the defining property of the compressed path tree.
+        let pm = bimst_msf::ForestPathMax::new(
+            16,
+            &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+        );
+        for &a in &[0u32, 1, 2, 3, 4] {
+            for &b in &[0u32, 1, 2, 3, 4] {
+                if a == b {
+                    continue;
+                }
+                assert_eq!(
+                    pm.query(a, b).map(|k| k.w),
+                    nv.path_max(a, b).map(|k| k.w),
+                    "({a},{b})"
+                );
+            }
+        }
+        // No unmarked vertex of degree < 3 (the minimality property).
+        let marked = [0u32, 1, 2, 3, 4];
+        let mut deg: std::collections::HashMap<u32, usize> = Default::default();
+        for e in &cpt.edges {
+            *deg.entry(e.u).or_default() += 1;
+            *deg.entry(e.v).or_default() += 1;
+        }
+        for &v in &cpt.vertices {
+            if !marked.contains(&v) {
+                assert!(deg[&v] >= 3, "Steiner vertex {v} has degree {}", deg[&v]);
+            }
+        }
+    }
+
+    #[test]
+    fn cpt_size_is_linear_in_marks() {
+        // Lemma 3.2: |CPT| = O(ℓ) regardless of n. Random tree, few marks.
+        use bimst_primitives::hash::hash2;
+        let n = 4000u32;
+        let links: Vec<(u32, u32, f64, u64)> = (1..n)
+            .map(|v| {
+                let u = (hash2(3, v as u64) % v as u64) as u32;
+                (u, v, (hash2(4, v as u64) % 1000) as f64, v as u64)
+            })
+            .collect();
+        let mut rc = RcForest::new(n as usize, 41);
+        rc.batch_update(&[], &links);
+        for l in [2usize, 8, 32, 128] {
+            let marks: Vec<u32> = (0..l as u64).map(|i| (hash2(7, i) % n as u64) as u32).collect();
+            let cpt = compressed_path_tree(&rc, &marks);
+            assert!(
+                cpt.vertices.len() <= 2 * l,
+                "ℓ={l}: {} vertices",
+                cpt.vertices.len()
+            );
+            assert!(cpt.edges.len() < cpt.vertices.len().max(1));
+        }
+    }
+
+    #[test]
+    fn empty_marks_give_empty_cpt() {
+        let (rc, _) = build_both(3, &[(0, 1, 1.0, 0)], 43);
+        let cpt = compressed_path_tree(&rc, &[]);
+        assert!(cpt.vertices.is_empty() && cpt.edges.is_empty());
+    }
+
+    #[test]
+    fn single_mark_is_isolated_vertex() {
+        let (rc, _) = build_both(3, &[(0, 1, 1.0, 0), (1, 2, 2.0, 1)], 47);
+        let cpt = compressed_path_tree(&rc, &[1]);
+        assert_eq!(cpt.vertices, vec![1]);
+        assert!(cpt.edges.is_empty());
+    }
+
+    #[test]
+    fn marks_in_separate_components() {
+        let (rc, _) = build_both(4, &[(0, 1, 1.0, 0), (2, 3, 2.0, 1)], 53);
+        let cpt = compressed_path_tree(&rc, &[0, 1, 2]);
+        // Two trees: edge (0,1) and isolated vertex 2.
+        assert_eq!(cpt.edges.len(), 1);
+        assert_eq!(cpt.vertices.len(), 3);
+    }
+
+    #[test]
+    fn cpt_key_ids_name_real_edges() {
+        // The key.id on every CPT edge must identify a live forest edge with
+        // that exact weight — Algorithm 2 cuts by these ids.
+        let links: Vec<(u32, u32, f64, u64)> = [(0, 1, 5.0), (1, 2, 9.0), (2, 3, 2.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| (u, v, w, 100 + i as u64))
+            .collect();
+        let (rc, _) = build_both(4, &links, 59);
+        let cpt = compressed_path_tree(&rc, &[0, 3]);
+        assert_eq!(cpt.edges.len(), 1);
+        let e = cpt.edges[0];
+        assert_eq!(e.key.id, 101); // the weight-9 edge
+        let (u, v, k) = rc.edge_info(e.key.id).unwrap();
+        assert_eq!((u, v), (1, 2));
+        assert_eq!(k, e.key);
+    }
+}

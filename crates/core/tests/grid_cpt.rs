@@ -1,0 +1,90 @@
+//! Compressed path trees over structured (grid-derived) spanning forests:
+//! deep compress chains and regular branching, complementing the random
+//! trees in the unit and property tests.
+
+use bimst_core::{compressed_path_tree, BatchMsf};
+use bimst_graphgen::grid;
+use bimst_msf::ForestPathMax;
+use bimst_primitives::WKey;
+use bimst_rctree::naive::NaiveForest;
+
+/// Builds the MSF of a grid and mirrors its tree into a naive forest.
+fn grid_msf(rows: u32, cols: u32) -> (BatchMsf, NaiveForest) {
+    let n = (rows * cols) as usize;
+    let edges = grid(rows, cols, 5);
+    let mut msf = BatchMsf::new(n, 3);
+    msf.batch_insert(&edges);
+    let mut naive = NaiveForest::new(n);
+    let links: Vec<(u32, u32, f64, u64)> = msf
+        .iter_msf_edges()
+        .map(|(id, u, v, k)| (u, v, k.w, id))
+        .collect();
+    naive.batch_update(&[], &links);
+    (msf, naive)
+}
+
+#[test]
+fn corners_of_a_grid() {
+    let (rows, cols) = (12u32, 15u32);
+    let (msf, naive) = grid_msf(rows, cols);
+    let corners = [
+        0,
+        cols - 1,
+        (rows - 1) * cols,
+        rows * cols - 1,
+    ];
+    let cpt = compressed_path_tree(msf.forest(), &corners);
+    assert!(cpt.vertices.len() <= 2 * corners.len());
+    let n = (rows * cols) as usize;
+    let pm = ForestPathMax::new(
+        n,
+        &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+    );
+    for &a in &corners {
+        for &b in &corners {
+            if a != b {
+                assert_eq!(pm.query(a, b), naive.path_max(a, b), "({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn a_full_row_of_marks() {
+    // Marks along one grid row: the CPT must recover the row's tree
+    // structure with ≤ 2ℓ vertices even though the spanning tree weaves
+    // through the whole grid.
+    let (rows, cols) = (10u32, 10u32);
+    let (msf, naive) = grid_msf(rows, cols);
+    let marks: Vec<u32> = (0..cols).collect();
+    let cpt = compressed_path_tree(msf.forest(), &marks);
+    assert!(cpt.vertices.len() <= 2 * marks.len());
+    let n = (rows * cols) as usize;
+    let pm = ForestPathMax::new(
+        n,
+        &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+    );
+    for &a in &marks {
+        for &b in &marks {
+            if a < b {
+                assert_eq!(pm.query(a, b), naive.path_max(a, b), "({a},{b})");
+            }
+        }
+    }
+}
+
+#[test]
+fn cpt_edges_name_live_msf_edges() {
+    // Every CPT edge id must be cuttable — the contract Algorithm 2 needs.
+    let (msf, _) = grid_msf(8, 8);
+    let marks = [0u32, 7, 56, 63, 27];
+    let cpt = compressed_path_tree(msf.forest(), &marks);
+    for e in &cpt.edges {
+        let (u, v, k) = msf
+            .edge_info(e.key.id)
+            .unwrap_or_else(|| panic!("CPT edge id {} is not live", e.key.id));
+        assert_eq!(k, e.key);
+        assert!(u != v);
+        assert_eq!(k, WKey::new(k.w, e.key.id));
+    }
+}

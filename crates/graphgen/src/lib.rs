@@ -1,0 +1,283 @@
+//! Synthetic graph and edge-stream generators for the experiments.
+//!
+//! The paper is model-theoretic (no named datasets), so the harness drives
+//! every experiment with synthetic workloads chosen to exercise the
+//! structures the algorithms care about:
+//!
+//! * [`erdos_renyi`] — uniform random endpoints: the generic dense-cycle
+//!   workload for MSF maintenance.
+//! * [`preferential_attachment`] — heavy-tailed degrees: stresses the
+//!   ternarization spines (high-degree MSF vertices).
+//! * [`grid`] — bounded-degree planar structure: long paths, deep
+//!   compress chains.
+//! * [`random_tree`] / [`path`] / [`star`] — forest-shaped extremes.
+//! * [`EdgeStream`] — a timestamped infinite stream over any topology, cut
+//!   into arbitrary insert batches for the sliding-window experiments; the
+//!   stream position is `τ(e)`, exactly the paper's recency weight.
+//!
+//! All generators are deterministic given their seed (ChaCha8).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A weighted edge with an id: `(u, v, weight, id)` — the tuple every layer
+/// of the workspace consumes.
+pub type GenEdge = (u32, u32, f64, u64);
+
+fn rng(seed: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// `m` edges with uniform random distinct endpoints in `0..n`, weights
+/// uniform in `[0, 1)`, ids `0..m`.
+pub fn erdos_renyi(n: u32, m: usize, seed: u64) -> Vec<GenEdge> {
+    assert!(n >= 2);
+    let mut r = rng(seed);
+    (0..m as u64)
+        .map(|id| {
+            let u = r.gen_range(0..n);
+            let mut v = r.gen_range(0..n - 1);
+            if v >= u {
+                v += 1;
+            }
+            (u, v, r.gen::<f64>(), id)
+        })
+        .collect()
+}
+
+/// Preferential attachment: vertex `v` attaches to `deg_out` earlier
+/// vertices chosen proportionally to degree (plus smoothing), producing a
+/// heavy-tailed degree distribution.
+pub fn preferential_attachment(n: u32, deg_out: usize, seed: u64) -> Vec<GenEdge> {
+    assert!(n >= 2);
+    let mut r = rng(seed);
+    let mut targets: Vec<u32> = vec![0]; // degree-proportional urn
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for v in 1..n {
+        for _ in 0..deg_out.min(v as usize) {
+            let u = if r.gen_bool(0.1) {
+                r.gen_range(0..v)
+            } else {
+                targets[r.gen_range(0..targets.len())]
+            };
+            if u == v {
+                continue;
+            }
+            out.push((u, v, r.gen::<f64>(), id));
+            id += 1;
+            targets.push(u);
+        }
+        targets.push(v);
+    }
+    out
+}
+
+/// `rows × cols` grid graph (4-neighborhood), random weights.
+pub fn grid(rows: u32, cols: u32, seed: u64) -> Vec<GenEdge> {
+    let mut r = rng(seed);
+    let idx = |i: u32, j: u32| i * cols + j;
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    for i in 0..rows {
+        for j in 0..cols {
+            if j + 1 < cols {
+                out.push((idx(i, j), idx(i, j + 1), r.gen::<f64>(), id));
+                id += 1;
+            }
+            if i + 1 < rows {
+                out.push((idx(i, j), idx(i + 1, j), r.gen::<f64>(), id));
+                id += 1;
+            }
+        }
+    }
+    out
+}
+
+/// A uniformly random attachment tree on `n` vertices (`n − 1` edges).
+pub fn random_tree(n: u32, seed: u64) -> Vec<GenEdge> {
+    let mut r = rng(seed);
+    (1..n)
+        .map(|v| {
+            let u = r.gen_range(0..v);
+            (u, v, r.gen::<f64>(), (v - 1) as u64)
+        })
+        .collect()
+}
+
+/// The path `0 − 1 − … − (n−1)` with random weights.
+pub fn path(n: u32, seed: u64) -> Vec<GenEdge> {
+    let mut r = rng(seed);
+    (0..n - 1)
+        .map(|i| (i, i + 1, r.gen::<f64>(), i as u64))
+        .collect()
+}
+
+/// A star centered at 0 with random weights — the extreme ternarization
+/// workload (one spine of length `n − 1`).
+pub fn star(n: u32, seed: u64) -> Vec<GenEdge> {
+    let mut r = rng(seed);
+    (1..n)
+        .map(|v| (0, v, r.gen::<f64>(), (v - 1) as u64))
+        .collect()
+}
+
+/// An infinite timestamped edge stream over a fixed topology pool.
+///
+/// Edges are drawn round-robin from the pool; the `id` of the `t`-th edge
+/// emitted is `t` (the stream position `τ(e)` of the paper), and the weight
+/// is resampled per emission so re-traversals of the pool differ.
+pub struct EdgeStream {
+    pool: Vec<(u32, u32)>,
+    r: ChaCha8Rng,
+    t: u64,
+}
+
+impl EdgeStream {
+    /// A stream cycling over the endpoints of the given topology.
+    pub fn new(topology: &[GenEdge], seed: u64) -> Self {
+        assert!(!topology.is_empty());
+        EdgeStream {
+            pool: topology.iter().map(|&(u, v, _, _)| (u, v)).collect(),
+            r: rng(seed),
+            t: 0,
+        }
+    }
+
+    /// A stream of uniform random pairs over `0..n`.
+    pub fn uniform(n: u32, seed: u64) -> Self {
+        // Pool of size 1 is never used for uniform mode; keep endpoints
+        // drawn fresh per emission instead.
+        let mut s = EdgeStream {
+            pool: Vec::new(),
+            r: rng(seed),
+            t: 0,
+        };
+        s.pool.push((0, n.max(2) - 1)); // marker; n stored via pool[0].1+1
+        s
+    }
+
+    /// Current stream position (`τ` of the next edge).
+    pub fn position(&self) -> u64 {
+        self.t
+    }
+
+    /// Emits the next batch of `len` edges.
+    pub fn next_batch(&mut self, len: usize) -> Vec<GenEdge> {
+        let uniform_n = if self.pool.len() == 1 {
+            Some(self.pool[0].1 + 1)
+        } else {
+            None
+        };
+        (0..len)
+            .map(|_| {
+                let (u, v) = match uniform_n {
+                    Some(n) => {
+                        let u = self.r.gen_range(0..n);
+                        let mut v = self.r.gen_range(0..n - 1);
+                        if v >= u {
+                            v += 1;
+                        }
+                        (u, v)
+                    }
+                    None => self.pool[(self.t as usize) % self.pool.len()],
+                };
+                let e = (u, v, self.r.gen::<f64>(), self.t);
+                self.t += 1;
+                e
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_shapes() {
+        let es = erdos_renyi(100, 500, 1);
+        assert_eq!(es.len(), 500);
+        assert!(es.iter().all(|&(u, v, w, _)| u != v && u < 100 && v < 100 && (0.0..1.0).contains(&w)));
+        // Ids are sequential.
+        assert!(es.iter().enumerate().all(|(i, &(_, _, _, id))| id == i as u64));
+        // Deterministic.
+        assert_eq!(erdos_renyi(100, 500, 1), es);
+        assert_ne!(erdos_renyi(100, 500, 2), es);
+    }
+
+    #[test]
+    fn tree_path_star_sizes() {
+        assert_eq!(random_tree(50, 3).len(), 49);
+        assert_eq!(path(50, 3).len(), 49);
+        assert_eq!(star(50, 3).len(), 49);
+        assert!(star(50, 3).iter().all(|&(u, _, _, _)| u == 0));
+        // A random tree is acyclic and spanning: check via union-find.
+        let mut uf = bimst_unionfind_stub::Uf::new(50);
+        for &(u, v, _, _) in &random_tree(50, 3) {
+            assert!(uf.unite(u, v), "cycle in random_tree");
+        }
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let es = grid(5, 7, 1);
+        assert_eq!(es.len(), (5 * 6 + 4 * 7) as usize);
+    }
+
+    #[test]
+    fn pa_has_heavy_tail() {
+        let es = preferential_attachment(2000, 2, 9);
+        let mut deg = vec![0u32; 2000];
+        for &(u, v, _, _) in &es {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        assert!(max > 30, "expected a hub, max degree {max}");
+    }
+
+    #[test]
+    fn stream_positions_are_tau() {
+        let mut s = EdgeStream::uniform(100, 4);
+        let b1 = s.next_batch(10);
+        let b2 = s.next_batch(5);
+        assert_eq!(b1.last().unwrap().3, 9);
+        assert_eq!(b2.first().unwrap().3, 10);
+        assert_eq!(s.position(), 15);
+    }
+
+    #[test]
+    fn stream_over_topology_cycles_pool() {
+        let topo = path(4, 1); // 3 edges
+        let mut s = EdgeStream::new(&topo, 2);
+        let b = s.next_batch(6);
+        assert_eq!((b[0].0, b[0].1), (topo[0].0, topo[0].1));
+        assert_eq!((b[3].0, b[3].1), (topo[0].0, topo[0].1));
+        assert_ne!(b[0].2, b[3].2, "weights resampled per emission");
+    }
+
+    /// Local tiny union-find to avoid a dev-dependency.
+    mod bimst_unionfind_stub {
+        pub struct Uf(Vec<u32>);
+        impl Uf {
+            pub fn new(n: usize) -> Self {
+                Uf((0..n as u32).collect())
+            }
+            fn find(&mut self, mut x: u32) -> u32 {
+                while self.0[x as usize] != x {
+                    x = self.0[x as usize];
+                }
+                x
+            }
+            pub fn unite(&mut self, a: u32, b: u32) -> bool {
+                let (ra, rb) = (self.find(a), self.find(b));
+                if ra == rb {
+                    return false;
+                }
+                self.0[ra as usize] = rb;
+                true
+            }
+        }
+    }
+}

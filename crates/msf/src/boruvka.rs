@@ -1,0 +1,149 @@
+//! Parallel Borůvka.
+//!
+//! Each round, every component selects its minimum-key incident edge in
+//! parallel (atomic CAS-min per component root), the selected edges are
+//! united, and edges internal to a component drop out. `O(lg n)` rounds;
+//! `O(m)` work per round.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bimst_unionfind::UnionFind;
+use rayon::prelude::*;
+
+use crate::Edge;
+
+const NONE: u64 = u64::MAX;
+
+/// Returns the indices of the MSF edges.
+pub fn boruvka(n: usize, edges: &[Edge]) -> Vec<usize> {
+    let mut uf = UnionFind::new(n);
+    let mut out: Vec<usize> = Vec::new();
+    // Live edge indices; shrinks as edges become internal.
+    let mut live: Vec<u32> = (0..edges.len() as u32)
+        .filter(|&i| edges[i as usize].u != edges[i as usize].v)
+        .collect();
+    // Scratch: best edge per component root.
+    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+
+    while !live.is_empty() {
+        // Roots are stable within a round (no unions until selection ends).
+        let roots: Vec<(u32, u32)> = live
+            .iter()
+            .map(|&i| {
+                let e = &edges[i as usize];
+                (uf.find(e.u), uf.find(e.v))
+            })
+            .collect();
+
+        // CAS-min the lightest incident edge into both endpoint roots.
+        let relax = |root: u32, i: u32| {
+            let cell = &best[root as usize];
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let better = cur == NONE || edges[i as usize].key < edges[cur as usize].key;
+                if !better {
+                    return;
+                }
+                match cell.compare_exchange_weak(
+                    cur,
+                    i as u64,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => return,
+                    Err(c) => cur = c,
+                }
+            }
+        };
+        let step = |(&i, &(ru, rv)): (&u32, &(u32, u32))| {
+            if ru != rv {
+                relax(ru, i);
+                relax(rv, i);
+            }
+        };
+        if live.len() > 4096 {
+            live.par_iter().zip(roots.par_iter()).for_each(step);
+        } else {
+            live.iter().zip(roots.iter()).for_each(step);
+        }
+
+        // Collect winners; a selected edge may win at both endpoints.
+        let mut selected: Vec<u32> = Vec::new();
+        for &(ru, rv) in &roots {
+            for r in [ru, rv] {
+                let w = best[r as usize].swap(NONE, Ordering::Relaxed);
+                if w != NONE {
+                    selected.push(w as u32);
+                }
+            }
+        }
+        selected.sort_unstable();
+        selected.dedup();
+        if selected.is_empty() {
+            break;
+        }
+        for &i in &selected {
+            let e = &edges[i as usize];
+            if uf.unite(e.u, e.v) {
+                out.push(i as usize);
+            }
+        }
+        // Drop edges that became internal.
+        live.retain(|&i| {
+            let e = &edges[i as usize];
+            uf.find(e.u) != uf.find(e.v)
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal;
+    use bimst_primitives::WKey;
+
+    #[test]
+    fn single_round_star() {
+        let edges: Vec<Edge> = (1..5u32)
+            .map(|v| Edge::new(0, v, WKey::new(v as f64, v as u64)))
+            .collect();
+        assert_eq!(boruvka(5, &edges).len(), 4);
+    }
+
+    #[test]
+    fn matches_kruskal_on_grid() {
+        // 8x8 grid graph with hashed weights.
+        use bimst_primitives::hash::hash2;
+        let side = 8u32;
+        let idx = |r: u32, c: u32| r * side + c;
+        let mut edges = Vec::new();
+        let mut id = 0u64;
+        for r in 0..side {
+            for c in 0..side {
+                if c + 1 < side {
+                    edges.push(Edge::new(
+                        idx(r, c),
+                        idx(r, c + 1),
+                        WKey::new((hash2(3, id) % 97) as f64, id),
+                    ));
+                    id += 1;
+                }
+                if r + 1 < side {
+                    edges.push(Edge::new(
+                        idx(r, c),
+                        idx(r + 1, c),
+                        WKey::new((hash2(3, id) % 97) as f64, id),
+                    ));
+                    id += 1;
+                }
+            }
+        }
+        let n = (side * side) as usize;
+        let mut a = boruvka(n, &edges);
+        let mut b = kruskal(n, &edges);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

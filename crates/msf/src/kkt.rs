@@ -1,0 +1,174 @@
+//! Random-sampling MSF (Karger–Klein–Tarjan / Cole–Klein–Tarjan).
+//!
+//! Expected linear work: two Borůvka contraction rounds shrink the vertex
+//! count by 4×, a half-sample of the remaining edges is solved recursively,
+//! and the sample MSF filters out *F-heavy* edges (heavier than the path
+//! maximum between their endpoints in the sample MSF — such edges cannot be
+//! in the full MSF by the cycle rule, the same rule Theorem 4.1 of the paper
+//! builds on). The expected number of F-light edges is bounded by the number
+//! of vertices, giving the linear-work recurrence of \[37\]; \[12\] is its
+//! parallel counterpart.
+
+use bimst_primitives::hash::hash2;
+use bimst_primitives::WKey;
+use bimst_unionfind::UnionFind;
+
+use crate::verify::ForestPathMax;
+use crate::Edge;
+
+/// Below this edge count recursion stops and Kruskal finishes the job.
+const BASE_CASE: usize = 256;
+
+/// Returns the indices of the MSF edges; `seed` drives edge sampling.
+pub fn kkt_msf(n: usize, edges: &[Edge], seed: u64) -> Vec<usize> {
+    // Work on (edge, original index) pairs so recursion can relabel.
+    let indexed: Vec<(Edge, usize)> = edges.iter().copied().zip(0..edges.len()).collect();
+    solve(n, indexed, seed)
+}
+
+fn solve(n: usize, edges: Vec<(Edge, usize)>, seed: u64) -> Vec<usize> {
+    if edges.len() <= BASE_CASE {
+        let plain: Vec<Edge> = edges.iter().map(|&(e, _)| e).collect();
+        return crate::kruskal(n, &plain)
+            .into_iter()
+            .map(|i| edges[i].1)
+            .collect();
+    }
+
+    // --- Two Borůvka contraction rounds. ---
+    let mut uf = UnionFind::new(n);
+    let mut out: Vec<usize> = Vec::new();
+    let mut live = edges;
+    for _ in 0..2 {
+        // Lightest incident edge per component root.
+        let mut best: Vec<Option<usize>> = vec![None; n];
+        for (slot, &(e, _)) in live.iter().enumerate() {
+            let (ru, rv) = (uf.find(e.u), uf.find(e.v));
+            if ru == rv {
+                continue;
+            }
+            for r in [ru, rv] {
+                let better = match best[r as usize] {
+                    None => true,
+                    Some(b) => e.key < live[b].0.key,
+                };
+                if better {
+                    best[r as usize] = Some(slot);
+                }
+            }
+        }
+        let mut any = false;
+        let mut chosen: Vec<usize> = best.into_iter().flatten().collect();
+        chosen.sort_unstable();
+        chosen.dedup();
+        for slot in chosen {
+            let (e, orig) = live[slot];
+            if uf.unite(e.u, e.v) {
+                out.push(orig);
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+
+    // --- Contract: relabel endpoints by component root, drop internal. ---
+    // Dense relabeling of roots to 0..n'.
+    let mut label = vec![u32::MAX; n];
+    let mut nn = 0u32;
+    let mut contracted: Vec<(Edge, usize)> = Vec::with_capacity(live.len());
+    live.retain(|&(e, _)| uf.find_const(e.u) != uf.find_const(e.v));
+    for &(e, orig) in &live {
+        let mut relabel = |x: u32, uf: &mut UnionFind| {
+            let r = uf.find(x);
+            if label[r as usize] == u32::MAX {
+                label[r as usize] = nn;
+                nn += 1;
+            }
+            label[r as usize]
+        };
+        let u = relabel(e.u, &mut uf);
+        let v = relabel(e.v, &mut uf);
+        contracted.push((Edge::new(u, v, e.key), orig));
+    }
+    drop(live);
+    let nn = nn as usize;
+    if contracted.is_empty() {
+        return out;
+    }
+
+    // --- Sample half the edges, solve recursively. ---
+    let sample: Vec<(Edge, usize)> = contracted
+        .iter()
+        .copied()
+        .filter(|&(_, orig)| hash2(seed, orig as u64) & 1 == 0)
+        .collect();
+    let sample_msf = solve(nn, sample, hash2(seed, 0x5a5a));
+
+    // --- Filter F-heavy edges against the sample MSF. ---
+    let origmap: std::collections::HashMap<usize, Edge> = contracted
+        .iter()
+        .map(|&(e, orig)| (orig, e))
+        .collect();
+    let fedges: Vec<(u32, u32, WKey)> = sample_msf
+        .iter()
+        .map(|orig| {
+            let e = origmap[orig];
+            (e.u, e.v, e.key)
+        })
+        .collect();
+    let pm = ForestPathMax::new(nn, &fedges);
+    let light: Vec<(Edge, usize)> = contracted
+        .into_iter()
+        .filter(|&(e, _)| match pm.query(e.u, e.v) {
+            None => true,                  // sample MSF doesn't connect: light
+            Some(maxk) => e.key <= maxk,   // not heavier than the cycle max
+        })
+        .collect();
+
+    // --- Solve the filtered graph; combine. ---
+    out.extend(solve(nn, light, hash2(seed, 0xa5a5)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kruskal;
+    use bimst_primitives::hash::hash2;
+
+    #[test]
+    fn matches_kruskal_above_base_case() {
+        // Big enough to exercise contraction, sampling, and filtering.
+        let n = 500u32;
+        let edges: Vec<Edge> = (0..4000u64)
+            .map(|i| {
+                Edge::new(
+                    (hash2(11, 2 * i) % n as u64) as u32,
+                    (hash2(11, 2 * i + 1) % n as u64) as u32,
+                    WKey::new((hash2(17, i) % 5000) as f64, i),
+                )
+            })
+            .collect();
+        let mut a = kkt_msf(n as usize, &edges, 123);
+        let mut b = kruskal(n as usize, &edges);
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let edges: Vec<Edge> = (0..1000u64)
+            .map(|i| {
+                Edge::new(
+                    (hash2(1, 2 * i) % 200) as u32,
+                    (hash2(1, 2 * i + 1) % 200) as u32,
+                    WKey::new((hash2(2, i) % 100) as f64, i),
+                )
+            })
+            .collect();
+        assert_eq!(kkt_msf(200, &edges, 9), kkt_msf(200, &edges, 9));
+    }
+}

@@ -1,0 +1,67 @@
+//! Kruskal's algorithm: parallel sort, sequential union-find scan.
+
+use bimst_unionfind::UnionFind;
+use rayon::prelude::*;
+
+use crate::Edge;
+
+/// Returns the indices of the MSF edges. `O(m lg m)` work; the sort is
+/// parallel, the scan sequential (the scan is `O(m α(n))` and in practice a
+/// few percent of the sort).
+pub fn kruskal(n: usize, edges: &[Edge]) -> Vec<usize> {
+    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    if edges.len() > 4096 {
+        order.par_sort_unstable_by_key(|&i| edges[i as usize].key);
+    } else {
+        order.sort_unstable_by_key(|&i| edges[i as usize].key);
+    }
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::new();
+    for &i in &order {
+        let e = &edges[i as usize];
+        if e.u != e.v && uf.unite(e.u, e.v) {
+            out.push(i as usize);
+            if out.len() + uf.num_components() == n && uf.num_components() == 1 {
+                break; // spanning tree complete
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimst_primitives::WKey;
+
+    #[test]
+    fn picks_light_edges() {
+        let edges = vec![
+            Edge::new(0, 1, WKey::new(4.0, 0)),
+            Edge::new(1, 2, WKey::new(1.0, 1)),
+            Edge::new(0, 2, WKey::new(2.0, 2)),
+        ];
+        let mut f = kruskal(3, &edges);
+        f.sort_unstable();
+        assert_eq!(f, vec![1, 2]);
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        let edges = vec![
+            Edge::new(0, 1, WKey::new(1.0, 0)),
+            Edge::new(2, 3, WKey::new(1.0, 1)),
+        ];
+        assert_eq!(kruskal(5, &edges).len(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_pick_unique_lightest() {
+        // Same weight, distinct ids: the tie-break id selects exactly one.
+        let edges = vec![
+            Edge::new(0, 1, WKey::new(1.0, 5)),
+            Edge::new(0, 1, WKey::new(1.0, 3)),
+        ];
+        assert_eq!(kruskal(2, &edges), vec![1]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Static forest path-max oracle (MSF verification).
+//!
+//! Given a forest, answers "heaviest edge key on the path from `u` to `v`"
+//! in `O(lg n)` via binary lifting over rooted trees. This is the
+//! verification step of the KKT sampling algorithm: an edge heavier than the
+//! path maximum between its endpoints in the sample MSF (an *F-heavy* edge)
+//! cannot be in the full MSF and is filtered out.
+
+use bimst_primitives::WKey;
+
+/// Rooted-forest ancestor tables with path maxima.
+pub struct ForestPathMax {
+    depth: Vec<u32>,
+    comp: Vec<u32>,
+    /// `up[k][v]` = 2^k-th ancestor of `v` (self at roots).
+    up: Vec<Vec<u32>>,
+    /// `maxk[k][v]` = heaviest key on the 2^k-step path above `v`.
+    maxk: Vec<Vec<WKey>>,
+}
+
+impl ForestPathMax {
+    /// Builds the oracle from forest edges `(u, v, key)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edges contain a cycle.
+    pub fn new(n: usize, edges: &[(u32, u32, WKey)]) -> Self {
+        let mut adj: Vec<Vec<(u32, WKey)>> = vec![Vec::new(); n];
+        for &(u, v, k) in edges {
+            adj[u as usize].push((v, k));
+            adj[v as usize].push((u, k));
+        }
+        let mut depth = vec![0u32; n];
+        let mut comp = vec![u32::MAX; n];
+        let mut parent = vec![u32::MAX; n];
+        let mut pkey = vec![WKey::phantom(); n];
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        let mut visited_edges = 0usize;
+        for s in 0..n as u32 {
+            if comp[s as usize] != u32::MAX {
+                continue;
+            }
+            comp[s as usize] = s;
+            parent[s as usize] = s;
+            let mut stack = vec![s];
+            while let Some(x) = stack.pop() {
+                order.push(x);
+                for &(y, k) in &adj[x as usize] {
+                    if comp[y as usize] == u32::MAX {
+                        comp[y as usize] = s;
+                        parent[y as usize] = x;
+                        pkey[y as usize] = k;
+                        depth[y as usize] = depth[x as usize] + 1;
+                        visited_edges += 1;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        assert_eq!(visited_edges, edges.len(), "input edges contain a cycle");
+
+        let levels = (usize::BITS - n.max(2).leading_zeros()) as usize;
+        let mut up = vec![parent];
+        let mut maxk = vec![pkey];
+        for k in 1..levels {
+            let (pu, pm) = (&up[k - 1], &maxk[k - 1]);
+            let mut nu = vec![0u32; n];
+            let mut nm = vec![WKey::phantom(); n];
+            for v in 0..n {
+                let mid = pu[v];
+                nu[v] = pu[mid as usize];
+                nm[v] = pm[v].max(pm[mid as usize]);
+            }
+            up.push(nu);
+            maxk.push(nm);
+        }
+        ForestPathMax {
+            depth,
+            comp,
+            up,
+            maxk,
+        }
+    }
+
+    /// Heaviest key on the `u`–`v` path; `None` if disconnected or `u == v`.
+    pub fn query(&self, u: u32, v: u32) -> Option<WKey> {
+        if u == v || self.comp[u as usize] != self.comp[v as usize] {
+            return None;
+        }
+        let (mut a, mut b) = (u, v);
+        let mut best = WKey::phantom();
+        // Lift the deeper endpoint.
+        if self.depth[a as usize] < self.depth[b as usize] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut diff = self.depth[a as usize] - self.depth[b as usize];
+        let mut k = 0;
+        while diff > 0 {
+            if diff & 1 == 1 {
+                best = best.max(self.maxk[k][a as usize]);
+                a = self.up[k][a as usize];
+            }
+            diff >>= 1;
+            k += 1;
+        }
+        if a == b {
+            return Some(best);
+        }
+        // Descend from the top level to just below the LCA.
+        for k in (0..self.up.len()).rev() {
+            if self.up[k][a as usize] != self.up[k][b as usize] {
+                best = best.max(self.maxk[k][a as usize]);
+                best = best.max(self.maxk[k][b as usize]);
+                a = self.up[k][a as usize];
+                b = self.up[k][b as usize];
+            }
+        }
+        best = best.max(self.maxk[0][a as usize]);
+        best = best.max(self.maxk[0][b as usize]);
+        Some(best)
+    }
+
+    /// Whether `u` and `v` are in the same tree.
+    pub fn connected(&self, u: u32, v: u32) -> bool {
+        self.comp[u as usize] == self.comp[v as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimst_primitives::hash::hash2;
+
+    #[test]
+    fn path_graph_queries() {
+        let edges: Vec<(u32, u32, WKey)> = [(0, 1, 5.0), (1, 2, 9.0), (2, 3, 2.0), (3, 4, 7.0)]
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| (u, v, WKey::new(w, i as u64)))
+            .collect();
+        let pm = ForestPathMax::new(5, &edges);
+        assert_eq!(pm.query(0, 4).unwrap().w, 9.0);
+        assert_eq!(pm.query(2, 4).unwrap().w, 7.0);
+        assert_eq!(pm.query(3, 4).unwrap().w, 7.0);
+        assert_eq!(pm.query(1, 1), None);
+    }
+
+    #[test]
+    fn disconnected_forest() {
+        let edges = vec![(0, 1, WKey::new(1.0, 0)), (2, 3, WKey::new(2.0, 1))];
+        let pm = ForestPathMax::new(4, &edges);
+        assert!(pm.connected(0, 1));
+        assert!(!pm.connected(1, 2));
+        assert_eq!(pm.query(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_panics() {
+        let edges = vec![
+            (0, 1, WKey::new(1.0, 0)),
+            (1, 2, WKey::new(1.0, 1)),
+            (2, 0, WKey::new(1.0, 2)),
+        ];
+        ForestPathMax::new(3, &edges);
+    }
+
+    #[test]
+    fn random_tree_matches_brute_force() {
+        // Random attachment tree on 200 vertices; all-pairs sample.
+        let n = 200u32;
+        let edges: Vec<(u32, u32, WKey)> = (1..n)
+            .map(|v| {
+                let u = (hash2(7, v as u64) % v as u64) as u32;
+                (u, v, WKey::new((hash2(9, v as u64) % 1000) as f64, v as u64))
+            })
+            .collect();
+        let pm = ForestPathMax::new(n as usize, &edges);
+        // Brute force via parent walk.
+        let mut parent = vec![(0u32, WKey::phantom()); n as usize];
+        for &(u, v, k) in &edges {
+            parent[v as usize] = (u, k); // v > u by construction
+        }
+        let brute = |mut a: u32, mut b: u32| -> WKey {
+            let mut best = WKey::phantom();
+            let path_to_root = |mut x: u32| {
+                let mut anc = vec![x];
+                while x != 0 {
+                    x = parent[x as usize].0;
+                    anc.push(x);
+                }
+                anc
+            };
+            let pa = path_to_root(a);
+            let pb: std::collections::HashSet<u32> = path_to_root(b).into_iter().collect();
+            let lca = *pa.iter().find(|x| pb.contains(x)).unwrap();
+            while a != lca {
+                best = best.max(parent[a as usize].1);
+                a = parent[a as usize].0;
+            }
+            while b != lca {
+                best = best.max(parent[b as usize].1);
+                b = parent[b as usize].0;
+            }
+            best
+        };
+        for i in 0..n {
+            let j = (hash2(13, i as u64) % n as u64) as u32;
+            if i == j {
+                continue;
+            }
+            assert_eq!(pm.query(i, j).unwrap(), brute(i, j), "({i},{j})");
+        }
+    }
+}

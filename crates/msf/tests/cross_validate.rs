@@ -1,0 +1,85 @@
+//! Property tests: all three static MSF algorithms agree on arbitrary
+//! multigraphs (self-loops, parallel edges, disconnection), and the result
+//! verifies as the unique MSF.
+
+use bimst_msf::{boruvka, is_msf, kkt_msf, kruskal, Edge, ForestPathMax};
+use bimst_primitives::WKey;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn algorithms_agree_and_verify(
+        raw in proptest::collection::vec((0u32..25, 0u32..25, -500i32..500), 0..200),
+        seed in 0u64..100,
+    ) {
+        let n = 25usize;
+        let edges: Vec<Edge> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| Edge::new(u, v, WKey::new(w as f64, i as u64)))
+            .collect();
+        let mut a = kruskal(n, &edges);
+        let mut b = boruvka(n, &edges);
+        let mut c = kkt_msf(n, &edges, seed);
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert!(is_msf(n, &edges, &a));
+    }
+
+    #[test]
+    fn path_max_oracle_vs_direct_walk(
+        attach in proptest::collection::vec((0u32..1_000_000, -1000i32..1000), 2..80),
+    ) {
+        // Random attachment tree; compare the binary-lifting oracle against
+        // a parent-walk computation.
+        let n = attach.len() + 1;
+        let edges: Vec<(u32, u32, WKey)> = attach
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, w))| {
+                let v = (i + 1) as u32;
+                (a % v, v, WKey::new(w as f64, i as u64))
+            })
+            .collect();
+        let pm = ForestPathMax::new(n, &edges);
+        let mut parent = vec![(0u32, WKey::phantom()); n];
+        for &(u, v, k) in &edges {
+            parent[v as usize] = (u, k);
+        }
+        let walk_to_root = |mut x: u32| {
+            let mut anc = vec![x];
+            while x != 0 {
+                x = parent[x as usize].0;
+                anc.push(x);
+            }
+            anc
+        };
+        for s in 0..n as u32 {
+            let t = ((s as usize * 13 + 5) % n) as u32;
+            if s == t {
+                prop_assert_eq!(pm.query(s, t), None);
+                continue;
+            }
+            let pa = walk_to_root(s);
+            let pb: std::collections::HashSet<u32> = walk_to_root(t).into_iter().collect();
+            let lca = *pa.iter().find(|x| pb.contains(x)).unwrap();
+            let mut best = WKey::phantom();
+            let mut x = s;
+            while x != lca {
+                best = best.max(parent[x as usize].1);
+                x = parent[x as usize].0;
+            }
+            let mut x = t;
+            while x != lca {
+                best = best.max(parent[x as usize].1);
+                x = parent[x as usize].0;
+            }
+            prop_assert_eq!(pm.query(s, t), Some(best), "pair ({}, {})", s, t);
+        }
+    }
+}

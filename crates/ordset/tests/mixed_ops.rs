@@ -1,0 +1,87 @@
+//! Random operation scripts: the treap against `BTreeMap`, covering the
+//! exact operation mix the sliding-window layer performs (point inserts and
+//! removes, prefix splits, disjoint bulk unions).
+
+use bimst_ordset::OrdSet;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u16, u32),
+    Remove(u16),
+    SplitLeq(u16),
+    BulkUnion(Vec<(u16, u32)>),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            any::<u16>().prop_map(Op::Remove),
+            any::<u16>().prop_map(Op::SplitLeq),
+            proptest::collection::vec((any::<u16>(), any::<u32>()), 0..20)
+                .prop_map(Op::BulkUnion),
+        ],
+        1..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn script_matches_btreemap(script in ops()) {
+        let mut s: OrdSet<u32> = OrdSet::new();
+        let mut m: BTreeMap<u64, u32> = BTreeMap::new();
+        for op in script {
+            match op {
+                Op::Insert(k, v) => {
+                    s.insert(k as u64, v);
+                    m.insert(k as u64, v);
+                }
+                Op::Remove(k) => {
+                    prop_assert_eq!(s.remove(k as u64), m.remove(&(k as u64)));
+                }
+                Op::SplitLeq(k) => {
+                    let low = s.split_leq(k as u64);
+                    let mut expect_low = BTreeMap::new();
+                    let keep = m.split_off(&((k as u64) + 1));
+                    std::mem::swap(&mut expect_low, &mut m);
+                    m = keep;
+                    prop_assert_eq!(low.len(), expect_low.len());
+                    for (lk, lv) in low.entries() {
+                        prop_assert_eq!(expect_low.get(&lk), Some(&lv));
+                    }
+                }
+                Op::BulkUnion(pairs) => {
+                    // Keep the union disjoint (the library contract): only
+                    // add keys not currently present.
+                    let fresh: Vec<(u64, u32)> = {
+                        let mut seen = std::collections::HashSet::new();
+                        pairs
+                            .iter()
+                            .filter(|&&(k, _)| !m.contains_key(&(k as u64)) && seen.insert(k))
+                            .map(|&(k, v)| (k as u64, v))
+                            .collect()
+                    };
+                    for &(k, v) in &fresh {
+                        m.insert(k, v);
+                    }
+                    s.union_with(OrdSet::from_pairs(fresh));
+                }
+            }
+            // Global invariants after every op.
+            prop_assert_eq!(s.len(), m.len());
+            prop_assert_eq!(s.min_key(), m.keys().next().copied());
+            prop_assert_eq!(s.max_key(), m.keys().next_back().copied());
+        }
+        // Full in-order agreement at the end.
+        let entries = s.entries();
+        prop_assert_eq!(entries.len(), m.len());
+        for ((k, v), (ek, ev)) in entries.iter().zip(m.iter()) {
+            prop_assert_eq!(k, ek);
+            prop_assert_eq!(v, ev);
+        }
+    }
+}

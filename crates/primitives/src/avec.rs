@@ -1,0 +1,184 @@
+//! A fixed-capacity inline vector.
+//!
+//! The ternarized forest guarantees degree ≤ 3 and RC-tree fan-in ≤ 6, so
+//! adjacency lists and children lists fit in small inline arrays. `AVec` is a
+//! minimal `ArrayVec` clone (we avoid external dependencies beyond the
+//! approved set) for `Copy` element types, which is all the substrate needs.
+
+/// Fixed-capacity vector of `Copy` elements stored inline.
+#[derive(Clone, Copy, Debug)]
+pub struct AVec<T: Copy + Default, const N: usize> {
+    buf: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> Default for AVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> AVec<T, N> {
+    /// Creates an empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        debug_assert!(N <= u8::MAX as usize);
+        AVec {
+            buf: [T::default(); N],
+            len: 0,
+        }
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends an element. Panics if full — a capacity overflow here means a
+    /// broken degree invariant upstream, which must not be silently dropped.
+    #[inline]
+    pub fn push(&mut self, x: T) {
+        assert!((self.len as usize) < N, "AVec capacity {N} exceeded");
+        self.buf[self.len as usize] = x;
+        self.len += 1;
+    }
+
+    /// Removes and returns the element at `i`, swapping the last into place.
+    #[inline]
+    pub fn swap_remove(&mut self, i: usize) -> T {
+        assert!(i < self.len as usize);
+        let x = self.buf[i];
+        self.len -= 1;
+        self.buf[i] = self.buf[self.len as usize];
+        x
+    }
+
+    /// Clears all elements.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// Element slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.buf[..self.len as usize]
+    }
+
+    /// Mutable element slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.buf[..self.len as usize]
+    }
+
+    /// Iterates over elements by value.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+        self.as_slice().iter().copied()
+    }
+
+    /// Retains only elements matching the predicate (order not preserved).
+    pub fn retain<F: FnMut(&T) -> bool>(&mut self, mut pred: F) {
+        let mut i = 0;
+        while i < self.len as usize {
+            if pred(&self.buf[i]) {
+                i += 1;
+            } else {
+                self.swap_remove(i);
+            }
+        }
+    }
+}
+
+impl<T: Copy + Default + Ord, const N: usize> AVec<T, N> {
+    /// Returns the elements in sorted order (for order-insensitive diffs).
+    pub fn sorted(&self) -> Self {
+        let mut c = *self;
+        c.as_mut_slice().sort_unstable();
+        c
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for AVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl<T: Copy + Default + Eq, const N: usize> Eq for AVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> std::ops::Index<usize> for AVec<T, N> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.as_slice()[i]
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for AVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_len_index() {
+        let mut v: AVec<u32, 3> = AVec::new();
+        assert!(v.is_empty());
+        v.push(7);
+        v.push(8);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 7);
+        assert_eq!(v[1], 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn push_overflow_panics() {
+        let mut v: AVec<u32, 2> = AVec::new();
+        v.push(1);
+        v.push(2);
+        v.push(3);
+    }
+
+    #[test]
+    fn swap_remove_keeps_rest() {
+        let mut v: AVec<u32, 4> = [1, 2, 3, 4].into_iter().collect();
+        let x = v.swap_remove(1);
+        assert_eq!(x, 2);
+        let mut s = v.as_slice().to_vec();
+        s.sort_unstable();
+        assert_eq!(s, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn retain_filters() {
+        let mut v: AVec<u32, 6> = [1, 2, 3, 4, 5, 6].into_iter().collect();
+        v.retain(|&x| x % 2 == 0);
+        let mut s = v.as_slice().to_vec();
+        s.sort_unstable();
+        assert_eq!(s, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn sorted_eq_is_order_insensitive() {
+        let a: AVec<u32, 4> = [3, 1, 2].into_iter().collect();
+        let b: AVec<u32, 4> = [2, 3, 1].into_iter().collect();
+        assert_ne!(a, b);
+        assert_eq!(a.sorted(), b.sorted());
+    }
+}

@@ -1,0 +1,98 @@
+//! A fast, non-cryptographic hasher for integer keys.
+//!
+//! The substrate hashes dense integer ids (vertex, edge, cluster ids) on hot
+//! paths; SipHash (std's default) is needlessly slow there and HashDoS is not
+//! a concern for ids we generate ourselves. This is the classic
+//! multiply-rotate "Fx" construction used by rustc, reimplemented locally to
+//! stay within the approved dependency set.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// rustc's Fx hash state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// Hash map with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// Hash set with the Fx hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i, i * 2);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+    }
+
+    #[test]
+    fn set_dedups() {
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i % 10);
+        }
+        assert_eq!(s.len(), 10);
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        // Sequential ids must not collide in low bits too much.
+        let mut buckets = [0u32; 64];
+        for i in 0..64_000u64 {
+            let mut h = FxHasher::default();
+            h.write_u64(i);
+            buckets[(h.finish() % 64) as usize] += 1;
+        }
+        assert!(buckets.iter().all(|&c| c > 500), "skewed: {buckets:?}");
+    }
+}

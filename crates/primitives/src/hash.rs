@@ -1,0 +1,98 @@
+//! Deterministic, seedable mixing hashes.
+//!
+//! All randomness in the contraction substrate flows through these functions.
+//! They are *pure*: the coin flipped by vertex `v` at contraction round `r`
+//! under seed `s` is always the same bit. Batch-dynamic change propagation
+//! relies on this — a vertex whose round-`r` neighborhood is unchanged by an
+//! update must reproduce its previous decision exactly, so only genuinely
+//! affected vertices propagate work to later rounds.
+
+/// Finalizer from splitmix64. A high-quality 64-bit mixer: every input bit
+/// affects every output bit (avalanche). Used as the base of all hashes here.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of a `(seed, a)` pair.
+#[inline]
+pub fn hash2(seed: u64, a: u64) -> u64 {
+    mix64(seed ^ mix64(a))
+}
+
+/// Hash of a `(seed, a, b)` triple.
+#[inline]
+pub fn hash3(seed: u64, a: u64, b: u64) -> u64 {
+    mix64(seed ^ mix64(a).wrapping_add(mix64(b.wrapping_add(0x1655_7a4d_4b6b_29d1))))
+}
+
+/// The contraction coin: `true` = heads. A pure function of
+/// `(seed, vertex, round)`.
+#[inline]
+pub fn coin(seed: u64, vertex: u64, round: u64) -> bool {
+    hash3(seed, vertex, round) & 1 == 1
+}
+
+/// Tie-breaking priority of a vertex at a round. Used to decide which of two
+/// mutually adjacent leaves rakes (smaller priority rakes; ties broken by id
+/// because the hash is injective on `(vertex, round)` only w.h.p.).
+#[inline]
+pub fn priority(seed: u64, vertex: u64, round: u64) -> (u64, u64) {
+    (hash3(seed, vertex, round ^ 0xabcd_ef01), vertex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+    }
+
+    #[test]
+    fn mix64_avalanches() {
+        // Flipping one input bit should flip roughly half the output bits.
+        let a = mix64(0x1234_5678);
+        let b = mix64(0x1234_5679);
+        let flipped = (a ^ b).count_ones();
+        assert!((16..=48).contains(&flipped), "flipped {flipped} bits");
+    }
+
+    #[test]
+    fn coin_depends_on_all_inputs() {
+        // Over many (vertex, round) pairs the coin should be roughly fair and
+        // differ between seeds.
+        let mut heads = 0usize;
+        let mut diff = 0usize;
+        let n = 10_000;
+        for v in 0..n {
+            if coin(1, v, 3) {
+                heads += 1;
+            }
+            if coin(1, v, 3) != coin(2, v, 3) {
+                diff += 1;
+            }
+        }
+        let n = n as usize;
+        assert!((n * 4 / 10..=n * 6 / 10).contains(&heads), "heads {heads}");
+        assert!((n * 4 / 10..=n * 6 / 10).contains(&diff), "diff {diff}");
+    }
+
+    #[test]
+    fn priority_orders_consistently() {
+        let p1 = priority(7, 10, 0);
+        let p2 = priority(7, 11, 0);
+        assert_eq!(p1, priority(7, 10, 0));
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn hash2_hash3_distinct_domains() {
+        assert_ne!(hash2(0, 5), hash3(0, 5, 0));
+    }
+}

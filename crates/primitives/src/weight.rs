@@ -1,0 +1,149 @@
+//! Totally ordered edge weights.
+//!
+//! The paper's correctness argument (Theorem 4.1) identifies each compressed
+//! path tree edge with "the corresponding heaviest edge in `G` whose weight
+//! it is labeled with". For that identification to be a function, heaviest
+//! edges must be unique, so we order weights lexicographically by
+//! `(value, edge id)` — the classic perturbation that makes the MSF unique.
+//!
+//! The ternarization spine (see `bimst-rctree`) introduces *phantom* edges
+//! that must never be the heaviest edge on any path and must never be evicted
+//! from the MSF; they carry [`NEG_INF`].
+
+use std::cmp::Ordering;
+
+/// Raw weight value. `f64` under `total_cmp`, which is a total order (it
+/// places `-inf < finite < +inf` and orders NaNs deterministically).
+pub type Weight = f64;
+
+/// Identifier of an edge as named by the *user* of the library. Edge ids are
+/// arbitrary `u64`s chosen by the caller (the sliding-window layer uses the
+/// stream position `τ(e)`); they only need to be unique among live edges.
+pub type EdgeId = u64;
+
+/// The phantom weight: strictly below every real weight.
+pub const NEG_INF: Weight = f64::NEG_INFINITY;
+
+/// A totally ordered weight key: weight value with edge-id tie-breaking.
+///
+/// `WKey` is the unit of comparison everywhere in the workspace: path-max
+/// queries return the maximal `WKey` on a path, and MSF algorithms sort by
+/// `WKey`, so every MSF computed anywhere is the *same, unique* forest.
+///
+/// `Default` is the phantom key (so `WKey` can live in [`crate::AVec`]).
+#[derive(Clone, Copy, Debug)]
+pub struct WKey {
+    /// Weight value.
+    pub w: Weight,
+    /// Tie-breaking edge id.
+    pub id: EdgeId,
+}
+
+impl WKey {
+    /// Creates a weight key.
+    #[inline]
+    pub fn new(w: Weight, id: EdgeId) -> Self {
+        WKey { w, id }
+    }
+
+    /// The key of a phantom (spine) edge: below every real key.
+    /// All phantom keys compare equal among themselves by id 0; phantom keys
+    /// never need distinguishing because they are never *selected* by any
+    /// algorithm (they are never the max, and always in the MSF).
+    #[inline]
+    pub fn phantom() -> Self {
+        WKey { w: NEG_INF, id: 0 }
+    }
+
+    /// Whether this key is the phantom key.
+    #[inline]
+    pub fn is_phantom(&self) -> bool {
+        self.w == NEG_INF
+    }
+
+    /// Returns the larger of two keys.
+    #[inline]
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for WKey {
+    #[inline]
+    fn default() -> Self {
+        WKey::phantom()
+    }
+}
+
+impl PartialEq for WKey {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for WKey {}
+
+impl PartialOrd for WKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.w
+            .total_cmp(&other.w)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_weight_then_id() {
+        let a = WKey::new(1.0, 5);
+        let b = WKey::new(2.0, 1);
+        let c = WKey::new(1.0, 9);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn phantom_below_everything() {
+        let p = WKey::phantom();
+        assert!(p < WKey::new(f64::MIN, 0));
+        assert!(p < WKey::new(-1e300, u64::MAX));
+        assert!(p.is_phantom());
+        assert!(!WKey::new(0.0, 0).is_phantom());
+    }
+
+    #[test]
+    fn total_order_handles_negative_zero() {
+        // total_cmp: -0.0 < +0.0; ids then break ties within each.
+        assert!(WKey::new(-0.0, 7) < WKey::new(0.0, 3));
+    }
+
+    #[test]
+    fn max_picks_larger() {
+        let a = WKey::new(3.0, 1);
+        let b = WKey::new(3.0, 2);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn eq_consistent_with_ord() {
+        let a = WKey::new(4.0, 4);
+        assert_eq!(a, WKey::new(4.0, 4));
+        assert_ne!(a, WKey::new(4.0, 5));
+    }
+}

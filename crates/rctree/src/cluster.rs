@@ -1,0 +1,278 @@
+//! The RC tree node arena.
+//!
+//! Every node of the RC tree is a *cluster*: a connected subset of vertices
+//! and edges of the (ternarized) base forest. Leaves are single vertices or
+//! single edges; internal nodes are formed when their *representative* vertex
+//! is deleted by the contraction:
+//!
+//! * a **unary** cluster when the representative *rakes* (one boundary
+//!   vertex),
+//! * a **binary** cluster when it *compresses* (two boundary vertices; the
+//!   cluster acts as a superedge in later rounds and carries the heaviest
+//!   edge key on the boundary-to-boundary path),
+//! * a **root** (nullary) cluster when it *finalizes* (one per component).
+//!
+//! Fan-in is bounded by 6 (representative's leaf + ≤3 raked-in unary
+//! clusters + ≤2 edge clusters) thanks to ternarization — the property the
+//! compressed-path-tree traversal charges its work against.
+
+use bimst_primitives::{AVec, WKey};
+
+/// Index of a cluster in the arena.
+pub type ClusterId = u32;
+
+/// Sentinel for "no cluster".
+pub const NONE_CLUSTER: ClusterId = u32::MAX;
+
+/// Maximum number of children of an RC tree node (see module docs).
+pub const MAX_CHILDREN: usize = 6;
+
+/// A node id of the ternarized forest (defined in [`crate::forest`]).
+pub type NodeId = u32;
+
+/// What a cluster is.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClusterKind {
+    /// A single base vertex (head or phantom).
+    LeafVertex {
+        /// The base-forest node.
+        node: NodeId,
+    },
+    /// A single base edge; `key` is phantom for spine edges.
+    LeafEdge {
+        /// One endpoint (base-forest node).
+        a: NodeId,
+        /// Other endpoint.
+        b: NodeId,
+        /// Weight key; `WKey::phantom()` for spine edges.
+        key: WKey,
+    },
+    /// Formed by a rake: one boundary vertex.
+    Unary {
+        /// The deleted (representative) vertex.
+        rep: NodeId,
+        /// The single boundary vertex (the rake target).
+        boundary: NodeId,
+    },
+    /// Formed by a compress: two boundary vertices; acts as a superedge.
+    Binary {
+        /// The deleted (representative) vertex.
+        rep: NodeId,
+        /// The two boundary vertices.
+        bound: (NodeId, NodeId),
+        /// Heaviest edge key on the path between the boundaries.
+        key: WKey,
+    },
+    /// Formed by a finalize: the root cluster of a component.
+    Root {
+        /// The last vertex of the component to be deleted.
+        rep: NodeId,
+    },
+}
+
+impl ClusterKind {
+    /// The representative vertex, if this is a composite cluster.
+    pub fn rep(&self) -> Option<NodeId> {
+        match *self {
+            ClusterKind::LeafVertex { .. } | ClusterKind::LeafEdge { .. } => None,
+            ClusterKind::Unary { rep, .. }
+            | ClusterKind::Binary { rep, .. }
+            | ClusterKind::Root { rep } => Some(rep),
+        }
+    }
+
+    /// Boundary vertices of the cluster (0, 1, or 2 of them).
+    pub fn boundary(&self) -> AVec<NodeId, 2> {
+        let mut b = AVec::new();
+        match *self {
+            ClusterKind::LeafVertex { .. } | ClusterKind::Root { .. } => {}
+            ClusterKind::LeafEdge { a, b: bb, .. } => {
+                b.push(a);
+                b.push(bb);
+            }
+            ClusterKind::Unary { boundary, .. } => b.push(boundary),
+            ClusterKind::Binary { bound, .. } => {
+                b.push(bound.0);
+                b.push(bound.1);
+            }
+        }
+        b
+    }
+
+    /// For edge-role clusters (leaf edges and binary clusters), the heaviest
+    /// edge key on the path between the two boundaries.
+    pub fn edge_key(&self) -> Option<WKey> {
+        match *self {
+            ClusterKind::LeafEdge { key, .. } | ClusterKind::Binary { key, .. } => Some(key),
+            _ => None,
+        }
+    }
+}
+
+/// An RC tree node.
+#[derive(Clone, Debug)]
+pub struct Cluster {
+    /// What the cluster is.
+    pub kind: ClusterKind,
+    /// Child clusters (disjoint union equals this cluster). Empty for leaves.
+    pub children: AVec<ClusterId, MAX_CHILDREN>,
+    /// Parent cluster, or [`NONE_CLUSTER`] for roots / freed nodes.
+    pub parent: ClusterId,
+    /// Liveness (arena slots are reused via a free list).
+    pub alive: bool,
+    /// Number of *original* vertices in the cluster (heads count 1,
+    /// phantoms and edges 0) — so a root cluster's size is its component's
+    /// vertex count. Maintained compositionally: a composite cluster's size
+    /// is the sum of its children's.
+    pub size: u32,
+}
+
+/// The cluster arena with deferred frees.
+///
+/// Frees during a batch update are *deferred*: a freed id must not be reused
+/// while stale references may still be visited by the propagation, so freed
+/// slots are quarantined until [`ClusterArena::flush_frees`] at the end of
+/// the batch.
+#[derive(Default)]
+pub struct ClusterArena {
+    slots: Vec<Cluster>,
+    free: Vec<ClusterId>,
+    pending_free: Vec<ClusterId>,
+    /// Number of live root clusters (= number of components).
+    pub num_roots: usize,
+}
+
+impl ClusterArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a cluster with the given kind and children; parents of the
+    /// children are *not* set here (the contraction engine sets them).
+    pub fn alloc(&mut self, kind: ClusterKind, children: AVec<ClusterId, MAX_CHILDREN>) -> ClusterId {
+        if matches!(kind, ClusterKind::Root { .. }) {
+            self.num_roots += 1;
+        }
+        let size = children.iter().map(|ch| self.slots[ch as usize].size).sum();
+        let c = Cluster {
+            kind,
+            children,
+            parent: NONE_CLUSTER,
+            alive: true,
+            size,
+        };
+        if let Some(id) = self.free.pop() {
+            self.slots[id as usize] = c;
+            id
+        } else {
+            self.slots.push(c);
+            (self.slots.len() - 1) as ClusterId
+        }
+    }
+
+    /// Marks a cluster dead. The slot is reused only after
+    /// [`ClusterArena::flush_frees`]. Children whose parent pointer still
+    /// points here are orphaned (their parent becomes [`NONE_CLUSTER`]);
+    /// children that were already re-parented are left alone.
+    pub fn free(&mut self, id: ClusterId) {
+        let c = &mut self.slots[id as usize];
+        debug_assert!(c.alive, "double free of cluster {id}");
+        if matches!(c.kind, ClusterKind::Root { .. }) {
+            self.num_roots -= 1;
+        }
+        c.alive = false;
+        c.parent = NONE_CLUSTER;
+        let children = c.children;
+        for ch in children.iter() {
+            let child = &mut self.slots[ch as usize];
+            if child.parent == id {
+                child.parent = NONE_CLUSTER;
+            }
+        }
+        self.pending_free.push(id);
+    }
+
+    /// Releases quarantined slots for reuse. Call once per batch, after the
+    /// propagation has finished.
+    pub fn flush_frees(&mut self) {
+        self.free.append(&mut self.pending_free);
+    }
+
+    /// Read access.
+    #[inline]
+    pub fn get(&self, id: ClusterId) -> &Cluster {
+        &self.slots[id as usize]
+    }
+
+    /// Write access.
+    #[inline]
+    pub fn get_mut(&mut self, id: ClusterId) -> &mut Cluster {
+        &mut self.slots[id as usize]
+    }
+
+    /// Number of slots (live + dead); ids are `< len()`.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the arena has no slots at all.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Iterates over live clusters.
+    pub fn iter_live(&self) -> impl Iterator<Item = (ClusterId, &Cluster)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.alive)
+            .map(|(i, c)| (i as ClusterId, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuse_cycle() {
+        let mut a = ClusterArena::new();
+        let c0 = a.alloc(ClusterKind::LeafVertex { node: 0 }, AVec::new());
+        let c1 = a.alloc(ClusterKind::Root { rep: 0 }, AVec::new());
+        assert_eq!(a.num_roots, 1);
+        a.free(c1);
+        assert_eq!(a.num_roots, 0);
+        // Not reusable before flush.
+        let c2 = a.alloc(ClusterKind::LeafVertex { node: 1 }, AVec::new());
+        assert_ne!(c2, c1);
+        a.flush_frees();
+        let c3 = a.alloc(ClusterKind::LeafVertex { node: 2 }, AVec::new());
+        assert_eq!(c3, c1, "freed slot should be reused after flush");
+        assert!(a.get(c0).alive);
+    }
+
+    #[test]
+    fn boundary_shapes() {
+        let uk = ClusterKind::Unary { rep: 3, boundary: 7 };
+        assert_eq!(uk.boundary().as_slice(), &[7]);
+        let bk = ClusterKind::Binary {
+            rep: 1,
+            bound: (4, 5),
+            key: WKey::new(2.0, 9),
+        };
+        assert_eq!(bk.boundary().as_slice(), &[4, 5]);
+        assert_eq!(bk.edge_key().unwrap(), WKey::new(2.0, 9));
+        assert!(ClusterKind::Root { rep: 0 }.boundary().is_empty());
+    }
+
+    #[test]
+    fn root_counting() {
+        let mut a = ClusterArena::new();
+        let r1 = a.alloc(ClusterKind::Root { rep: 0 }, AVec::new());
+        let _r2 = a.alloc(ClusterKind::Root { rep: 1 }, AVec::new());
+        assert_eq!(a.num_roots, 2);
+        a.free(r1);
+        assert_eq!(a.num_roots, 1);
+    }
+}

@@ -1,0 +1,920 @@
+//! The tree-contraction engine with change propagation.
+//!
+//! The contraction proceeds in rounds. At each round every live vertex of the
+//! (ternarized, degree ≤ 3) forest either **rakes** (leaves merge into their
+//! neighbor), **compresses** (a degree-2 vertex is spliced out, its two edges
+//! merging into a superedge), **finalizes** (an isolated vertex becomes the
+//! root cluster of its component), or **survives**. All random choices are
+//! *deterministic functions* of `(seed, node, round)`, so the entire
+//! contraction is a pure function of the base forest and the seed.
+//!
+//! That purity is what makes **change propagation** sound: after a batch of
+//! round-0 edits, we re-run only the vertices whose *inputs* changed, round by
+//! round. A vertex whose round-`r` neighborhood is untouched reproduces its
+//! stored decision bit-for-bit, so the propagation frontier stays proportional
+//! to the batch and decays geometrically — the `O(ℓ lg(1 + n/ℓ))` expected
+//! work bound of the paper's reference \[2\]. Building from scratch is the
+//! special case where every vertex starts flagged.
+//!
+//! # Round anatomy
+//!
+//! Processing round `r` with flagged set `A`:
+//!
+//! 1. `P = A ∪ N_r(A)` — decisions depend on neighbors' degrees (leaf
+//!    status), so adjacency changes force neighbors to re-decide.
+//! 2. **Phase 1**: recompute decisions for `P` in parallel, commit serially.
+//! 3. `Q = P ∪ N_r(P)` — effects (cluster ids) of changed vertices are read
+//!    by their neighbors.
+//! 4. **Phase 2a**: vertices of `Q` that *die* at `r` rebuild their terminal
+//!    cluster (plans computed in parallel, applied serially). Dying vertices
+//!    never receive rakes in their death round, so their children lists are
+//!    stable inputs here.
+//! 5. **Phase 2b**: vertices of `Q` that *survive* recompute their rake-in
+//!    list and their round-`r+1` adjacency in parallel (reading the fresh
+//!    cluster ids from 2a), and are flagged for round `r+1` exactly when the
+//!    adjacency actually changed. A changed rake-in list marks the vertex
+//!    *dirty*: it flows forward until its death round, where the terminal
+//!    cluster is rebuilt with the new child set.
+
+use bimst_primitives::hash::{coin, priority};
+use bimst_primitives::{AVec, FxHashSet, WKey};
+
+use crate::cluster::{ClusterArena, ClusterId, ClusterKind, NodeId, MAX_CHILDREN, NONE_CLUSTER};
+
+use rayon::prelude::*;
+
+/// Sentinel for "no node".
+pub const NONE_NODE: NodeId = u32::MAX;
+
+/// Minimum flagged-set size before the engine bothers with rayon.
+const PAR_THRESHOLD: usize = 4096;
+
+/// What a vertex does at a given round.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Decision {
+    /// Not yet decided (freshly created rows only).
+    #[default]
+    Unknown,
+    /// Lives on to the next round.
+    Survive,
+    /// Leaf merges into its neighbor (the payload), forming a unary cluster.
+    Rake(NodeId),
+    /// Degree-2 vertex spliced out, forming a binary cluster.
+    Compress,
+    /// Isolated vertex becomes the root cluster of its component.
+    Finalize,
+}
+
+/// Per-(vertex, round) state. A vertex alive at rounds `0..=d` stores `d + 1`
+/// of these; expected lifetime is `O(1)` rounds, so expected total storage is
+/// linear.
+#[derive(Clone, Debug, Default)]
+pub struct RoundState {
+    /// Live edges at this round: `(neighbor, edge-role cluster)`.
+    pub adj: AVec<(NodeId, ClusterId), 3>,
+    /// Unary clusters raked into this vertex at this round.
+    pub raked_in: AVec<ClusterId, 3>,
+    /// The decision taken this round.
+    pub decision: Decision,
+    /// The terminal cluster formed this round, if the decision is terminal.
+    pub cluster: ClusterId,
+}
+
+impl RoundState {
+    fn fresh() -> Self {
+        RoundState {
+            adj: AVec::new(),
+            raked_in: AVec::new(),
+            decision: Decision::Unknown,
+            cluster: NONE_CLUSTER,
+        }
+    }
+}
+
+/// Per-vertex data of the ternarized forest.
+#[derive(Clone, Debug)]
+pub struct NodeData {
+    /// The original vertex this node belongs to (heads and phantoms alike).
+    pub owner: u32,
+    /// Whether this node is the owner's head (identity) node; heads count 1
+    /// toward cluster sizes, phantoms 0.
+    pub is_head: bool,
+    /// Arena liveness (phantom nodes are freed when their edge is cut).
+    pub alive: bool,
+    /// The base vertex cluster of this node.
+    pub leaf_cluster: ClusterId,
+    /// Round-indexed contraction state; `rounds.len() - 1` is the death round.
+    pub rounds: Vec<RoundState>,
+}
+
+/// Plan produced by phase 2a for a vertex dying this round.
+struct TerminalPlan {
+    v: NodeId,
+    kind: ClusterKind,
+    children: AVec<ClusterId, MAX_CHILDREN>,
+}
+
+/// Plan produced by phase 2b for a vertex surviving this round.
+struct SurvivePlan {
+    v: NodeId,
+    raked: AVec<ClusterId, 3>,
+    adj_next: AVec<(NodeId, ClusterId), 3>,
+}
+
+/// The contraction engine. Owned by [`crate::forest::RcForest`]; exposed for
+/// the compressed-path-tree traversal (`bimst-core`) and for tests.
+pub struct Engine {
+    /// Seed of every coin flip.
+    pub seed: u64,
+    /// Node arena.
+    pub nodes: Vec<NodeData>,
+    /// Cluster arena.
+    pub clusters: ClusterArena,
+    free_nodes: Vec<NodeId>,
+    pending_free_nodes: Vec<NodeId>,
+    /// Vertices whose child set changed without structural change; they are
+    /// re-examined every round until their death round rebuilds the cluster.
+    dirty: FxHashSet<NodeId>,
+    /// Vertices whose round-0 state changed since the last propagation.
+    flagged0: Vec<NodeId>,
+    /// Epoch-stamped scratch for per-round set deduplication: cheaper than
+    /// hash sets on the tiny-batch fast path, where per-round constants
+    /// dominate the `O(ℓ lg(1 + n/ℓ))` bound.
+    stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new(seed: u64) -> Self {
+        Engine {
+            seed,
+            nodes: Vec::new(),
+            clusters: ClusterArena::new(),
+            free_nodes: Vec::new(),
+            pending_free_nodes: Vec::new(),
+            dirty: FxHashSet::default(),
+            flagged0: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Allocates a node owned by original vertex `owner` and flags it.
+    /// `is_head` marks the owner's identity node (counted by cluster sizes).
+    pub fn alloc_node(&mut self, owner: u32, is_head: bool) -> NodeId {
+        let id = if let Some(id) = self.free_nodes.pop() {
+            id
+        } else {
+            self.nodes.push(NodeData {
+                owner: 0,
+                is_head: false,
+                alive: false,
+                leaf_cluster: NONE_CLUSTER,
+                rounds: Vec::new(),
+            });
+            self.stamp.push(0);
+            (self.nodes.len() - 1) as NodeId
+        };
+        let leaf = self
+            .clusters
+            .alloc(ClusterKind::LeafVertex { node: id }, AVec::new());
+        self.clusters.get_mut(leaf).size = is_head as u32;
+        let nd = &mut self.nodes[id as usize];
+        nd.owner = owner;
+        nd.is_head = is_head;
+        nd.alive = true;
+        nd.leaf_cluster = leaf;
+        nd.rounds = vec![RoundState::fresh()];
+        self.flagged0.push(id);
+        id
+    }
+
+    /// Frees a node. Its round-0 adjacency must already be empty (the caller
+    /// removes all edges first). The slot is quarantined until
+    /// the propagation flushes frees at the end of the batch.
+    pub fn free_node(&mut self, v: NodeId) {
+        debug_assert!(self.nodes[v as usize].alive, "double free of node {v}");
+        debug_assert!(
+            self.nodes[v as usize].rounds[0].adj.is_empty(),
+            "freeing node {v} with live edges"
+        );
+        // Free every cluster this node is the representative of, plus its
+        // leaf cluster.
+        let rounds = std::mem::take(&mut self.nodes[v as usize].rounds);
+        for row in &rounds {
+            if row.cluster != NONE_CLUSTER {
+                self.clusters.free(row.cluster);
+            }
+        }
+        let leaf = self.nodes[v as usize].leaf_cluster;
+        self.clusters.free(leaf);
+        let nd = &mut self.nodes[v as usize];
+        nd.alive = false;
+        nd.leaf_cluster = NONE_CLUSTER;
+        self.dirty.remove(&v);
+        self.pending_free_nodes.push(v);
+    }
+
+    /// Adds a base edge (round 0) between live nodes `a` and `b`, represented
+    /// by the given leaf edge cluster. Flags both endpoints.
+    pub fn add_edge_round0(&mut self, a: NodeId, b: NodeId, cluster: ClusterId) {
+        debug_assert!(a != b, "self-loop in base forest");
+        self.nodes[a as usize].rounds[0].adj.push((b, cluster));
+        self.nodes[b as usize].rounds[0].adj.push((a, cluster));
+        self.flagged0.push(a);
+        self.flagged0.push(b);
+    }
+
+    /// Removes the base edge between `a` and `b` and returns its leaf edge
+    /// cluster (which the caller frees). Flags both endpoints.
+    pub fn remove_edge_round0(&mut self, a: NodeId, b: NodeId) -> ClusterId {
+        let mut found = NONE_CLUSTER;
+        self.nodes[a as usize].rounds[0].adj.retain(|&(u, c)| {
+            if u == b && found == NONE_CLUSTER {
+                found = c;
+                false
+            } else {
+                true
+            }
+        });
+        assert!(found != NONE_CLUSTER, "edge ({a},{b}) not present");
+        let mut found_b = false;
+        self.nodes[b as usize].rounds[0].adj.retain(|&(u, c)| {
+            if u == a && c == found {
+                found_b = true;
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert!(found_b, "asymmetric adjacency for edge ({a},{b})");
+        self.flagged0.push(a);
+        self.flagged0.push(b);
+        found
+    }
+
+    /// Frees a cluster (deferred reuse). Exposed for the forest layer, which
+    /// owns leaf edge clusters.
+    pub fn free_cluster(&mut self, c: ClusterId) {
+        self.clusters.free(c);
+    }
+
+    /// Allocates a leaf edge cluster.
+    pub fn alloc_edge_cluster(&mut self, a: NodeId, b: NodeId, key: WKey) -> ClusterId {
+        self.clusters
+            .alloc(ClusterKind::LeafEdge { a, b, key }, AVec::new())
+    }
+
+    #[inline]
+    fn alive_at(&self, v: NodeId, r: usize) -> bool {
+        let nd = &self.nodes[v as usize];
+        nd.alive && nd.rounds.len() > r
+    }
+
+    #[inline]
+    fn deg(&self, v: NodeId, r: usize) -> usize {
+        self.nodes[v as usize].rounds[r].adj.len()
+    }
+
+    /// The contraction decision of `v` at round `r` — a pure function of the
+    /// round-`r` structure and the seed.
+    fn decide(&self, v: NodeId, r: usize) -> Decision {
+        let adj = &self.nodes[v as usize].rounds[r].adj;
+        let rr = r as u64;
+        match adj.len() {
+            0 => Decision::Finalize,
+            1 => {
+                let (u, _) = adj[0];
+                debug_assert!(self.alive_at(u, r));
+                if self.deg(u, r) == 1 {
+                    // Two-vertex component: exactly one endpoint rakes.
+                    if priority(self.seed, v as u64, rr) < priority(self.seed, u as u64, rr) {
+                        Decision::Rake(u)
+                    } else {
+                        Decision::Survive
+                    }
+                } else {
+                    Decision::Rake(u)
+                }
+            }
+            2 => {
+                let (u, _) = adj[0];
+                let (w, _) = adj[1];
+                let du = self.deg(u, r);
+                let dw = self.deg(w, r);
+                if du == 1 || dw == 1 {
+                    // A neighbor is a leaf about to rake into us: survive.
+                    Decision::Survive
+                } else if coin(self.seed, v as u64, rr)
+                    && !(du == 2 && coin(self.seed, u as u64, rr))
+                    && !(dw == 2 && coin(self.seed, w as u64, rr))
+                {
+                    // Heads, and no degree-2 neighbor also flipped heads: no
+                    // two adjacent vertices compress in the same round.
+                    Decision::Compress
+                } else {
+                    Decision::Survive
+                }
+            }
+            3 => Decision::Survive,
+            d => unreachable!("degree {d} > 3 in ternarized forest"),
+        }
+    }
+
+    /// Runs change propagation until the contraction is quiescent, then
+    /// releases quarantined arena slots. Call after a batch of round-0 edits.
+    pub fn propagate(&mut self) {
+        let mut cur = std::mem::take(&mut self.flagged0);
+        let max_rounds = 64 + 8 * (usize::BITS - (self.nodes.len() + 2).leading_zeros()) as usize;
+        let mut r = 0usize;
+        loop {
+            // Deduplicate (flagged ∪ dirty) alive-at-r via epoch stamps.
+            self.epoch += 1;
+            let ep = self.epoch;
+            let mut set: Vec<NodeId> = Vec::with_capacity(cur.len() + self.dirty.len());
+            for &v in &cur {
+                if self.stamp[v as usize] != ep && self.alive_at(v, r) {
+                    self.stamp[v as usize] = ep;
+                    set.push(v);
+                }
+            }
+            for &v in &self.dirty {
+                if self.stamp[v as usize] != ep && self.alive_at(v, r) {
+                    self.stamp[v as usize] = ep;
+                    set.push(v);
+                }
+            }
+            if set.is_empty() {
+                debug_assert!(self.dirty.is_empty(), "dirty nodes left unresolved");
+                break;
+            }
+            cur = self.process_round(r, &set);
+            r += 1;
+            assert!(r < max_rounds, "contraction did not converge in {r} rounds");
+        }
+        self.clusters.flush_frees();
+        self.free_nodes.append(&mut self.pending_free_nodes);
+    }
+
+    /// Processes one round; returns the vertices flagged for the next round.
+    /// `a_in` is deduplicated and alive at `r`.
+    fn process_round(&mut self, r: usize, a_in: &[NodeId]) -> Vec<NodeId> {
+        // P = A ∪ N(A): neighbors must re-decide (leaf status may change).
+        self.epoch += 1;
+        let ep = self.epoch;
+        let mut p: Vec<NodeId> = Vec::with_capacity(a_in.len() * 4);
+        for &v in a_in {
+            if self.stamp[v as usize] != ep {
+                self.stamp[v as usize] = ep;
+                p.push(v);
+            }
+            for (u, _) in self.nodes[v as usize].rounds[r].adj.iter() {
+                debug_assert!(self.alive_at(u, r), "stale adjacency {v}->{u} at round {r}");
+                if self.stamp[u as usize] != ep {
+                    self.stamp[u as usize] = ep;
+                    p.push(u);
+                }
+            }
+        }
+
+        // Phase 1: recompute decisions for P (parallel), commit (serial).
+        let decs: Vec<(NodeId, Decision)> = if p.len() >= PAR_THRESHOLD {
+            let me = &*self;
+            p.par_iter().map(|&v| (v, me.decide(v, r))).collect()
+        } else {
+            p.iter().map(|&v| (v, self.decide(v, r))).collect()
+        };
+        for &(v, d) in &decs {
+            self.nodes[v as usize].rounds[r].decision = d;
+        }
+
+        // Q = P ∪ N(P): neighbors of changed vertices read fresh effects.
+        // P is already stamped with `ep`, so the same epoch extends it.
+        let mut q: Vec<NodeId> = p.clone();
+        for &v in &p {
+            for (u, _) in self.nodes[v as usize].rounds[r].adj.iter() {
+                if self.stamp[u as usize] != ep {
+                    self.stamp[u as usize] = ep;
+                    q.push(u);
+                }
+            }
+        }
+
+        let (dying, surviving): (Vec<NodeId>, Vec<NodeId>) = q
+            .iter()
+            .partition(|&&v| self.nodes[v as usize].rounds[r].decision != Decision::Survive);
+
+        // Phase 2a: rebuild terminal clusters of dying vertices.
+        let plans: Vec<TerminalPlan> = if dying.len() >= PAR_THRESHOLD {
+            let me = &*self;
+            dying
+                .par_iter()
+                .map(|&v| me.terminal_plan(v, r))
+                .collect()
+        } else {
+            dying.iter().map(|&v| self.terminal_plan(v, r)).collect()
+        };
+        for plan in plans {
+            self.apply_terminal(plan, r);
+        }
+
+        // Phase 2b: survivors recompute rake-ins and next-round adjacency.
+        let plans: Vec<SurvivePlan> = if surviving.len() >= PAR_THRESHOLD {
+            let me = &*self;
+            surviving
+                .par_iter()
+                .map(|&v| me.survive_plan(v, r))
+                .collect()
+        } else {
+            surviving.iter().map(|&v| self.survive_plan(v, r)).collect()
+        };
+        let mut next = Vec::new();
+        for plan in plans {
+            self.apply_survive(plan, r, &mut next);
+        }
+        next
+    }
+
+    /// Children of the terminal cluster `v` forms when dying at round `r`:
+    /// its own leaf, everything raked into it during its lifetime, and the
+    /// edge clusters its decision consumes.
+    fn terminal_plan(&self, v: NodeId, r: usize) -> TerminalPlan {
+        let nd = &self.nodes[v as usize];
+        let mut children: AVec<ClusterId, MAX_CHILDREN> = AVec::new();
+        children.push(nd.leaf_cluster);
+        // Dying vertices receive no rakes in their death round, so rows
+        // `0..r` hold the complete hanging set (row `r` may be stale).
+        for q in 0..r {
+            for c in nd.rounds[q].raked_in.iter() {
+                children.push(c);
+            }
+        }
+        let row = &nd.rounds[r];
+        let kind = match row.decision {
+            Decision::Rake(u) => {
+                let (nu, c) = row.adj[0];
+                debug_assert_eq!(nu, u);
+                children.push(c);
+                ClusterKind::Unary { rep: v, boundary: u }
+            }
+            Decision::Compress => {
+                let (u, c1) = row.adj[0];
+                let (w, c2) = row.adj[1];
+                children.push(c1);
+                children.push(c2);
+                let k1 = self.clusters.get(c1).kind.edge_key().expect("edge role");
+                let k2 = self.clusters.get(c2).kind.edge_key().expect("edge role");
+                let bound = if u < w { (u, w) } else { (w, u) };
+                ClusterKind::Binary {
+                    rep: v,
+                    bound,
+                    key: k1.max(k2),
+                }
+            }
+            Decision::Finalize => ClusterKind::Root { rep: v },
+            Decision::Survive | Decision::Unknown => unreachable!("terminal plan for survivor"),
+        };
+        TerminalPlan { v, kind, children }
+    }
+
+    fn apply_terminal(&mut self, plan: TerminalPlan, r: usize) {
+        let v = plan.v as usize;
+        // Unchanged? Keep the old cluster id to stop the cascade.
+        let old = self.nodes[v].rounds[r].cluster;
+        if old != NONE_CLUSTER && self.nodes[v].rounds.len() == r + 1 {
+            let oc = self.clusters.get(old);
+            if oc.alive
+                && oc.kind == plan.kind
+                && oc.children.sorted() == plan.children.sorted()
+            {
+                self.dirty.remove(&plan.v);
+                return;
+            }
+        }
+        // Free any terminal this vertex formed at this or a later round, and
+        // drop the now-dead future rows.
+        for q in r..self.nodes[v].rounds.len() {
+            let c = self.nodes[v].rounds[q].cluster;
+            if c != NONE_CLUSTER {
+                self.clusters.free(c);
+                self.nodes[v].rounds[q].cluster = NONE_CLUSTER;
+            }
+        }
+        self.nodes[v].rounds.truncate(r + 1);
+        self.nodes[v].rounds[r].raked_in.clear();
+        let id = self.clusters.alloc(plan.kind, plan.children);
+        for ch in plan.children.iter() {
+            self.clusters.get_mut(ch).parent = id;
+        }
+        self.nodes[v].rounds[r].cluster = id;
+        self.dirty.remove(&plan.v);
+    }
+
+    /// A survivor's rake-in list and next-round adjacency, read off its
+    /// neighbors' freshly committed decisions and clusters.
+    fn survive_plan(&self, v: NodeId, r: usize) -> SurvivePlan {
+        let nd = &self.nodes[v as usize];
+        let mut raked: AVec<ClusterId, 3> = AVec::new();
+        let mut adj_next: AVec<(NodeId, ClusterId), 3> = AVec::new();
+        for (u, c) in nd.rounds[r].adj.iter() {
+            let urow = &self.nodes[u as usize].rounds[r];
+            match urow.decision {
+                Decision::Rake(t) => {
+                    debug_assert_eq!(t, v, "rake target mismatch");
+                    debug_assert!(urow.cluster != NONE_CLUSTER);
+                    raked.push(urow.cluster);
+                }
+                Decision::Compress => {
+                    let b = urow.cluster;
+                    debug_assert!(b != NONE_CLUSTER);
+                    let (x, y) = match self.clusters.get(b).kind {
+                        ClusterKind::Binary { bound, .. } => bound,
+                        ref k => unreachable!("compress produced {k:?}"),
+                    };
+                    let other = if x == v { y } else { x };
+                    debug_assert!(x == v || y == v);
+                    adj_next.push((other, b));
+                }
+                Decision::Survive => adj_next.push((u, c)),
+                Decision::Finalize | Decision::Unknown => {
+                    unreachable!("neighbor {u} of survivor {v} finalized/unknown at round {r}")
+                }
+            }
+        }
+        SurvivePlan { v, raked, adj_next }
+    }
+
+    fn apply_survive(&mut self, plan: SurvivePlan, r: usize, next: &mut Vec<NodeId>) {
+        let v = plan.v as usize;
+        // If this vertex previously died at `r`, its old terminal is stale.
+        let old = self.nodes[v].rounds[r].cluster;
+        if old != NONE_CLUSTER {
+            self.clusters.free(old);
+            self.nodes[v].rounds[r].cluster = NONE_CLUSTER;
+        }
+        if self.nodes[v].rounds[r].raked_in.sorted() != plan.raked.sorted() {
+            self.nodes[v].rounds[r].raked_in = plan.raked;
+            self.dirty.insert(plan.v);
+        }
+        let created = if self.nodes[v].rounds.len() == r + 1 {
+            self.nodes[v].rounds.push(RoundState::fresh());
+            true
+        } else {
+            false
+        };
+        let row = &mut self.nodes[v].rounds[r + 1];
+        if created || row.adj.sorted() != plan.adj_next.sorted() {
+            row.adj = plan.adj_next;
+            next.push(plan.v);
+        }
+    }
+
+    /// Walks parent pointers from a cluster to the root cluster above it.
+    pub fn root_from(&self, mut c: ClusterId) -> ClusterId {
+        let mut steps = 0usize;
+        loop {
+            let p = self.clusters.get(c).parent;
+            if p == NONE_CLUSTER {
+                return c;
+            }
+            c = p;
+            steps += 1;
+            assert!(
+                steps <= self.clusters.len(),
+                "parent cycle detected at cluster {c}"
+            );
+        }
+    }
+
+    /// Number of live nodes (heads + phantoms).
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.iter().filter(|n| n.alive).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Verification helpers (used by tests and the bench harness).
+    // ------------------------------------------------------------------
+
+    /// Rebuilds a fresh engine from this engine's round-0 structure (same
+    /// seed, same node ids, same edges) and contracts it from scratch.
+    /// Because the contraction is a pure function of (base forest, seed),
+    /// the result must match [`Engine::same_contraction`]-wise — the key
+    /// correctness property of change propagation.
+    pub fn rebuild_from_scratch(&self) -> Engine {
+        let mut e = Engine::new(self.seed);
+        // Recreate the node arena with identical ids.
+        for (id, nd) in self.nodes.iter().enumerate() {
+            e.nodes.push(NodeData {
+                owner: nd.owner,
+                is_head: nd.is_head,
+                alive: nd.alive,
+                leaf_cluster: NONE_CLUSTER,
+                rounds: Vec::new(),
+            });
+            e.stamp.push(0);
+            if nd.alive {
+                let leaf = e
+                    .clusters
+                    .alloc(ClusterKind::LeafVertex { node: id as NodeId }, AVec::new());
+                e.clusters.get_mut(leaf).size = nd.is_head as u32;
+                e.nodes[id].leaf_cluster = leaf;
+                e.nodes[id].rounds = vec![RoundState::fresh()];
+                e.flagged0.push(id as NodeId);
+            }
+        }
+        // Recreate round-0 edges (each once).
+        for (id, nd) in self.nodes.iter().enumerate() {
+            if !nd.alive {
+                continue;
+            }
+            for (u, c) in nd.rounds[0].adj.iter() {
+                if (id as NodeId) < u {
+                    let key = self.clusters.get(c).kind.edge_key().expect("leaf edge");
+                    let nc = e.alloc_edge_cluster(id as NodeId, u, key);
+                    e.nodes[id].rounds[0].adj.push((u, nc));
+                    e.nodes[u as usize].rounds[0].adj.push((id as NodeId, nc));
+                }
+            }
+        }
+        e.propagate();
+        e
+    }
+
+    /// Checks that two engines encode the same contraction: per node, the
+    /// same lifetime, decisions, adjacency structure (neighbors and edge
+    /// keys), and rake-in sources. Cluster *ids* are allowed to differ.
+    pub fn same_contraction(&self, other: &Engine) -> Result<(), String> {
+        if self.nodes.len() != other.nodes.len() {
+            return Err(format!(
+                "node arena sizes differ: {} vs {}",
+                self.nodes.len(),
+                other.nodes.len()
+            ));
+        }
+        for id in 0..self.nodes.len() {
+            let a = &self.nodes[id];
+            let b = &other.nodes[id];
+            if a.alive != b.alive {
+                return Err(format!("node {id}: alive {} vs {}", a.alive, b.alive));
+            }
+            if !a.alive {
+                continue;
+            }
+            if a.rounds.len() != b.rounds.len() {
+                return Err(format!(
+                    "node {id}: lifetime {} vs {}",
+                    a.rounds.len(),
+                    b.rounds.len()
+                ));
+            }
+            for r in 0..a.rounds.len() {
+                let ra = &a.rounds[r];
+                let rb = &b.rounds[r];
+                if ra.decision != rb.decision {
+                    return Err(format!(
+                        "node {id} round {r}: decision {:?} vs {:?}",
+                        ra.decision, rb.decision
+                    ));
+                }
+                let sig = |e: &Engine, row: &RoundState| {
+                    let mut s: Vec<(NodeId, WKey)> = row
+                        .adj
+                        .iter()
+                        .map(|(u, c)| (u, e.clusters.get(c).kind.edge_key().unwrap()))
+                        .collect();
+                    s.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+                    s
+                };
+                if sig(self, ra) != sig(other, rb) {
+                    return Err(format!("node {id} round {r}: adjacency differs"));
+                }
+                let reps = |e: &Engine, row: &RoundState| {
+                    let mut s: Vec<NodeId> = row
+                        .raked_in
+                        .iter()
+                        .map(|c| e.clusters.get(c).kind.rep().unwrap())
+                        .collect();
+                    s.sort_unstable();
+                    s
+                };
+                if reps(self, ra) != reps(other, rb) {
+                    return Err(format!("node {id} round {r}: rake-ins differ"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Structural sanity check of the cluster forest: parent/child pointers
+    /// are mutually consistent and every live non-root cluster has a parent.
+    pub fn check_cluster_invariants(&self) -> Result<(), String> {
+        for (id, c) in self.clusters.iter_live() {
+            for ch in c.children.iter() {
+                let child = self.clusters.get(ch);
+                if !child.alive {
+                    return Err(format!("cluster {id} has dead child {ch}"));
+                }
+                if child.parent != id {
+                    return Err(format!(
+                        "cluster {id} child {ch} has parent {}",
+                        child.parent
+                    ));
+                }
+            }
+            if c.parent != NONE_CLUSTER {
+                let p = self.clusters.get(c.parent);
+                if !p.alive {
+                    return Err(format!("cluster {id} has dead parent {}", c.parent));
+                }
+                if !p.children.iter().any(|ch| ch == id) {
+                    return Err(format!("cluster {id} not among parent's children"));
+                }
+            } else if !matches!(c.kind, ClusterKind::Root { .. }) {
+                // Orphan non-root: only legal for leaf clusters of isolated
+                // *fresh* vertices before their first propagation — after
+                // propagate() everything is parented.
+                return Err(format!("non-root cluster {id} has no parent: {:?}", c.kind));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimst_primitives::WKey;
+
+    /// Builds an engine over `n` fresh nodes and the given weighted edges.
+    fn build(n: usize, edges: &[(u32, u32, f64)], seed: u64) -> Engine {
+        let mut e = Engine::new(seed);
+        for i in 0..n {
+            e.alloc_node(i as u32, true);
+        }
+        for (i, &(a, b, w)) in edges.iter().enumerate() {
+            let c = e.alloc_edge_cluster(a, b, WKey::new(w, i as u64));
+            e.add_edge_round0(a, b, c);
+        }
+        e.propagate();
+        e
+    }
+
+    #[test]
+    fn singleton_finalizes_round_zero() {
+        let e = build(1, &[], 1);
+        assert_eq!(e.clusters.num_roots, 1);
+        assert_eq!(e.nodes[0].rounds.len(), 1);
+        assert_eq!(e.nodes[0].rounds[0].decision, Decision::Finalize);
+    }
+
+    #[test]
+    fn single_edge_contracts() {
+        let e = build(2, &[(0, 1, 1.0)], 7);
+        assert_eq!(e.clusters.num_roots, 1);
+        e.check_cluster_invariants().unwrap();
+        // One endpoint rakes, the other finalizes one round later.
+        let d0 = e.nodes[0].rounds[e.nodes[0].rounds.len() - 1].decision;
+        let d1 = e.nodes[1].rounds[e.nodes[1].rounds.len() - 1].decision;
+        assert!(
+            matches!((d0, d1), (Decision::Rake(_), Decision::Finalize))
+                || matches!((d0, d1), (Decision::Finalize, Decision::Rake(_)))
+        );
+    }
+
+    #[test]
+    fn path_contracts_with_binary_clusters() {
+        let n = 64;
+        let edges: Vec<(u32, u32, f64)> = (0..n - 1).map(|i| (i, i + 1, i as f64)).collect();
+        let e = build(n as usize, &edges, 3);
+        assert_eq!(e.clusters.num_roots, 1);
+        e.check_cluster_invariants().unwrap();
+        let binaries = e
+            .clusters
+            .iter_live()
+            .filter(|(_, c)| matches!(c.kind, ClusterKind::Binary { .. }))
+            .count();
+        assert!(binaries > 0, "a long path must compress somewhere");
+    }
+
+    #[test]
+    fn star_contracts_by_rakes() {
+        // Degree bound: a star must be pre-ternarized by the forest layer,
+        // so here we use a 3-star (within the degree bound).
+        let e = build(4, &[(0, 1, 1.0), (0, 2, 2.0), (0, 3, 3.0)], 9);
+        assert_eq!(e.clusters.num_roots, 1);
+        e.check_cluster_invariants().unwrap();
+    }
+
+    #[test]
+    fn forest_has_one_root_per_component() {
+        let e = build(6, &[(0, 1, 1.0), (2, 3, 1.0)], 5);
+        assert_eq!(e.clusters.num_roots, 4); // {0,1}, {2,3}, {4}, {5}
+    }
+
+    #[test]
+    fn roots_found_by_parent_chase() {
+        let e = build(5, &[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 3.0)], 11);
+        let root =
+            |v: u32| e.root_from(e.nodes[v as usize].leaf_cluster);
+        assert_eq!(root(0), root(1));
+        assert_eq!(root(0), root(2));
+        assert_eq!(root(3), root(4));
+        assert_ne!(root(0), root(3));
+    }
+
+    #[test]
+    fn incremental_matches_scratch_on_path() {
+        // Build a path edge by edge (one propagation per edge), then compare
+        // with a from-scratch contraction of the same base forest.
+        let n = 40u32;
+        let mut e = Engine::new(42);
+        for i in 0..n {
+            e.alloc_node(i, true);
+        }
+        e.propagate();
+        for i in 0..n - 1 {
+            let c = e.alloc_edge_cluster(i, i + 1, WKey::new(i as f64, i as u64));
+            e.add_edge_round0(i, i + 1, c);
+            e.propagate();
+        }
+        let scratch = e.rebuild_from_scratch();
+        e.same_contraction(&scratch).unwrap();
+        e.check_cluster_invariants().unwrap();
+        scratch.check_cluster_invariants().unwrap();
+    }
+
+    #[test]
+    fn cut_matches_scratch() {
+        let n = 30u32;
+        let edges: Vec<(u32, u32, f64)> = (0..n - 1).map(|i| (i, i + 1, i as f64)).collect();
+        let mut e = build(n as usize, &edges, 17);
+        // Cut the middle edge.
+        let c = e.remove_edge_round0(14, 15);
+        e.free_cluster(c);
+        e.propagate();
+        assert_eq!(e.clusters.num_roots, 2);
+        let scratch = e.rebuild_from_scratch();
+        e.same_contraction(&scratch).unwrap();
+        e.check_cluster_invariants().unwrap();
+    }
+
+    #[test]
+    fn binary_cluster_keys_are_path_maxima() {
+        // Path 0-1-2-3-4 with distinct weights; every binary cluster's key
+        // must equal the max key among base edges between its boundaries.
+        let edges = [(0, 1, 5.0), (1, 2, 9.0), (2, 3, 2.0), (3, 4, 7.0)];
+        let e = build(5, &edges, 23);
+        for (_, c) in e.clusters.iter_live() {
+            if let ClusterKind::Binary { bound: (x, y), key, .. } = c.kind {
+                // Brute force: max weight among base edges strictly between
+                // x and y on the path (vertex ids are path positions).
+                let (lo, hi) = (x.min(y), x.max(y));
+                let expect = (lo..hi)
+                    .map(|i| WKey::new(edges[i as usize].2, i as u64))
+                    .max()
+                    .unwrap();
+                assert_eq!(key, expect, "cluster between {x} and {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_forest_incremental_equals_scratch() {
+        use bimst_primitives::hash::hash2;
+        // Random spanning tree built in random-sized batches, with degree
+        // kept ≤ 3 by attaching to low-degree nodes only.
+        let n = 200u32;
+        let mut e = Engine::new(99);
+        for i in 0..n {
+            e.alloc_node(i, true);
+        }
+        e.propagate();
+        let mut deg = vec![0u32; n as usize];
+        let mut eid = 0u64;
+        let mut pending: Vec<(u32, u32)> = Vec::new();
+        for v in 1..n {
+            // Attach v to some earlier node with remaining degree budget.
+            let mut u = (hash2(5, v as u64) % v as u64) as u32;
+            while deg[u as usize] >= 2 {
+                u = (u + 1) % v;
+            }
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+            pending.push((u, v));
+            if pending.len() >= 8 || v == n - 1 {
+                for &(a, b) in &pending {
+                    let c = e.alloc_edge_cluster(a, b, WKey::new(hash2(1, eid) as f64, eid));
+                    e.add_edge_round0(a, b, c);
+                    eid += 1;
+                }
+                pending.clear();
+                e.propagate();
+            }
+        }
+        assert_eq!(e.clusters.num_roots, 1);
+        let scratch = e.rebuild_from_scratch();
+        e.same_contraction(&scratch).unwrap();
+        e.check_cluster_invariants().unwrap();
+    }
+}

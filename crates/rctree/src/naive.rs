@@ -1,0 +1,174 @@
+//! A trivially correct reference forest.
+//!
+//! `NaiveForest` answers the same queries as [`crate::RcForest`] by direct
+//! graph search — `O(n)` per query, obviously correct. The test suites of
+//! this crate, `bimst-core`, and `bimst-sliding` use it as the oracle for
+//! connectivity, path maxima, and component counting.
+
+use bimst_primitives::{EdgeId, FxHashMap, VertexId, WKey};
+
+/// Adjacency-list forest with brute-force queries.
+#[derive(Clone)]
+pub struct NaiveForest {
+    n: usize,
+    adj: Vec<Vec<(VertexId, EdgeId)>>,
+    edges: FxHashMap<EdgeId, (VertexId, VertexId, WKey)>,
+}
+
+impl NaiveForest {
+    /// Creates a forest of `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        NaiveForest {
+            n,
+            adj: vec![Vec::new(); n],
+            edges: FxHashMap::default(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the edge id is live.
+    pub fn has_edge(&self, id: EdgeId) -> bool {
+        self.edges.contains_key(&id)
+    }
+
+    /// Mirrors [`crate::RcForest::batch_update`].
+    pub fn batch_update(&mut self, cuts: &[EdgeId], links: &[(VertexId, VertexId, f64, EdgeId)]) {
+        for &id in cuts {
+            let (u, v, _) = self.edges.remove(&id).expect("cut of unknown edge");
+            self.adj[u as usize].retain(|&(_, e)| e != id);
+            self.adj[v as usize].retain(|&(_, e)| e != id);
+        }
+        for &(u, v, w, id) in links {
+            let key = WKey::new(w, id);
+            assert!(self.edges.insert(id, (u, v, key)).is_none());
+            self.adj[u as usize].push((v, id));
+            self.adj[v as usize].push((u, id));
+        }
+    }
+
+    /// DFS path from `u` to `v`; returns the edge ids along it.
+    fn path(&self, u: VertexId, v: VertexId) -> Option<Vec<EdgeId>> {
+        if u == v {
+            return Some(Vec::new());
+        }
+        let mut stack = vec![u];
+        let mut seen = vec![false; self.n];
+        let mut via: FxHashMap<VertexId, (VertexId, EdgeId)> = FxHashMap::default();
+        seen[u as usize] = true;
+        while let Some(x) = stack.pop() {
+            for &(y, id) in &self.adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    via.insert(y, (x, id));
+                    if y == v {
+                        let mut path = Vec::new();
+                        let mut cur = v;
+                        while cur != u {
+                            let (p, id) = via[&cur];
+                            path.push(id);
+                            cur = p;
+                        }
+                        return Some(path);
+                    }
+                    stack.push(y);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether `u` and `v` are connected.
+    pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.path(u, v).is_some()
+    }
+
+    /// The heaviest edge key on the `u`–`v` path, or `None` if disconnected
+    /// or `u == v`.
+    pub fn path_max(&self, u: VertexId, v: VertexId) -> Option<WKey> {
+        let path = self.path(u, v)?;
+        path.iter().map(|id| self.edges[id].2).max()
+    }
+
+    /// Number of vertices in `v`'s component.
+    pub fn component_size(&self, v: VertexId) -> usize {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![v];
+        seen[v as usize] = true;
+        let mut count = 1;
+        while let Some(x) = stack.pop() {
+            for &(y, _) in &self.adj[x as usize] {
+                if !seen[y as usize] {
+                    seen[y as usize] = true;
+                    count += 1;
+                    stack.push(y);
+                }
+            }
+        }
+        count
+    }
+
+    /// Number of connected components.
+    pub fn num_components(&self) -> usize {
+        let mut seen = vec![false; self.n];
+        let mut count = 0;
+        for s in 0..self.n {
+            if seen[s] {
+                continue;
+            }
+            count += 1;
+            let mut stack = vec![s as VertexId];
+            seen[s] = true;
+            while let Some(x) = stack.pop() {
+                for &(y, _) in &self.adj[x as usize] {
+                    if !seen[y as usize] {
+                        seen[y as usize] = true;
+                        stack.push(y);
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_max_on_path_graph() {
+        let mut f = NaiveForest::new(5);
+        f.batch_update(
+            &[],
+            &[
+                (0, 1, 5.0, 0),
+                (1, 2, 9.0, 1),
+                (2, 3, 2.0, 2),
+                (3, 4, 7.0, 3),
+            ],
+        );
+        assert_eq!(f.path_max(0, 4).unwrap(), WKey::new(9.0, 1));
+        assert_eq!(f.path_max(2, 4).unwrap(), WKey::new(7.0, 3));
+        assert_eq!(f.path_max(0, 0), None);
+        assert_eq!(f.num_components(), 1);
+    }
+
+    #[test]
+    fn cut_disconnects() {
+        let mut f = NaiveForest::new(3);
+        f.batch_update(&[], &[(0, 1, 1.0, 0), (1, 2, 1.0, 1)]);
+        f.batch_update(&[1], &[]);
+        assert!(f.connected(0, 1));
+        assert!(!f.connected(0, 2));
+        assert_eq!(f.num_components(), 2);
+    }
+}

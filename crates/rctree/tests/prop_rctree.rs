@@ -1,0 +1,133 @@
+//! Property tests: RcForest vs the naive reference forest, plus the
+//! change-propagation ≡ from-scratch invariant, under arbitrary batch
+//! histories of cuts and links.
+
+use bimst_rctree::naive::NaiveForest;
+use bimst_rctree::RcForest;
+use proptest::prelude::*;
+
+/// A scripted update: either cut the i-th live edge (mod count) or link two
+/// vertices (skipped if it would close a cycle).
+#[derive(Debug, Clone)]
+enum Op {
+    Cut(usize),
+    Link(u32, u32, i32),
+}
+
+fn ops_strategy(n: u32, len: usize) -> impl Strategy<Value = Vec<(Vec<Op>, bool)>> {
+    // A history is a list of batches; each batch is a list of ops plus a
+    // flag for whether to run the expensive scratch verification afterwards.
+    let op = prop_oneof![
+        (0usize..64).prop_map(Op::Cut),
+        (0..n, 0..n, -50i32..50).prop_map(|(a, b, w)| Op::Link(a, b, w)),
+    ];
+    proptest::collection::vec(
+        (proptest::collection::vec(op, 1..12), proptest::bool::ANY),
+        1..len,
+    )
+}
+
+fn run_history(n: usize, seed: u64, history: &[(Vec<Op>, bool)]) {
+    let mut rc = RcForest::new(n, seed);
+    let mut naive = NaiveForest::new(n);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next_id = 0u64;
+    for (batch, verify) in history {
+        let mut cuts: Vec<u64> = Vec::new();
+        let mut links: Vec<(u32, u32, f64, u64)> = Vec::new();
+        // Track connectivity within the batch to keep it a forest.
+        let mut probe = naive.clone();
+        for op in batch {
+            match *op {
+                Op::Cut(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let idx = i % live.len();
+                    let id = live[idx];
+                    // Cuts apply before links within a batch: an edge linked
+                    // in this batch cannot also be cut by it.
+                    if links.iter().any(|&(_, _, _, lid)| lid == id) {
+                        continue;
+                    }
+                    live.swap_remove(idx);
+                    cuts.push(id);
+                    probe.batch_update(&[id], &[]);
+                }
+                Op::Link(a, b, w) => {
+                    if a == b || probe.connected(a, b) {
+                        continue;
+                    }
+                    let id = next_id;
+                    next_id += 1;
+                    links.push((a, b, w as f64, id));
+                    live.push(id);
+                    probe.batch_update(&[], &[(a, b, w as f64, id)]);
+                }
+            }
+        }
+        rc.batch_update(&cuts, &links);
+        naive.batch_update(&cuts, &links);
+        assert_eq!(rc.num_edges(), naive.num_edges());
+        assert_eq!(rc.num_components(), naive.num_components());
+        if *verify {
+            rc.verify_against_scratch().unwrap();
+        }
+    }
+    // Final connectivity and component-size sweep against the oracle.
+    let n = n as u32;
+    for u in 0..n {
+        assert_eq!(
+            rc.component_size(u),
+            naive.component_size(u),
+            "component_size({u})"
+        );
+        for v in (u + 1..n).step_by(3) {
+            assert_eq!(rc.connected(u, v), naive.connected(u, v), "({u},{v})");
+        }
+    }
+    rc.verify_against_scratch().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_batches_small(history in ops_strategy(12, 10), seed in 0u64..1000) {
+        run_history(12, seed, &history);
+    }
+
+    #[test]
+    fn random_batches_medium(history in ops_strategy(40, 14), seed in 0u64..1000) {
+        run_history(40, seed, &history);
+    }
+}
+
+#[test]
+fn long_adversarial_chain_history() {
+    // Deterministic stress: grow a long path, then cut every third edge in
+    // one batch, then re-link shuffled, several times.
+    let n = 150usize;
+    let mut rc = RcForest::new(n, 5);
+    let mut naive = NaiveForest::new(n);
+    let links: Vec<(u32, u32, f64, u64)> = (0..n as u32 - 1)
+        .map(|i| (i, i + 1, (i * 37 % 101) as f64, i as u64))
+        .collect();
+    rc.batch_update(&[], &links);
+    naive.batch_update(&[], &links);
+    rc.verify_against_scratch().unwrap();
+    for phase in 0..4u64 {
+        let cuts: Vec<u64> = (0..n as u64 - 1).filter(|i| i % 3 == phase % 3).collect();
+        rc.batch_update(&cuts, &[]);
+        naive.batch_update(&cuts, &[]);
+        assert_eq!(rc.num_components(), naive.num_components());
+        let relinks: Vec<(u32, u32, f64, u64)> = cuts
+            .iter()
+            .map(|&i| (i as u32, i as u32 + 1, (phase * 7 + i) as f64, i))
+            .collect();
+        rc.batch_update(&[], &relinks);
+        naive.batch_update(&[], &relinks);
+        assert_eq!(rc.num_components(), 1);
+        rc.verify_against_scratch().unwrap();
+    }
+}

@@ -1,0 +1,157 @@
+//! Sliding-window bipartiteness (§5.2, Theorem 5.3).
+//!
+//! A graph `G` is bipartite iff its *cycle double cover* `D(G)` has exactly
+//! twice as many connected components as `G`, where `D(G)` duplicates every
+//! vertex `v` into `v₁, v₂` and every edge `(u, v)` into `(u₁, v₂)` and
+//! `(u₂, v₁)`. We run two [`SwConnEager`] instances — one on `G`, one on
+//! `D(G)` — and manage the double-cover edges on the fly. One `G` stream
+//! position corresponds to two `D(G)` positions, so expiry doubles.
+
+use bimst_primitives::VertexId;
+
+use crate::conn::SwConnEager;
+
+/// Sliding-window bipartiteness tester.
+pub struct SwBipartite {
+    n: usize,
+    g: SwConnEager,
+    /// Cycle double cover: vertices `0..n` are the `v₁`s, `n..2n` the `v₂`s.
+    dc: SwConnEager,
+}
+
+impl SwBipartite {
+    /// An empty window over `n` vertices.
+    pub fn new(n: usize, seed: u64) -> Self {
+        SwBipartite {
+            n,
+            g: SwConnEager::new(n, seed),
+            dc: SwConnEager::new(2 * n, seed ^ 0x00d2),
+        }
+    }
+
+    /// Appends a batch on the new side.
+    pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) {
+        self.g.batch_insert(edges);
+        let n = self.n as u32;
+        let mut dedges = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            dedges.push((u, v + n));
+            dedges.push((u + n, v));
+        }
+        self.dc.batch_insert(&dedges);
+    }
+
+    /// Expires the `delta` oldest edges.
+    pub fn batch_expire(&mut self, delta: u64) {
+        self.g.batch_expire(delta);
+        self.dc.batch_expire(2 * delta);
+    }
+
+    /// Whether the window graph is bipartite. `O(1)`.
+    pub fn is_bipartite(&self) -> bool {
+        self.dc.num_components() == 2 * self.g.num_components()
+    }
+
+    /// Number of components of the window graph, `O(1)`.
+    pub fn num_components(&self) -> usize {
+        self.g.num_components()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_cycle_is_bipartite_odd_is_not() {
+        let mut b = SwBipartite::new(5, 1);
+        // 4-cycle: bipartite.
+        b.batch_insert(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(b.is_bipartite());
+        // Chord making a triangle 0-1-2: odd cycle.
+        b.batch_insert(&[(0, 2)]);
+        assert!(!b.is_bipartite());
+    }
+
+    #[test]
+    fn expiry_restores_bipartiteness() {
+        let mut b = SwBipartite::new(3, 2);
+        b.batch_insert(&[(0, 1), (1, 2), (2, 0)]); // triangle
+        assert!(!b.is_bipartite());
+        b.batch_expire(1); // oldest edge (0,1) leaves: path remains
+        assert!(b.is_bipartite());
+    }
+
+    #[test]
+    fn empty_and_forest_graphs_are_bipartite() {
+        let mut b = SwBipartite::new(4, 3);
+        assert!(b.is_bipartite());
+        b.batch_insert(&[(0, 1), (1, 2), (1, 3)]);
+        assert!(b.is_bipartite());
+        assert_eq!(b.num_components(), 1);
+    }
+
+    #[test]
+    fn odd_cycle_reappearing_in_window() {
+        let mut b = SwBipartite::new(3, 4);
+        for round in 0..4 {
+            b.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
+            assert!(!b.is_bipartite(), "round {round}");
+            b.batch_expire(2);
+            // One edge of the triangle remains plus whatever re-arrived.
+        }
+    }
+
+    #[test]
+    fn randomized_against_two_coloring() {
+        use bimst_primitives::hash::hash2;
+        let n = 12usize;
+        let mut b = SwBipartite::new(n, 5);
+        let mut window: Vec<(u32, u32)> = Vec::new();
+        let mut tw = 0usize;
+        for round in 0..50u64 {
+            let len = (hash2(round, 0) % 4) as usize;
+            let batch: Vec<(u32, u32)> = (0..len)
+                .map(|k| {
+                    let u = (hash2(round, 2 * k as u64 + 1) % n as u64) as u32;
+                    let mut v = (hash2(round, 2 * k as u64 + 2) % (n as u64 - 1)) as u32;
+                    if v >= u {
+                        v += 1;
+                    }
+                    (u, v)
+                })
+                .collect();
+            b.batch_insert(&batch);
+            window.extend_from_slice(&batch);
+            let d = (hash2(round, 9) % 4) as usize;
+            b.batch_expire(d as u64);
+            tw = (tw + d).min(window.len());
+            // Oracle: BFS 2-coloring of the window graph.
+            let mut color = vec![-1i8; n];
+            let mut adj = vec![Vec::new(); n];
+            for &(u, v) in &window[tw..] {
+                adj[u as usize].push(v);
+                adj[v as usize].push(u);
+            }
+            let mut ok = true;
+            for s in 0..n {
+                if color[s] != -1 {
+                    continue;
+                }
+                color[s] = 0;
+                let mut q = std::collections::VecDeque::from([s as u32]);
+                while let Some(x) = q.pop_front() {
+                    for &y in &adj[x as usize] {
+                        if color[y as usize] == -1 {
+                            color[y as usize] = 1 - color[x as usize];
+                            q.push_back(y);
+                        } else if color[y as usize] == color[x as usize] {
+                            ok = false;
+                        }
+                    }
+                }
+            }
+            assert_eq!(b.is_bipartite(), ok, "round {round}");
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! Sliding-window connectivity (§5.1, Theorems 5.1 and 5.2).
+
+use bimst_core::BatchMsf;
+use bimst_ordset::OrdSet;
+use bimst_primitives::VertexId;
+
+/// Recency weight of stream position `τ`: older ⇒ heavier.
+#[inline]
+pub(crate) fn recency_weight(tau: u64) -> f64 {
+    -(tau as f64)
+}
+
+/// Sliding-window connectivity with **lazy** expiry (`SW-Conn`,
+/// Theorem 5.1).
+///
+/// Expiry just advances the window's left endpoint `TW`; expired edges stay
+/// in the underlying MSF and are discounted at query time via the
+/// recent-edge test. `O(1)` expiry, `O(lg n)` queries — but no component
+/// counting (that is what [`SwConnEager`] adds).
+pub struct SwConn {
+    msf: BatchMsf,
+    /// Left endpoint of the window: positions `< tw` are expired.
+    tw: u64,
+    /// Next stream position.
+    t: u64,
+}
+
+impl SwConn {
+    /// An empty window over `n` vertices.
+    pub fn new(n: usize, seed: u64) -> Self {
+        SwConn {
+            msf: BatchMsf::new(n, seed),
+            tw: 0,
+            t: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.msf.num_vertices()
+    }
+
+    /// Current window: `[tw, t)` in stream positions.
+    pub fn window(&self) -> (u64, u64) {
+        (self.tw, self.t)
+    }
+
+    /// Appends a batch on the new side; positions are assigned
+    /// consecutively. Returns the τ of the first edge.
+    pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
+        let first = self.t;
+        let batch: Vec<(VertexId, VertexId, f64, u64)> = edges
+            .iter()
+            .map(|&(u, v)| {
+                let tau = self.t;
+                self.t += 1;
+                (u, v, recency_weight(tau), tau)
+            })
+            .collect();
+        self.msf.batch_insert(&batch);
+        first
+    }
+
+    /// Inserts edges at *caller-assigned* strictly increasing positions
+    /// (used by the multi-instance structures that share one stream).
+    pub fn batch_insert_at(&mut self, edges: &[(VertexId, VertexId, u64)]) {
+        let batch: Vec<(VertexId, VertexId, f64, u64)> = edges
+            .iter()
+            .map(|&(u, v, tau)| {
+                debug_assert!(tau >= self.t, "positions must increase");
+                self.t = self.t.max(tau + 1);
+                (u, v, recency_weight(tau), tau)
+            })
+            .collect();
+        self.msf.batch_insert(&batch);
+    }
+
+    /// Expires the `delta` oldest stream positions. `O(1)`.
+    pub fn batch_expire(&mut self, delta: u64) {
+        self.expire_before(self.tw.saturating_add(delta));
+    }
+
+    /// Moves the window's left endpoint to `tw` (absolute position).
+    pub fn expire_before(&mut self, tw: u64) {
+        self.tw = self.tw.max(tw).min(self.t);
+    }
+
+    /// Whether `u` and `v` are connected by unexpired edges — the
+    /// recent-edge test (Lemma 5.1). `O(lg n)` w.h.p.
+    pub fn is_connected(&self, u: VertexId, v: VertexId) -> bool {
+        if u == v {
+            return true;
+        }
+        match self.msf.path_max(u, v) {
+            // Heaviest = oldest edge on the path; connected iff unexpired.
+            Some(k) => k.id >= self.tw,
+            None => false,
+        }
+    }
+}
+
+/// Sliding-window connectivity with **eager** expiry and `O(1)` component
+/// counting (`SW-Conn-Eager`, Theorem 5.2).
+///
+/// Keeps the parallel ordered set `D` of unexpired MSF edges ordered by τ;
+/// expiry splits off the expired prefix and cuts those edges from the
+/// forest (no replacement search is needed — recent-edge property), so the
+/// forest always holds exactly the window's MSF and
+/// `#components = n − |D|` is maintained implicitly by the forest itself.
+pub struct SwConnEager {
+    msf: BatchMsf,
+    /// Unexpired MSF edges by τ, with endpoints as payload.
+    d: OrdSet<(VertexId, VertexId)>,
+    tw: u64,
+    t: u64,
+}
+
+impl SwConnEager {
+    /// An empty window over `n` vertices.
+    pub fn new(n: usize, seed: u64) -> Self {
+        SwConnEager {
+            msf: BatchMsf::new(n, seed),
+            d: OrdSet::new(),
+            tw: 0,
+            t: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.msf.num_vertices()
+    }
+
+    /// Current window: `[tw, t)`.
+    pub fn window(&self) -> (u64, u64) {
+        (self.tw, self.t)
+    }
+
+    /// Appends a batch on the new side. Returns the τ of the first edge.
+    pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
+        let first = self.t;
+        let batch: Vec<(VertexId, VertexId, u64)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (u, v, first + i as u64))
+            .collect();
+        self.batch_insert_at(&batch);
+        first
+    }
+
+    /// Inserts edges at caller-assigned strictly increasing positions.
+    pub fn batch_insert_at(&mut self, edges: &[(VertexId, VertexId, u64)]) {
+        let batch: Vec<(VertexId, VertexId, f64, u64)> = edges
+            .iter()
+            .map(|&(u, v, tau)| {
+                debug_assert!(tau >= self.t, "positions must increase");
+                self.t = self.t.max(tau + 1);
+                (u, v, recency_weight(tau), tau)
+            })
+            .collect();
+        let res = self.msf.batch_insert(&batch);
+        // Update D: evicted MSF edges leave, inserted batch edges join.
+        for id in res.evicted {
+            let old = self.d.remove(id);
+            debug_assert!(old.is_some(), "evicted edge missing from D");
+        }
+        let mut adds: Vec<(u64, (VertexId, VertexId))> = Vec::with_capacity(res.inserted.len());
+        for id in res.inserted {
+            let (u, v, _) = self.msf.edge_info(id).expect("inserted edge live");
+            adds.push((id, (u, v)));
+        }
+        self.d.union_with(OrdSet::from_pairs(adds));
+        debug_assert_eq!(self.d.len(), self.msf.msf_edge_count());
+    }
+
+    /// Expires the `delta` oldest stream positions, eagerly cutting expired
+    /// MSF edges. `O(Δ lg(1 + n/Δ) + lg n)` expected work.
+    pub fn batch_expire(&mut self, delta: u64) {
+        self.expire_before(self.tw.saturating_add(delta));
+    }
+
+    /// Moves the window's left endpoint to `tw` and cuts expired edges.
+    pub fn expire_before(&mut self, tw: u64) {
+        let tw = tw.max(self.tw).min(self.t);
+        self.tw = tw;
+        if tw == 0 {
+            return;
+        }
+        let expired = self.d.split_leq(tw - 1);
+        if expired.is_empty() {
+            return;
+        }
+        let ids: Vec<u64> = expired.keys();
+        self.msf.batch_delete(&ids);
+    }
+
+    /// Whether `u` and `v` are connected in the window. `O(lg n)` w.h.p.
+    pub fn is_connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.msf.connected(u, v)
+    }
+
+    /// Number of connected components of the window graph, `O(1)`.
+    pub fn num_components(&self) -> usize {
+        self.msf.num_components()
+    }
+
+    /// Number of unexpired MSF edges (`|D|`).
+    pub fn msf_edge_count(&self) -> usize {
+        self.d.len()
+    }
+
+    /// The unexpired MSF edges as `(τ, u, v)`, oldest first.
+    pub fn msf_edges(&self) -> Vec<(u64, VertexId, VertexId)> {
+        let mut out = Vec::with_capacity(self.d.len());
+        self.d.for_each(|tau, &(u, v)| out.push((tau, u, v)));
+        out
+    }
+
+    /// Read access to the underlying MSF (tests, benches).
+    pub fn msf(&self) -> &BatchMsf {
+        &self.msf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force window connectivity oracle.
+    struct Oracle {
+        n: usize,
+        edges: Vec<(u32, u32)>, // indexed by τ
+        tw: usize,
+    }
+
+    impl Oracle {
+        fn new(n: usize) -> Self {
+            Oracle {
+                n,
+                edges: Vec::new(),
+                tw: 0,
+            }
+        }
+
+        fn insert(&mut self, es: &[(u32, u32)]) {
+            self.edges.extend_from_slice(es);
+        }
+
+        fn expire(&mut self, d: usize) {
+            self.tw = (self.tw + d).min(self.edges.len());
+        }
+
+        fn components(&self) -> usize {
+            let mut uf: Vec<u32> = (0..self.n as u32).collect();
+            fn find(uf: &mut [u32], mut x: u32) -> u32 {
+                while uf[x as usize] != x {
+                    x = uf[x as usize];
+                }
+                x
+            }
+            let mut c = self.n;
+            for &(u, v) in &self.edges[self.tw..] {
+                if u == v {
+                    continue;
+                }
+                let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+                if ru != rv {
+                    uf[ru as usize] = rv;
+                    c -= 1;
+                }
+            }
+            c
+        }
+
+        fn connected(&self, a: u32, b: u32) -> bool {
+            let mut uf: Vec<u32> = (0..self.n as u32).collect();
+            fn find(uf: &mut [u32], mut x: u32) -> u32 {
+                while uf[x as usize] != x {
+                    x = uf[x as usize];
+                }
+                x
+            }
+            for &(u, v) in &self.edges[self.tw..] {
+                if u != v {
+                    let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+                    uf[ru as usize] = rv;
+                }
+            }
+            find(&mut uf.clone(), a) == find(&mut uf.clone(), b)
+        }
+    }
+
+    fn drive(n: usize, script: &[(&[(u32, u32)], u64)], check_pairs: &[(u32, u32)]) {
+        let mut lazy = SwConn::new(n, 7);
+        let mut eager = SwConnEager::new(n, 8);
+        let mut oracle = Oracle::new(n);
+        for &(batch, expire) in script {
+            lazy.batch_insert(batch);
+            eager.batch_insert(batch);
+            oracle.insert(batch);
+            lazy.batch_expire(expire);
+            eager.batch_expire(expire);
+            oracle.expire(expire as usize);
+            assert_eq!(eager.num_components(), oracle.components());
+            for &(a, b) in check_pairs {
+                let expect = oracle.connected(a, b);
+                assert_eq!(lazy.is_connected(a, b), expect, "lazy ({a},{b})");
+                assert_eq!(eager.is_connected(a, b), expect, "eager ({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn basic_window_slide() {
+        // Path 0-1-2-3 arrives, then expires edge by edge.
+        drive(
+            4,
+            &[
+                (&[(0, 1), (1, 2), (2, 3)], 0),
+                (&[], 1), // (0,1) expires
+                (&[], 1), // (1,2) expires
+                (&[(0, 1)], 0),
+            ],
+            &[(0, 1), (0, 3), (1, 2), (2, 3)],
+        );
+    }
+
+    #[test]
+    fn reinsertion_refreshes_connectivity() {
+        // The same edge re-arrives with a newer timestamp: connectivity
+        // must survive the expiry of the original.
+        drive(
+            3,
+            &[
+                (&[(0, 1), (1, 2)], 0),
+                (&[(0, 1)], 2), // old (0,1) and (1,2) expire, new (0,1) lives
+            ],
+            &[(0, 1), (0, 2), (1, 2)],
+        );
+    }
+
+    #[test]
+    fn expire_everything() {
+        drive(
+            3,
+            &[(&[(0, 1), (1, 2)], 0), (&[], 99)],
+            &[(0, 1), (0, 2)],
+        );
+    }
+
+    #[test]
+    fn randomized_against_oracle() {
+        use bimst_primitives::hash::hash2;
+        let n = 24usize;
+        let mut lazy = SwConn::new(n, 17);
+        let mut eager = SwConnEager::new(n, 18);
+        let mut oracle = Oracle::new(n);
+        for round in 0..60u64 {
+            let len = (hash2(round, 0) % 7) as usize;
+            let batch: Vec<(u32, u32)> = (0..len)
+                .map(|k| {
+                    let u = (hash2(round, 2 * k as u64 + 1) % n as u64) as u32;
+                    let mut v = (hash2(round, 2 * k as u64 + 2) % (n as u64 - 1)) as u32;
+                    if v >= u {
+                        v += 1;
+                    }
+                    (u, v)
+                })
+                .collect();
+            lazy.batch_insert(&batch);
+            eager.batch_insert(&batch);
+            oracle.insert(&batch);
+            let d = hash2(round, 99) % 5;
+            lazy.batch_expire(d);
+            eager.batch_expire(d);
+            oracle.expire(d as usize);
+            assert_eq!(eager.num_components(), oracle.components(), "round {round}");
+            for a in 0..n as u32 {
+                let b = (hash2(round ^ 0xbeef, a as u64) % n as u64) as u32;
+                let expect = oracle.connected(a, b);
+                assert_eq!(lazy.is_connected(a, b), expect, "lazy r{round} ({a},{b})");
+                assert_eq!(eager.is_connected(a, b), expect, "eager r{round} ({a},{b})");
+            }
+        }
+        eager.msf().forest().verify_against_scratch().unwrap();
+    }
+
+    #[test]
+    fn eager_msf_edges_sorted_by_tau() {
+        let mut e = SwConnEager::new(5, 3);
+        e.batch_insert(&[(0, 1), (1, 2), (3, 4)]);
+        let edges = e.msf_edges();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn self_loops_in_stream_are_harmless() {
+        let mut e = SwConnEager::new(3, 4);
+        e.batch_insert(&[(1, 1), (0, 1)]);
+        assert_eq!(e.num_components(), 2);
+        e.batch_expire(1); // expires the self-loop slot
+        assert!(e.is_connected(0, 1));
+        e.batch_expire(1);
+        assert!(!e.is_connected(0, 1));
+    }
+}

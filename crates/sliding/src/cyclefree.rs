@@ -1,0 +1,133 @@
+//! Sliding-window cycle detection (§5.5, Theorem 5.6).
+//!
+//! A graph is cycle-free iff it is a forest, i.e. iff `G \ F₁` is empty for
+//! a maximal spanning forest `F₁`. We therefore run an order-2 spanning
+//! forest decomposition ([`crate::KCertificate`] with `k = 2`) and report a
+//! cycle iff `F₂` is non-empty — an `O(1)` query.
+
+use bimst_primitives::VertexId;
+
+use crate::kcert::KCertificate;
+
+/// Sliding-window cycle-freeness monitor.
+pub struct CycleFree {
+    kc: KCertificate,
+}
+
+impl CycleFree {
+    /// An empty window over `n` vertices.
+    pub fn new(n: usize, seed: u64) -> Self {
+        CycleFree {
+            kc: KCertificate::new(n, 2, seed),
+        }
+    }
+
+    /// Appends a batch on the new side.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops: the paper's streams are simple graphs, and a
+    /// self-loop is a 1-cycle that the forest decomposition cannot
+    /// represent.
+    pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) {
+        assert!(
+            edges.iter().all(|&(u, v)| u != v),
+            "self-loops are not supported by CycleFree"
+        );
+        self.kc.batch_insert(edges);
+    }
+
+    /// Expires the `delta` oldest edges.
+    pub fn batch_expire(&mut self, delta: u64) {
+        self.kc.batch_expire(delta);
+    }
+
+    /// Whether the window graph contains a cycle. `O(1)`.
+    pub fn has_cycle(&self) -> bool {
+        self.kc.forest_edge_count(1) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forest_is_acyclic_until_closed() {
+        let mut cf = CycleFree::new(4, 1);
+        cf.batch_insert(&[(0, 1), (1, 2), (2, 3)]);
+        assert!(!cf.has_cycle());
+        cf.batch_insert(&[(3, 0)]);
+        assert!(cf.has_cycle());
+    }
+
+    #[test]
+    fn expiry_breaks_cycle() {
+        let mut cf = CycleFree::new(3, 2);
+        cf.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
+        assert!(cf.has_cycle());
+        cf.batch_expire(1);
+        assert!(!cf.has_cycle());
+    }
+
+    #[test]
+    fn parallel_edges_are_a_cycle() {
+        let mut cf = CycleFree::new(2, 3);
+        cf.batch_insert(&[(0, 1), (0, 1)]);
+        assert!(cf.has_cycle());
+        cf.batch_expire(1);
+        assert!(!cf.has_cycle());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loops_rejected() {
+        let mut cf = CycleFree::new(2, 4);
+        cf.batch_insert(&[(1, 1)]);
+    }
+
+    #[test]
+    fn randomized_against_union_find() {
+        use bimst_primitives::hash::hash2;
+        let n = 10usize;
+        let mut cf = CycleFree::new(n, 5);
+        let mut all: Vec<(u32, u32)> = Vec::new();
+        let mut tw = 0usize;
+        for round in 0..60u64 {
+            let len = (hash2(round, 0) % 3) as usize;
+            let batch: Vec<(u32, u32)> = (0..len)
+                .map(|j| {
+                    let u = (hash2(round, 2 * j as u64 + 1) % n as u64) as u32;
+                    let mut v = (hash2(round, 2 * j as u64 + 2) % (n as u64 - 1)) as u32;
+                    if v >= u {
+                        v += 1;
+                    }
+                    (u, v)
+                })
+                .collect();
+            cf.batch_insert(&batch);
+            all.extend_from_slice(&batch);
+            let d = (hash2(round, 7) % 3) as usize;
+            cf.batch_expire(d as u64);
+            tw = (tw + d).min(all.len());
+            // Oracle: union-find cycle check on the window.
+            let mut uf: Vec<u32> = (0..n as u32).collect();
+            fn find(uf: &mut [u32], mut x: u32) -> u32 {
+                while uf[x as usize] != x {
+                    x = uf[x as usize];
+                }
+                x
+            }
+            let mut cyclic = false;
+            for &(u, v) in &all[tw..] {
+                let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+                if ru == rv {
+                    cyclic = true;
+                    break;
+                }
+                uf[ru as usize] = rv;
+            }
+            assert_eq!(cf.has_cycle(), cyclic, "round {round}");
+        }
+    }
+}

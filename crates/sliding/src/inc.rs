@@ -1,0 +1,132 @@
+//! Incremental-setting (insert-only) analogs — §5.7 of the paper.
+//!
+//! Every sliding-window structure in this crate doubles as an incremental
+//! one by simply never calling `batch_expire` (the paper makes the same
+//! observation under Table 1). For *connectivity-flavored* problems the
+//! paper goes further: plugging in the work-efficient parallel union-find
+//! of Simsiri et al. \[46\] replaces the `lg(1 + n/ℓ)` work factor with
+//! `α(n)`, giving the "Incremental" column of Table 1.
+//!
+//! [`IncConn`] is that analog of `SW-Conn-Eager`: batch inserts via
+//! lock-free union-find, a spanning-forest edge list maintained from the
+//! edges that joined components (the role of Gazit's algorithm), `O(1)`
+//! component counting, and `α(n)`-time queries.
+
+use bimst_primitives::VertexId;
+use bimst_unionfind::BatchConnectivity;
+
+/// Batch-incremental connectivity with component counting (§5.7).
+pub struct IncConn {
+    bc: BatchConnectivity,
+    /// Spanning-forest edges as `(τ, u, v)`, in arrival order.
+    forest: Vec<(u64, VertexId, VertexId)>,
+    t: u64,
+}
+
+impl IncConn {
+    /// `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        IncConn {
+            bc: BatchConnectivity::new(n),
+            forest: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.bc.num_vertices()
+    }
+
+    /// Inserts a batch of edges in `O(ℓ α(n))` expected work; returns the τ
+    /// of the first edge.
+    pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
+        let first = self.t;
+        let joined = self.bc.batch_insert(edges);
+        for i in joined {
+            let (u, v) = edges[i];
+            self.forest.push((first + i as u64, u, v));
+        }
+        self.t += edges.len() as u64;
+        first
+    }
+
+    /// Whether `u` and `v` are connected. `O(α(n))`.
+    pub fn is_connected(&self, u: VertexId, v: VertexId) -> bool {
+        self.bc.connected(u, v)
+    }
+
+    /// Number of connected components. `O(1)`.
+    pub fn num_components(&self) -> usize {
+        self.bc.num_components()
+    }
+
+    /// The spanning forest accumulated so far, as `(τ, u, v)`.
+    pub fn spanning_forest(&self) -> &[(u64, VertexId, VertexId)] {
+        &self.forest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_incremental_connectivity() {
+        let mut c = IncConn::new(5);
+        c.batch_insert(&[(0, 1), (1, 2)]);
+        assert!(c.is_connected(0, 2));
+        assert!(!c.is_connected(0, 3));
+        assert_eq!(c.num_components(), 3);
+        assert_eq!(c.spanning_forest().len(), 2);
+    }
+
+    #[test]
+    fn forest_edges_skip_cycles() {
+        let mut c = IncConn::new(3);
+        c.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(c.spanning_forest().len(), 2);
+        assert_eq!(c.num_components(), 1);
+        // Forest positions are stream positions.
+        assert!(c.spanning_forest().iter().all(|&(tau, ..)| tau < 3));
+    }
+
+    #[test]
+    fn large_parallel_batch() {
+        let n = 50_000;
+        let mut c = IncConn::new(n);
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        c.batch_insert(&edges);
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(c.spanning_forest().len(), n - 1);
+        assert!(c.is_connected(0, n as u32 - 1));
+    }
+
+    #[test]
+    fn matches_sliding_structure_without_expiry() {
+        use crate::conn::SwConnEager;
+        use bimst_primitives::hash::hash2;
+        let n = 30usize;
+        let mut inc = IncConn::new(n);
+        let mut sw = SwConnEager::new(n, 9);
+        for round in 0..40u64 {
+            let batch: Vec<(u32, u32)> = (0..(hash2(round, 0) % 5) as usize)
+                .map(|j| {
+                    let u = (hash2(round, 2 * j as u64 + 1) % n as u64) as u32;
+                    let mut v = (hash2(round, 2 * j as u64 + 2) % (n as u64 - 1)) as u32;
+                    if v >= u {
+                        v += 1;
+                    }
+                    (u, v)
+                })
+                .collect();
+            inc.batch_insert(&batch);
+            sw.batch_insert(&batch);
+            assert_eq!(inc.num_components(), sw.num_components());
+            for a in 0..n as u32 {
+                let b = (hash2(round, a as u64 + 100) % n as u64) as u32;
+                assert_eq!(inc.is_connected(a, b), sw.is_connected(a, b));
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Sliding-window k-certificates (§5.4, Theorem 5.5).
+//!
+//! A *maximal spanning forest decomposition* of order `k` splits the window
+//! graph into edge-disjoint forests `F₁, …, F_k`, where `F_i` is a maximal
+//! spanning forest of `G \ (F₁ ∪ … ∪ F_{i−1})`. Their union is a
+//! k-certificate: it preserves pairwise k-edge-connectivity and all cuts of
+//! size ≤ k (properties P1–P3 of the paper).
+//!
+//! Batch maintenance cascades: the new batch `O₀ = B` is inserted into
+//! `F₁`; the edges `F₁` evicts or rejects become `O₁`, inserted into `F₂`;
+//! and so on. Each `F_i` is a recency-weighted [`bimst_core::BatchMsf`]
+//! with a parallel ordered set `D_i` of its unexpired edges for eager
+//! expiry.
+
+use bimst_core::BatchMsf;
+use bimst_ordset::OrdSet;
+use bimst_primitives::{FxHashMap, VertexId};
+
+use crate::conn::recency_weight;
+
+/// Sliding-window maximal spanning forest decomposition of order `k`.
+pub struct KCertificate {
+    n: usize,
+    k: usize,
+    forests: Vec<BatchMsf>,
+    ds: Vec<OrdSet<(VertexId, VertexId)>>,
+    tw: u64,
+    t: u64,
+}
+
+impl KCertificate {
+    /// An empty window over `n` vertices with `k ≥ 1` forests.
+    pub fn new(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 1);
+        KCertificate {
+            n,
+            k,
+            forests: (0..k)
+                .map(|i| BatchMsf::new(n, seed.wrapping_add(i as u64 * 0x9e37)))
+                .collect(),
+            ds: (0..k).map(|_| OrdSet::new()).collect(),
+            tw: 0,
+            t: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// The order `k` of the decomposition.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Current window `[tw, t)`.
+    pub fn window(&self) -> (u64, u64) {
+        (self.tw, self.t)
+    }
+
+    /// Appends a batch on the new side. Returns the τ of the first edge.
+    pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
+        let first = self.t;
+        let batch: Vec<(VertexId, VertexId, u64)> = edges
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v))| (u, v, first + i as u64))
+            .collect();
+        self.batch_insert_at(&batch);
+        first
+    }
+
+    /// Inserts at caller-assigned strictly increasing positions (used by the
+    /// sparsifier, which shares one stream across many instances).
+    pub fn batch_insert_at(&mut self, edges: &[(VertexId, VertexId, u64)]) {
+        for &(_, _, tau) in edges {
+            debug_assert!(tau >= self.tw, "inserting an already-expired position");
+            self.t = self.t.max(tau + 1);
+        }
+        // O₀ = B (self-loops can never enter any forest; drop them now).
+        let mut o: Vec<(VertexId, VertexId, u64)> = edges
+            .iter()
+            .copied()
+            .filter(|&(u, v, _)| u != v)
+            .collect();
+        for i in 0..self.k {
+            if o.is_empty() {
+                break;
+            }
+            let batch: Vec<(VertexId, VertexId, f64, u64)> = o
+                .iter()
+                .map(|&(u, v, tau)| (u, v, recency_weight(tau), tau))
+                .collect();
+            let endpoints: FxHashMap<u64, (VertexId, VertexId)> =
+                o.iter().map(|&(u, v, tau)| (tau, (u, v))).collect();
+            let res = self.forests[i].batch_insert(&batch);
+            let mut next: Vec<(VertexId, VertexId, u64)> = Vec::new();
+            for id in res.evicted {
+                let (u, v) = self.ds[i]
+                    .remove(id)
+                    .expect("evicted edge tracked in D_i");
+                next.push((u, v, id));
+            }
+            for id in res.rejected {
+                let &(u, v) = endpoints.get(&id).expect("rejected edge from batch");
+                next.push((u, v, id));
+            }
+            let adds: Vec<(u64, (VertexId, VertexId))> = res
+                .inserted
+                .iter()
+                .map(|&id| (id, endpoints[&id]))
+                .collect();
+            self.ds[i].union_with(OrdSet::from_pairs(adds));
+            next.sort_unstable_by_key(|&(_, _, tau)| tau);
+            o = next;
+        }
+        // Edges overflowing F_k are not needed for a k-certificate.
+    }
+
+    /// Expires the `delta` oldest stream positions.
+    pub fn batch_expire(&mut self, delta: u64) {
+        self.expire_before(self.tw.saturating_add(delta));
+    }
+
+    /// Moves the window's left endpoint to `tw`, eagerly cutting expired
+    /// edges from every forest.
+    pub fn expire_before(&mut self, tw: u64) {
+        let tw = tw.max(self.tw).min(self.t);
+        self.tw = tw;
+        if tw == 0 {
+            return;
+        }
+        for i in 0..self.k {
+            let expired = self.ds[i].split_leq(tw - 1);
+            if !expired.is_empty() {
+                self.forests[i].batch_delete(&expired.keys());
+            }
+        }
+    }
+
+    /// The k-certificate: all unexpired edges of `F₁ ∪ … ∪ F_k`, as
+    /// `(τ, u, v)`. At most `k (n − 1)` edges.
+    pub fn make_cert(&self) -> Vec<(u64, VertexId, VertexId)> {
+        let mut out = Vec::new();
+        for d in &self.ds {
+            d.for_each(|tau, &(u, v)| out.push((tau, u, v)));
+        }
+        debug_assert!(out.len() <= self.k * (self.n.saturating_sub(1)));
+        out
+    }
+
+    /// Whether edge position `τ` is currently retained in some forest.
+    pub fn contains(&self, tau: u64) -> bool {
+        self.ds.iter().any(|d| d.contains(tau))
+    }
+
+    /// Lower bound on the edge connectivity between `u` and `v`: the
+    /// largest `i` such that they are connected in `F_i` (property P1); 0
+    /// if disconnected everywhere.
+    pub fn connectivity_lower_bound(&self, u: VertexId, v: VertexId) -> usize {
+        (0..self.k)
+            .rev()
+            .find(|&i| self.forests[i].connected(u, v))
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Number of unexpired edges in `F_{i}` (0-indexed).
+    pub fn forest_edge_count(&self, i: usize) -> usize {
+        self.ds[i].len()
+    }
+
+    /// Read access to `F_i` (0-indexed).
+    pub fn forest(&self, i: usize) -> &BatchMsf {
+        &self.forests[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force oracle: min cut between u and v in the window graph via
+    /// repeated BFS augmentation (unit capacities).
+    fn max_flow(n: usize, edges: &[(u32, u32)], s: u32, t: u32) -> usize {
+        if s == t {
+            return usize::MAX;
+        }
+        // Edge-disjoint paths: each undirected edge usable once per
+        // direction pair; model as residual capacity 1 each way.
+        let mut cap: FxHashMap<(u32, u32), i32> = FxHashMap::default();
+        for &(u, v) in edges {
+            *cap.entry((u, v)).or_insert(0) += 1;
+            *cap.entry((v, u)).or_insert(0) += 1;
+        }
+        let mut flow = 0;
+        loop {
+            // BFS for an augmenting path.
+            let mut prev = vec![u32::MAX; n];
+            let mut q = std::collections::VecDeque::from([s]);
+            prev[s as usize] = s;
+            while let Some(x) = q.pop_front() {
+                for (&(a, b), &c) in cap.iter() {
+                    if a == x && c > 0 && prev[b as usize] == u32::MAX {
+                        prev[b as usize] = a;
+                        q.push_back(b);
+                    }
+                }
+            }
+            if prev[t as usize] == u32::MAX {
+                return flow;
+            }
+            let mut x = t;
+            while x != s {
+                let p = prev[x as usize];
+                *cap.get_mut(&(p, x)).unwrap() -= 1;
+                *cap.get_mut(&(x, p)).unwrap() += 1;
+                x = p;
+            }
+            flow += 1;
+        }
+    }
+
+    #[test]
+    fn cert_preserves_small_cuts() {
+        use bimst_primitives::hash::hash2;
+        // Random multigraph; the k-certificate must preserve pairwise
+        // connectivity values up to k (property P2).
+        let n = 10usize;
+        let k = 3usize;
+        let mut kc = KCertificate::new(n, k, 11);
+        let mut window: Vec<(u32, u32)> = Vec::new();
+        for i in 0..120u64 {
+            let u = (hash2(1, 2 * i) % n as u64) as u32;
+            let mut v = (hash2(1, 2 * i + 1) % (n as u64 - 1)) as u32;
+            if v >= u {
+                v += 1;
+            }
+            window.push((u, v));
+        }
+        kc.batch_insert(&window);
+        let cert: Vec<(u32, u32)> = kc.make_cert().iter().map(|&(_, u, v)| (u, v)).collect();
+        assert!(cert.len() <= k * (n - 1));
+        for s in 0..n as u32 {
+            for t in (s + 1)..n as u32 {
+                let full = max_flow(n, &window, s, t).min(k);
+                let certf = max_flow(n, &cert, s, t).min(k);
+                assert_eq!(certf, full, "pair ({s},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_fills_forests_in_order() {
+        let mut kc = KCertificate::new(3, 2, 3);
+        // Triangle: 2 edges to F1, third to F2 (it closes a cycle in F1).
+        kc.batch_insert(&[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(kc.forest_edge_count(0), 2);
+        assert_eq!(kc.forest_edge_count(1), 1);
+        assert_eq!(kc.connectivity_lower_bound(0, 1), 2);
+    }
+
+    #[test]
+    fn eviction_cascades_to_next_forest() {
+        let mut kc = KCertificate::new(3, 2, 5);
+        kc.batch_insert(&[(0, 1), (1, 2)]); // F1 = {(0,1),(1,2)}
+        // A newer (0,1) evicts the old one from F1 down into F2.
+        kc.batch_insert(&[(0, 1)]);
+        assert_eq!(kc.forest_edge_count(0), 2);
+        assert_eq!(kc.forest_edge_count(1), 1);
+        assert!(kc.contains(0), "evicted edge retained in F2");
+    }
+
+    #[test]
+    fn expiry_removes_from_all_forests() {
+        let mut kc = KCertificate::new(3, 2, 7);
+        kc.batch_insert(&[(0, 1), (1, 2), (2, 0), (0, 1)]);
+        let before = kc.make_cert().len();
+        assert!(before >= 3);
+        kc.batch_expire(3);
+        // Only τ=3 (the second (0,1)) can remain.
+        let cert = kc.make_cert();
+        assert_eq!(cert.len(), 1);
+        assert_eq!(cert[0].0, 3);
+        assert_eq!(kc.connectivity_lower_bound(0, 1), 1);
+        assert_eq!(kc.connectivity_lower_bound(1, 2), 0);
+    }
+
+    #[test]
+    fn window_cut_preservation_randomized() {
+        use bimst_primitives::hash::hash2;
+        let n = 8usize;
+        let k = 2usize;
+        let mut kc = KCertificate::new(n, k, 13);
+        let mut all: Vec<(u32, u32)> = Vec::new();
+        let mut tw = 0usize;
+        for round in 0..25u64 {
+            let len = (hash2(round, 0) % 5) as usize;
+            let batch: Vec<(u32, u32)> = (0..len)
+                .map(|j| {
+                    let u = (hash2(round, 2 * j as u64 + 1) % n as u64) as u32;
+                    let mut v = (hash2(round, 2 * j as u64 + 2) % (n as u64 - 1)) as u32;
+                    if v >= u {
+                        v += 1;
+                    }
+                    (u, v)
+                })
+                .collect();
+            kc.batch_insert(&batch);
+            all.extend_from_slice(&batch);
+            let d = (hash2(round, 5) % 3) as usize;
+            kc.batch_expire(d as u64);
+            tw = (tw + d).min(all.len());
+            let window = &all[tw..];
+            let cert: Vec<(u32, u32)> =
+                kc.make_cert().iter().map(|&(_, u, v)| (u, v)).collect();
+            for s in 0..n as u32 {
+                let t = (hash2(round ^ 0xf00d, s as u64) % n as u64) as u32;
+                if s == t {
+                    continue;
+                }
+                let full = max_flow(n, window, s, t).min(k);
+                let certf = max_flow(n, &cert, s, t).min(k);
+                assert_eq!(certf, full, "round {round} pair ({s},{t})");
+            }
+        }
+    }
+}

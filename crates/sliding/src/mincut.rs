@@ -1,0 +1,266 @@
+//! Global minimum cut, for k-connectivity testing (§5.4).
+//!
+//! The paper notes that the k-certificate can be fed to a global min-cut
+//! algorithm to test whether the window graph is k-connected (properties
+//! P1–P3 make the certificate cut-preserving up to k). The cited
+//! algorithms (\[27, 28\]) target asymptotic parallel bounds on `O(kn)`
+//! edges; at certificate scale (`≤ k(n−1)` edges) the deterministic
+//! Stoer–Wagner algorithm is the practical choice, so that is what we
+//! implement: `O(n·m + n² lg n)`-style maximum-adjacency sweeps, no
+//! randomness, exact.
+
+use bimst_primitives::VertexId;
+
+/// Weight of the global minimum cut of an undirected multigraph given as
+/// weighted edges, or `None` if the graph is disconnected on its *touched*
+/// vertices or has fewer than 2 touched vertices (a disconnected graph has
+/// min cut 0; we report that as `Some(0.0)`).
+///
+/// Vertices not incident to any edge are ignored: the min cut of the
+/// *certificate* is what bounds the window graph's edge connectivity
+/// (isolated vertices would make every cut trivially 0 without telling us
+/// anything about the subgraph the certificate witnesses).
+pub fn global_min_cut(edges: &[(VertexId, VertexId, f64)]) -> Option<f64> {
+    // Compact the touched vertices.
+    let mut verts: Vec<VertexId> = edges
+        .iter()
+        .flat_map(|&(u, v, _)| [u, v])
+        .collect();
+    verts.sort_unstable();
+    verts.dedup();
+    let n = verts.len();
+    if n < 2 {
+        return None;
+    }
+    let index = |v: VertexId| verts.binary_search(&v).unwrap();
+
+    // Dense adjacency (certificates have ≤ k(n−1) edges; n here is the
+    // number of touched vertices, so n² stays manageable).
+    let mut w = vec![0.0f64; n * n];
+    for &(u, v, c) in edges {
+        if u == v {
+            continue;
+        }
+        let (a, b) = (index(u), index(v));
+        w[a * n + b] += c;
+        w[b * n + a] += c;
+    }
+
+    // Stoer–Wagner: repeated maximum-adjacency orderings; the
+    // cut-of-the-phase separates the last-added vertex; merge it into its
+    // predecessor and repeat.
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut best = f64::INFINITY;
+    while active.len() > 1 {
+        let m = active.len();
+        let mut in_a = vec![false; m];
+        let mut key = vec![0.0f64; m];
+        let mut order = Vec::with_capacity(m);
+        for _ in 0..m {
+            // Pick the most tightly connected remaining vertex.
+            let mut sel = usize::MAX;
+            for i in 0..m {
+                if !in_a[i] && (sel == usize::MAX || key[i] > key[sel]) {
+                    sel = i;
+                }
+            }
+            in_a[sel] = true;
+            order.push(sel);
+            for i in 0..m {
+                if !in_a[i] {
+                    key[i] += w[active[sel] * n + active[i]];
+                }
+            }
+        }
+        let last = order[m - 1];
+        let prev = order[m - 2];
+        // Cut of the phase: `last` alone vs the rest.
+        best = best.min(key[last]);
+        // Merge `last` into `prev`.
+        let (vl, vp) = (active[last], active[prev]);
+        for i in 0..m {
+            let vi = active[i];
+            if vi != vl && vi != vp {
+                w[vp * n + vi] += w[vl * n + vi];
+                w[vi * n + vp] += w[vi * n + vl];
+            }
+        }
+        active.retain(|&x| x != vl);
+        debug_assert!(active.contains(&vp));
+    }
+    Some(if best.is_finite() { best } else { 0.0 })
+}
+
+impl crate::kcert::KCertificate {
+    /// Whether the window graph is k-edge-connected (for the `k` this
+    /// decomposition was built with), by property P3: the union of the
+    /// forests is k-connected iff the window graph is at least k-connected.
+    ///
+    /// Runs an exact global min-cut on the certificate (≤ `k(n−1)` edges).
+    /// Vertices that are isolated in the window are excluded, matching the
+    /// convention that k-connectivity concerns the vertices the stream has
+    /// touched; a window with fewer than two touched vertices returns
+    /// `false`.
+    pub fn is_k_connected(&self) -> bool {
+        let cert: Vec<(VertexId, VertexId, f64)> = self
+            .make_cert()
+            .into_iter()
+            .map(|(_, u, v)| (u, v, 1.0))
+            .collect();
+        match global_min_cut(&cert) {
+            Some(c) => c >= self.k() as f64,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kcert::KCertificate;
+
+    #[test]
+    fn cycle_has_min_cut_two() {
+        let edges: Vec<(u32, u32, f64)> = (0..6u32)
+            .map(|i| (i, (i + 1) % 6, 1.0))
+            .collect();
+        assert_eq!(global_min_cut(&edges), Some(2.0));
+    }
+
+    #[test]
+    fn path_has_min_cut_one() {
+        let edges: Vec<(u32, u32, f64)> = (0..5u32).map(|i| (i, i + 1, 1.0)).collect();
+        assert_eq!(global_min_cut(&edges), Some(1.0));
+    }
+
+    #[test]
+    fn disconnected_has_min_cut_zero() {
+        let edges = vec![(0u32, 1, 1.0), (2, 3, 1.0)];
+        assert_eq!(global_min_cut(&edges), Some(0.0));
+    }
+
+    #[test]
+    fn complete_graph_cut_is_degree() {
+        let mut edges = Vec::new();
+        let n = 6u32;
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((a, b, 1.0));
+            }
+        }
+        assert_eq!(global_min_cut(&edges), Some((n - 1) as f64));
+    }
+
+    #[test]
+    fn weighted_bridge() {
+        // Two triangles joined by one light bridge.
+        let edges = vec![
+            (0u32, 1, 3.0),
+            (1, 2, 3.0),
+            (2, 0, 3.0),
+            (3, 4, 3.0),
+            (4, 5, 3.0),
+            (5, 3, 3.0),
+            (2, 3, 0.5),
+        ];
+        assert_eq!(global_min_cut(&edges), Some(0.5));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(global_min_cut(&[]), None);
+        assert_eq!(global_min_cut(&[(1, 1, 5.0)]), None); // self-loop only
+        assert_eq!(global_min_cut(&[(0, 1, 2.0)]), Some(2.0));
+    }
+
+    #[test]
+    fn random_graphs_match_pairwise_flow_oracle() {
+        use bimst_primitives::hash::hash2;
+        // Global min cut == min over s-t max-flows from a fixed s.
+        for trial in 0..6u64 {
+            let n = 7u32;
+            let edges: Vec<(u32, u32, f64)> = (0..18u64)
+                .filter_map(|i| {
+                    let u = (hash2(trial, 2 * i) % n as u64) as u32;
+                    let v = (hash2(trial, 2 * i + 1) % n as u64) as u32;
+                    (u != v).then_some((u, v, 1.0))
+                })
+                .collect();
+            if edges.is_empty() {
+                continue;
+            }
+            let got = global_min_cut(&edges).unwrap();
+            // Oracle: unit-capacity max-flow s→t for every t.
+            let mut verts: Vec<u32> = edges.iter().flat_map(|&(u, v, _)| [u, v]).collect();
+            verts.sort_unstable();
+            verts.dedup();
+            let s = verts[0];
+            let mut expect = f64::INFINITY;
+            for &t in &verts[1..] {
+                expect = expect.min(max_flow(n as usize, &edges, s, t) as f64);
+            }
+            assert_eq!(got, expect, "trial {trial}");
+        }
+    }
+
+    fn max_flow(n: usize, edges: &[(u32, u32, f64)], s: u32, t: u32) -> usize {
+        use bimst_primitives::FxHashMap;
+        let mut cap: FxHashMap<(u32, u32), i32> = FxHashMap::default();
+        for &(u, v, _) in edges {
+            *cap.entry((u, v)).or_insert(0) += 1;
+            *cap.entry((v, u)).or_insert(0) += 1;
+        }
+        let mut flow = 0;
+        loop {
+            let mut prev = vec![u32::MAX; n];
+            prev[s as usize] = s;
+            let mut q = std::collections::VecDeque::from([s]);
+            while let Some(x) = q.pop_front() {
+                for (&(a, b), &c) in cap.iter() {
+                    if a == x && c > 0 && prev[b as usize] == u32::MAX {
+                        prev[b as usize] = a;
+                        q.push_back(b);
+                    }
+                }
+            }
+            if prev[t as usize] == u32::MAX {
+                return flow;
+            }
+            let mut x = t;
+            while x != s {
+                let p = prev[x as usize];
+                *cap.get_mut(&(p, x)).unwrap() -= 1;
+                *cap.get_mut(&(x, p)).unwrap() += 1;
+                x = p;
+            }
+            flow += 1;
+        }
+    }
+
+    #[test]
+    fn kcert_k_connectivity_end_to_end() {
+        // A 4-cycle is 2-connected; removing an edge leaves it 1-connected.
+        let mut kc = KCertificate::new(4, 2, 1);
+        kc.batch_insert(&[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert!(kc.is_k_connected(), "4-cycle is 2-edge-connected");
+        kc.batch_expire(1); // oldest edge leaves: now a path
+        assert!(!kc.is_k_connected());
+    }
+
+    #[test]
+    fn kcert_k3_on_complete_graph() {
+        let mut kc = KCertificate::new(5, 3, 2);
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in (a + 1)..5u32 {
+                edges.push((a, b));
+            }
+        }
+        kc.batch_insert(&edges);
+        assert!(kc.is_k_connected(), "K5 is 4-edge-connected ≥ 3");
+        // Expire enough to break 3-connectivity.
+        kc.batch_expire(8);
+        // The remaining 2 edges cannot be 3-connected.
+        assert!(!kc.is_k_connected());
+    }
+}

@@ -1,0 +1,81 @@
+//! Concurrency stress for the lock-free union-find: many rayon workers
+//! hammering overlapping unions must agree with a sequential replay, and
+//! the forest-edge accounting of `BatchConnectivity` must stay exact.
+
+use bimst_primitives::hash::hash2;
+use bimst_unionfind::{BatchConnectivity, ConcurrentUnionFind, UnionFind};
+use rayon::prelude::*;
+
+#[test]
+fn heavy_contention_equivalence() {
+    // Many edges over few vertices: maximum CAS contention.
+    for trial in 0..5u64 {
+        let n = 64u32;
+        let edges: Vec<(u32, u32)> = (0..20_000u64)
+            .map(|i| {
+                (
+                    (hash2(trial, 2 * i) % n as u64) as u32,
+                    (hash2(trial, 2 * i + 1) % n as u64) as u32,
+                )
+            })
+            .collect();
+        let cuf = ConcurrentUnionFind::new(n as usize);
+        edges.par_iter().for_each(|&(u, v)| {
+            if u != v {
+                cuf.unite(u as u64, v as u64);
+            }
+        });
+        let mut suf = UnionFind::new(n as usize);
+        for &(u, v) in &edges {
+            if u != v {
+                suf.unite(u, v);
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(
+                    cuf.same_set(a as u64, b as u64),
+                    suf.same_set(a, b),
+                    "trial {trial} pair ({a},{b})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn forest_edge_count_is_exact_under_parallel_batches() {
+    // Across any interleaving, #joins == n - #components, always.
+    let n = 30_000usize;
+    let mut bc = BatchConnectivity::new(n);
+    let mut total_joins = 0usize;
+    for round in 0..6u64 {
+        let edges: Vec<(u32, u32)> = (0..25_000u64)
+            .map(|i| {
+                (
+                    (hash2(round, 2 * i) % n as u64) as u32,
+                    (hash2(round, 2 * i + 1) % n as u64) as u32,
+                )
+            })
+            .collect();
+        total_joins += bc.batch_insert(&edges).len();
+        assert_eq!(bc.num_components(), n - total_joins, "round {round}");
+    }
+}
+
+#[test]
+fn concurrent_reads_during_writes_are_safe() {
+    // same_set racing with unite must terminate and return a value that was
+    // true at some point (here: eventually true for everything).
+    let n = 4_096u64;
+    let uf = ConcurrentUnionFind::new(n as usize);
+    (0..n - 1).into_par_iter().for_each(|i| {
+        uf.unite(i, i + 1);
+        // Interleaved queries on the prefix built so far.
+        let a = hash2(3, i) % (i + 1);
+        let _ = uf.same_set(a, i);
+    });
+    for i in 0..n {
+        assert!(uf.same_set(0, i));
+    }
+}

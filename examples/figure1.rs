@@ -1,0 +1,99 @@
+//! Reproduces Figure 1 of the paper: a weighted tree with marked vertices
+//! A–E, and its compressed path tree.
+//!
+//! ```sh
+//! cargo run --release --example figure1
+//! ```
+//!
+//! The compressed path tree keeps the marked vertices plus the Steiner
+//! (branching) vertices, each edge labelled with the heaviest edge on the
+//! tree path it replaces — every pairwise heaviest-edge query between
+//! marked vertices is preserved.
+
+use bimst_core::compressed_path_tree;
+use bimst_rctree::RcForest;
+
+fn main() {
+    // The Figure 1 tree. Marked vertices: A=0, B=1, C=2, D=3, E=4;
+    // unmarked internal vertices 5..=15 (s1..s7 and dangling subtrees).
+    let name = |v: u32| -> String {
+        match v {
+            0 => "A".into(),
+            1 => "B".into(),
+            2 => "C".into(),
+            3 => "D".into(),
+            4 => "E".into(),
+            other => format!("s{}", other - 4),
+        }
+    };
+    let links: Vec<(u32, u32, f64, u64)> = [
+        (0, 5, 10.0),
+        (5, 6, 2.0),
+        (6, 1, 5.0),
+        (5, 7, 6.0),
+        (7, 8, 3.0),
+        (8, 2, 9.0),
+        (8, 9, 4.0),
+        (9, 3, 7.0),
+        (7, 10, 1.0),
+        (10, 11, 12.0),
+        (11, 4, 3.0),
+        (6, 12, 8.0),
+        (9, 13, 4.0),
+        (11, 14, 5.0),
+        (12, 15, 3.0),
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(u, v, w))| (u, v, w, i as u64))
+    .collect();
+
+    let mut forest = RcForest::new(16, 7);
+    forest.batch_update(&[], &links);
+
+    println!("input tree ({} vertices, {} edges):", 16, links.len());
+    for &(u, v, w, _) in &links {
+        println!("  {} --{}-- {}", name(u), w, name(v));
+    }
+
+    let marks = [0u32, 1, 2, 3, 4];
+    let cpt = compressed_path_tree(&forest, &marks);
+
+    println!("\ncompressed path tree w.r.t. {{A, B, C, D, E}}:");
+    println!(
+        "  {} vertices, {} edges (input had 16 vertices)",
+        cpt.vertices.len(),
+        cpt.edges.len()
+    );
+    for e in &cpt.edges {
+        println!("  {} --{}-- {}", name(e.u), e.key.w, name(e.v));
+    }
+
+    // Validate the defining property against brute force.
+    let naive = {
+        let mut f = bimst_rctree::naive::NaiveForest::new(16);
+        f.batch_update(&[], &links);
+        f
+    };
+    for &a in &marks {
+        for &b in &marks {
+            if a >= b {
+                continue;
+            }
+            let brute = naive.path_max(a, b).unwrap();
+            let cpt_pm = bimst_msf::ForestPathMax::new(
+                16,
+                &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+            )
+            .query(a, b)
+            .unwrap();
+            assert_eq!(brute, cpt_pm);
+            println!(
+                "  heaviest({}, {}) = {}  ✓ matches the full tree",
+                name(a),
+                name(b),
+                cpt_pm.w
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Reproduces Figure 2 of the paper: the 12-vertex tree a–l, its recursive
+//! clustering by randomized tree contraction, and the resulting RC tree.
+//!
+//! ```sh
+//! cargo run --release --example figure2
+//! ```
+//!
+//! The exact clustering depends on the coin flips (ours are seeded), so the
+//! printed RC tree is *a* valid clustering of the Figure 2 tree rather than
+//! the one drawn in the paper; the structural invariants (cluster kinds,
+//! boundaries, constant fan-in, one root) are the same.
+
+use bimst_rctree::{ClusterKind, RcForest, NONE_CLUSTER};
+
+fn main() {
+    // Figure 2 tree: vertices a..l = 0..11.
+    //      a-b, b-c, b-d, d-e, e-f, f-g, e-h, h-i, i-j, i-k, k-l
+    let name = |v: u32| (b'a' + v as u8) as char;
+    let links: Vec<(u32, u32, f64, u64)> = [
+        (0, 1), // a-b
+        (1, 2), // b-c
+        (1, 3), // b-d
+        (3, 4), // d-e
+        (4, 5), // e-f
+        (5, 6), // f-g
+        (4, 7), // e-h
+        (7, 8), // h-i
+        (8, 9), // i-j
+        (8, 10), // i-k
+        (10, 11), // k-l
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, &(u, v))| (u, v, 1.0 + i as f64, i as u64))
+    .collect();
+
+    let mut forest = RcForest::new(12, 2020);
+    forest.batch_update(&[], &links);
+    assert_eq!(forest.num_components(), 1);
+
+    println!("Figure 2 tree: 12 vertices a..l, 11 edges");
+    println!("RC tree produced by seeded tree contraction:\n");
+
+    // Walk the RC tree from the root down and pretty-print it.
+    let root = forest.root_cluster_of(0);
+    print_cluster(&forest, root, 0, &name);
+
+    // Invariants the paper relies on.
+    let mut count = 0usize;
+    let mut max_fanin = 0usize;
+    let mut stack = vec![root];
+    while let Some(c) = stack.pop() {
+        count += 1;
+        let cl = forest.cluster(c);
+        max_fanin = max_fanin.max(cl.children.len());
+        for ch in cl.children.iter() {
+            assert_eq!(forest.parent(ch), c);
+            stack.push(ch);
+        }
+    }
+    println!("\n{count} clusters total, max fan-in {max_fanin} (constant, as required)");
+    assert!(forest.parent(root) == NONE_CLUSTER);
+}
+
+fn print_cluster(f: &RcForest, c: u32, depth: usize, name: &dyn Fn(u32) -> char) {
+    let cl = f.cluster(c);
+    let indent = "  ".repeat(depth);
+    let describe = |n: u32| {
+        let owner = f.owner(n);
+        if f.head(owner) == n {
+            format!("{}", name(owner))
+        } else {
+            // A ternarization phantom on `owner`'s spine.
+            format!("{}'", name(owner))
+        }
+    };
+    match cl.kind {
+        ClusterKind::LeafVertex { node } => {
+            println!("{indent}vertex {}", describe(node));
+        }
+        ClusterKind::LeafEdge { a, b, .. } => {
+            println!("{indent}edge ({}, {})", describe(a), describe(b));
+        }
+        ClusterKind::Unary { rep, boundary } => {
+            println!(
+                "{indent}unary cluster {} (boundary {})",
+                describe(rep).to_uppercase(),
+                describe(boundary)
+            );
+        }
+        ClusterKind::Binary { rep, bound, .. } => {
+            println!(
+                "{indent}binary cluster {} (boundary {}, {})",
+                describe(rep).to_uppercase(),
+                describe(bound.0),
+                describe(bound.1)
+            );
+        }
+        ClusterKind::Root { rep } => {
+            println!("{indent}root cluster {}", describe(rep).to_uppercase());
+        }
+    }
+    for ch in cl.children.iter() {
+        print_cluster(f, ch, depth + 1, name);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: batch-incremental minimum spanning forests.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds an MSF over a small graph in three batches, showing insertions,
+//! evictions (the red rule at work), and queries.
+
+use bimst_core::BatchMsf;
+
+fn main() {
+    // A forest over 6 vertices; the seed drives the randomized substrate.
+    let mut msf = BatchMsf::new(6, 42);
+
+    // Batch 1: a spanning path. Edges are (u, v, weight, id).
+    let res = msf.batch_insert(&[
+        (0, 1, 4.0, 100),
+        (1, 2, 7.0, 101),
+        (2, 3, 2.0, 102),
+        (3, 4, 9.0, 103),
+        (4, 5, 5.0, 104),
+    ]);
+    println!("batch 1: +{} edges, weight {}", res.inserted.len(), msf.msf_weight());
+    assert_eq!(msf.num_components(), 1);
+
+    // Batch 2: shortcuts. Each closes a cycle; the heaviest edge on each
+    // cycle is evicted (the classic "red rule", applied batch-wide through
+    // the compressed path tree).
+    let res = msf.batch_insert(&[
+        (1, 3, 3.0, 200), // cycle 1-2-3: evicts (1,2,w=7)
+        (3, 5, 6.0, 201), // cycle 3-4-5: evicts (3,4,w=9)
+    ]);
+    println!(
+        "batch 2: inserted {:?}, evicted {:?}, weight {}",
+        res.inserted, res.evicted, msf.msf_weight()
+    );
+    assert_eq!(res.evicted, vec![101, 103]);
+
+    // Batch 3: edges that cannot improve the MSF are rejected outright.
+    let res = msf.batch_insert(&[(0, 5, 50.0, 300)]);
+    println!("batch 3: rejected {:?}", res.rejected);
+    assert_eq!(res.rejected, vec![300]);
+
+    // Queries.
+    println!("connected(0, 5) = {}", msf.connected(0, 5));
+    let k = msf.path_max(0, 5).unwrap();
+    println!("heaviest edge on the 0..5 MSF path: weight {} (id {})", k.w, k.id);
+
+    println!("\nfinal MSF:");
+    let mut edges: Vec<_> = msf.iter_msf_edges().collect();
+    edges.sort_by_key(|&(id, ..)| id);
+    for (id, u, v, k) in edges {
+        println!("  edge {id}: ({u}, {v}) weight {}", k.w);
+    }
+    println!("total weight: {}", msf.msf_weight());
+}

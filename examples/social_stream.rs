@@ -1,0 +1,73 @@
+//! Sliding-window monitoring of a social interaction stream.
+//!
+//! ```sh
+//! cargo run --release --example social_stream
+//! ```
+//!
+//! The scenario from the paper's motivation: an endless stream of
+//! interactions (edges) where only the most recent window matters. We keep
+//! four monitors running simultaneously over one stream —
+//! connectivity-with-component-count, bipartiteness, cycle-freeness, and
+//! approximate "interaction strength" (MSF weight) — each updated with
+//! arbitrary-size batches and expirations.
+
+use bimst_graphgen::EdgeStream;
+use bimst_sliding::{ApproxMsfWeight, CycleFree, SwBipartite, SwConnEager};
+
+fn main() {
+    let n = 2_000usize;
+    let window = 6_000u64; // keep the last 6k interactions
+    let batch = 1_000usize;
+
+    let mut stream = EdgeStream::uniform(n as u32, 99);
+    let mut conn = SwConnEager::new(n, 1);
+    let mut bip = SwBipartite::new(n, 2);
+    let mut cyc = CycleFree::new(n, 3);
+    let mut strength = ApproxMsfWeight::new(n, 0.2, 100.0, 4);
+
+    println!("streaming {n}-vertex interactions, window = {window}, batches of {batch}\n");
+    println!(
+        "{:>6} {:>10} {:>10} {:>9} {:>9} {:>12}",
+        "round", "arrived", "components", "bipartite", "cyclic", "approx-MSF"
+    );
+
+    for round in 0..12u64 {
+        let edges = stream.next_batch(batch);
+        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _, _)| (u, v)).collect();
+        let weighted: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .map(|&(u, v, w, _)| (u, v, 1.0 + w * 99.0)) // weights in [1, 100]
+            .collect();
+
+        conn.batch_insert(&pairs);
+        bip.batch_insert(&pairs);
+        cyc.batch_insert(&pairs);
+        strength.batch_insert(&weighted);
+
+        // Slide: once the stream exceeds the window, expire the overflow.
+        let arrived = (round + 1) * batch as u64;
+        let overflow = arrived.saturating_sub(window);
+        let already = conn.window().0;
+        let expire = overflow.saturating_sub(already);
+        conn.batch_expire(expire);
+        bip.batch_expire(expire);
+        cyc.batch_expire(expire);
+        strength.batch_expire(expire);
+
+        println!(
+            "{:>6} {:>10} {:>10} {:>9} {:>9} {:>12.1}",
+            round,
+            arrived,
+            conn.num_components(),
+            bip.is_bipartite(),
+            cyc.has_cycle(),
+            strength.weight()
+        );
+    }
+
+    // Spot queries.
+    println!("\nspot queries on the final window:");
+    for (u, v) in [(0u32, 1u32), (10, 20), (100, 1999)] {
+        println!("  connected({u}, {v}) = {}", conn.is_connected(u, v));
+    }
+}

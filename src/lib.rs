@@ -1,0 +1,48 @@
+//! Umbrella crate for the `bimst` workspace: re-exports the public surface
+//! of every member so examples, integration tests, and downstream users can
+//! depend on one crate.
+//!
+//! See `README.md` for the tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the reproduction results.
+//!
+//! ```
+//! use bimst_repro::core::BatchMsf;
+//! use bimst_repro::sliding::SwConnEager;
+//!
+//! let mut msf = BatchMsf::new(8, 1);
+//! msf.batch_insert(&[(0, 1, 1.0, 10), (1, 2, 2.0, 11)]);
+//! assert!(msf.connected(0, 2));
+//!
+//! let mut win = SwConnEager::new(8, 2);
+//! win.batch_insert(&[(0, 1), (1, 2)]);
+//! win.batch_expire(1);
+//! assert!(!win.is_connected(0, 1));
+//! ```
+
+/// The paper's contribution: compressed path trees and batch-incremental
+/// MSF (re-export of `bimst-core`).
+pub use bimst_core as core;
+
+/// Batch-dynamic rake-compress trees (re-export of `bimst-rctree`).
+pub use bimst_rctree as rctree;
+
+/// Sliding-window applications (re-export of `bimst-sliding`).
+pub use bimst_sliding as sliding;
+
+/// Static MSF algorithms (re-export of `bimst-msf`).
+pub use bimst_msf as msf;
+
+/// Sequential link-cut baseline (re-export of `bimst-linkcut`).
+pub use bimst_linkcut as linkcut;
+
+/// Union-find structures (re-export of `bimst-unionfind`).
+pub use bimst_unionfind as unionfind;
+
+/// Join-based ordered sets (re-export of `bimst-ordset`).
+pub use bimst_ordset as ordset;
+
+/// Shared primitives (re-export of `bimst-primitives`).
+pub use bimst_primitives as primitives;
+
+/// Workload generators (re-export of `bimst-graphgen`).
+pub use bimst_graphgen as graphgen;

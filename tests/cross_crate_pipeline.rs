@@ -1,0 +1,80 @@
+//! Cross-crate integration: the parallel batch-incremental MSF
+//! (`bimst-core`), the sequential link-cut baseline (`bimst-linkcut`), and
+//! static recomputation (`bimst-msf`) must maintain the exact same forest
+//! over the exact same streams — the three implementations the benchmark
+//! harness compares (experiment E2).
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::{erdos_renyi, grid, preferential_attachment};
+use bimst_linkcut::IncrementalMsf;
+use bimst_msf::Edge;
+use bimst_primitives::WKey;
+
+fn check_stream(n: usize, edges: &[(u32, u32, f64, u64)], batch_sizes: &[usize], seed: u64) {
+    let mut batch_msf = BatchMsf::new(n, seed);
+    let mut inc = IncrementalMsf::new(n);
+    let mut fed = 0usize;
+    let mut bi = 0usize;
+    while fed < edges.len() {
+        let len = batch_sizes[bi % batch_sizes.len()].min(edges.len() - fed);
+        bi += 1;
+        let batch = &edges[fed..fed + len];
+        fed += len;
+        batch_msf.batch_insert(batch);
+        for &(u, v, w, id) in batch {
+            inc.insert(u, v, w, id);
+        }
+        // Same forest (by edge-id set), same weight, same components.
+        let mut a: Vec<u64> = batch_msf.iter_msf_edges().map(|(id, ..)| id).collect();
+        let mut b: Vec<u64> = inc.iter_msf_edges().map(|(id, ..)| id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "batch vs link-cut after {fed} edges");
+        assert!((batch_msf.msf_weight() - inc.msf_weight()).abs() < 1e-9);
+        assert_eq!(batch_msf.num_components(), inc.num_components());
+    }
+    // And both equal the static MSF of everything.
+    let all: Vec<Edge> = edges
+        .iter()
+        .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id)))
+        .collect();
+    let mut kr: Vec<u64> = bimst_msf::kruskal(n, &all)
+        .into_iter()
+        .map(|i| all[i].key.id)
+        .collect();
+    kr.sort_unstable();
+    let mut a: Vec<u64> = batch_msf.iter_msf_edges().map(|(id, ..)| id).collect();
+    a.sort_unstable();
+    assert_eq!(a, kr, "dynamic vs static MSF");
+    batch_msf.forest().verify_against_scratch().unwrap();
+}
+
+#[test]
+fn erdos_renyi_mixed_batches() {
+    let edges = erdos_renyi(300, 2000, 1);
+    check_stream(300, &edges, &[1, 7, 64, 513], 10);
+}
+
+#[test]
+fn power_law_hubs_stress_ternarization() {
+    let edges = preferential_attachment(400, 3, 2);
+    check_stream(400, &edges, &[32, 1, 256], 11);
+}
+
+#[test]
+fn grid_long_paths() {
+    let edges = grid(20, 20, 3);
+    check_stream(400, &edges, &[100, 3], 12);
+}
+
+#[test]
+fn single_edge_batches_degenerate_to_sequential() {
+    let edges = erdos_renyi(80, 400, 4);
+    check_stream(80, &edges, &[1], 13);
+}
+
+#[test]
+fn one_giant_batch() {
+    let edges = erdos_renyi(500, 4000, 5);
+    check_stream(500, &edges, &[usize::MAX], 14);
+}

@@ -1,0 +1,139 @@
+//! Property tests for the core contribution: arbitrary batch histories of
+//! the batch-incremental MSF against a from-scratch Kruskal oracle, and
+//! compressed path trees against brute-force path maxima.
+
+use bimst_core::{compressed_path_tree, path_max, BatchMsf};
+use bimst_msf::Edge;
+use bimst_primitives::WKey;
+use bimst_rctree::naive::NaiveForest;
+use bimst_rctree::RcForest;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// BatchMsf over arbitrary batch splits equals static Kruskal over the
+    /// concatenation — Theorem 4.1 end to end.
+    #[test]
+    fn batch_msf_equals_kruskal(
+        raw in proptest::collection::vec((0u32..30, 0u32..30, -100i32..100), 1..120),
+        splits in proptest::collection::vec(1usize..20, 1..12),
+        seed in 0u64..500,
+    ) {
+        let n = 30usize;
+        let edges: Vec<(u32, u32, f64, u64)> = raw
+            .iter()
+            .enumerate()
+            .filter(|&(_, &(u, v, _))| u != v)
+            .map(|(i, &(u, v, w))| (u, v, w as f64, i as u64))
+            .collect();
+        let mut msf = BatchMsf::new(n, seed);
+        let mut fed = 0usize;
+        let mut si = 0usize;
+        while fed < edges.len() {
+            let len = splits[si % splits.len()].min(edges.len() - fed);
+            si += 1;
+            msf.batch_insert(&edges[fed..fed + len]);
+            fed += len;
+        }
+        let all: Vec<Edge> = edges
+            .iter()
+            .map(|&(u, v, w, id)| Edge::new(u, v, WKey::new(w, id)))
+            .collect();
+        let mut expect: Vec<u64> = bimst_msf::kruskal(n, &all)
+            .into_iter()
+            .map(|i| all[i].key.id)
+            .collect();
+        expect.sort_unstable();
+        let mut got: Vec<u64> = msf.iter_msf_edges().map(|(id, ..)| id).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Compressed path trees preserve all pairwise heaviest edges on random
+    /// forests — Theorem 3.1 against brute force.
+    #[test]
+    fn cpt_preserves_pairwise_maxima(
+        attach in proptest::collection::vec((0u32..1000, 0i32..1000), 5..60),
+        marks in proptest::collection::vec(0usize..60, 1..10),
+        seed in 0u64..500,
+    ) {
+        // Build a random forest: vertex v attaches to `attach[v] % v` with
+        // probability 2/3 (else stays a new root).
+        let n = attach.len() + 1;
+        let mut links: Vec<(u32, u32, f64, u64)> = Vec::new();
+        for (i, &(a, w)) in attach.iter().enumerate() {
+            let v = (i + 1) as u32;
+            if a % 3 != 0 {
+                links.push((a % v, v, w as f64, i as u64));
+            }
+        }
+        let mut rc = RcForest::new(n, seed);
+        let mut naive = NaiveForest::new(n);
+        rc.batch_update(&[], &links);
+        naive.batch_update(&[], &links);
+        let marks: Vec<u32> = marks.iter().map(|&m| (m % n) as u32).collect();
+        let cpt = compressed_path_tree(&rc, &marks);
+        // The CPT is small (Lemma 3.2).
+        let mut distinct = marks.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        prop_assert!(cpt.vertices.len() <= 2 * distinct.len());
+        // Pairwise maxima agree with brute force.
+        let pm = bimst_msf::ForestPathMax::new(
+            n,
+            &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+        );
+        for &a in &distinct {
+            for &b in &distinct {
+                if a == b {
+                    continue;
+                }
+                prop_assert_eq!(pm.query(a, b), naive.path_max(a, b), "pair ({}, {})", a, b);
+            }
+        }
+    }
+
+    /// The 2-mark CPT (path_max) agrees with the naive forest everywhere.
+    #[test]
+    fn path_max_agrees_with_naive(
+        attach in proptest::collection::vec((0u32..1000, 0i32..1000), 4..40),
+        seed in 0u64..500,
+    ) {
+        let n = attach.len() + 1;
+        let mut links: Vec<(u32, u32, f64, u64)> = Vec::new();
+        for (i, &(a, w)) in attach.iter().enumerate() {
+            let v = (i + 1) as u32;
+            if a % 4 != 0 {
+                links.push((a % v, v, w as f64, i as u64));
+            }
+        }
+        let mut rc = RcForest::new(n, seed);
+        let mut naive = NaiveForest::new(n);
+        rc.batch_update(&[], &links);
+        naive.batch_update(&[], &links);
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                prop_assert_eq!(path_max(&rc, u, v), naive.path_max(u, v));
+            }
+        }
+    }
+}
+
+#[test]
+fn weight_bookkeeping_survives_deletions() {
+    // batch_delete (the sliding-window hook) keeps weight and count exact.
+    let mut msf = BatchMsf::new(6, 3);
+    msf.batch_insert(&[
+        (0, 1, 1.0, 1),
+        (1, 2, 2.0, 2),
+        (2, 3, 3.0, 3),
+        (4, 5, 4.0, 4),
+    ]);
+    assert_eq!(msf.msf_weight(), 10.0);
+    msf.batch_delete(&[2, 4]);
+    assert_eq!(msf.msf_weight(), 4.0);
+    assert_eq!(msf.msf_edge_count(), 2);
+    assert_eq!(msf.num_components(), 4); // {0,1}, {2,3}, {4}, {5}
+    assert!(!msf.connected(1, 2));
+}

@@ -1,0 +1,201 @@
+//! Property tests for the sliding-window layer: arbitrary interleavings of
+//! batch inserts and expirations, each structure checked against a
+//! recompute-the-window oracle.
+
+use bimst_sliding::{CycleFree, KCertificate, SwBipartite, SwConn, SwConnEager};
+use proptest::prelude::*;
+
+/// One scripted round: a batch of edges (endpoints mod n) and an expiry.
+type Round = (Vec<(u16, u16)>, u8);
+
+fn rounds(n: u16, max_rounds: usize) -> impl Strategy<Value = Vec<Round>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec((0..n, 0..n), 0..8),
+            0u8..6,
+        ),
+        1..max_rounds,
+    )
+}
+
+struct Oracle {
+    n: usize,
+    edges: Vec<(u32, u32)>,
+    tw: usize,
+}
+
+impl Oracle {
+    fn window(&self) -> &[(u32, u32)] {
+        &self.edges[self.tw..]
+    }
+
+    fn uf(&self) -> Vec<u32> {
+        let mut uf: Vec<u32> = (0..self.n as u32).collect();
+        for &(u, v) in self.window() {
+            if u != v {
+                let (ru, rv) = (Self::find(&uf, u), Self::find(&uf, v));
+                if ru != rv {
+                    uf[ru as usize] = rv;
+                }
+            }
+        }
+        uf
+    }
+
+    fn find(uf: &[u32], mut x: u32) -> u32 {
+        while uf[x as usize] != x {
+            x = uf[x as usize];
+        }
+        x
+    }
+
+    fn components(&self) -> usize {
+        let uf = self.uf();
+        (0..self.n as u32)
+            .filter(|&v| Self::find(&uf, v) == v)
+            .count()
+    }
+
+    fn connected(&self, a: u32, b: u32) -> bool {
+        let uf = self.uf();
+        Self::find(&uf, a) == Self::find(&uf, b)
+    }
+
+    fn cyclic(&self) -> bool {
+        let mut uf: Vec<u32> = (0..self.n as u32).collect();
+        for &(u, v) in self.window() {
+            let (ru, rv) = (Self::find(&uf, u), Self::find(&uf, v));
+            if ru == rv {
+                return true;
+            }
+            uf[ru as usize] = rv;
+        }
+        false
+    }
+
+    fn bipartite(&self) -> bool {
+        let mut color = vec![-1i8; self.n];
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v) in self.window() {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for s in 0..self.n {
+            if color[s] != -1 {
+                continue;
+            }
+            color[s] = 0;
+            let mut q = std::collections::VecDeque::from([s as u32]);
+            while let Some(x) = q.pop_front() {
+                for &y in &adj[x as usize] {
+                    if color[y as usize] == -1 {
+                        color[y as usize] = 1 - color[x as usize];
+                        q.push_back(y);
+                    } else if color[y as usize] == color[x as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn connectivity_structures_match_oracle(script in rounds(14, 20), seed in 0u64..200) {
+        let n = 14usize;
+        let mut lazy = SwConn::new(n, seed);
+        let mut eager = SwConnEager::new(n, seed ^ 1);
+        let mut oracle = Oracle { n, edges: Vec::new(), tw: 0 };
+        for (batch, d) in script {
+            let batch: Vec<(u32, u32)> = batch.iter().map(|&(a, b)| (a as u32, b as u32)).collect();
+            lazy.batch_insert(&batch);
+            eager.batch_insert(&batch);
+            oracle.edges.extend_from_slice(&batch);
+            lazy.batch_expire(d as u64);
+            eager.batch_expire(d as u64);
+            oracle.tw = (oracle.tw + d as usize).min(oracle.edges.len());
+            prop_assert_eq!(eager.num_components(), oracle.components());
+            for a in 0..n as u32 {
+                for b in (a + 1..n as u32).step_by(5) {
+                    let expect = oracle.connected(a, b);
+                    prop_assert_eq!(lazy.is_connected(a, b), expect, "lazy ({},{})", a, b);
+                    prop_assert_eq!(eager.is_connected(a, b), expect, "eager ({},{})", a, b);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bipartite_and_cyclefree_match_oracle(script in rounds(10, 16), seed in 0u64..200) {
+        let n = 10usize;
+        let mut bip = SwBipartite::new(n, seed);
+        let mut cyc = CycleFree::new(n, seed ^ 2);
+        let mut oracle = Oracle { n, edges: Vec::new(), tw: 0 };
+        for (batch, d) in script {
+            let batch: Vec<(u32, u32)> = batch
+                .iter()
+                .filter(|&&(a, b)| a != b) // CycleFree rejects self-loops
+                .map(|&(a, b)| (a as u32, b as u32))
+                .collect();
+            bip.batch_insert(&batch);
+            cyc.batch_insert(&batch);
+            oracle.edges.extend_from_slice(&batch);
+            bip.batch_expire(d as u64);
+            cyc.batch_expire(d as u64);
+            oracle.tw = (oracle.tw + d as usize).min(oracle.edges.len());
+            prop_assert_eq!(bip.is_bipartite(), oracle.bipartite());
+            prop_assert_eq!(cyc.has_cycle(), oracle.cyclic());
+        }
+    }
+
+    #[test]
+    fn kcert_cert_is_subgraph_preserving_connectivity(
+        script in rounds(12, 12),
+        k in 1usize..4,
+        seed in 0u64..200,
+    ) {
+        let n = 12usize;
+        let mut kc = KCertificate::new(n, k, seed);
+        let mut oracle = Oracle { n, edges: Vec::new(), tw: 0 };
+        for (batch, d) in script {
+            let batch: Vec<(u32, u32)> = batch
+                .iter()
+                .filter(|&&(a, b)| a != b)
+                .map(|&(a, b)| (a as u32, b as u32))
+                .collect();
+            kc.batch_insert(&batch);
+            oracle.edges.extend_from_slice(&batch);
+            kc.batch_expire(d as u64);
+            oracle.tw = (oracle.tw + d as usize).min(oracle.edges.len());
+            // The certificate: ≤ k(n−1) edges, subgraph of the window, and
+            // connectivity-equivalent to the window graph (P1 with i = 1).
+            let cert = kc.make_cert();
+            prop_assert!(cert.len() <= k * (n - 1));
+            let window: std::collections::HashSet<(u32, u32)> =
+                oracle.window().iter().copied().collect();
+            for &(_, u, v) in &cert {
+                prop_assert!(
+                    window.contains(&(u, v)) || window.contains(&(v, u)),
+                    "cert edge ({}, {}) not in window", u, v
+                );
+            }
+            let mut cert_oracle = Oracle { n, edges: Vec::new(), tw: 0 };
+            cert_oracle.edges = cert.iter().map(|&(_, u, v)| (u, v)).collect();
+            prop_assert_eq!(cert_oracle.components(), oracle.components());
+            // F1 alone answers connectivity (P1).
+            for a in 0..n as u32 {
+                for b in (a + 1..n as u32).step_by(4) {
+                    prop_assert_eq!(
+                        kc.connectivity_lower_bound(a, b) >= 1,
+                        oracle.connected(a, b),
+                        "pair ({}, {})", a, b
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Long interleaved sliding-window runs: every §5 structure against a naive
+//! recompute-the-window oracle, over one shared stream with irregular batch
+//! and expiry sizes.
+
+use bimst_graphgen::EdgeStream;
+use bimst_primitives::hash::hash2;
+use bimst_sliding::{ApproxMsfWeight, CycleFree, SwBipartite, SwConn, SwConnEager};
+
+/// Recompute-from-scratch window oracle.
+struct WindowOracle {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+    tw: usize,
+}
+
+impl WindowOracle {
+    fn window(&self) -> &[(u32, u32, f64)] {
+        &self.edges[self.tw.min(self.edges.len())..]
+    }
+
+    fn components(&self) -> usize {
+        let mut uf: Vec<u32> = (0..self.n as u32).collect();
+        let mut c = self.n;
+        for &(u, v, _) in self.window() {
+            if Self::unite(&mut uf, u, v) {
+                c -= 1;
+            }
+        }
+        c
+    }
+
+    fn connected(&self, a: u32, b: u32) -> bool {
+        let mut uf: Vec<u32> = (0..self.n as u32).collect();
+        for &(u, v, _) in self.window() {
+            Self::unite(&mut uf, u, v);
+        }
+        Self::find(&mut uf, a) == Self::find(&mut uf, b)
+    }
+
+    fn bipartite(&self) -> bool {
+        let mut color = vec![-1i8; self.n];
+        let mut adj = vec![Vec::new(); self.n];
+        for &(u, v, _) in self.window() {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        for s in 0..self.n {
+            if color[s] != -1 {
+                continue;
+            }
+            color[s] = 0;
+            let mut q = std::collections::VecDeque::from([s as u32]);
+            while let Some(x) = q.pop_front() {
+                for &y in &adj[x as usize] {
+                    if color[y as usize] == -1 {
+                        color[y as usize] = 1 - color[x as usize];
+                        q.push_back(y);
+                    } else if color[y as usize] == color[x as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn cyclic(&self) -> bool {
+        let mut uf: Vec<u32> = (0..self.n as u32).collect();
+        for &(u, v, _) in self.window() {
+            if !Self::unite(&mut uf, u, v) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn msf_weight(&self) -> f64 {
+        use bimst_primitives::WKey;
+        let edges: Vec<bimst_msf::Edge> = self
+            .window()
+            .iter()
+            .enumerate()
+            .map(|(i, &(u, v, w))| bimst_msf::Edge::new(u, v, WKey::new(w, i as u64)))
+            .collect();
+        bimst_msf::kruskal(self.n, &edges)
+            .into_iter()
+            .map(|i| edges[i].key.w)
+            .sum()
+    }
+
+    fn find(uf: &mut [u32], mut x: u32) -> u32 {
+        while uf[x as usize] != x {
+            x = uf[x as usize];
+        }
+        x
+    }
+
+    fn unite(uf: &mut [u32], a: u32, b: u32) -> bool {
+        let (ra, rb) = (Self::find(uf, a), Self::find(uf, b));
+        if ra == rb {
+            return false;
+        }
+        uf[ra as usize] = rb;
+        true
+    }
+}
+
+#[test]
+fn all_structures_track_one_stream() {
+    let n = 40usize;
+    let eps = 0.3;
+    let wmax = 16.0;
+    let mut stream = EdgeStream::uniform(n as u32, 7);
+
+    let mut lazy = SwConn::new(n, 1);
+    let mut eager = SwConnEager::new(n, 2);
+    let mut bip = SwBipartite::new(n, 3);
+    let mut cyc = CycleFree::new(n, 4);
+    let mut amsf = ApproxMsfWeight::new(n, eps, wmax, 5);
+    let mut oracle = WindowOracle {
+        n,
+        edges: Vec::new(),
+        tw: 0,
+    };
+
+    for round in 0..50u64 {
+        // Irregular batch sizes including empty batches.
+        let len = (hash2(round, 1) % 9) as usize;
+        let batch = stream.next_batch(len);
+        let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
+        let weighted: Vec<(u32, u32, f64)> = batch
+            .iter()
+            .map(|&(u, v, w, _)| (u, v, 1.0 + w * (wmax - 1.0)))
+            .collect();
+
+        lazy.batch_insert(&pairs);
+        eager.batch_insert(&pairs);
+        bip.batch_insert(&pairs);
+        cyc.batch_insert(&pairs);
+        amsf.batch_insert(&weighted);
+        oracle.edges.extend_from_slice(&weighted);
+
+        // Irregular expirations, sometimes zero, sometimes over-draining.
+        let d = (hash2(round, 2) % 7) as u64;
+        lazy.batch_expire(d);
+        eager.batch_expire(d);
+        bip.batch_expire(d);
+        cyc.batch_expire(d);
+        amsf.batch_expire(d);
+        oracle.tw = (oracle.tw + d as usize).min(oracle.edges.len());
+
+        // Compare everything against the oracle.
+        assert_eq!(eager.num_components(), oracle.components(), "round {round}");
+        assert_eq!(bip.is_bipartite(), oracle.bipartite(), "round {round}");
+        assert_eq!(cyc.has_cycle(), oracle.cyclic(), "round {round}");
+        let exact = oracle.msf_weight();
+        let approx = amsf.weight();
+        assert!(approx >= exact - 1e-9, "round {round}: {approx} < {exact}");
+        assert!(
+            approx <= (1.0 + eps) * exact + 1e-9,
+            "round {round}: {approx} > (1+ε){exact}"
+        );
+        for a in 0..n as u32 {
+            let b = (hash2(round, 1000 + a as u64) % n as u64) as u32;
+            let expect = oracle.connected(a, b);
+            assert_eq!(lazy.is_connected(a, b), expect, "lazy r{round} ({a},{b})");
+            assert_eq!(eager.is_connected(a, b), expect, "eager r{round} ({a},{b})");
+        }
+    }
+}
+
+#[test]
+fn fixed_window_semantics() {
+    // Matching inserts and expirations keeps a fixed-size window, the
+    // classical model. Verify the window contents directly.
+    let n = 16usize;
+    let w = 10usize;
+    let mut eager = SwConnEager::new(n, 9);
+    let mut oracle = WindowOracle {
+        n,
+        edges: Vec::new(),
+        tw: 0,
+    };
+    let mut stream = EdgeStream::uniform(n as u32, 21);
+    // Fill the window first.
+    let batch = stream.next_batch(w);
+    let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
+    eager.batch_insert(&pairs);
+    oracle
+        .edges
+        .extend(pairs.iter().map(|&(u, v)| (u, v, 1.0)));
+    for _ in 0..30 {
+        let batch = stream.next_batch(2);
+        let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
+        eager.batch_insert(&pairs);
+        eager.batch_expire(2);
+        oracle
+            .edges
+            .extend(pairs.iter().map(|&(u, v)| (u, v, 1.0)));
+        oracle.tw += 2;
+        let (tw, t) = eager.window();
+        assert_eq!((t - tw) as usize, w, "window stays fixed");
+        assert_eq!(eager.num_components(), oracle.components());
+    }
+}

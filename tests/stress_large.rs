@@ -1,0 +1,110 @@
+//! Large-scale stress: tens of thousands of vertices, mixed batch sizes,
+//! structural verification at the end. These runs are sized to finish in a
+//! few seconds in debug builds while still exercising deep contractions,
+//! long spines, and heavy eviction churn.
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::{erdos_renyi, star, EdgeStream};
+use bimst_msf::ForestPathMax;
+use bimst_primitives::hash::hash2;
+use bimst_primitives::WKey;
+use bimst_sliding::SwConnEager;
+
+#[test]
+fn msf_20k_vertices_mixed_batches() {
+    let n = 20_000usize;
+    let edges = erdos_renyi(n as u32, 30_000, 3);
+    let mut msf = BatchMsf::new(n, 1);
+    let mut fed = 0usize;
+    let sizes = [1usize, 500, 17, 4000, 3];
+    let mut si = 0;
+    while fed < edges.len() {
+        let len = sizes[si % sizes.len()].min(edges.len() - fed);
+        si += 1;
+        msf.batch_insert(&edges[fed..fed + len]);
+        fed += len;
+    }
+    // Structural invariants of the substrate.
+    msf.forest().verify_against_scratch().unwrap();
+    // Path maxima of the dynamic structure vs a static oracle over its own
+    // edges (sampled).
+    let fedges: Vec<(u32, u32, WKey)> = msf.iter_msf_edges().map(|(_, u, v, k)| (u, v, k)).collect();
+    let pm = ForestPathMax::new(n, &fedges);
+    for i in 0..200u64 {
+        let u = (hash2(1, i) % n as u64) as u32;
+        let v = (hash2(2, i) % n as u64) as u32;
+        if u == v {
+            continue;
+        }
+        assert_eq!(msf.path_max(u, v), pm.query(u, v), "({u},{v})");
+        assert_eq!(msf.connected(u, v), pm.connected(u, v));
+    }
+}
+
+#[test]
+fn giant_star_grows_and_shrinks() {
+    // The worst case for ternarization: one vertex of degree 8000, built
+    // across several batches, then dismantled in large cuts.
+    let n = 8_001usize;
+    let edges = star(n as u32, 7);
+    let mut msf = BatchMsf::new(n, 5);
+    for chunk in edges.chunks(1000) {
+        msf.batch_insert(chunk);
+    }
+    assert_eq!(msf.num_components(), 1);
+    assert_eq!(msf.msf_edge_count(), n - 1);
+    // Delete three quarters of the star in two batches.
+    let ids: Vec<u64> = edges.iter().map(|&(.., id)| id).collect();
+    msf.batch_delete(&ids[..3000]);
+    msf.batch_delete(&ids[3000..6000]);
+    assert_eq!(msf.num_components(), 1 + 6000);
+    assert!(msf.connected(0, edges[6500].1));
+    assert!(!msf.connected(0, edges[10].1));
+    msf.forest().verify_against_scratch().unwrap();
+}
+
+#[test]
+fn window_churn_10k() {
+    // Sliding window with 100% turnover several times over.
+    let n = 10_000usize;
+    let mut sw = SwConnEager::new(n, 9);
+    let mut stream = EdgeStream::uniform(n as u32, 13);
+    let window = 4_000u64;
+    for round in 0..20 {
+        let batch = stream.next_batch(1_000);
+        let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
+        sw.batch_insert(&pairs);
+        let (tw, t) = sw.window();
+        if t - tw > window {
+            sw.batch_expire(t - tw - window);
+        }
+        // Components must always be consistent with |D|.
+        assert_eq!(sw.num_components(), n - sw.msf_edge_count(), "round {round}");
+    }
+    sw.msf().forest().verify_against_scratch().unwrap();
+}
+
+#[test]
+fn repeated_rebuild_of_same_component() {
+    // Cut and re-link the same spanning path with fresh ids many times;
+    // arena free lists and quarantine must hold up.
+    let n = 2_000usize;
+    let mut msf = BatchMsf::new(n, 11);
+    let mut next_id = 0u64;
+    for round in 0..8 {
+        let links: Vec<(u32, u32, f64, u64)> = (0..n as u32 - 1)
+            .map(|i| {
+                let id = next_id;
+                next_id += 1;
+                (i, i + 1, ((i as u64 * 31 + round) % 997) as f64, id)
+            })
+            .collect();
+        let res = msf.batch_insert(&links);
+        // Re-inserting a parallel path: the lighter of old/new edge per
+        // position survives; everything stays one component.
+        assert_eq!(msf.num_components(), 1);
+        assert_eq!(msf.msf_edge_count(), n - 1);
+        assert_eq!(res.inserted.len() + res.rejected.len(), n - 1);
+    }
+    msf.forest().verify_against_scratch().unwrap();
+}
