@@ -32,7 +32,8 @@ fn bench_insert_topologies(c: &mut Criterion) {
     use bimst_graphgen::{grid, preferential_attachment};
     let mut g = c.benchmark_group("batch_insert_topology");
     g.sample_size(10);
-    let workloads: Vec<(&str, usize, Vec<(u32, u32, f64, u64)>)> = vec![
+    type Workload = (&'static str, usize, Vec<(u32, u32, f64, u64)>);
+    let workloads: Vec<Workload> = vec![
         ("erdos_renyi", 20_000, erdos_renyi(20_000, 40_000, 1)),
         ("power_law", 20_000, preferential_attachment(20_000, 2, 2)),
         ("grid", 19_600, grid(140, 140, 3)),

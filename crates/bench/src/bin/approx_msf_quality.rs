@@ -72,7 +72,10 @@ fn main() {
         let max = ratios.iter().cloned().fold(0.0, f64::max);
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
         assert!(min >= 1.0 - 1e-9, "estimate below exact for ε = {eps}");
-        assert!(max <= 1.0 + eps + 1e-9, "estimate above (1+ε) for ε = {eps}");
+        assert!(
+            max <= 1.0 + eps + 1e-9,
+            "estimate above (1+ε) for ε = {eps}"
+        );
         row(
             &[
                 format!("{eps}"),

@@ -1,0 +1,113 @@
+//! Machine-readable perf trajectory for the batch-insert hot path.
+//!
+//! Emits `BENCH_batch_insert.json` (in the current directory): ns/edge of
+//! `BatchMsf::batch_insert` at ℓ ∈ {1, 64, 4096} over an Erdős–Rényi stream
+//! on n = 1,000,000 vertices, for thread counts {1, 4, all}. Every PR that
+//! touches the engine, the CPT, or the inner MSF should re-run this and
+//! commit the refreshed file so the perf history lives in git:
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin bench_json
+//! ```
+//!
+//! Scale knobs (positional): `bench_json [n] [edges_large]`. The edge budget
+//! per batch size is scaled down for tiny ℓ so the run stays under a couple
+//! of minutes; throughput is per-edge so the numbers are comparable.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+
+struct Measurement {
+    threads: usize,
+    batch: usize,
+    edges: usize,
+    ns_per_edge: f64,
+}
+
+fn measure(n: usize, l: usize, m: usize, reps: usize) -> f64 {
+    let edges = erdos_renyi(n as u32, m, 42);
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        let mut msf = BatchMsf::new(n, 7 + rep as u64);
+        let t0 = Instant::now();
+        for chunk in edges.chunks(l) {
+            msf.batch_insert(chunk);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        std::hint::black_box(msf.msf_weight());
+        best = best.min(secs * 1e9 / m as f64);
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let m_large: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+
+    let all = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut threads: Vec<usize> = Vec::new();
+    for t in [1usize, 4, all] {
+        if !threads.contains(&t) {
+            threads.push(t);
+        }
+    }
+
+    // Per-ℓ edge budgets: ℓ = 1 pays a full propagation per edge, so it gets
+    // a smaller stream; reported numbers are ns/edge either way.
+    let plans: Vec<(usize, usize, usize)> = vec![
+        (1, (m_large / 16).max(1), 5),
+        (64, (m_large / 4).max(1), 5),
+        (4096, m_large, 5),
+    ];
+
+    // Process-level warmup: fault in the allocator arenas and page cache so
+    // the first measured configuration is not penalized relative to later
+    // ones (a fresh process runs the same workload ~1.5× slower).
+    eprintln!("warmup...");
+    measure(n, 4096, m_large / 4, 1);
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &t in &threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("pool");
+        for &(l, m, reps) in &plans {
+            let ns = pool.install(|| measure(n, l, m, reps));
+            eprintln!("threads={t} l={l} edges={m}: {ns:.1} ns/edge");
+            results.push(Measurement {
+                threads: t,
+                batch: l,
+                edges: m,
+                ns_per_edge: ns,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"batch_insert\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"host_threads\": {all},");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_edge\",");
+    json.push_str("  \"measurements\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"batch\": {}, \"edges\": {}, \"ns_per_edge\": {:.1}}}{comma}",
+            r.threads, r.batch, r.edges, r.ns_per_edge
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_batch_insert.json", &json).expect("write BENCH_batch_insert.json");
+    println!("{json}");
+}

@@ -1,0 +1,67 @@
+//! Stage breakdown of the batch-insert path (engineering tool).
+//!
+//! Separates the cost of the RC-tree propagation (driven directly through
+//! `RcForest::batch_update` with pure forest links) from the full
+//! `BatchMsf::batch_insert` (CPT + inner MSF + propagation), so perf work
+//! targets the right layer.
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin profile_insert [n] [m] [l]
+//! ```
+
+use std::time::Instant;
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+use bimst_rctree::RcForest;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let m: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let l: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(4096);
+    let edges = erdos_renyi(n as u32, m, 42);
+
+    // Stage A: full Algorithm 2.
+    let mut msf = BatchMsf::new(n, 7);
+    let t0 = Instant::now();
+    for chunk in edges.chunks(l) {
+        msf.batch_insert(chunk);
+    }
+    let full = t0.elapsed().as_secs_f64();
+    println!(
+        "batch_insert      : {:8.1} ns/edge ({} msf edges)",
+        full * 1e9 / m as f64,
+        msf.msf_edge_count()
+    );
+
+    // Stage B: propagation only — link the exact MSF edge set in batches of
+    // `l` through the forest layer (cycle-free by construction).
+    let msf_edges: Vec<(u32, u32, f64, u64)> = msf
+        .iter_msf_edges()
+        .map(|(id, u, v, k)| (u, v, k.w, id))
+        .collect();
+    let mut f = RcForest::new(n, 7);
+    let t0 = Instant::now();
+    let nb = msf_edges.len().div_ceil(l);
+    for (i, chunk) in msf_edges.chunks(l).enumerate() {
+        let tb = Instant::now();
+        f.batch_link(chunk);
+        if i % (nb / 16).max(1) == 0 {
+            println!(
+                "    batch {i:4}: {:7.1} ns/edge",
+                tb.elapsed().as_secs_f64() * 1e9 / chunk.len() as f64
+            );
+        }
+    }
+    let prop = t0.elapsed().as_secs_f64();
+    println!(
+        "  forest links    : {:8.1} ns/edge over {} edges ({:.1} ns amortized per batch edge)",
+        prop * 1e9 / msf_edges.len().max(1) as f64,
+        msf_edges.len(),
+        prop * 1e9 / m as f64
+    );
+}

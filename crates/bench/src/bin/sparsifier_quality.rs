@@ -45,7 +45,7 @@ fn main() {
     let mut edges: Vec<(u32, u32)> = Vec::new();
     for a in 0..half {
         for b in (a + 1)..half {
-            if hash2(1, ((a as u64) << 32) | b as u64) % 2 == 0 {
+            if hash2(1, ((a as u64) << 32) | b as u64).is_multiple_of(2) {
                 edges.push((a, b));
                 edges.push((half + a, half + b));
             }
@@ -72,7 +72,7 @@ fn main() {
             let planted_err = (cs - co).abs() / co;
             for trial in 0..40u64 {
                 let side: HashSet<u32> = (0..n as u32)
-                    .filter(|&v| hash2(trial + 500, v as u64) % 2 == 0)
+                    .filter(|&v| hash2(trial + 500, v as u64).is_multiple_of(2))
                     .collect();
                 let co = cut_weight(&orig, &side);
                 if co == 0.0 {

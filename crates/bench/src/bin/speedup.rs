@@ -24,7 +24,10 @@ fn main() {
         threads.push(threads.last().unwrap() * 2);
     }
     let widths = [9, 12, 10];
-    row(&["threads".into(), "secs".into(), "speedup".into()], &widths);
+    row(
+        &["threads".into(), "secs".into(), "speedup".into()],
+        &widths,
+    );
 
     let edges = erdos_renyi(n as u32, m, 5);
     let l = 65_536usize;

@@ -62,14 +62,12 @@ fn main() {
     let m: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 15);
     let k = 4usize;
 
-    println!(
-        "Table 1 (measured) — n = {n}, {m} stream edges per cell, window = {WINDOW}, k = {k}"
-    );
+    println!("Table 1 (measured) — n = {n}, {m} stream edges per cell, window = {WINDOW}, k = {k}");
     println!("cells are ns/edge of BatchInsert (+ lockstep BatchExpire where applicable)\n");
 
     let sweep: Vec<usize> = vec![1, 64, 4096, m];
     let mut widths = vec![26usize];
-    widths.extend(std::iter::repeat(12).take(sweep.len()));
+    widths.extend(std::iter::repeat_n(12, sweep.len()));
     let mut header = vec!["problem \\ ℓ".to_string()];
     header.extend(sweep.iter().map(|l| format!("{l}")));
     row(&header, &widths);
@@ -243,10 +241,7 @@ fn main() {
             ns_per_edge(secs, spars_m)
         })
         .collect();
-    print_row(
-        &format!("ε-sparsifier / sw (n={spars_n})"),
-        cells,
-    );
+    print_row(&format!("ε-sparsifier / sw (n={spars_n})"), cells);
 
     println!("\nshapes to check against Table 1 of the paper:");
     println!("  · inc connectivity ≈ flat in ℓ (α(n) work, union-find)");

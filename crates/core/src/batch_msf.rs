@@ -12,19 +12,88 @@
 //!
 //! Theorem 4.1 proves the result is exactly the MSF of the new graph;
 //! Theorem 4.2 gives `O(ℓ lg(1 + n/ℓ))` expected work and `O(lg² n)` span.
+//!
+//! # Scratch lifecycle (zero-allocation hot path)
+//!
+//! Every intermediate of `batch_insert` — the endpoint set `K`, the CPT
+//! working graph, the dense relabeling table, the inner-MSF sort order and
+//! union-find, the membership stamps, and the cut/link lists — lives in a
+//! [`BatchMsf`]-owned [`InsertScratch`]. Buffers are reset by truncation or
+//! by bumping a per-batch epoch (the relabel table and the `E(M)`
+//! membership set are epoch-stamped arrays, so "clearing" them is a counter
+//! increment). Together with the propagation scratch inside the RC-tree
+//! engine, a steady-state `batch_insert` performs **no heap allocation**
+//! for batches up to the structure's high-water mark — the only per-call
+//! allocations are the `InsertResult` output vectors themselves.
+//! [`BatchMsf::scratch_high_water`] exposes the combined capacity; a
+//! regression test pins it across repeated batches.
 
-use bimst_primitives::{EdgeId, FxHashMap, FxHashSet, VertexId, WKey};
+use bimst_msf::MsfScratch;
+use bimst_primitives::{EdgeId, FxHashSet, VertexId, WKey};
 use bimst_rctree::RcForest;
 
-use crate::cpt::{compressed_path_tree, path_max};
+use crate::cpt::{compressed_path_tree_with, path_max, Cpt, CptScratch};
+
+/// Reusable working sets of [`BatchMsf::batch_insert`] (see the module docs'
+/// *Scratch lifecycle* section).
+#[derive(Default)]
+struct InsertScratch {
+    /// Duplicate-id detection within a batch.
+    seen_ids: FxHashSet<EdgeId>,
+    /// `K`: endpoints of the accepted batch edges.
+    marks: Vec<VertexId>,
+    /// The accepted (non-self-loop) batch edges.
+    eplus: Vec<(VertexId, VertexId, f64, EdgeId)>,
+    /// CPT working sets + reused output.
+    cpt_ws: CptScratch,
+    cpt: Cpt,
+    /// Dense relabeling: `label[v]` is valid iff `label_ep[v] == epoch`.
+    label: Vec<u32>,
+    label_ep: Vec<u32>,
+    /// Per-batch epoch driving the stamped sets.
+    epoch: u32,
+    /// The static problem `C ∪ E⁺` on relabeled vertices.
+    edges: Vec<bimst_msf::Edge>,
+    /// Inner-MSF working sets and output indices.
+    msf_ws: MsfScratch,
+    m_out: Vec<usize>,
+    /// `E(M)` membership: `in_m[i] == epoch` iff edge `i` is in `M`.
+    in_m: Vec<u32>,
+    /// The forest update derived from `M`.
+    cuts: Vec<EdgeId>,
+    links: Vec<(VertexId, VertexId, f64, EdgeId)>,
+}
+
+impl InsertScratch {
+    /// Combined capacity (in elements) of the `Vec`-backed insert-path
+    /// buffers. Hash-backed sets are excluded for the same reason as in
+    /// [`CptScratch::high_water`]: their reported capacity is a growth
+    /// budget that moves without allocating.
+    fn high_water(&self) -> usize {
+        self.marks.capacity()
+            + self.eplus.capacity()
+            + self.cpt_ws.high_water()
+            + self.cpt.vertices.capacity()
+            + self.cpt.edges.capacity()
+            + self.label.capacity()
+            + self.label_ep.capacity()
+            + self.edges.capacity()
+            + self.msf_ws.high_water()
+            + self.m_out.capacity()
+            + self.in_m.capacity()
+            + self.cuts.capacity()
+            + self.links.capacity()
+    }
+}
 
 /// Outcome of a batch insertion.
 #[derive(Clone, Debug, Default)]
 pub struct InsertResult {
-    /// Ids from the batch that entered the MSF.
+    /// Ids from the batch that entered the MSF, in batch order.
     pub inserted: Vec<EdgeId>,
     /// Ids of previous MSF edges evicted by the batch (each was heaviest on
-    /// a cycle created by the new edges).
+    /// a cycle created by the new edges), in ascending id order — a
+    /// canonical order, so callers never depend on internal CPT iteration.
     pub evicted: Vec<EdgeId>,
     /// Ids from the batch that were rejected immediately (heaviest on a
     /// cycle among `C ∪ E⁺`, or self-loops).
@@ -41,6 +110,7 @@ pub struct InsertResult {
 pub struct BatchMsf {
     forest: RcForest,
     weight_sum: f64,
+    scratch: InsertScratch,
 }
 
 impl BatchMsf {
@@ -51,7 +121,16 @@ impl BatchMsf {
         BatchMsf {
             forest: RcForest::new(n, seed),
             weight_sum: 0.0,
+            scratch: InsertScratch::default(),
         }
+    }
+
+    /// Combined capacity (in elements) of every reusable buffer on the
+    /// insert path — this structure's scratch plus the RC-tree engine's
+    /// propagation scratch. Steady-state workloads must plateau here; the
+    /// zero-allocation regression test pins it after a warmup phase.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water() + self.forest.engine().scratch_high_water()
     }
 
     /// Number of vertices.
@@ -137,89 +216,122 @@ impl BatchMsf {
     /// distinct from ids currently in the MSF.
     ///
     /// Returns which batch edges entered, which old MSF edges were evicted,
-    /// and which batch edges were rejected.
+    /// and which batch edges were rejected. Steady-state calls allocate
+    /// only the returned [`InsertResult`] vectors; every intermediate comes
+    /// from the structure's scratch (see the module docs).
     pub fn batch_insert(&mut self, batch: &[(VertexId, VertexId, f64, EdgeId)]) -> InsertResult {
         let mut res = InsertResult::default();
         if batch.is_empty() {
             return res;
         }
-        // Line 2: K ← endpoints of E⁺ (self-loops rejected outright).
-        let mut marks: Vec<VertexId> = Vec::with_capacity(batch.len() * 2);
-        let mut eplus: Vec<(VertexId, VertexId, f64, EdgeId)> = Vec::with_capacity(batch.len());
-        {
-            let mut seen_ids: FxHashSet<EdgeId> = FxHashSet::default();
-            for &(u, v, w, id) in batch {
-                assert!(seen_ids.insert(id), "duplicate edge id {id} in batch");
-                assert!(
-                    !self.forest.has_edge(id),
-                    "edge id {id} already in the MSF"
-                );
-                if u == v {
-                    res.rejected.push(id);
-                    continue;
-                }
-                marks.push(u);
-                marks.push(v);
-                eplus.push((u, v, w, id));
-            }
+        let ws = &mut self.scratch;
+        // One epoch per batch drives the stamped sets; on (u32) wraparound
+        // the stamp arrays are zeroed so stale marks cannot alias.
+        ws.epoch = ws.epoch.wrapping_add(1);
+        if ws.epoch == 0 {
+            ws.label_ep.fill(0);
+            ws.in_m.fill(0);
+            ws.epoch = 1;
         }
-        if eplus.is_empty() {
+        let epoch = ws.epoch;
+
+        // Line 2: K ← endpoints of E⁺ (self-loops rejected outright).
+        ws.seen_ids.clear();
+        ws.marks.clear();
+        ws.eplus.clear();
+        for &(u, v, w, id) in batch {
+            assert!(ws.seen_ids.insert(id), "duplicate edge id {id} in batch");
+            assert!(!self.forest.has_edge(id), "edge id {id} already in the MSF");
+            if u == v {
+                res.rejected.push(id);
+                continue;
+            }
+            ws.marks.push(u);
+            ws.marks.push(v);
+            ws.eplus.push((u, v, w, id));
+        }
+        if ws.eplus.is_empty() {
             return res;
         }
-        marks.sort_unstable();
-        marks.dedup();
+        ws.marks.sort_unstable();
+        ws.marks.dedup();
 
         // Line 3: compressed path trees over the endpoints.
-        let cpt = compressed_path_tree(&self.forest, &marks);
+        compressed_path_tree_with(&self.forest, &ws.marks, &mut ws.cpt_ws, &mut ws.cpt);
 
-        // Line 4: M ← MSF(C ∪ E⁺) on densely relabeled vertices.
-        let mut label: FxHashMap<VertexId, u32> = FxHashMap::default();
-        let relabel = |v: VertexId, label: &mut FxHashMap<VertexId, u32>| -> u32 {
-            let next = label.len() as u32;
-            *label.entry(v).or_insert(next)
+        // Line 4: M ← MSF(C ∪ E⁺) on densely relabeled vertices. The
+        // relabel table is a dense epoch-stamped array over the vertex
+        // space — sized once, then O(1) per lookup with no hashing.
+        let n = self.forest.num_vertices();
+        if ws.label.len() < n {
+            ws.label.resize(n, 0);
+            ws.label_ep.resize(n, 0);
+        }
+        let mut next_label = 0u32;
+        let label = &mut ws.label;
+        let label_ep = &mut ws.label_ep;
+        let mut relabel = |v: VertexId| -> u32 {
+            let vi = v as usize;
+            if label_ep[vi] != epoch {
+                label_ep[vi] = epoch;
+                label[vi] = next_label;
+                next_label += 1;
+            }
+            label[vi]
         };
-        // Provenance: Some(forest edge id) for CPT edges, None for batch
-        // edges (tracked by position).
-        let mut edges: Vec<bimst_msf::Edge> = Vec::with_capacity(cpt.edges.len() + eplus.len());
-        let ncpt = cpt.edges.len();
-        for e in &cpt.edges {
-            let u = relabel(e.u, &mut label);
-            let v = relabel(e.v, &mut label);
-            edges.push(bimst_msf::Edge::new(u, v, e.key));
+        // Provenance: CPT edges carry live forest-edge ids; batch edges are
+        // tracked by position (`ncpt + j`).
+        ws.edges.clear();
+        let ncpt = ws.cpt.edges.len();
+        for e in &ws.cpt.edges {
+            let u = relabel(e.u);
+            let v = relabel(e.v);
+            ws.edges.push(bimst_msf::Edge::new(u, v, e.key));
         }
-        for &(u, v, w, id) in &eplus {
-            let u = relabel(u, &mut label);
-            let v = relabel(v, &mut label);
-            edges.push(bimst_msf::Edge::new(u, v, WKey::new(w, id)));
+        for &(u, v, w, id) in &ws.eplus {
+            let u = relabel(u);
+            let v = relabel(v);
+            ws.edges.push(bimst_msf::Edge::new(u, v, WKey::new(w, id)));
         }
-        let m = bimst_msf::msf(label.len(), &edges);
-        let in_m: FxHashSet<usize> = m.into_iter().collect();
+        bimst_msf::msf_with(
+            next_label as usize,
+            &ws.edges,
+            &mut ws.msf_ws,
+            &mut ws.m_out,
+        );
+        if ws.in_m.len() < ws.edges.len() {
+            ws.in_m.resize(ws.edges.len(), 0);
+        }
+        for &i in &ws.m_out {
+            ws.in_m[i] = epoch;
+        }
 
         // Lines 5-6: evict E(C) \ E(M); link E(M) ∩ E⁺.
-        let mut cuts: Vec<EdgeId> = Vec::new();
-        for (i, e) in cpt.edges.iter().enumerate() {
-            if !in_m.contains(&i) {
-                cuts.push(e.key.id);
+        ws.cuts.clear();
+        for (i, e) in ws.cpt.edges.iter().enumerate() {
+            if ws.in_m[i] != epoch {
+                ws.cuts.push(e.key.id);
                 res.evicted.push(e.key.id);
             }
         }
-        let mut links: Vec<(VertexId, VertexId, f64, EdgeId)> = Vec::new();
-        for (j, &(u, v, w, id)) in eplus.iter().enumerate() {
-            if in_m.contains(&(ncpt + j)) {
-                links.push((u, v, w, id));
+        ws.links.clear();
+        for (j, &(u, v, w, id)) in ws.eplus.iter().enumerate() {
+            if ws.in_m[ncpt + j] == epoch {
+                ws.links.push((u, v, w, id));
                 res.inserted.push(id);
             } else {
                 res.rejected.push(id);
             }
         }
+        res.evicted.sort_unstable();
         for &id in &res.evicted {
             let (_, _, k) = self.forest.edge_info(id).expect("evicted edge is live");
             self.weight_sum -= k.w;
         }
-        for &(_, _, w, _) in &links {
+        for &(_, _, w, _) in &ws.links {
             self.weight_sum += w;
         }
-        self.forest.batch_update(&cuts, &links);
+        self.forest.batch_update(&ws.cuts, &ws.links);
         res
     }
 }

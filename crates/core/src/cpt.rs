@@ -25,8 +25,6 @@ use bimst_primitives::{AVec, FxHashMap, FxHashSet, VertexId, WKey};
 use bimst_rctree::cluster::NodeId;
 use bimst_rctree::{ClusterId, ClusterKind, RcForest, NONE_CLUSTER};
 
-use rayon::prelude::*;
-
 /// An edge of a compressed path tree. `key.id` is the id of the heaviest
 /// original edge on the path this edge represents — the identification that
 /// lets Algorithm 2 cut real edges.
@@ -52,24 +50,41 @@ pub struct Cpt {
 
 /// Working graph during expansion, over base nodes. Ternarization bounds
 /// every degree by 3.
+///
+/// Lives inside [`CptScratch`] and is *reused* across calls: `clear()` keeps
+/// the map's buckets and the `touched` buffer, so steady-state expansions
+/// allocate nothing. `touched` records vertices in insertion order — output
+/// iteration uses it instead of hash-bucket order, which (a) costs
+/// `O(vertices touched)` instead of `O(map capacity)` when one scratch
+/// serves many small trees, and (b) makes the emitted edge order a
+/// deterministic function of the expansion itself.
+#[derive(Default)]
 struct ExpGraph {
     adj: FxHashMap<NodeId, AVec<(NodeId, WKey), 3>>,
+    touched: Vec<NodeId>,
 }
 
 impl ExpGraph {
-    fn new() -> Self {
-        ExpGraph {
-            adj: FxHashMap::default(),
-        }
+    fn clear(&mut self) {
+        self.adj.clear();
+        self.touched.clear();
+    }
+
+    fn entry(&mut self, v: NodeId) -> &mut AVec<(NodeId, WKey), 3> {
+        let touched = &mut self.touched;
+        self.adj.entry(v).or_insert_with(|| {
+            touched.push(v);
+            AVec::new()
+        })
     }
 
     fn ensure_vertex(&mut self, v: NodeId) {
-        self.adj.entry(v).or_default();
+        self.entry(v);
     }
 
     fn add_edge(&mut self, a: NodeId, b: NodeId, k: WKey) {
-        self.adj.entry(a).or_default().push((b, k));
-        self.adj.entry(b).or_default().push((a, k));
+        self.entry(a).push((b, k));
+        self.entry(b).push((a, k));
     }
 
     fn remove_edge(&mut self, a: NodeId, b: NodeId) -> WKey {
@@ -145,13 +160,21 @@ impl ExpGraph {
 }
 
 /// Recursive `ExpandCluster` (Algorithm 1), accumulating into `g`.
-fn expand(f: &RcForest, c: ClusterId, marked: &FxHashSet<ClusterId>, marked_heads: &FxHashSet<NodeId>, g: &mut ExpGraph) {
+fn expand(
+    f: &RcForest,
+    c: ClusterId,
+    marked: &FxHashSet<ClusterId>,
+    marked_heads: &FxHashSet<NodeId>,
+    g: &mut ExpGraph,
+) {
     let cl = f.cluster(c);
     if !marked.contains(&c) {
         // Lines 3-9: an unmarked cluster is summarized by its boundary.
         match cl.kind {
             ClusterKind::LeafEdge { a, b, key } => g.add_edge(a, b, key),
-            ClusterKind::Binary { bound: (a, b), key, .. } => g.add_edge(a, b, key),
+            ClusterKind::Binary {
+                bound: (a, b), key, ..
+            } => g.add_edge(a, b, key),
             ClusterKind::Unary { boundary, .. } => g.ensure_vertex(boundary),
             // Nullary (root) and leaf-vertex clusters have no boundary.
             ClusterKind::Root { .. } | ClusterKind::LeafVertex { .. } => {}
@@ -174,50 +197,116 @@ fn expand(f: &RcForest, c: ClusterId, marked: &FxHashSet<ClusterId>, marked_head
     }
 }
 
+/// Reusable workspace for [`compressed_path_tree_with`].
+///
+/// Owned by `BatchMsf` (one per structure) so that steady-state
+/// `batch_insert` calls perform no heap allocation in the CPT stage: the
+/// expansion graph's hash buckets, the marking sets, and the root/head
+/// buffers are cleared (capacity-preserving) rather than rebuilt. A
+/// default-constructed scratch is cheap — `O(1)` until first use — so the
+/// one-shot [`compressed_path_tree`] wrapper stays `O(ℓ lg(1 + n/ℓ))`.
+#[derive(Default)]
+pub struct CptScratch {
+    g: ExpGraph,
+    marked: FxHashSet<ClusterId>,
+    marked_heads: FxHashSet<NodeId>,
+    heads: Vec<NodeId>,
+    roots: Vec<ClusterId>,
+    verts: Vec<VertexId>,
+}
+
+impl CptScratch {
+    /// Combined capacity (in elements) of the `Vec`-backed scratch buffers
+    /// — the steady-state zero-allocation tests pin this. The hash-backed
+    /// sets are excluded: hashbrown's `capacity()` is a tombstone-dependent
+    /// *growth budget*, not an allocation size, so it fluctuates in both
+    /// directions without ever touching the allocator.
+    pub fn high_water(&self) -> usize {
+        self.g.touched.capacity()
+            + self.heads.capacity()
+            + self.roots.capacity()
+            + self.verts.capacity()
+    }
+}
+
 /// Computes the compressed path tree of the forest with respect to `marks`
 /// (original vertex ids; duplicates allowed). Components containing no mark
 /// contribute nothing. `O(ℓ lg(1 + n/ℓ))` expected work.
+///
+/// One-shot convenience wrapper over [`compressed_path_tree_with`] for
+/// queries and tests; the batch-insert hot path holds a [`CptScratch`] and
+/// a reusable [`Cpt`] instead.
 pub fn compressed_path_tree(f: &RcForest, marks: &[VertexId]) -> Cpt {
+    let mut out = Cpt::default();
+    compressed_path_tree_with(f, marks, &mut CptScratch::default(), &mut out);
+    out
+}
+
+/// [`compressed_path_tree`] into caller-owned buffers: `out` is cleared and
+/// filled; `ws` provides every intermediate working set. Zero allocations
+/// once both have reached their high-water capacity.
+///
+/// Trees are expanded sequentially in root discovery order (the previous
+/// per-root parallel fan-out allocated a fresh expansion graph per tree;
+/// expansion is `O(ℓ)` total, far below the propagation work it feeds, so
+/// buffer reuse wins). Output order is deterministic: roots in first-touch
+/// order, vertices and edges in expansion order.
+pub fn compressed_path_tree_with(
+    f: &RcForest,
+    marks: &[VertexId],
+    ws: &mut CptScratch,
+    out: &mut Cpt,
+) {
+    out.vertices.clear();
+    out.edges.clear();
     if marks.is_empty() {
-        return Cpt::default();
+        return;
     }
     // Dedup marks; map to head nodes.
-    let mut heads: Vec<NodeId> = marks.iter().map(|&v| f.head(v)).collect();
-    heads.sort_unstable();
-    heads.dedup();
-    let marked_heads: FxHashSet<NodeId> = heads.iter().copied().collect();
+    ws.heads.clear();
+    ws.heads.extend(marks.iter().map(|&v| f.head(v)));
+    ws.heads.sort_unstable();
+    ws.heads.dedup();
+    ws.marked_heads.clear();
+    ws.marked_heads.extend(ws.heads.iter().copied());
 
     // Bottom-up marking of clusters; collect the distinct roots reached.
-    let mut marked: FxHashSet<ClusterId> = FxHashSet::default();
-    let mut roots: Vec<ClusterId> = Vec::new();
-    for &h in &heads {
+    ws.marked.clear();
+    ws.roots.clear();
+    for &h in &ws.heads {
         let mut c = f.leaf_cluster(h);
         loop {
-            if !marked.insert(c) {
+            if !ws.marked.insert(c) {
                 break; // merged into an already-marked path
             }
             let p = f.parent(c);
             if p == NONE_CLUSTER {
-                roots.push(c);
+                ws.roots.push(c);
                 break;
             }
             c = p;
         }
     }
 
-    // Top-down expansion, one tree per root, in parallel across roots.
-    let expand_root = |&root: &ClusterId| -> (Vec<VertexId>, Vec<CptEdge>) {
-        let mut g = ExpGraph::new();
-        expand(f, root, &marked, &marked_heads, &mut g);
-        // Contract phantom edges: every base node maps to its owner.
-        let mut verts: Vec<VertexId> = g.adj.keys().map(|&n| f.owner(n)).collect();
-        verts.sort_unstable();
-        verts.dedup();
-        let mut edges = Vec::new();
-        for (&a, l) in &g.adj {
+    // Top-down expansion, one tree per root, into the shared scratch graph.
+    for i in 0..ws.roots.len() {
+        let root = ws.roots[i];
+        ws.g.clear();
+        expand(f, root, &ws.marked, &ws.marked_heads, &mut ws.g);
+        // Contract phantom edges: every base node maps to its owner. Each
+        // vertex is *drained* from the map as it is emitted — a node that
+        // was spliced out and later re-touched appears twice in `touched`,
+        // and draining makes the second occurrence a no-op.
+        ws.verts.clear();
+        for j in 0..ws.g.touched.len() {
+            let a = ws.g.touched[j];
+            let Some(l) = ws.g.adj.remove(&a) else {
+                continue;
+            };
+            ws.verts.push(f.owner(a));
             for (b, k) in l.iter() {
                 if a < b && !k.is_phantom() {
-                    edges.push(CptEdge {
+                    out.edges.push(CptEdge {
                         u: f.owner(a),
                         v: f.owner(b),
                         key: k,
@@ -225,20 +314,10 @@ pub fn compressed_path_tree(f: &RcForest, marks: &[VertexId]) -> Cpt {
                 }
             }
         }
-        (verts, edges)
-    };
-    let parts: Vec<(Vec<VertexId>, Vec<CptEdge>)> = if roots.len() >= 8 {
-        roots.par_iter().map(expand_root).collect()
-    } else {
-        roots.iter().map(expand_root).collect()
-    };
-
-    let mut out = Cpt::default();
-    for (vs, es) in parts {
-        out.vertices.extend(vs);
-        out.edges.extend(es);
+        ws.verts.sort_unstable();
+        ws.verts.dedup();
+        out.vertices.extend_from_slice(&ws.verts);
     }
-    out
 }
 
 /// Heaviest edge key on the path between `u` and `v`, or `None` if they are
@@ -290,9 +369,8 @@ mod tests {
     #[test]
     fn path_max_on_star_goes_through_center() {
         // High-degree center: exercises spines/phantom contraction.
-        let links: Vec<(u32, u32, f64, u64)> = (1..20u32)
-            .map(|v| (0, v, v as f64, v as u64))
-            .collect();
+        let links: Vec<(u32, u32, f64, u64)> =
+            (1..20u32).map(|v| (0, v, v as f64, v as u64)).collect();
         let (rc, nv) = build_both(20, &links, 29);
         for u in 1..20u32 {
             for v in (u + 1)..20u32 {
@@ -359,7 +437,10 @@ mod tests {
         // forest — the defining property of the compressed path tree.
         let pm = bimst_msf::ForestPathMax::new(
             16,
-            &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+            &cpt.edges
+                .iter()
+                .map(|e| (e.u, e.v, e.key))
+                .collect::<Vec<_>>(),
         );
         for &a in &[0u32, 1, 2, 3, 4] {
             for &b in &[0u32, 1, 2, 3, 4] {
@@ -401,7 +482,9 @@ mod tests {
         let mut rc = RcForest::new(n as usize, 41);
         rc.batch_update(&[], &links);
         for l in [2usize, 8, 32, 128] {
-            let marks: Vec<u32> = (0..l as u64).map(|i| (hash2(7, i) % n as u64) as u32).collect();
+            let marks: Vec<u32> = (0..l as u64)
+                .map(|i| (hash2(7, i) % n as u64) as u32)
+                .collect();
             let cpt = compressed_path_tree(&rc, &marks);
             assert!(
                 cpt.vertices.len() <= 2 * l,

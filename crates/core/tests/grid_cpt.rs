@@ -27,18 +27,16 @@ fn grid_msf(rows: u32, cols: u32) -> (BatchMsf, NaiveForest) {
 fn corners_of_a_grid() {
     let (rows, cols) = (12u32, 15u32);
     let (msf, naive) = grid_msf(rows, cols);
-    let corners = [
-        0,
-        cols - 1,
-        (rows - 1) * cols,
-        rows * cols - 1,
-    ];
+    let corners = [0, cols - 1, (rows - 1) * cols, rows * cols - 1];
     let cpt = compressed_path_tree(msf.forest(), &corners);
     assert!(cpt.vertices.len() <= 2 * corners.len());
     let n = (rows * cols) as usize;
     let pm = ForestPathMax::new(
         n,
-        &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+        &cpt.edges
+            .iter()
+            .map(|e| (e.u, e.v, e.key))
+            .collect::<Vec<_>>(),
     );
     for &a in &corners {
         for &b in &corners {
@@ -62,7 +60,10 @@ fn a_full_row_of_marks() {
     let n = (rows * cols) as usize;
     let pm = ForestPathMax::new(
         n,
-        &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+        &cpt.edges
+            .iter()
+            .map(|e| (e.u, e.v, e.key))
+            .collect::<Vec<_>>(),
     );
     for &a in &marks {
         for &b in &marks {

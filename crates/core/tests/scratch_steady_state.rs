@@ -1,0 +1,68 @@
+//! Zero-allocation steady state of the batch-insert hot path.
+//!
+//! `BatchMsf` owns every buffer its insert path touches (CPT expansion
+//! graph, relabel table, inner-MSF working sets, engine propagation
+//! scratch). Buffer capacities legitimately *ratchet* while the forest is
+//! still filling up — a denser forest yields a bigger compressed path tree
+//! for the same batch size — but once the workload saturates (the MSF
+//! spans, evictions balance insertions), further batches of a given size
+//! must not grow any buffer: `scratch_high_water()` (the sum of all
+//! `Vec`-backed scratch capacities) has to plateau. Capacity creep here
+//! means some path went back to per-batch allocation.
+
+use bimst_core::BatchMsf;
+use bimst_graphgen::erdos_renyi;
+
+#[test]
+fn steady_state_batches_do_not_grow_scratch() {
+    let n = 20_000usize;
+    let l = 1024usize;
+    let edges = erdos_renyi(n as u32, 100 * l, 99);
+    let mut msf = BatchMsf::new(n, 5);
+
+    let mut chunks = edges.chunks(l);
+    // Warmup well past MSF saturation (~20k spanning edges after ~30
+    // batches) so every buffer has seen its worst case for this batch size.
+    for _ in 0..60 {
+        msf.batch_insert(chunks.next().unwrap());
+    }
+    let high_water = msf.scratch_high_water();
+    assert!(high_water > 0, "scratch should be warm after 60 batches");
+
+    // Steady state: same-size batches forever after must reuse buffers.
+    for (i, chunk) in chunks.enumerate() {
+        msf.batch_insert(chunk);
+        assert_eq!(
+            msf.scratch_high_water(),
+            high_water,
+            "scratch grew on steady-state batch {i}"
+        );
+    }
+    // The structure still answers correctly after all that reuse.
+    assert!(msf.msf_edge_count() > 0);
+    msf.forest().verify_against_scratch().unwrap();
+}
+
+#[test]
+fn tiny_batches_after_large_ones_stay_within_high_water() {
+    let n = 5_000usize;
+    let edges = erdos_renyi(n as u32, 40_000, 7);
+    let mut msf = BatchMsf::new(n, 11);
+    // A large batch sets the coarse high-water mark; a stretch of small
+    // batches lets the forest saturate at the small-batch working set.
+    msf.batch_insert(&edges[..8_000]);
+    let mut chunks = edges[8_000..].chunks(16);
+    for _ in 0..400 {
+        msf.batch_insert(chunks.next().unwrap());
+    }
+    let high_water = msf.scratch_high_water();
+    // Steady state: small batches must never exceed it.
+    for (i, chunk) in chunks.enumerate() {
+        msf.batch_insert(chunk);
+        assert_eq!(
+            msf.scratch_high_water(),
+            high_water,
+            "scratch grew on steady-state small batch {i}"
+        );
+    }
+}

@@ -198,9 +198,14 @@ mod tests {
     fn er_shapes() {
         let es = erdos_renyi(100, 500, 1);
         assert_eq!(es.len(), 500);
-        assert!(es.iter().all(|&(u, v, w, _)| u != v && u < 100 && v < 100 && (0.0..1.0).contains(&w)));
+        assert!(es
+            .iter()
+            .all(|&(u, v, w, _)| u != v && u < 100 && v < 100 && (0.0..1.0).contains(&w)));
         // Ids are sequential.
-        assert!(es.iter().enumerate().all(|(i, &(_, _, _, id))| id == i as u64));
+        assert!(es
+            .iter()
+            .enumerate()
+            .all(|(i, &(_, _, _, id))| id == i as u64));
         // Deterministic.
         assert_eq!(erdos_renyi(100, 500, 1), es);
         assert_ne!(erdos_renyi(100, 500, 2), es);

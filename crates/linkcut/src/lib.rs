@@ -234,7 +234,10 @@ impl LinkCutForest {
         self.evert(a);
         self.access(b);
         self.push_down(b);
-        debug_assert_eq!(self.nodes[b as usize].child[0], a, "cut of non-adjacent pair");
+        debug_assert_eq!(
+            self.nodes[b as usize].child[0], a,
+            "cut of non-adjacent pair"
+        );
         self.nodes[b as usize].child[0] = NONE;
         self.nodes[a as usize].parent = NONE;
         self.pull_up(b);
@@ -422,9 +425,7 @@ mod tests {
         }
         // Kruskal oracle.
         let mut order: Vec<usize> = (0..all.len()).collect();
-        order.sort_by(|&a, &b| {
-            WKey::new(all[a].2, all[a].3).cmp(&WKey::new(all[b].2, all[b].3))
-        });
+        order.sort_by(|&a, &b| WKey::new(all[a].2, all[a].3).cmp(&WKey::new(all[b].2, all[b].3)));
         let mut uf = vec![u32::MAX; n as usize];
         fn find(uf: &mut [u32], x: u32) -> u32 {
             if uf[x as usize] == u32::MAX {
@@ -446,7 +447,12 @@ mod tests {
             }
         }
         assert_eq!(inc.msf_edge_count(), cnt);
-        assert!((inc.msf_weight() - expect).abs() < 1e-9, "{} vs {}", inc.msf_weight(), expect);
+        assert!(
+            (inc.msf_weight() - expect).abs() < 1e-9,
+            "{} vs {}",
+            inc.msf_weight(),
+            expect
+        );
     }
 
     /// Tiny naive forest used by the cut test (kept local to avoid a dev

@@ -14,26 +14,68 @@ use crate::Edge;
 
 const NONE: u64 = u64::MAX;
 
-/// Returns the indices of the MSF edges.
+/// Reusable per-call and per-round working sets of [`boruvka_with`].
+///
+/// The seed implementation allocated a fresh `roots` vector *every round*
+/// and a fresh `best` CAS-array every call; both now ratchet to their
+/// high-water capacity and are reset by value (`NONE`) rather than
+/// reallocation. The `best` cells rely on the swap-to-`NONE` in the winner
+/// collection loop as their between-rounds reset, so no O(n) clear happens
+/// after round one either.
+#[derive(Default)]
+pub struct BoruvkaScratch {
+    live: Vec<u32>,
+    roots: Vec<(u32, u32)>,
+    selected: Vec<u32>,
+    best: Vec<AtomicU64>,
+    uf: UnionFind,
+}
+
+impl BoruvkaScratch {
+    /// Combined capacity (in elements) of the scratch buffers.
+    pub fn high_water(&self) -> usize {
+        self.live.capacity()
+            + self.roots.capacity()
+            + self.selected.capacity()
+            + self.best.capacity()
+            + self.uf.capacity()
+    }
+}
+
+/// Returns the indices of the MSF edges. One-shot wrapper over
+/// [`boruvka_with`].
 pub fn boruvka(n: usize, edges: &[Edge]) -> Vec<usize> {
-    let mut uf = UnionFind::new(n);
-    let mut out: Vec<usize> = Vec::new();
+    let mut out = Vec::new();
+    boruvka_with(n, edges, &mut BoruvkaScratch::default(), &mut out);
+    out
+}
+
+/// [`boruvka`] into a caller-owned output buffer with reusable working sets.
+pub fn boruvka_with(n: usize, edges: &[Edge], ws: &mut BoruvkaScratch, out: &mut Vec<usize>) {
+    out.clear();
+    ws.uf.reset(n);
+    let uf = &mut ws.uf;
     // Live edge indices; shrinks as edges become internal.
-    let mut live: Vec<u32> = (0..edges.len() as u32)
-        .filter(|&i| edges[i as usize].u != edges[i as usize].v)
-        .collect();
-    // Scratch: best edge per component root.
-    let best: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NONE)).collect();
+    let live = &mut ws.live;
+    live.clear();
+    live.extend((0..edges.len() as u32).filter(|&i| edges[i as usize].u != edges[i as usize].v));
+    // Best edge per component root. Invariant at the top of every round:
+    // every cell is `NONE` (fresh cells start there; the collection loop
+    // swap-resets every cell it wrote).
+    if ws.best.len() < n {
+        ws.best.resize_with(n, || AtomicU64::new(NONE));
+    }
+    let best = &ws.best;
+    debug_assert!(best[..n].iter().all(|c| c.load(Ordering::Relaxed) == NONE));
 
     while !live.is_empty() {
         // Roots are stable within a round (no unions until selection ends).
-        let roots: Vec<(u32, u32)> = live
-            .iter()
-            .map(|&i| {
-                let e = &edges[i as usize];
-                (uf.find(e.u), uf.find(e.v))
-            })
-            .collect();
+        let roots = &mut ws.roots;
+        roots.clear();
+        roots.extend(live.iter().map(|&i| {
+            let e = &edges[i as usize];
+            (uf.find(e.u), uf.find(e.v))
+        }));
 
         // CAS-min the lightest incident edge into both endpoint roots.
         let relax = |root: u32, i: u32| {
@@ -67,9 +109,11 @@ pub fn boruvka(n: usize, edges: &[Edge]) -> Vec<usize> {
             live.iter().zip(roots.iter()).for_each(step);
         }
 
-        // Collect winners; a selected edge may win at both endpoints.
-        let mut selected: Vec<u32> = Vec::new();
-        for &(ru, rv) in &roots {
+        // Collect winners; a selected edge may win at both endpoints. The
+        // swap also restores the all-`NONE` invariant for the next round.
+        let selected = &mut ws.selected;
+        selected.clear();
+        for &(ru, rv) in roots.iter() {
             for r in [ru, rv] {
                 let w = best[r as usize].swap(NONE, Ordering::Relaxed);
                 if w != NONE {
@@ -82,7 +126,7 @@ pub fn boruvka(n: usize, edges: &[Edge]) -> Vec<usize> {
         if selected.is_empty() {
             break;
         }
-        for &i in &selected {
+        for &i in selected.iter() {
             let e = &edges[i as usize];
             if uf.unite(e.u, e.v) {
                 out.push(i as usize);
@@ -94,7 +138,6 @@ pub fn boruvka(n: usize, edges: &[Edge]) -> Vec<usize> {
             uf.find(e.u) != uf.find(e.v)
         });
     }
-    out
 }
 
 #[cfg(test)]

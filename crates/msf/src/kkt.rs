@@ -107,10 +107,8 @@ fn solve(n: usize, edges: Vec<(Edge, usize)>, seed: u64) -> Vec<usize> {
     let sample_msf = solve(nn, sample, hash2(seed, 0x5a5a));
 
     // --- Filter F-heavy edges against the sample MSF. ---
-    let origmap: std::collections::HashMap<usize, Edge> = contracted
-        .iter()
-        .map(|&(e, orig)| (orig, e))
-        .collect();
+    let origmap: std::collections::HashMap<usize, Edge> =
+        contracted.iter().map(|&(e, orig)| (orig, e)).collect();
     let fedges: Vec<(u32, u32, WKey)> = sample_msf
         .iter()
         .map(|orig| {
@@ -122,8 +120,8 @@ fn solve(n: usize, edges: Vec<(Edge, usize)>, seed: u64) -> Vec<usize> {
     let light: Vec<(Edge, usize)> = contracted
         .into_iter()
         .filter(|&(e, _)| match pm.query(e.u, e.v) {
-            None => true,                  // sample MSF doesn't connect: light
-            Some(maxk) => e.key <= maxk,   // not heavier than the cycle max
+            None => true,                // sample MSF doesn't connect: light
+            Some(maxk) => e.key <= maxk, // not heavier than the cycle max
         })
         .collect();
 

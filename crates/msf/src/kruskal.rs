@@ -3,21 +3,34 @@
 use bimst_unionfind::UnionFind;
 use rayon::prelude::*;
 
-use crate::Edge;
+use crate::{Edge, MsfScratch};
 
 /// Returns the indices of the MSF edges. `O(m lg m)` work; the sort is
 /// parallel, the scan sequential (the scan is `O(m α(n))` and in practice a
-/// few percent of the sort).
+/// few percent of the sort). One-shot wrapper over [`kruskal_with`].
 pub fn kruskal(n: usize, edges: &[Edge]) -> Vec<usize> {
-    let mut order: Vec<u32> = (0..edges.len() as u32).collect();
+    let mut out = Vec::new();
+    kruskal_with(n, edges, &mut MsfScratch::default(), &mut out);
+    out
+}
+
+/// [`kruskal`] into a caller-owned output buffer, with every working set
+/// (sort order, union-find) drawn from `ws`. Zero heap allocations once the
+/// buffers have reached their high-water capacity — `BatchMsf` runs this on
+/// every `batch_insert`, so the inner MSF must not pay per-call setup.
+pub fn kruskal_with(n: usize, edges: &[Edge], ws: &mut MsfScratch, out: &mut Vec<usize>) {
+    out.clear();
+    let order = &mut ws.order;
+    order.clear();
+    order.extend(0..edges.len() as u32);
     if edges.len() > 4096 {
         order.par_sort_unstable_by_key(|&i| edges[i as usize].key);
     } else {
         order.sort_unstable_by_key(|&i| edges[i as usize].key);
     }
-    let mut uf = UnionFind::new(n);
-    let mut out = Vec::new();
-    for &i in &order {
+    ws.uf.reset(n);
+    let uf: &mut UnionFind = &mut ws.uf;
+    for &i in order.iter() {
         let e = &edges[i as usize];
         if e.u != e.v && uf.unite(e.u, e.v) {
             out.push(i as usize);
@@ -26,7 +39,6 @@ pub fn kruskal(n: usize, edges: &[Edge]) -> Vec<usize> {
             }
         }
     }
-    out
 }
 
 #[cfg(test)]
@@ -63,5 +75,26 @@ mod tests {
             Edge::new(0, 1, WKey::new(1.0, 3)),
         ];
         assert_eq!(kruskal(2, &edges), vec![1]);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        use bimst_primitives::hash::hash2;
+        let mut ws = MsfScratch::default();
+        let mut out = Vec::new();
+        for seed in 0..6u64 {
+            let n = 40;
+            let edges: Vec<Edge> = (0..120u64)
+                .map(|i| {
+                    Edge::new(
+                        (hash2(seed, 2 * i) % n) as u32,
+                        (hash2(seed, 2 * i + 1) % n) as u32,
+                        WKey::new((hash2(seed ^ 7, i) % 500) as f64, i),
+                    )
+                })
+                .collect();
+            kruskal_with(n as usize, &edges, &mut ws, &mut out);
+            assert_eq!(out, kruskal(n as usize, &edges), "seed {seed}");
+        }
     }
 }

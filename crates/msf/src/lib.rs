@@ -28,12 +28,40 @@ pub mod kkt;
 pub mod kruskal;
 pub mod verify;
 
-pub use boruvka::boruvka;
+pub use boruvka::{boruvka, boruvka_with, BoruvkaScratch};
 pub use kkt::kkt_msf;
-pub use kruskal::kruskal;
+pub use kruskal::{kruskal, kruskal_with};
 pub use verify::ForestPathMax;
 
 use bimst_primitives::WKey;
+use bimst_unionfind::UnionFind;
+
+/// Reusable working sets for the scratch-aware entry points
+/// ([`kruskal_with`] / [`msf_with`]). Default-constructing is `O(1)`;
+/// resetting an existing instance reuses its buffers, which is what keeps
+/// `BatchMsf::batch_insert` allocation-free in steady state.
+pub struct MsfScratch {
+    /// Edge-index sort order (Kruskal).
+    pub(crate) order: Vec<u32>,
+    /// Union-find over the (densely relabeled) vertices.
+    pub(crate) uf: UnionFind,
+}
+
+impl Default for MsfScratch {
+    fn default() -> Self {
+        MsfScratch {
+            order: Vec::new(),
+            uf: UnionFind::new(0),
+        }
+    }
+}
+
+impl MsfScratch {
+    /// Combined capacity (in elements) of the scratch buffers.
+    pub fn high_water(&self) -> usize {
+        self.order.capacity() + self.uf.capacity()
+    }
+}
 
 /// A weighted undirected edge for the static algorithms.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -57,6 +85,12 @@ impl Edge {
 /// why that is the right default at the batch sizes Algorithm 2 produces).
 pub fn msf(n: usize, edges: &[Edge]) -> Vec<usize> {
     kruskal(n, edges)
+}
+
+/// [`msf`] into a caller-owned output buffer with reusable working sets —
+/// the allocation-free entry point used by the batch-insert hot path.
+pub fn msf_with(n: usize, edges: &[Edge], ws: &mut MsfScratch, out: &mut Vec<usize>) {
+    kruskal_with(n, edges, ws, out);
 }
 
 /// Checks that `forest` (indices into `edges`) is *the* minimum spanning

@@ -172,7 +172,11 @@ mod tests {
         let edges: Vec<(u32, u32, WKey)> = (1..n)
             .map(|v| {
                 let u = (hash2(7, v as u64) % v as u64) as u32;
-                (u, v, WKey::new((hash2(9, v as u64) % 1000) as f64, v as u64))
+                (
+                    u,
+                    v,
+                    WKey::new((hash2(9, v as u64) % 1000) as f64, v as u64),
+                )
             })
             .collect();
         let pm = ForestPathMax::new(n as usize, &edges);

@@ -116,16 +116,11 @@ fn union<V: Send>(a: Link<V>, b: Link<V>) -> Link<V> {
 /// keys are all ≤ `k`.
 fn split_out_eq<V>(t: Link<V>, k: u64) -> (Link<V>, Option<Box<TNode<V>>>) {
     let (le, gt) = split(t, k.wrapping_sub(1));
-    debug_assert!(gt.as_ref().map_or(true, |n| n.key == k && n.size == 1));
+    debug_assert!(gt.as_ref().is_none_or(|n| n.key == k && n.size == 1));
     (le, gt)
 }
 
-fn par_union2<V: Send>(
-    al: Link<V>,
-    bl: Link<V>,
-    ar: Link<V>,
-    br: Link<V>,
-) -> (Link<V>, Link<V>) {
+fn par_union2<V: Send>(al: Link<V>, bl: Link<V>, ar: Link<V>, br: Link<V>) -> (Link<V>, Link<V>) {
     if size(&al) + size(&bl) >= PAR_GRAIN && size(&ar) + size(&br) >= PAR_GRAIN {
         rayon::join(|| union(al, bl), || union(ar, br))
     } else {
@@ -462,8 +457,8 @@ mod tests {
             match t {
                 None => true,
                 Some(n) => {
-                    n.left.as_ref().map_or(true, |l| l.prio <= n.prio)
-                        && n.right.as_ref().map_or(true, |r| r.prio <= n.prio)
+                    n.left.as_ref().is_none_or(|l| l.prio <= n.prio)
+                        && n.right.as_ref().is_none_or(|r| r.prio <= n.prio)
                         && heap_ok(&n.left)
                         && heap_ok(&n.right)
                 }

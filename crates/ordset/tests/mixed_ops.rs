@@ -20,8 +20,7 @@ fn ops() -> impl Strategy<Value = Vec<Op>> {
             (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
             any::<u16>().prop_map(Op::Remove),
             any::<u16>().prop_map(Op::SplitLeq),
-            proptest::collection::vec((any::<u16>(), any::<u32>()), 0..20)
-                .prop_map(Op::BulkUnion),
+            proptest::collection::vec((any::<u16>(), any::<u32>()), 0..20).prop_map(Op::BulkUnion),
         ],
         1..60,
     )

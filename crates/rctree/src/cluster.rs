@@ -150,7 +150,11 @@ impl ClusterArena {
 
     /// Allocates a cluster with the given kind and children; parents of the
     /// children are *not* set here (the contraction engine sets them).
-    pub fn alloc(&mut self, kind: ClusterKind, children: AVec<ClusterId, MAX_CHILDREN>) -> ClusterId {
+    pub fn alloc(
+        &mut self,
+        kind: ClusterKind,
+        children: AVec<ClusterId, MAX_CHILDREN>,
+    ) -> ClusterId {
         if matches!(kind, ClusterKind::Root { .. }) {
             self.num_roots += 1;
         }
@@ -254,7 +258,10 @@ mod tests {
 
     #[test]
     fn boundary_shapes() {
-        let uk = ClusterKind::Unary { rep: 3, boundary: 7 };
+        let uk = ClusterKind::Unary {
+            rep: 3,
+            boundary: 7,
+        };
         assert_eq!(uk.boundary().as_slice(), &[7]);
         let bk = ClusterKind::Binary {
             rep: 1,

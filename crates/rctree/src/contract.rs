@@ -22,9 +22,14 @@
 //!
 //! 1. `P = A ∪ N_r(A)` — decisions depend on neighbors' degrees (leaf
 //!    status), so adjacency changes force neighbors to re-decide.
-//! 2. **Phase 1**: recompute decisions for `P` in parallel, commit serially.
-//! 3. `Q = P ∪ N_r(P)` — effects (cluster ids) of changed vertices are read
-//!    by their neighbors.
+//! 2. **Phase 1**: recompute decisions for `P` in parallel, commit serially,
+//!    recording the subset `D ⊆ P` whose decision actually changed.
+//! 3. `Q = A ∪ D ∪ N_r(A ∪ D)` — the vertices whose phase-2 inputs can
+//!    differ from their stored state. A vertex v ∉ A has unchanged round-`r`
+//!    adjacency; if its decision also didn't flip and it isn't dirty, its
+//!    terminal cluster is reproduced id-for-id, so its neighbors' stored
+//!    plans stay valid. (The seed engine used the full two-hop
+//!    `P ∪ N_r(P)` here — strictly more work for the same fixpoint.)
 //! 4. **Phase 2a**: vertices of `Q` that *die* at `r` rebuild their terminal
 //!    cluster (plans computed in parallel, applied serially). Dying vertices
 //!    never receive rakes in their death round, so their children lists are
@@ -35,19 +40,49 @@
 //!    adjacency actually changed. A changed rake-in list marks the vertex
 //!    *dirty*: it flows forward until its death round, where the terminal
 //!    cluster is rebuilt with the new child set.
+//!
+//! # Plan/apply parallelization and determinism
+//!
+//! Each phase of a round is split into a **plan** step and an **apply**
+//! step. Plans ([`TerminalPlan`], [`SurvivePlan`], and the phase-1 decision
+//! list) are pure functions of the engine state (`&self`), so they are
+//! computed for a whole round at once with `bimst_primitives::par::map_into`
+//! — parallel above [`bimst_primitives::GRAIN`] elements, sequential below
+//! it. The apply steps then commit the plans **serially, in the order of the
+//! planning set**, which is itself built sequentially. Cluster ids are
+//! allocated only during apply, so the entire contraction — structure *and*
+//! arena ids — is a deterministic function of `(base forest, seed)`,
+//! independent of thread count. `RAYON_NUM_THREADS=1` and `=64` produce
+//! bit-identical engines; `Engine::rebuild_from_scratch` relies on this.
+//!
+//! # Scratch lifecycle
+//!
+//! All per-round working sets (the frontier, the neighborhoods `P` and `Q`,
+//! the plan buffers, the next-round frontier) live in an engine-owned
+//! [`PropScratch`]. Buffers are cleared by truncation (or by bumping the
+//! engine's epoch counter for the stamp-based dedup sets) and never shrunk,
+//! so once the engine has processed its largest batch, further propagations
+//! perform **zero heap allocations** in this module. `propagate` takes the
+//! scratch out of the engine while rounds run (`std::mem::take`) and puts it
+//! back when the contraction is quiescent, which keeps borrows disjoint
+//! without unsafe code. [`Engine::scratch_high_water`] exposes the combined
+//! capacity so tests can pin the steady state.
 
 use bimst_primitives::hash::{coin, priority};
+use bimst_primitives::par::map_into;
 use bimst_primitives::{AVec, FxHashSet, WKey};
 
 use crate::cluster::{ClusterArena, ClusterId, ClusterKind, NodeId, MAX_CHILDREN, NONE_CLUSTER};
 
-use rayon::prelude::*;
-
 /// Sentinel for "no node".
 pub const NONE_NODE: NodeId = u32::MAX;
 
-/// Minimum flagged-set size before the engine bothers with rayon.
-const PAR_THRESHOLD: usize = 4096;
+/// Whether `BIMST_PROP_STATS=1` asks for per-round frontier statistics on
+/// stderr (a zero-dependency stand-in for a profiler in the build sandbox).
+fn prop_stats() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("BIMST_PROP_STATS").is_some_and(|v| v == "1"))
+}
 
 /// What a vertex does at a given round.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -68,7 +103,7 @@ pub enum Decision {
 /// Per-(vertex, round) state. A vertex alive at rounds `0..=d` stores `d + 1`
 /// of these; expected lifetime is `O(1)` rounds, so expected total storage is
 /// linear.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct RoundState {
     /// Live edges at this round: `(neighbor, edge-role cluster)`.
     pub adj: AVec<(NodeId, ClusterId), 3>,
@@ -91,6 +126,97 @@ impl RoundState {
     }
 }
 
+/// Number of round rows stored inline in [`RoundsBuf`]. Expected lifetime
+/// is `O(1)` rounds, and rows 0 and 1 absorb the bulk of the propagation's
+/// accesses, so two inline rows remove the heap indirection from most of
+/// the hot path without bloating long-lived spine nodes.
+const INLINE_ROUNDS: usize = 2;
+
+/// Round-indexed contraction state of one node: the first
+/// [`INLINE_ROUNDS`] rows live inside [`NodeData`] itself (same cache line
+/// neighborhood as the node header — the propagation is memory-bound and
+/// the former `Vec<RoundState>` cost a dependent cache miss on nearly every
+/// node touch); later rows spill to a heap vector. The spill buffer is
+/// retained across `clear`, so node recycling stays allocation-free.
+#[derive(Clone, Debug, Default)]
+pub struct RoundsBuf {
+    len: u32,
+    inline: [RoundState; INLINE_ROUNDS],
+    spill: Vec<RoundState>,
+}
+
+impl RoundsBuf {
+    /// Number of rows (the node's lifetime so far; death round = `len - 1`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the node has no rows at all (freed slots only).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a row.
+    #[inline]
+    pub fn push(&mut self, row: RoundState) {
+        let i = self.len as usize;
+        if i < INLINE_ROUNDS {
+            self.inline[i] = row;
+        } else {
+            debug_assert_eq!(self.spill.len(), i - INLINE_ROUNDS);
+            self.spill.push(row);
+        }
+        self.len += 1;
+    }
+
+    /// Shrinks to `n` rows (no-op if already shorter).
+    #[inline]
+    pub fn truncate(&mut self, n: usize) {
+        if n < self.len as usize {
+            self.len = n as u32;
+            self.spill.truncate(n.saturating_sub(INLINE_ROUNDS));
+        }
+    }
+
+    /// Drops all rows, keeping the spill buffer's capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.spill.clear();
+    }
+}
+
+impl std::ops::Index<usize> for RoundsBuf {
+    type Output = RoundState;
+    #[inline]
+    fn index(&self, i: usize) -> &RoundState {
+        // Hard check (not debug-only): an out-of-range inline index would
+        // otherwise silently read a *stale* row left by a previous occupant
+        // of the slot — the replaced `Vec<RoundState>` panicked here, and
+        // failing fast is worth one predictable branch.
+        assert!(i < self.len as usize, "round {i} out of {}", self.len);
+        if i < INLINE_ROUNDS {
+            &self.inline[i]
+        } else {
+            &self.spill[i - INLINE_ROUNDS]
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for RoundsBuf {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut RoundState {
+        assert!(i < self.len as usize, "round {i} out of {}", self.len);
+        if i < INLINE_ROUNDS {
+            &mut self.inline[i]
+        } else {
+            &mut self.spill[i - INLINE_ROUNDS]
+        }
+    }
+}
+
 /// Per-vertex data of the ternarized forest.
 #[derive(Clone, Debug)]
 pub struct NodeData {
@@ -104,21 +230,80 @@ pub struct NodeData {
     /// The base vertex cluster of this node.
     pub leaf_cluster: ClusterId,
     /// Round-indexed contraction state; `rounds.len() - 1` is the death round.
-    pub rounds: Vec<RoundState>,
+    pub rounds: RoundsBuf,
 }
 
-/// Plan produced by phase 2a for a vertex dying this round.
+/// Plan produced by phase 2a for a vertex dying this round. `Copy` +
+/// `Default` so plan buffers can be reused via `par::map_into`.
+#[derive(Clone, Copy)]
 struct TerminalPlan {
     v: NodeId,
     kind: ClusterKind,
     children: AVec<ClusterId, MAX_CHILDREN>,
 }
 
+impl Default for TerminalPlan {
+    fn default() -> Self {
+        TerminalPlan {
+            v: NONE_NODE,
+            kind: ClusterKind::Root { rep: NONE_NODE },
+            children: AVec::new(),
+        }
+    }
+}
+
 /// Plan produced by phase 2b for a vertex surviving this round.
+#[derive(Clone, Copy, Default)]
 struct SurvivePlan {
     v: NodeId,
     raked: AVec<ClusterId, 3>,
     adj_next: AVec<(NodeId, ClusterId), 3>,
+}
+
+/// Reusable per-round working sets of the propagation (see the module docs'
+/// *Scratch lifecycle* section). Everything is length-reset only, so
+/// capacities ratchet up to the high-water mark and stay there.
+#[derive(Default)]
+struct PropScratch {
+    /// Current round's flagged frontier.
+    cur: Vec<NodeId>,
+    /// Deduplicated (frontier ∪ dirty) alive at the round.
+    set: Vec<NodeId>,
+    /// `P = A ∪ N(A)`.
+    p: Vec<NodeId>,
+    /// `Q = P ∪ N(P)`.
+    q: Vec<NodeId>,
+    /// Phase-1 decisions for `P`.
+    decs: Vec<(NodeId, Decision)>,
+    /// Vertices of `P` whose phase-1 decision actually changed.
+    changed: Vec<NodeId>,
+    /// Vertices of `Q` dying this round.
+    dying: Vec<NodeId>,
+    /// Vertices of `Q` surviving this round.
+    surviving: Vec<NodeId>,
+    /// Phase-2a plans.
+    terminal_plans: Vec<TerminalPlan>,
+    /// Phase-2b plans.
+    survive_plans: Vec<SurvivePlan>,
+    /// Frontier flagged for the next round.
+    next: Vec<NodeId>,
+}
+
+impl PropScratch {
+    /// Combined buffer capacity in elements (the steady-state metric).
+    fn high_water(&self) -> usize {
+        self.cur.capacity()
+            + self.set.capacity()
+            + self.p.capacity()
+            + self.q.capacity()
+            + self.decs.capacity()
+            + self.changed.capacity()
+            + self.dying.capacity()
+            + self.surviving.capacity()
+            + self.terminal_plans.capacity()
+            + self.survive_plans.capacity()
+            + self.next.capacity()
+    }
 }
 
 /// The contraction engine. Owned by [`crate::forest::RcForest`]; exposed for
@@ -142,6 +327,8 @@ pub struct Engine {
     /// dominate the `O(ℓ lg(1 + n/ℓ))` bound.
     stamp: Vec<u64>,
     epoch: u64,
+    /// Reusable per-round buffers (see module docs, *Scratch lifecycle*).
+    scratch: PropScratch,
 }
 
 impl Engine {
@@ -157,7 +344,16 @@ impl Engine {
             flagged0: Vec::new(),
             stamp: Vec::new(),
             epoch: 0,
+            scratch: PropScratch::default(),
         }
+    }
+
+    /// Combined capacity (in elements) of the propagation scratch buffers
+    /// (including the round-0 frontier, whose buffer swaps in and out of the
+    /// scratch). Steady-state workloads must plateau here — the
+    /// zero-allocation regression test pins this after a warmup phase.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water() + self.flagged0.capacity()
     }
 
     /// Allocates a node owned by original vertex `owner` and flags it.
@@ -171,7 +367,7 @@ impl Engine {
                 is_head: false,
                 alive: false,
                 leaf_cluster: NONE_CLUSTER,
-                rounds: Vec::new(),
+                rounds: RoundsBuf::default(),
             });
             self.stamp.push(0);
             (self.nodes.len() - 1) as NodeId
@@ -185,7 +381,10 @@ impl Engine {
         nd.is_head = is_head;
         nd.alive = true;
         nd.leaf_cluster = leaf;
-        nd.rounds = vec![RoundState::fresh()];
+        // Recycled slots keep their `rounds` buffer (cleared, not dropped)
+        // so steady-state node churn stays allocation-free.
+        nd.rounds.clear();
+        nd.rounds.push(RoundState::fresh());
         self.flagged0.push(id);
         id
     }
@@ -200,16 +399,18 @@ impl Engine {
             "freeing node {v} with live edges"
         );
         // Free every cluster this node is the representative of, plus its
-        // leaf cluster.
-        let rounds = std::mem::take(&mut self.nodes[v as usize].rounds);
-        for row in &rounds {
-            if row.cluster != NONE_CLUSTER {
-                self.clusters.free(row.cluster);
+        // leaf cluster. The `rounds` buffer itself is kept for reuse by the
+        // next `alloc_node` on this slot.
+        for q in 0..self.nodes[v as usize].rounds.len() {
+            let c = self.nodes[v as usize].rounds[q].cluster;
+            if c != NONE_CLUSTER {
+                self.clusters.free(c);
             }
         }
         let leaf = self.nodes[v as usize].leaf_cluster;
         self.clusters.free(leaf);
         let nd = &mut self.nodes[v as usize];
+        nd.rounds.clear();
         nd.alive = false;
         nd.leaf_cluster = NONE_CLUSTER;
         self.dirty.remove(&v);
@@ -324,116 +525,154 @@ impl Engine {
 
     /// Runs change propagation until the contraction is quiescent, then
     /// releases quarantined arena slots. Call after a batch of round-0 edits.
+    ///
+    /// Allocation-free in steady state: all working sets live in the
+    /// engine-owned scratch, taken out for the duration of the rounds so the
+    /// planning borrows stay disjoint from the applying ones.
     pub fn propagate(&mut self) {
-        let mut cur = std::mem::take(&mut self.flagged0);
+        let mut ws = std::mem::take(&mut self.scratch);
+        // The round-0 frontier moves into the scratch; `flagged0` keeps the
+        // (empty) previous buffer so both ratchet to their high-water marks.
+        ws.cur.clear();
+        std::mem::swap(&mut ws.cur, &mut self.flagged0);
         let max_rounds = 64 + 8 * (usize::BITS - (self.nodes.len() + 2).leading_zeros()) as usize;
         let mut r = 0usize;
         loop {
             // Deduplicate (flagged ∪ dirty) alive-at-r via epoch stamps.
             self.epoch += 1;
             let ep = self.epoch;
-            let mut set: Vec<NodeId> = Vec::with_capacity(cur.len() + self.dirty.len());
-            for &v in &cur {
+            ws.set.clear();
+            for &v in &ws.cur {
                 if self.stamp[v as usize] != ep && self.alive_at(v, r) {
                     self.stamp[v as usize] = ep;
-                    set.push(v);
+                    ws.set.push(v);
                 }
             }
             for &v in &self.dirty {
                 if self.stamp[v as usize] != ep && self.alive_at(v, r) {
                     self.stamp[v as usize] = ep;
-                    set.push(v);
+                    ws.set.push(v);
                 }
             }
-            if set.is_empty() {
+            if ws.set.is_empty() {
                 debug_assert!(self.dirty.is_empty(), "dirty nodes left unresolved");
                 break;
             }
-            cur = self.process_round(r, &set);
+            if prop_stats() {
+                eprintln!(
+                    "round {r}: set={} dirty={} cur={}",
+                    ws.set.len(),
+                    self.dirty.len(),
+                    ws.cur.len()
+                );
+            }
+            self.process_round(r, &mut ws);
+            std::mem::swap(&mut ws.cur, &mut ws.next);
             r += 1;
             assert!(r < max_rounds, "contraction did not converge in {r} rounds");
         }
+        self.scratch = ws;
         self.clusters.flush_frees();
         self.free_nodes.append(&mut self.pending_free_nodes);
     }
 
-    /// Processes one round; returns the vertices flagged for the next round.
-    /// `a_in` is deduplicated and alive at `r`.
-    fn process_round(&mut self, r: usize, a_in: &[NodeId]) -> Vec<NodeId> {
+    /// Processes one round. Input frontier: `ws.set` (deduplicated, alive at
+    /// `r`); output frontier: `ws.next`. Plans are computed in parallel
+    /// (grain-gated), applies run serially in planning order — see the
+    /// module docs for why that makes the result thread-count independent.
+    fn process_round(&mut self, r: usize, ws: &mut PropScratch) {
         // P = A ∪ N(A): neighbors must re-decide (leaf status may change).
         self.epoch += 1;
         let ep = self.epoch;
-        let mut p: Vec<NodeId> = Vec::with_capacity(a_in.len() * 4);
-        for &v in a_in {
+        ws.p.clear();
+        for &v in &ws.set {
             if self.stamp[v as usize] != ep {
                 self.stamp[v as usize] = ep;
-                p.push(v);
+                ws.p.push(v);
             }
             for (u, _) in self.nodes[v as usize].rounds[r].adj.iter() {
                 debug_assert!(self.alive_at(u, r), "stale adjacency {v}->{u} at round {r}");
                 if self.stamp[u as usize] != ep {
                     self.stamp[u as usize] = ep;
-                    p.push(u);
+                    ws.p.push(u);
                 }
             }
         }
 
-        // Phase 1: recompute decisions for P (parallel), commit (serial).
-        let decs: Vec<(NodeId, Decision)> = if p.len() >= PAR_THRESHOLD {
-            let me = &*self;
-            p.par_iter().map(|&v| (v, me.decide(v, r))).collect()
-        } else {
-            p.iter().map(|&v| (v, self.decide(v, r))).collect()
-        };
-        for &(v, d) in &decs {
-            self.nodes[v as usize].rounds[r].decision = d;
+        // Phase 1: recompute decisions for P (parallel plan, serial commit).
+        // Track which decisions actually changed — only those vertices (and
+        // the structurally-changed set `A`) can alter what their neighbors
+        // read in phase 2.
+        map_into(&ws.p, &mut ws.decs, |&v| (v, self.decide(v, r)));
+        ws.changed.clear();
+        for &(v, d) in &ws.decs {
+            let slot = &mut self.nodes[v as usize].rounds[r].decision;
+            if *slot != d {
+                *slot = d;
+                ws.changed.push(v);
+            }
         }
 
-        // Q = P ∪ N(P): neighbors of changed vertices read fresh effects.
-        // P is already stamped with `ep`, so the same epoch extends it.
-        let mut q: Vec<NodeId> = p.clone();
-        for &v in &p {
+        // Q: the vertices whose phase-2 inputs may differ from their stored
+        // state. A vertex contributes new inputs to its neighbors iff its
+        // round-`r` adjacency changed (`v ∈ A`, including dirty vertices —
+        // their rebuilt terminal gets a fresh cluster id) or its decision
+        // flipped (`v ∈ changed`). Everything else reproduces its stored
+        // decision *and* cluster id bit-for-bit, so its neighbors can keep
+        // their stored plans. Hence `Q = A ∪ changed ∪ N(A ∪ changed)`
+        // — deliberately *not* the seed's `P ∪ N(P)`, which reprocessed the
+        // full two-hop neighborhood of `A` every round.
+        self.epoch += 1;
+        let ep = self.epoch;
+        ws.q.clear();
+        for src in [&ws.set, &ws.changed] {
+            for &v in src.iter() {
+                if self.stamp[v as usize] != ep {
+                    self.stamp[v as usize] = ep;
+                    ws.q.push(v);
+                }
+            }
+        }
+        let mut i = 0;
+        let seeds = ws.q.len();
+        while i < seeds {
+            let v = ws.q[i];
+            i += 1;
             for (u, _) in self.nodes[v as usize].rounds[r].adj.iter() {
                 if self.stamp[u as usize] != ep {
                     self.stamp[u as usize] = ep;
-                    q.push(u);
+                    ws.q.push(u);
                 }
             }
         }
 
-        let (dying, surviving): (Vec<NodeId>, Vec<NodeId>) = q
-            .iter()
-            .partition(|&&v| self.nodes[v as usize].rounds[r].decision != Decision::Survive);
+        ws.dying.clear();
+        ws.surviving.clear();
+        for &v in &ws.q {
+            if self.nodes[v as usize].rounds[r].decision != Decision::Survive {
+                ws.dying.push(v);
+            } else {
+                ws.surviving.push(v);
+            }
+        }
 
         // Phase 2a: rebuild terminal clusters of dying vertices.
-        let plans: Vec<TerminalPlan> = if dying.len() >= PAR_THRESHOLD {
-            let me = &*self;
-            dying
-                .par_iter()
-                .map(|&v| me.terminal_plan(v, r))
-                .collect()
-        } else {
-            dying.iter().map(|&v| self.terminal_plan(v, r)).collect()
-        };
-        for plan in plans {
-            self.apply_terminal(plan, r);
+        map_into(&ws.dying, &mut ws.terminal_plans, |&v| {
+            self.terminal_plan(v, r)
+        });
+        for i in 0..ws.terminal_plans.len() {
+            self.apply_terminal(ws.terminal_plans[i], r);
         }
 
-        // Phase 2b: survivors recompute rake-ins and next-round adjacency.
-        let plans: Vec<SurvivePlan> = if surviving.len() >= PAR_THRESHOLD {
-            let me = &*self;
-            surviving
-                .par_iter()
-                .map(|&v| me.survive_plan(v, r))
-                .collect()
-        } else {
-            surviving.iter().map(|&v| self.survive_plan(v, r)).collect()
-        };
-        let mut next = Vec::new();
-        for plan in plans {
-            self.apply_survive(plan, r, &mut next);
+        // Phase 2b: survivors recompute rake-ins and next-round adjacency
+        // (reading the cluster ids committed by 2a).
+        map_into(&ws.surviving, &mut ws.survive_plans, |&v| {
+            self.survive_plan(v, r)
+        });
+        ws.next.clear();
+        for i in 0..ws.survive_plans.len() {
+            self.apply_survive(ws.survive_plans[i], r, &mut ws.next);
         }
-        next
     }
 
     /// Children of the terminal cluster `v` forms when dying at round `r`:
@@ -456,7 +695,10 @@ impl Engine {
                 let (nu, c) = row.adj[0];
                 debug_assert_eq!(nu, u);
                 children.push(c);
-                ClusterKind::Unary { rep: v, boundary: u }
+                ClusterKind::Unary {
+                    rep: v,
+                    boundary: u,
+                }
             }
             Decision::Compress => {
                 let (u, c1) = row.adj[0];
@@ -484,10 +726,7 @@ impl Engine {
         let old = self.nodes[v].rounds[r].cluster;
         if old != NONE_CLUSTER && self.nodes[v].rounds.len() == r + 1 {
             let oc = self.clusters.get(old);
-            if oc.alive
-                && oc.kind == plan.kind
-                && oc.children.sorted() == plan.children.sorted()
-            {
+            if oc.alive && oc.kind == plan.kind && oc.children.sorted() == plan.children.sorted() {
                 self.dirty.remove(&plan.v);
                 return;
             }
@@ -610,7 +849,7 @@ impl Engine {
                 is_head: nd.is_head,
                 alive: nd.alive,
                 leaf_cluster: NONE_CLUSTER,
-                rounds: Vec::new(),
+                rounds: RoundsBuf::default(),
             });
             e.stamp.push(0);
             if nd.alive {
@@ -619,7 +858,7 @@ impl Engine {
                     .alloc(ClusterKind::LeafVertex { node: id as NodeId }, AVec::new());
                 e.clusters.get_mut(leaf).size = nd.is_head as u32;
                 e.nodes[id].leaf_cluster = leaf;
-                e.nodes[id].rounds = vec![RoundState::fresh()];
+                e.nodes[id].rounds.push(RoundState::fresh());
                 e.flagged0.push(id as NodeId);
             }
         }
@@ -815,8 +1054,7 @@ mod tests {
     #[test]
     fn roots_found_by_parent_chase() {
         let e = build(5, &[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 3.0)], 11);
-        let root =
-            |v: u32| e.root_from(e.nodes[v as usize].leaf_cluster);
+        let root = |v: u32| e.root_from(e.nodes[v as usize].leaf_cluster);
         assert_eq!(root(0), root(1));
         assert_eq!(root(0), root(2));
         assert_eq!(root(3), root(4));
@@ -866,7 +1104,10 @@ mod tests {
         let edges = [(0, 1, 5.0), (1, 2, 9.0), (2, 3, 2.0), (3, 4, 7.0)];
         let e = build(5, &edges, 23);
         for (_, c) in e.clusters.iter_live() {
-            if let ClusterKind::Binary { bound: (x, y), key, .. } = c.kind {
+            if let ClusterKind::Binary {
+                bound: (x, y), key, ..
+            } = c.kind
+            {
                 // Brute force: max weight among base edges strictly between
                 // x and y on the path (vertex ids are path positions).
                 let (lo, hi) = (x.min(y), x.max(y));

@@ -164,6 +164,11 @@ impl RcForest {
     /// forest-ness by construction; direct users can call
     /// [`RcForest::connected`] first).
     pub fn batch_update(&mut self, cuts: &[EdgeId], links: &[(VertexId, VertexId, f64, EdgeId)]) {
+        // Grow the edge map once per batch instead of amortizing inside the
+        // link loop; together with the engine-owned propagation scratch this
+        // keeps steady-state batches allocation-free (see `contract.rs`,
+        // module docs, *Scratch lifecycle*).
+        self.edges.reserve(links.len().saturating_sub(cuts.len()));
         for &id in cuts {
             let rec = self
                 .edges
@@ -381,9 +386,8 @@ mod tests {
         // handled by the spine.
         let n = 51;
         let mut f = RcForest::new(n, 3);
-        let links: Vec<(u32, u32, f64, u64)> = (1..n as u32)
-            .map(|v| (0, v, v as f64, v as u64))
-            .collect();
+        let links: Vec<(u32, u32, f64, u64)> =
+            (1..n as u32).map(|v| (0, v, v as f64, v as u64)).collect();
         f.batch_link(&links);
         assert_eq!(f.num_components(), 1);
         for v in 1..n as u32 {
@@ -526,7 +530,7 @@ mod tests {
         f.batch_update(&[2], &[(2, 3, 1.0, 4)]);
         assert_eq!(f.component_size(0), 2); // {0,1}
         assert_eq!(f.component_size(2), 3); // {2,3,4}
-        // A high-degree vertex: phantoms must not count.
+                                            // A high-degree vertex: phantoms must not count.
         let links: Vec<(u32, u32, f64, u64)> =
             (5..7u32).map(|v| (2, v, 1.0, 10 + v as u64)).collect();
         f.batch_link(&links);

@@ -1,0 +1,125 @@
+//! Thread-count independence of the parallel propagation path.
+//!
+//! The engine computes round plans in parallel and applies them serially in
+//! planning order, so the *entire* contraction — decisions, lifetimes, and
+//! cluster-arena ids — must be a pure function of `(base forest, seed)`,
+//! regardless of how many workers computed the plans. These tests run the
+//! same randomized interleaved link/cut histories under thread pools of 1
+//! and 4 (the `install`-scoped equivalent of `RAYON_NUM_THREADS ∈ {1, 4}`),
+//! with batches big enough to cross `bimst_primitives::GRAIN` so the
+//! parallel path genuinely executes, and require:
+//!
+//! 1. change propagation ≡ from-scratch rebuild under either pool, and
+//! 2. bit-identical contractions across the two pools.
+
+use bimst_primitives::hash::hash2;
+use bimst_rctree::RcForest;
+use proptest::prelude::*;
+
+/// Runs `steps` batches of a deterministic pseudo-random link/cut history
+/// on `n` vertices under a pool of `threads`, returning the forest.
+fn run_history(n: u32, seed: u64, history_seed: u64, steps: u64, threads: usize) -> RcForest {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool");
+    pool.install(|| {
+        let mut f = RcForest::new(n as usize, seed);
+        // Union-find over live edges to keep the graph a forest.
+        let mut parent: Vec<u32> = (0..n).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                let gp = p[p[x as usize] as usize];
+                p[x as usize] = gp;
+                x = gp;
+            }
+            x
+        }
+        let mut live: Vec<(u32, u32, u64)> = Vec::new();
+        let mut eid = 0u64;
+        for step in 0..steps {
+            let s = history_seed.wrapping_mul(1_000_003).wrapping_add(step);
+            // Cut a pseudo-random slice of the live edges.
+            let ncuts = if live.is_empty() {
+                0
+            } else {
+                (hash2(s, 0) as usize) % (live.len() / 2 + 1)
+            };
+            let mut cuts = Vec::new();
+            for k in 0..ncuts {
+                let i = (hash2(s, 1 + k as u64) as usize) % live.len();
+                cuts.push(live.swap_remove(i).2);
+            }
+            parent
+                .iter_mut()
+                .enumerate()
+                .for_each(|(i, p)| *p = i as u32);
+            for &(a, b, _) in &live {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                parent[ra as usize] = rb;
+            }
+            // Link a large batch of non-cycle edges (large enough that the
+            // flagged set exceeds the parallel grain).
+            let mut links = Vec::new();
+            for k in 0..(n as u64) {
+                let a = (hash2(s, 1000 + 2 * k) % n as u64) as u32;
+                let b = (hash2(s, 1001 + 2 * k) % n as u64) as u32;
+                if a == b {
+                    continue;
+                }
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra == rb {
+                    continue;
+                }
+                parent[ra as usize] = rb;
+                links.push((a, b, (hash2(s, k) % 100_000) as f64, eid));
+                live.push((a, b, eid));
+                eid += 1;
+            }
+            f.batch_update(&cuts, &links);
+        }
+        f
+    })
+}
+
+#[test]
+fn parallel_propagation_matches_scratch_and_is_thread_count_independent() {
+    // n = 6000 makes first-batch frontiers (~n flagged nodes) well past the
+    // 2048-element grain, so plans really are computed on worker threads.
+    let n = 6000u32;
+    for history_seed in 0..2u64 {
+        let f1 = run_history(n, 42, history_seed, 4, 1);
+        let f4 = run_history(n, 42, history_seed, 4, 4);
+        f1.verify_against_scratch().unwrap();
+        f4.verify_against_scratch().unwrap();
+        f1.engine()
+            .same_contraction(f4.engine())
+            .expect("contractions must not depend on thread count");
+        // Stronger than `same_contraction`: arena ids must line up too,
+        // because applies run in deterministic planning order.
+        assert_eq!(
+            f1.engine().clusters.len(),
+            f4.engine().clusters.len(),
+            "cluster arenas diverged between 1 and 4 threads"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized histories: propagation equals a from-scratch contraction
+    /// under both pools, and the two pools agree with each other.
+    #[test]
+    fn random_histories_deterministic_across_pools(
+        history_seed in 0u64..1_000_000,
+        steps in 2u64..5,
+    ) {
+        let n = 3000u32;
+        let f1 = run_history(n, 7, history_seed, steps, 1);
+        let f4 = run_history(n, 7, history_seed, steps, 4);
+        f1.verify_against_scratch().unwrap();
+        f4.verify_against_scratch().unwrap();
+        f1.engine().same_contraction(f4.engine()).unwrap();
+    }
+}

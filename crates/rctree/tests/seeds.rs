@@ -2,9 +2,9 @@
 //! must hold for *every* seed, not just the test-suite default. Sweep seeds
 //! over mixed workloads and check all invariants.
 
+use bimst_primitives::hash::hash2;
 use bimst_rctree::naive::NaiveForest;
 use bimst_rctree::RcForest;
-use bimst_primitives::hash::hash2;
 
 #[test]
 fn twenty_seeds_mixed_workload() {
@@ -31,7 +31,8 @@ fn twenty_seeds_mixed_workload() {
             for k in 0..(hash2(seed ^ round, 1) % 5) {
                 let a = (hash2(seed ^ round, 100 + k) % n as u64) as u32;
                 let b = (hash2(seed ^ round, 200 + k) % n as u64) as u32;
-                if a == b || naive.connected(a, b)
+                if a == b
+                    || naive.connected(a, b)
                     || links.iter().any(|&(x, y, _, _): &(u32, u32, f64, u64)| {
                         // crude in-batch cycle guard: skip if endpoint reused
                         x == a || y == a || x == b || y == b

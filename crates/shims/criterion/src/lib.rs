@@ -1,0 +1,205 @@
+//! A minimal, offline stand-in for the `criterion` bench harness.
+//!
+//! No network access is available in this build environment, so the
+//! workspace vendors the small slice of criterion's API its benches use:
+//! groups, throughput annotation, `bench_function` / `bench_with_input`,
+//! and the `criterion_group!` / `criterion_main!` macros. Measurement is a
+//! plain warmup + fixed-sample wall-clock loop reporting mean and min —
+//! honest numbers without criterion's statistics machinery.
+//!
+//! Set `BENCH_SAMPLES` to override per-benchmark sample counts (useful to
+//! smoke-test benches quickly in CI).
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter (group name supplies the rest).
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The top-level harness handle.
+pub struct Criterion {
+    samples: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            samples: std::env::var("BENCH_SAMPLES")
+                .ok()
+                .and_then(|s| s.parse().ok()),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.samples.unwrap_or(10),
+            sample_override: self.samples,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    sample_override: Option<usize>,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = self.sample_override.unwrap_or(n);
+        self
+    }
+
+    /// Sets the throughput annotation used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&self.name, id, self.throughput);
+    }
+
+    /// Benchmarks `f` under `id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&self.name, &id.id, self.throughput);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; `iter` runs and times the workload.
+pub struct Bencher {
+    samples: usize,
+    times_ns: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples: samples.max(1),
+            times_ns: Vec::new(),
+        }
+    }
+
+    /// Times `samples` runs of `f` after one warmup run.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        self.times_ns.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.times_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn report(&self, group: &str, id: &str, throughput: Option<Throughput>) {
+        if self.times_ns.is_empty() {
+            println!("{group}/{id}: no samples");
+            return;
+        }
+        let mean = self.times_ns.iter().sum::<f64>() / self.times_ns.len() as f64;
+        let min = self.times_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let thr = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Melem/s", n as f64 / mean * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!(
+            "{group}/{id}: mean {:>12} min {:>12}{thr}",
+            fmt_ns(mean),
+            fmt_ns(min)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Declares a bench entry point collecting several bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

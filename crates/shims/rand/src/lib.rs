@@ -1,0 +1,144 @@
+//! A minimal, offline stand-in for the `rand` crate (0.8-style API).
+//!
+//! Provides exactly what `bimst-graphgen` consumes: [`RngCore`], the [`Rng`]
+//! extension trait with `gen`, `gen_range`, `gen_bool`, and [`SeedableRng`]
+//! with `seed_from_u64`. Concrete generators live in the sibling
+//! `rand_chacha` shim.
+
+use std::ops::Range;
+
+/// A raw generator of 64-bit values.
+pub trait RngCore {
+    /// Next raw value.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Sampling a value of `T` from the "standard" distribution.
+pub trait Standard: Sized {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u64() as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integers uniformly sampleable from a half-open range. A single generic
+/// [`SampleRange`] impl over this trait keeps integer-literal inference
+/// working (`gen_range(0..10)` with the output type fixing the literal).
+pub trait UniformInt: Copy {
+    /// Widening conversions for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrowing back (value is guaranteed in range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A range that can be sampled uniformly for values of `T`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u64;
+        T::from_i128(lo + (rng.next_u64() % span) as i128)
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// A value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform value from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_and_floats_in_bounds() {
+        let mut r = Lcg(42);
+        for _ in 0..1000 {
+            let x: u32 = r.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let f: f64 = r.gen();
+            assert!((0.0..1.0).contains(&f));
+            let y: i32 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Lcg(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+}

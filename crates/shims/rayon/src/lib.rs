@@ -1,0 +1,864 @@
+//! A small, offline stand-in for the `rayon` crate.
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the subset of rayon's API that it actually uses. The
+//! implementation is *really parallel* — work is split into index ranges and
+//! run on `std::thread::scope` threads — but it is not a work-stealing
+//! scheduler: each parallel call spawns up to `current_num_threads() - 1`
+//! short-lived workers. That is the right trade-off here because every hot
+//! call site in the workspace already gates parallelism behind a grain-size
+//! check (`bimst_primitives::GRAIN` or a local threshold), so parallel calls
+//! only happen when each worker gets enough work to amortize a thread spawn.
+//!
+//! ## Model
+//!
+//! Parallel iterators are *indexed*: an iterator knows its length and can
+//! produce the item at any index from `&self`. Adapters (`map`, `zip`,
+//! `enumerate`, `copied`, `cloned`) compose indexed iterators; `filter` drops
+//! out of the indexed model and only supports draining (`for_each`,
+//! `collect`, further `map`), exactly like rayon's own indexed/unindexed
+//! split. Drivers split `0..len` into contiguous chunks, one per worker, and
+//! visit each index exactly once — which is what makes the `&mut`-producing
+//! iterators (`par_iter_mut`, `par_chunks_mut`) sound.
+//!
+//! ## Thread-count control
+//!
+//! `RAYON_NUM_THREADS` is honored at first use, and [`ThreadPoolBuilder`] /
+//! [`ThreadPool::install`] scope an override onto the calling thread (and
+//! propagate it into workers), which is all the workspace's speedup harness
+//! and determinism tests need.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count plumbing
+// ---------------------------------------------------------------------------
+
+/// Lazily resolved default thread count (env var, else hardware parallelism).
+fn default_threads() -> usize {
+    static CACHE: AtomicUsize = AtomicUsize::new(0);
+    let cached = CACHE.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let n = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()));
+    CACHE.store(n, Ordering::Relaxed);
+    n
+}
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`] (0 = none).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The number of threads parallel calls on this thread will use.
+pub fn current_num_threads() -> usize {
+    let o = OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        o
+    } else {
+        default_threads()
+    }
+}
+
+fn with_override<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    let prev = OVERRIDE.with(|c| c.replace(n));
+    let r = f();
+    OVERRIDE.with(|c| c.set(prev));
+    r
+}
+
+/// A "pool": in this shim just a thread-count setting for `install`.
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count installed.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_override(self.n, f)
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    n: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count (0 = default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.n = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            n: self.n.unwrap_or_else(default_threads),
+        })
+    }
+}
+
+/// Fork-join: runs both closures, in parallel when the budget allows.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let t = current_num_threads();
+    if t <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|s| {
+        let hb = s.spawn(move || with_override(t, b));
+        let ra = a();
+        (ra, hb.join().expect("rayon shim: joined task panicked"))
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Below this many items a parallel call runs inline (call sites also gate on
+/// their own grain, so this is belt-and-braces against tiny spawns).
+const MIN_ITEMS_PER_WORKER: usize = 256;
+
+/// Runs `f` once per contiguous chunk of `0..n` and returns the per-chunk
+/// results in chunk order.
+fn run_chunks<A: Send>(n: usize, f: &(impl Fn(Range<usize>) -> A + Sync)) -> Vec<A> {
+    let t = current_num_threads();
+    let chunks = t.min(n / MIN_ITEMS_PER_WORKER.max(1)).max(1);
+    if chunks <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(chunks);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..chunks)
+            .map(|i| {
+                let lo = i * chunk;
+                let hi = ((i + 1) * chunk).min(n);
+                s.spawn(move || with_override(t, || f(lo..hi)))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rayon shim: worker panicked"))
+            .collect()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The parallel iterator trait
+// ---------------------------------------------------------------------------
+
+/// An indexed parallel iterator (see module docs for the model).
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of items.
+    fn pi_len(&self) -> usize;
+
+    /// The item at `i`.
+    ///
+    /// # Safety
+    ///
+    /// Callers must consume each index at most once across the whole life
+    /// of the iterator (drivers use disjoint ranges). The `&mut`-producing
+    /// sources rely on this to never hand out two live `&mut` to the same
+    /// element; calling `item` twice with the same `i` on such an iterator
+    /// is undefined behavior, which is why this method is `unsafe`.
+    unsafe fn item(&self, i: usize) -> Self::Item;
+
+    /// Folds the items of `range` into `acc`. Unindexed adapters (filter)
+    /// override this; everything else uses the indexed default.
+    fn fold_range<A>(&self, range: Range<usize>, acc: A, g: &impl Fn(A, Self::Item) -> A) -> A {
+        let mut acc = acc;
+        for i in range {
+            // SAFETY: drivers pass disjoint ranges, so each index is
+            // consumed exactly once (the `item` contract).
+            acc = g(acc, unsafe { self.item(i) });
+        }
+        acc
+    }
+
+    /// Maps each item through `f`.
+    fn map<U: Send, F: Fn(Self::Item) -> U + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Keeps items matching `pred`. The result is unindexed: it can be
+    /// drained (`for_each`, `collect`) or mapped, not zipped.
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, pred: F) -> Filter<Self, F> {
+        Filter { base: self, pred }
+    }
+
+    /// Pairs items with the co-indexed items of `other`.
+    fn zip<O: ParallelIterator>(self, other: O) -> Zip<Self, O> {
+        Zip { a: self, b: other }
+    }
+
+    /// Pairs items with their indices.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Copies `&T` items out.
+    fn copied(self) -> Copied<Self> {
+        Copied { base: self }
+    }
+
+    /// Clones `&T` items out.
+    fn cloned(self) -> Cloned<Self> {
+        Cloned { base: self }
+    }
+
+    /// Runs `f` on every item.
+    fn for_each<F: Fn(Self::Item) + Sync>(self, f: F) {
+        run_chunks(self.pi_len(), &|r| {
+            self.fold_range(r, (), &|(), x| f(x));
+        });
+    }
+
+    /// Collects into a container (chunk order — i.e. input order).
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+
+    /// Number of items after adapters (drains unindexed adapters).
+    fn count(self) -> usize {
+        run_chunks(self.pi_len(), &|r| {
+            self.fold_range(r, 0usize, &|a, _| a + 1)
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// Conversion into a parallel iterator by value (ranges here).
+pub trait IntoParallelIterator {
+    /// Iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type.
+    type Item: Send;
+    /// Converts.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `.par_iter()` on slice-likes.
+pub trait IntoParallelRefIterator<'a> {
+    /// Iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a shared reference).
+    type Item: Send;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// `.par_iter_mut()` on slice-likes.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Element type (a mutable reference).
+    type Item: Send;
+    /// Borrowing conversion.
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+/// Collecting from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the container.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        let parts = run_chunks(it.pi_len(), &|r| {
+            let est = r.len();
+            it.fold_range(r, Vec::with_capacity(est), &|mut v, x| {
+                v.push(x);
+                v
+            })
+        });
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]`.
+pub struct SliceIter<'a, T> {
+    s: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.s.len()
+    }
+    unsafe fn item(&self, i: usize) -> &'a T {
+        &self.s[i]
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { s: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+    fn par_iter(&'a self) -> SliceIter<'a, T> {
+        SliceIter { s: self.as_slice() }
+    }
+}
+
+/// Parallel iterator over `&mut [T]`. Shared across workers as raw parts;
+/// sound because drivers hand out each index exactly once.
+pub struct SliceIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for SliceIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        // SAFETY: `ptr` points at `len` initialized elements borrowed
+        // mutably for 'a, and the driver visits each index at most once, so
+        // no two `&mut` to the same element coexist.
+        unsafe { &mut *self.ptr.add(i) }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        SliceIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Iter = SliceIterMut<'a, T>;
+    type Item = &'a mut T;
+    fn par_iter_mut(&'a mut self) -> SliceIterMut<'a, T> {
+        self.as_mut_slice().par_iter_mut()
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    start: T,
+    len: usize,
+}
+
+/// Integer types usable as parallel ranges. A single generic impl (rather
+/// than one impl per type) keeps integer-literal fallback working for
+/// `(0..64).into_par_iter()`.
+pub trait RangeInteger: Copy + Send + Sync {
+    /// `max(0, end - start)` as a usize.
+    fn span(start: Self, end: Self) -> usize;
+    /// `start + i`.
+    fn offset(start: Self, i: usize) -> Self;
+}
+
+macro_rules! impl_range_integer {
+    ($($t:ty),*) => {$(
+        impl RangeInteger for $t {
+            fn span(start: $t, end: $t) -> usize {
+                if end > start { (end - start) as usize } else { 0 }
+            }
+            fn offset(start: $t, i: usize) -> $t {
+                start + i as $t
+            }
+        }
+    )*};
+}
+
+impl_range_integer!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangeInteger> ParallelIterator for RangeIter<T> {
+    type Item = T;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item(&self, i: usize) -> T {
+        T::offset(self.start, i)
+    }
+}
+
+impl<T: RangeInteger> IntoParallelIterator for Range<T> {
+    type Iter = RangeIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> RangeIter<T> {
+        RangeIter {
+            start: self.start,
+            len: T::span(self.start, self.end),
+        }
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size > 0);
+        ChunksIter {
+            s: self,
+            chunk: chunk_size,
+        }
+    }
+}
+
+/// See [`ParallelSlice::par_chunks`].
+pub struct ChunksIter<'a, T> {
+    s: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> ParallelIterator for ChunksIter<'a, T> {
+    type Item = &'a [T];
+    fn pi_len(&self) -> usize {
+        self.s.len().div_ceil(self.chunk)
+    }
+    unsafe fn item(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.s.len());
+        &self.s[lo..hi]
+    }
+}
+
+/// `.par_chunks_mut(n)` and parallel sorts on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint `chunk_size`-sized mutable sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T>;
+
+    /// Parallel unstable sort. (Only `Copy` payloads are needed — and
+    /// supported — by this workspace; see the merge step.)
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy;
+
+    /// Parallel unstable sort by key.
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F)
+    where
+        T: Copy;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksIterMut<'_, T> {
+        assert!(chunk_size > 0);
+        ChunksIterMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            chunk: chunk_size,
+            _marker: PhantomData,
+        }
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord + Copy,
+    {
+        par_sort_impl(self, &|a, b| a.cmp(b));
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: Fn(&T) -> K + Sync>(&mut self, key: F)
+    where
+        T: Copy,
+    {
+        par_sort_impl(self, &|a, b| key(a).cmp(&key(b)));
+    }
+}
+
+/// See [`ParallelSliceMut::par_chunks_mut`].
+pub struct ChunksIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    chunk: usize,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Sync for ChunksIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ChunksIterMut<'a, T> {
+    type Item = &'a mut [T];
+    fn pi_len(&self) -> usize {
+        self.len.div_ceil(self.chunk)
+    }
+    unsafe fn item(&self, i: usize) -> &'a mut [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.len);
+        debug_assert!(lo <= hi && hi <= self.len);
+        // SAFETY: chunks are disjoint and each index is handed out at most
+        // once by the driver (same contract as `SliceIterMut`).
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(lo), hi - lo) }
+    }
+}
+
+/// Chunk-sort in parallel, then merge pairs (the `Copy` bound keeps the
+/// merge a plain element copy rather than an unsafe move dance).
+fn par_sort_impl<T: Send + Copy>(
+    s: &mut [T],
+    cmp: &(impl Fn(&T, &T) -> std::cmp::Ordering + Sync),
+) {
+    let n = s.len();
+    let t = current_num_threads();
+    if t <= 1 || n < 2 * MIN_ITEMS_PER_WORKER {
+        s.sort_unstable_by(cmp);
+        return;
+    }
+    let chunks = t.min(n / MIN_ITEMS_PER_WORKER).max(1).next_power_of_two();
+    let chunk = n.div_ceil(chunks);
+    {
+        let mut parts: Vec<&mut [T]> = s.chunks_mut(chunk).collect();
+        std::thread::scope(|sc| {
+            for p in parts.drain(..) {
+                sc.spawn(move || p.sort_unstable_by(cmp));
+            }
+        });
+    }
+    // Iterative pairwise merge with a scratch buffer.
+    let mut buf: Vec<T> = s.to_vec();
+    let mut width = chunk;
+    let mut src_is_s = true;
+    while width < n {
+        {
+            let (src, dst): (&[T], &mut [T]) = if src_is_s {
+                (unsafe { &*(s as *const [T]) }, &mut buf)
+            } else {
+                (&buf, s)
+            };
+            let mut lo = 0;
+            while lo < n {
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                merge_runs(&src[lo..mid], &src[mid..hi], &mut dst[lo..hi], cmp);
+                lo = hi;
+            }
+        }
+        src_is_s = !src_is_s;
+        width *= 2;
+    }
+    if !src_is_s {
+        s.copy_from_slice(&buf);
+    }
+}
+
+fn merge_runs<T: Copy>(
+    a: &[T],
+    b: &[T],
+    out: &mut [T],
+    cmp: &impl Fn(&T, &T) -> std::cmp::Ordering,
+) {
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_a =
+            j >= b.len() || (i < a.len() && cmp(&a[i], &b[j]) != std::cmp::Ordering::Greater);
+        if take_a {
+            *slot = a[i];
+            i += 1;
+        } else {
+            *slot = b[j];
+            j += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Adapters
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, U, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    U: Send,
+    F: Fn(I::Item) -> U + Sync,
+{
+    type Item = U;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item(&self, i: usize) -> U {
+        // SAFETY: forwarded under the caller's once-per-index contract.
+        (self.f)(unsafe { self.base.item(i) })
+    }
+    fn fold_range<A>(&self, range: Range<usize>, acc: A, g: &impl Fn(A, U) -> A) -> A {
+        // Delegate so mapping over unindexed bases (filter) works too.
+        self.base.fold_range(range, acc, &|a, x| g(a, (self.f)(x)))
+    }
+}
+
+/// See [`ParallelIterator::filter`]; unindexed (drain-only).
+pub struct Filter<I, P> {
+    base: I,
+    pred: P,
+}
+
+impl<I, P> ParallelIterator for Filter<I, P>
+where
+    I: ParallelIterator,
+    P: Fn(&I::Item) -> bool + Sync,
+{
+    type Item = I::Item;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item(&self, _i: usize) -> I::Item {
+        unreachable!("filtered parallel iterators are not indexed (rayon shim)")
+    }
+    fn fold_range<A>(&self, range: Range<usize>, acc: A, g: &impl Fn(A, I::Item) -> A) -> A {
+        self.base.fold_range(range, acc, &|a, x| {
+            if (self.pred)(&x) {
+                g(a, x)
+            } else {
+                a
+            }
+        })
+    }
+}
+
+/// See [`ParallelIterator::zip`].
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A: ParallelIterator, B: ParallelIterator> ParallelIterator for Zip<A, B> {
+    type Item = (A::Item, B::Item);
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    unsafe fn item(&self, i: usize) -> (A::Item, B::Item) {
+        // SAFETY: forwarded under the caller's once-per-index contract.
+        unsafe { (self.a.item(i), self.b.item(i)) }
+    }
+}
+
+/// See [`ParallelIterator::enumerate`].
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item(&self, i: usize) -> (usize, I::Item) {
+        // SAFETY: forwarded under the caller's once-per-index contract.
+        (i, unsafe { self.base.item(i) })
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Copied<I>
+where
+    T: Copy + Sync + Send + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item(&self, i: usize) -> T {
+        // SAFETY: forwarded under the caller's once-per-index contract.
+        *unsafe { self.base.item(i) }
+    }
+    fn fold_range<A>(&self, range: Range<usize>, acc: A, g: &impl Fn(A, T) -> A) -> A {
+        self.base.fold_range(range, acc, &|a, x| g(a, *x))
+    }
+}
+
+/// See [`ParallelIterator::cloned`].
+pub struct Cloned<I> {
+    base: I,
+}
+
+impl<'a, T, I> ParallelIterator for Cloned<I>
+where
+    T: Clone + Sync + Send + 'a,
+    I: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item(&self, i: usize) -> T {
+        // SAFETY: forwarded under the caller's once-per-index contract.
+        unsafe { self.base.item(i) }.clone()
+    }
+    fn fold_range<A>(&self, range: Range<usize>, acc: A, g: &impl Fn(A, T) -> A) -> A {
+        self.base.fold_range(range, acc, &|a, x| g(a, x.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..100_000u64).collect();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert!(ys.iter().enumerate().all(|(i, &y)| y == 2 * i as u64));
+    }
+
+    #[test]
+    fn filter_then_map_collect() {
+        let xs: Vec<u32> = (0..50_000u32).collect();
+        let ys: Vec<u32> = xs
+            .par_iter()
+            .enumerate()
+            .filter(|&(i, _)| i % 3 == 0)
+            .map(|(_, &x)| x)
+            .collect();
+        assert_eq!(ys.len(), xs.len().div_ceil(3));
+        assert!(ys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_slot_once() {
+        let mut xs = vec![0u32; 70_000];
+        xs.par_iter_mut()
+            .enumerate()
+            .for_each(|(i, x)| *x += i as u32 + 1);
+        assert!(xs.iter().enumerate().all(|(i, &x)| x == i as u32 + 1));
+    }
+
+    #[test]
+    fn zip_chunks_mut_like_the_scan() {
+        let xs = vec![1usize; 10_000];
+        let mut out = vec![0usize; 10_000];
+        out.par_chunks_mut(1000)
+            .zip(xs.par_chunks(1000))
+            .for_each(|(o, x)| {
+                for (a, b) in o.iter_mut().zip(x) {
+                    *a = *b;
+                }
+            });
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn ranges_and_count() {
+        let hits = AtomicUsize::new(0);
+        (0..10_000usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10_000);
+        assert_eq!((5..25u64).into_par_iter().count(), 20);
+    }
+
+    #[test]
+    fn par_sorts_match_sequential() {
+        let mut xs: Vec<u64> = (0..100_000u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9))
+            .collect();
+        let mut expect = xs.clone();
+        expect.sort_unstable();
+        xs.par_sort_unstable();
+        assert_eq!(xs, expect);
+
+        let mut ys: Vec<u32> = (0..100_000u32)
+            .map(|i| i.wrapping_mul(2654435761))
+            .collect();
+        let mut expect = ys.clone();
+        expect.sort_unstable_by_key(|&y| std::cmp::Reverse(y));
+        ys.par_sort_unstable_by_key(|&y| std::cmp::Reverse(y));
+        assert_eq!(ys, expect);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn pool_install_overrides_thread_count() {
+        let pool = crate::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(crate::current_num_threads), 3);
+    }
+}

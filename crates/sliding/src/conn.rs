@@ -341,11 +341,7 @@ mod tests {
 
     #[test]
     fn expire_everything() {
-        drive(
-            3,
-            &[(&[(0, 1), (1, 2)], 0), (&[], 99)],
-            &[(0, 1), (0, 2)],
-        );
+        drive(3, &[(&[(0, 1), (1, 2)], 0), (&[], 99)], &[(0, 1), (0, 2)]);
     }
 
     #[test]

@@ -79,11 +79,8 @@ impl KCertificate {
             self.t = self.t.max(tau + 1);
         }
         // O₀ = B (self-loops can never enter any forest; drop them now).
-        let mut o: Vec<(VertexId, VertexId, u64)> = edges
-            .iter()
-            .copied()
-            .filter(|&(u, v, _)| u != v)
-            .collect();
+        let mut o: Vec<(VertexId, VertexId, u64)> =
+            edges.iter().copied().filter(|&(u, v, _)| u != v).collect();
         for i in 0..self.k {
             if o.is_empty() {
                 break;
@@ -97,9 +94,7 @@ impl KCertificate {
             let res = self.forests[i].batch_insert(&batch);
             let mut next: Vec<(VertexId, VertexId, u64)> = Vec::new();
             for id in res.evicted {
-                let (u, v) = self.ds[i]
-                    .remove(id)
-                    .expect("evicted edge tracked in D_i");
+                let (u, v) = self.ds[i].remove(id).expect("evicted edge tracked in D_i");
                 next.push((u, v, id));
             }
             for id in res.rejected {
@@ -264,7 +259,7 @@ mod tests {
     fn eviction_cascades_to_next_forest() {
         let mut kc = KCertificate::new(3, 2, 5);
         kc.batch_insert(&[(0, 1), (1, 2)]); // F1 = {(0,1),(1,2)}
-        // A newer (0,1) evicts the old one from F1 down into F2.
+                                            // A newer (0,1) evicts the old one from F1 down into F2.
         kc.batch_insert(&[(0, 1)]);
         assert_eq!(kc.forest_edge_count(0), 2);
         assert_eq!(kc.forest_edge_count(1), 1);
@@ -312,8 +307,7 @@ mod tests {
             kc.batch_expire(d as u64);
             tw = (tw + d).min(all.len());
             let window = &all[tw..];
-            let cert: Vec<(u32, u32)> =
-                kc.make_cert().iter().map(|&(_, u, v)| (u, v)).collect();
+            let cert: Vec<(u32, u32)> = kc.make_cert().iter().map(|&(_, u, v)| (u, v)).collect();
             for s in 0..n as u32 {
                 let t = (hash2(round ^ 0xf00d, s as u64) % n as u64) as u32;
                 if s == t {

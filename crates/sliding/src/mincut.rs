@@ -22,10 +22,7 @@ use bimst_primitives::VertexId;
 /// anything about the subgraph the certificate witnesses).
 pub fn global_min_cut(edges: &[(VertexId, VertexId, f64)]) -> Option<f64> {
     // Compact the touched vertices.
-    let mut verts: Vec<VertexId> = edges
-        .iter()
-        .flat_map(|&(u, v, _)| [u, v])
-        .collect();
+    let mut verts: Vec<VertexId> = edges.iter().flat_map(|&(u, v, _)| [u, v]).collect();
     verts.sort_unstable();
     verts.dedup();
     let n = verts.len();
@@ -78,8 +75,7 @@ pub fn global_min_cut(edges: &[(VertexId, VertexId, f64)]) -> Option<f64> {
         best = best.min(key[last]);
         // Merge `last` into `prev`.
         let (vl, vp) = (active[last], active[prev]);
-        for i in 0..m {
-            let vi = active[i];
+        for &vi in active.iter().take(m) {
             if vi != vl && vi != vp {
                 w[vp * n + vi] += w[vl * n + vi];
                 w[vi * n + vp] += w[vi * n + vl];
@@ -121,9 +117,7 @@ mod tests {
 
     #[test]
     fn cycle_has_min_cut_two() {
-        let edges: Vec<(u32, u32, f64)> = (0..6u32)
-            .map(|i| (i, (i + 1) % 6, 1.0))
-            .collect();
+        let edges: Vec<(u32, u32, f64)> = (0..6u32).map(|i| (i, (i + 1) % 6, 1.0)).collect();
         assert_eq!(global_min_cut(&edges), Some(2.0));
     }
 

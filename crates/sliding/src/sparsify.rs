@@ -273,7 +273,7 @@ mod tests {
         let (co, cs) = (cut_weight(&orig, &bridge), cut_weight(&sp, &bridge));
         assert!(co == 4.0);
         assert!(
-            cs >= 1.0 && cs <= 16.0,
+            (1.0..=16.0).contains(&cs),
             "bridge cut {cs} too far from {co} even for scaled constants"
         );
         // Sparsifier should not blow up in size.

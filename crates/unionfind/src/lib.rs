@@ -22,7 +22,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use rayon::prelude::*;
 
 /// Sequential union-find with union by rank and path splitting.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
     rank: Vec<u8>,
@@ -37,6 +37,17 @@ impl UnionFind {
             rank: vec![0; n],
             components: n,
         }
+    }
+
+    /// Re-initializes to `n` singleton sets, reusing the existing buffers.
+    /// Zero allocations once `n` fits the high-water capacity — the batch
+    /// hot paths reset a cached instance instead of building a new one.
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.rank.clear();
+        self.rank.resize(n, 0);
+        self.components = n;
     }
 
     /// Representative of `x`'s set.
@@ -89,6 +100,12 @@ impl UnionFind {
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.parent.len()
+    }
+
+    /// High-water capacity of the element buffer (for steady-state
+    /// allocation tests).
+    pub fn capacity(&self) -> usize {
+        self.parent.capacity()
     }
 
     /// Whether the structure is empty.
@@ -310,7 +327,12 @@ mod tests {
         use bimst_primitives::hash::hash2;
         let n = 2000u32;
         let edges: Vec<(u32, u32)> = (0..6000u64)
-            .map(|i| ((hash2(1, i) % n as u64) as u32, (hash2(2, i) % n as u64) as u32))
+            .map(|i| {
+                (
+                    (hash2(1, i) % n as u64) as u32,
+                    (hash2(2, i) % n as u64) as u32,
+                )
+            })
             .collect();
         let cuf = ConcurrentUnionFind::new(n as usize);
         edges.par_iter().for_each(|&(u, v)| {

@@ -83,7 +83,10 @@ fn main() {
             let brute = naive.path_max(a, b).unwrap();
             let cpt_pm = bimst_msf::ForestPathMax::new(
                 16,
-                &cpt.edges.iter().map(|e| (e.u, e.v, e.key)).collect::<Vec<_>>(),
+                &cpt.edges
+                    .iter()
+                    .map(|e| (e.u, e.v, e.key))
+                    .collect::<Vec<_>>(),
             )
             .query(a, b)
             .unwrap();

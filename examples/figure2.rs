@@ -17,16 +17,16 @@ fn main() {
     //      a-b, b-c, b-d, d-e, e-f, f-g, e-h, h-i, i-j, i-k, k-l
     let name = |v: u32| (b'a' + v as u8) as char;
     let links: Vec<(u32, u32, f64, u64)> = [
-        (0, 1), // a-b
-        (1, 2), // b-c
-        (1, 3), // b-d
-        (3, 4), // d-e
-        (4, 5), // e-f
-        (5, 6), // f-g
-        (4, 7), // e-h
-        (7, 8), // h-i
-        (8, 9), // i-j
-        (8, 10), // i-k
+        (0, 1),   // a-b
+        (1, 2),   // b-c
+        (1, 3),   // b-d
+        (3, 4),   // d-e
+        (4, 5),   // e-f
+        (5, 6),   // f-g
+        (4, 7),   // e-h
+        (7, 8),   // h-i
+        (8, 9),   // i-j
+        (8, 10),  // i-k
         (10, 11), // k-l
     ]
     .iter()

@@ -40,7 +40,7 @@ fn main() {
     let mut window: Vec<(u32, u32)> = Vec::new();
     for a in 0..half {
         for b in (a + 1)..half {
-            if hash2(1, (a as u64) << 32 | b as u64) % 3 == 0 {
+            if hash2(1, (a as u64) << 32 | b as u64).is_multiple_of(3) {
                 window.push((a, b));
                 window.push((half + a, half + b));
             }
@@ -57,7 +57,11 @@ fn main() {
     let quarter = stream.len() / 4;
     for c in 0..4 {
         let lo = c * quarter;
-        let hi = if c == 3 { stream.len() } else { (c + 1) * quarter };
+        let hi = if c == 3 {
+            stream.len()
+        } else {
+            (c + 1) * quarter
+        };
         sp.batch_insert(&stream[lo..hi]);
     }
     // Slide the window past the first batch.
@@ -76,14 +80,23 @@ fn main() {
     let spw: Vec<(u32, u32, f64)> = sparse.iter().map(|&(u, v, w, _)| (u, v, w)).collect();
 
     // The planted community cut plus random cuts.
-    println!("\n{:>24} {:>10} {:>12} {:>8}", "cut", "original", "sparsifier", "ratio");
+    println!(
+        "\n{:>24} {:>10} {:>12} {:>8}",
+        "cut", "original", "sparsifier", "ratio"
+    );
     let planted: HashSet<u32> = (0..half).collect();
     let co = cut_weight(&orig, &planted);
     let cs = cut_weight(&spw, &planted);
-    println!("{:>24} {:>10.0} {:>12.1} {:>8.2}", "planted (A|B)", co, cs, cs / co.max(1.0));
+    println!(
+        "{:>24} {:>10.0} {:>12.1} {:>8.2}",
+        "planted (A|B)",
+        co,
+        cs,
+        cs / co.max(1.0)
+    );
     for trial in 0..5u64 {
         let side: HashSet<u32> = (0..n as u32)
-            .filter(|&v| hash2(trial + 100, v as u64) % 2 == 0)
+            .filter(|&v| hash2(trial + 100, v as u64).is_multiple_of(2))
             .collect();
         let co = cut_weight(&orig, &side);
         let cs = cut_weight(&spw, &side);

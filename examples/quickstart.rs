@@ -21,7 +21,11 @@ fn main() {
         (3, 4, 9.0, 103),
         (4, 5, 5.0, 104),
     ]);
-    println!("batch 1: +{} edges, weight {}", res.inserted.len(), msf.msf_weight());
+    println!(
+        "batch 1: +{} edges, weight {}",
+        res.inserted.len(),
+        msf.msf_weight()
+    );
     assert_eq!(msf.num_components(), 1);
 
     // Batch 2: shortcuts. Each closes a cycle; the heaviest edge on each
@@ -33,7 +37,9 @@ fn main() {
     ]);
     println!(
         "batch 2: inserted {:?}, evicted {:?}, weight {}",
-        res.inserted, res.evicted, msf.msf_weight()
+        res.inserted,
+        res.evicted,
+        msf.msf_weight()
     );
     assert_eq!(res.evicted, vec![101, 103]);
 
@@ -45,7 +51,10 @@ fn main() {
     // Queries.
     println!("connected(0, 5) = {}", msf.connected(0, 5));
     let k = msf.path_max(0, 5).unwrap();
-    println!("heaviest edge on the 0..5 MSF path: weight {} (id {})", k.w, k.id);
+    println!(
+        "heaviest edge on the 0..5 MSF path: weight {} (id {})",
+        k.w, k.id
+    );
 
     println!("\nfinal MSF:");
     let mut edges: Vec<_> = msf.iter_msf_edges().collect();

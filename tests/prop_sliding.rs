@@ -10,10 +10,7 @@ type Round = (Vec<(u16, u16)>, u8);
 
 fn rounds(n: u16, max_rounds: usize) -> impl Strategy<Value = Vec<Round>> {
     proptest::collection::vec(
-        (
-            proptest::collection::vec((0..n, 0..n), 0..8),
-            0u8..6,
-        ),
+        (proptest::collection::vec((0..n, 0..n), 0..8), 0u8..6),
         1..max_rounds,
     )
 }

@@ -186,17 +186,13 @@ fn fixed_window_semantics() {
     let batch = stream.next_batch(w);
     let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
     eager.batch_insert(&pairs);
-    oracle
-        .edges
-        .extend(pairs.iter().map(|&(u, v)| (u, v, 1.0)));
+    oracle.edges.extend(pairs.iter().map(|&(u, v)| (u, v, 1.0)));
     for _ in 0..30 {
         let batch = stream.next_batch(2);
         let pairs: Vec<(u32, u32)> = batch.iter().map(|&(u, v, _, _)| (u, v)).collect();
         eager.batch_insert(&pairs);
         eager.batch_expire(2);
-        oracle
-            .edges
-            .extend(pairs.iter().map(|&(u, v)| (u, v, 1.0)));
+        oracle.edges.extend(pairs.iter().map(|&(u, v)| (u, v, 1.0)));
         oracle.tw += 2;
         let (tw, t) = eager.window();
         assert_eq!((t - tw) as usize, w, "window stays fixed");

@@ -28,7 +28,8 @@ fn msf_20k_vertices_mixed_batches() {
     msf.forest().verify_against_scratch().unwrap();
     // Path maxima of the dynamic structure vs a static oracle over its own
     // edges (sampled).
-    let fedges: Vec<(u32, u32, WKey)> = msf.iter_msf_edges().map(|(_, u, v, k)| (u, v, k)).collect();
+    let fedges: Vec<(u32, u32, WKey)> =
+        msf.iter_msf_edges().map(|(_, u, v, k)| (u, v, k)).collect();
     let pm = ForestPathMax::new(n, &fedges);
     for i in 0..200u64 {
         let u = (hash2(1, i) % n as u64) as u32;
@@ -79,7 +80,11 @@ fn window_churn_10k() {
             sw.batch_expire(t - tw - window);
         }
         // Components must always be consistent with |D|.
-        assert_eq!(sw.num_components(), n - sw.msf_edge_count(), "round {round}");
+        assert_eq!(
+            sw.num_components(),
+            n - sw.msf_edge_count(),
+            "round {round}"
+        );
     }
     sw.msf().forest().verify_against_scratch().unwrap();
 }
