@@ -29,6 +29,7 @@
 //! regression test pins it across repeated batches.
 
 use bimst_msf::MsfScratch;
+use bimst_primitives::soa::{EpochSet, EpochSlotMap};
 use bimst_primitives::{EdgeId, FxHashSet, VertexId, WKey};
 use bimst_rctree::RcForest;
 
@@ -47,18 +48,16 @@ struct InsertScratch {
     /// CPT working sets + reused output.
     cpt_ws: CptScratch,
     cpt: Cpt,
-    /// Dense relabeling: `label[v]` is valid iff `label_ep[v] == epoch`.
-    label: Vec<u32>,
-    label_ep: Vec<u32>,
-    /// Per-batch epoch driving the stamped sets.
-    epoch: u32,
+    /// Dense relabeling `vertex → compact label` (epoch-stamped: reset per
+    /// batch is O(1), lookups are hash-free).
+    label: EpochSlotMap,
     /// The static problem `C ∪ E⁺` on relabeled vertices.
     edges: Vec<bimst_msf::Edge>,
     /// Inner-MSF working sets and output indices.
     msf_ws: MsfScratch,
     m_out: Vec<usize>,
-    /// `E(M)` membership: `in_m[i] == epoch` iff edge `i` is in `M`.
-    in_m: Vec<u32>,
+    /// `E(M)` membership over problem-edge indices (epoch-stamped).
+    in_m: EpochSet,
     /// The forest update derived from `M`.
     cuts: Vec<EdgeId>,
     links: Vec<(VertexId, VertexId, f64, EdgeId)>,
@@ -66,21 +65,19 @@ struct InsertScratch {
 
 impl InsertScratch {
     /// Combined capacity (in elements) of the `Vec`-backed insert-path
-    /// buffers. Hash-backed sets are excluded for the same reason as in
-    /// [`CptScratch::high_water`]: their reported capacity is a growth
-    /// budget that moves without allocating.
+    /// buffers. Hash-backed sets are excluded (their reported capacity is a
+    /// growth budget that moves without allocating), and so are the
+    /// epoch-stamped tables (sized by the id-space bound, not the batch —
+    /// see [`CptScratch::high_water`]).
     fn high_water(&self) -> usize {
         self.marks.capacity()
             + self.eplus.capacity()
             + self.cpt_ws.high_water()
             + self.cpt.vertices.capacity()
             + self.cpt.edges.capacity()
-            + self.label.capacity()
-            + self.label_ep.capacity()
             + self.edges.capacity()
             + self.msf_ws.high_water()
             + self.m_out.capacity()
-            + self.in_m.capacity()
             + self.cuts.capacity()
             + self.links.capacity()
     }
@@ -225,15 +222,6 @@ impl BatchMsf {
             return res;
         }
         let ws = &mut self.scratch;
-        // One epoch per batch drives the stamped sets; on (u32) wraparound
-        // the stamp arrays are zeroed so stale marks cannot alias.
-        ws.epoch = ws.epoch.wrapping_add(1);
-        if ws.epoch == 0 {
-            ws.label_ep.fill(0);
-            ws.in_m.fill(0);
-            ws.epoch = 1;
-        }
-        let epoch = ws.epoch;
 
         // Line 2: K ← endpoints of E⁺ (self-loops rejected outright).
         ws.seen_ids.clear();
@@ -260,24 +248,20 @@ impl BatchMsf {
         compressed_path_tree_with(&self.forest, &ws.marks, &mut ws.cpt_ws, &mut ws.cpt);
 
         // Line 4: M ← MSF(C ∪ E⁺) on densely relabeled vertices. The
-        // relabel table is a dense epoch-stamped array over the vertex
-        // space — sized once, then O(1) per lookup with no hashing.
-        let n = self.forest.num_vertices();
-        if ws.label.len() < n {
-            ws.label.resize(n, 0);
-            ws.label_ep.resize(n, 0);
-        }
+        // relabel table is a dense epoch-stamped slot map over the vertex
+        // space — O(1) to reset per batch, O(1) per lookup, no hashing.
+        ws.label.reset(self.forest.num_vertices());
         let mut next_label = 0u32;
         let label = &mut ws.label;
-        let label_ep = &mut ws.label_ep;
         let mut relabel = |v: VertexId| -> u32 {
-            let vi = v as usize;
-            if label_ep[vi] != epoch {
-                label_ep[vi] = epoch;
-                label[vi] = next_label;
+            if let Some(l) = label.get(v as usize) {
+                l
+            } else {
+                let l = next_label;
+                label.set(v as usize, l);
                 next_label += 1;
+                l
             }
-            label[vi]
         };
         // Provenance: CPT edges carry live forest-edge ids; batch edges are
         // tracked by position (`ncpt + j`).
@@ -299,24 +283,22 @@ impl BatchMsf {
             &mut ws.msf_ws,
             &mut ws.m_out,
         );
-        if ws.in_m.len() < ws.edges.len() {
-            ws.in_m.resize(ws.edges.len(), 0);
-        }
+        ws.in_m.reset(ws.edges.len());
         for &i in &ws.m_out {
-            ws.in_m[i] = epoch;
+            ws.in_m.insert(i);
         }
 
         // Lines 5-6: evict E(C) \ E(M); link E(M) ∩ E⁺.
         ws.cuts.clear();
         for (i, e) in ws.cpt.edges.iter().enumerate() {
-            if ws.in_m[i] != epoch {
+            if !ws.in_m.contains(i) {
                 ws.cuts.push(e.key.id);
                 res.evicted.push(e.key.id);
             }
         }
         ws.links.clear();
         for (j, &(u, v, w, id)) in ws.eplus.iter().enumerate() {
-            if ws.in_m[ncpt + j] == epoch {
+            if ws.in_m.contains(ncpt + j) {
                 ws.links.push((u, v, w, id));
                 res.inserted.push(id);
             } else {

@@ -21,7 +21,8 @@
 //! Phantom Steiner nodes have degree ≥ 3 in the raw tree, so the collapsed
 //! owner keeps degree ≥ 3 and no re-pruning is needed (see `DESIGN.md`).
 
-use bimst_primitives::{AVec, FxHashMap, FxHashSet, VertexId, WKey};
+use bimst_primitives::soa::EpochSlotMap;
+use bimst_primitives::{AVec, FxHashSet, VertexId, WKey};
 use bimst_rctree::cluster::NodeId;
 use bimst_rctree::{ClusterId, ClusterKind, RcForest, NONE_CLUSTER};
 
@@ -51,31 +52,95 @@ pub struct Cpt {
 /// Working graph during expansion, over base nodes. Ternarization bounds
 /// every degree by 3.
 ///
-/// Lives inside [`CptScratch`] and is *reused* across calls: `clear()` keeps
-/// the map's buckets and the `touched` buffer, so steady-state expansions
-/// allocate nothing. `touched` records vertices in insertion order — output
-/// iteration uses it instead of hash-bucket order, which (a) costs
-/// `O(vertices touched)` instead of `O(map capacity)` when one scratch
-/// serves many small trees, and (b) makes the emitted edge order a
-/// deterministic function of the expansion itself.
+/// **Dense-slot layout, no hashing.** `slot` is an epoch-stamped
+/// `node → compact index` table over the forest's node-id space
+/// ([`bimst_primitives::soa`], *The epoch-stamp idiom*); the compact side
+/// is three parallel vectors indexed by first-touch order, so the whole
+/// expansion — entry lookup, edge insertion, splicing, pruning — runs on
+/// array reads with no hash computation anywhere. `clear()` is an O(1)
+/// epoch bump plus length resets, so steady-state expansions allocate
+/// nothing and touch no per-slot memory.
+///
+/// **Small expansions skip the table.** A ℓ-mark tree touches `O(ℓ)`
+/// nodes; for small ℓ a lookup is a reverse linear scan of `touched`
+/// (a few L1-resident `u32` compares), because probing the dense table
+/// would take one *cold* DRAM line per distinct node — the table only
+/// amortizes when an expansion touches many nodes. Crossing
+/// [`LINEAR_MAX`] entries migrates the live entries into the table once
+/// and switches over (`big`).
+///
+/// `touched[i]` is the node of compact entry `i` (`touched.len()` ==
+/// `adj.len()` always). A node that is spliced out (`present[i] = false`)
+/// and later re-touched gets a *fresh* compact entry, so `touched` can name
+/// a node twice; output iteration emits only `present` entries, which makes
+/// the emitted edge order a deterministic function of the expansion itself
+/// (and `O(vertices touched)`, not `O(map capacity)`).
 #[derive(Default)]
 struct ExpGraph {
-    adj: FxHashMap<NodeId, AVec<(NodeId, WKey), 3>>,
+    slot: EpochSlotMap,
+    adj: Vec<AVec<(NodeId, WKey), 3>>,
     touched: Vec<NodeId>,
+    present: Vec<bool>,
+    /// Whether lookups go through `slot` (large mode) or scan `touched`.
+    big: bool,
+    /// Node-id domain of the current expansion (for the deferred switch).
+    domain: usize,
 }
 
+/// Entry count at which [`ExpGraph`] switches from linear scans to the
+/// dense slot table (see the struct docs).
+const LINEAR_MAX: usize = 32;
+
 impl ExpGraph {
-    fn clear(&mut self) {
+    /// Clears the graph (O(1) in the node-id domain) and ensures node ids
+    /// `0..domain` are addressable.
+    fn clear(&mut self, domain: usize) {
         self.adj.clear();
         self.touched.clear();
+        self.present.clear();
+        self.big = false;
+        self.domain = domain;
     }
 
-    fn entry(&mut self, v: NodeId) -> &mut AVec<(NodeId, WKey), 3> {
-        let touched = &mut self.touched;
-        self.adj.entry(v).or_insert_with(|| {
-            touched.push(v);
-            AVec::new()
-        })
+    /// Compact index of `v`, if `v` currently has a live entry.
+    #[inline]
+    fn idx(&self, v: NodeId) -> Option<usize> {
+        if self.big {
+            let i = self.slot.get(v as usize)? as usize;
+            self.present[i].then_some(i)
+        } else {
+            // Most-recent-first: the expansion overwhelmingly re-touches
+            // what it just created.
+            (0..self.touched.len())
+                .rev()
+                .find(|&i| self.touched[i] == v && self.present[i])
+        }
+    }
+
+    /// Compact index of `v`, creating a fresh entry if absent (or if the
+    /// previous entry was spliced away).
+    fn entry(&mut self, v: NodeId) -> usize {
+        if let Some(i) = self.idx(v) {
+            return i;
+        }
+        let i = self.touched.len();
+        if !self.big && i == LINEAR_MAX {
+            // One-time migration: seed the table with the latest entry of
+            // every touched node (ascending order leaves the newest entry
+            // in the slot, matching `idx`'s most-recent semantics).
+            self.slot.reset(self.domain);
+            for (j, &u) in self.touched.iter().enumerate() {
+                self.slot.set(u as usize, j as u32);
+            }
+            self.big = true;
+        }
+        if self.big {
+            self.slot.set(v as usize, i as u32);
+        }
+        self.touched.push(v);
+        self.adj.push(AVec::new());
+        self.present.push(true);
+        i
     }
 
     fn ensure_vertex(&mut self, v: NodeId) {
@@ -83,14 +148,16 @@ impl ExpGraph {
     }
 
     fn add_edge(&mut self, a: NodeId, b: NodeId, k: WKey) {
-        self.entry(a).push((b, k));
-        self.entry(b).push((a, k));
+        let ia = self.entry(a);
+        self.adj[ia].push((b, k));
+        let ib = self.entry(b);
+        self.adj[ib].push((a, k));
     }
 
     fn remove_edge(&mut self, a: NodeId, b: NodeId) -> WKey {
         let mut key = None;
-        if let Some(l) = self.adj.get_mut(&a) {
-            l.retain(|&(x, k)| {
+        if let Some(ia) = self.idx(a) {
+            self.adj[ia].retain(|&(x, k)| {
                 if x == b && key.is_none() {
                     key = Some(k);
                     false
@@ -101,8 +168,8 @@ impl ExpGraph {
         }
         let key = key.expect("remove of absent edge");
         let mut removed = false;
-        if let Some(l) = self.adj.get_mut(&b) {
-            l.retain(|&(x, k)| {
+        if let Some(ib) = self.idx(b) {
+            self.adj[ib].retain(|&(x, k)| {
                 if x == a && k == key && !removed {
                     removed = true;
                     false
@@ -115,20 +182,28 @@ impl ExpGraph {
         key
     }
 
+    /// Drops `v`'s entry (its adjacency must already be empty or irrelevant).
+    fn remove_vertex(&mut self, v: NodeId) {
+        if let Some(i) = self.idx(v) {
+            self.present[i] = false;
+            self.adj[i].clear();
+        }
+    }
+
     fn degree(&self, v: NodeId) -> usize {
-        self.adj.get(&v).map_or(0, |l| l.len())
+        self.idx(v).map_or(0, |i| self.adj[i].len())
     }
 
     /// Splices out the (unmarked, degree-2) vertex `v`, merging its two
     /// incident edges under the heavier key.
     fn splice_out(&mut self, v: NodeId) {
-        let l = self.adj.get(&v).expect("splice of absent vertex");
-        debug_assert_eq!(l.len(), 2);
-        let (x, kx) = l[0];
-        let (y, ky) = l[1];
+        let i = self.idx(v).expect("splice of absent vertex");
+        debug_assert_eq!(self.adj[i].len(), 2);
+        let (x, kx) = self.adj[i][0];
+        let (y, ky) = self.adj[i][1];
         self.remove_edge(v, x);
         self.remove_edge(v, y);
-        self.adj.remove(&v);
+        self.remove_vertex(v);
         self.add_edge(x, y, kx.max(ky));
     }
 
@@ -140,9 +215,10 @@ impl ExpGraph {
         match self.degree(v) {
             2 => self.splice_out(v),
             1 => {
-                let (u, _) = self.adj[&v][0];
+                let i = self.idx(v).expect("degree-1 vertex has an entry");
+                let (u, _) = self.adj[i][0];
                 self.remove_edge(v, u);
-                self.adj.remove(&v);
+                self.remove_vertex(v);
                 if !marked_heads.contains(&u) && self.degree(u) == 2 {
                     self.splice_out(u);
                 }
@@ -152,14 +228,16 @@ impl ExpGraph {
                 // (Unreachable for well-formed marked clusters; kept as a
                 // safe fallback.)
                 debug_assert!(false, "unmarked degree-0 representative {v}");
-                self.adj.remove(&v);
+                self.remove_vertex(v);
             }
             _ => {}
         }
     }
 }
 
-/// Recursive `ExpandCluster` (Algorithm 1), accumulating into `g`.
+/// Recursive `ExpandCluster` (Algorithm 1), accumulating into `g`. Reads
+/// only the cluster arrays it needs (`kind`, and `children` on the marked
+/// spine) — the dense-slot scratch keeps the whole walk hash-free.
 fn expand(
     f: &RcForest,
     c: ClusterId,
@@ -167,10 +245,10 @@ fn expand(
     marked_heads: &FxHashSet<NodeId>,
     g: &mut ExpGraph,
 ) {
-    let cl = f.cluster(c);
+    let kind = *f.cluster_kind(c);
     if !marked.contains(&c) {
         // Lines 3-9: an unmarked cluster is summarized by its boundary.
-        match cl.kind {
+        match kind {
             ClusterKind::LeafEdge { a, b, key } => g.add_edge(a, b, key),
             ClusterKind::Binary {
                 bound: (a, b), key, ..
@@ -181,7 +259,7 @@ fn expand(
         }
         return;
     }
-    match cl.kind {
+    match kind {
         // Lines 10-11: a marked leaf vertex.
         ClusterKind::LeafVertex { node } => g.ensure_vertex(node),
         ClusterKind::LeafEdge { .. } => unreachable!("edge clusters are never marked"),
@@ -189,7 +267,7 @@ fn expand(
         ClusterKind::Unary { rep, .. }
         | ClusterKind::Binary { rep, .. }
         | ClusterKind::Root { rep } => {
-            for ch in cl.children.iter() {
+            for ch in f.cluster_children(c).iter() {
                 expand(f, ch, marked, marked_heads, g);
             }
             g.prune(rep, marked_heads);
@@ -201,14 +279,20 @@ fn expand(
 ///
 /// Owned by `BatchMsf` (one per structure) so that steady-state
 /// `batch_insert` calls perform no heap allocation in the CPT stage: the
-/// expansion graph's hash buckets, the marking sets, and the root/head
-/// buffers are cleared (capacity-preserving) rather than rebuilt. A
-/// default-constructed scratch is cheap — `O(1)` until first use — so the
-/// one-shot [`compressed_path_tree`] wrapper stays `O(ℓ lg(1 + n/ℓ))`.
+/// expansion graph's compact arrays, the epoch-stamped marking tables, and
+/// the root/head buffers are cleared (capacity-preserving) rather than
+/// rebuilt. A default-constructed scratch is cheap — `O(1)` until first
+/// use — so the one-shot [`compressed_path_tree`] wrapper stays
+/// `O(ℓ lg(1 + n/ℓ))`.
 #[derive(Default)]
 pub struct CptScratch {
     g: ExpGraph,
+    /// Clusters containing a marked vertex. Deliberately a *hash* set, not
+    /// an epoch-stamped table: it holds `O(ℓ lg(1 + n/ℓ))` entries probed
+    /// many times each, so it stays compact and cache-warm, where a
+    /// cluster-id-indexed table would take a cold DRAM miss per probe.
     marked: FxHashSet<ClusterId>,
+    /// Head nodes of the marked vertices (same reasoning: `O(ℓ)` entries).
     marked_heads: FxHashSet<NodeId>,
     heads: Vec<NodeId>,
     roots: Vec<ClusterId>,
@@ -216,13 +300,17 @@ pub struct CptScratch {
 }
 
 impl CptScratch {
-    /// Combined capacity (in elements) of the `Vec`-backed scratch buffers
+    /// Combined capacity (in elements) of the batch-sized scratch buffers
     /// — the steady-state zero-allocation tests pin this. The hash-backed
-    /// sets are excluded: hashbrown's `capacity()` is a tombstone-dependent
-    /// *growth budget*, not an allocation size, so it fluctuates in both
-    /// directions without ever touching the allocator.
+    /// sets are excluded (hashbrown's `capacity()` is a tombstone-dependent
+    /// growth budget, not an allocation size), and so is the expansion
+    /// graph's slot table — it is sized by the *node-id-space* high-water
+    /// mark, which legitimately creeps as the arena grows, not by the
+    /// batch, and grows O(lg) times total via in-place resizes.
     pub fn high_water(&self) -> usize {
         self.g.touched.capacity()
+            + self.g.adj.capacity()
+            + self.g.present.capacity()
             + self.heads.capacity()
             + self.roots.capacity()
             + self.verts.capacity()
@@ -263,6 +351,7 @@ pub fn compressed_path_tree_with(
         return;
     }
     // Dedup marks; map to head nodes.
+    let node_bound = f.node_id_bound();
     ws.heads.clear();
     ws.heads.extend(marks.iter().map(|&v| f.head(v)));
     ws.heads.sort_unstable();
@@ -270,7 +359,8 @@ pub fn compressed_path_tree_with(
     ws.marked_heads.clear();
     ws.marked_heads.extend(ws.heads.iter().copied());
 
-    // Bottom-up marking of clusters; collect the distinct roots reached.
+    // Bottom-up marking of clusters; collect the distinct roots reached —
+    // pure chases over the arena's dense parent array.
     ws.marked.clear();
     ws.roots.clear();
     for &h in &ws.heads {
@@ -291,20 +381,21 @@ pub fn compressed_path_tree_with(
     // Top-down expansion, one tree per root, into the shared scratch graph.
     for i in 0..ws.roots.len() {
         let root = ws.roots[i];
-        ws.g.clear();
+        ws.g.clear(node_bound);
         expand(f, root, &ws.marked, &ws.marked_heads, &mut ws.g);
-        // Contract phantom edges: every base node maps to its owner. Each
-        // vertex is *drained* from the map as it is emitted — a node that
-        // was spliced out and later re-touched appears twice in `touched`,
-        // and draining makes the second occurrence a no-op.
+        // Contract phantom edges: every base node maps to its owner. The
+        // compact entries are emitted in first-touch order; an entry whose
+        // node was spliced out (and possibly re-touched under a fresh
+        // entry) is skipped via its `present` flag, so every surviving
+        // node is emitted exactly once.
         ws.verts.clear();
         for j in 0..ws.g.touched.len() {
-            let a = ws.g.touched[j];
-            let Some(l) = ws.g.adj.remove(&a) else {
+            if !ws.g.present[j] {
                 continue;
-            };
+            }
+            let a = ws.g.touched[j];
             ws.verts.push(f.owner(a));
-            for (b, k) in l.iter() {
+            for (b, k) in ws.g.adj[j].iter() {
                 if a < b && !k.is_phantom() {
                     out.edges.push(CptEdge {
                         u: f.owner(a),

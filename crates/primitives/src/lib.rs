@@ -18,16 +18,23 @@
 //!   lists and constant-fan-in cluster children of the ternarized substrate.
 //! * [`fxmap`] — a fast non-cryptographic hasher for the integer-id maps on
 //!   hot paths.
+//! * [`soa`] — cache-conscious storage: chunked arenas whose growth never
+//!   relocates (no doubling-copy latency spikes) and epoch-stamped dense
+//!   slot tables with O(1) reset (the hash-free transient sets/maps the
+//!   hot paths use). The SoA hot/cold field splits in `bimst-rctree` are
+//!   built from these.
 
 pub mod avec;
 pub mod fxmap;
 pub mod hash;
 pub mod par;
+pub mod soa;
 pub mod weight;
 
 pub use avec::AVec;
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use hash::{coin, hash2, hash3, mix64};
+pub use soa::{ChunkedArena, EpochSet, EpochSlotMap};
 pub use weight::{EdgeId, WKey, Weight, NEG_INF};
 
 /// A vertex identifier. The substrate addresses vertices densely, `0..n`.

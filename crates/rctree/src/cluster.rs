@@ -15,8 +15,30 @@
 //! Fan-in is bounded by 6 (representative's leaf + ≤3 raked-in unary
 //! clusters + ≤2 edge clusters) thanks to ternarization — the property the
 //! compressed-path-tree traversal charges its work against.
+//!
+//! # Memory layout
+//!
+//! The arena is a chunked structure-of-arrays
+//! ([`bimst_primitives::soa`]): two parallel [`ChunkedArena`]s share one
+//! id space, split by access *pattern* rather than field by field.
+//!
+//! * `parents` — the **chase** array: root-finding
+//!   ([`crate::contract::Engine::root_from`]) and the CPT's bottom-up
+//!   marking walk parent pointers and read nothing else. As a bare `u32`
+//!   array, sixteen clusters share a cache line instead of the whole
+//!   record's one — the whole point of the split.
+//! * `bodies` (kind, children, size, liveness) — the **record** array:
+//!   everything else touches a cluster to allocate it, free it, or expand
+//!   it, and those paths read/write several of these fields *together*
+//!   (alloc writes all of them; `ExpandCluster` reads kind + children).
+//!   Splitting them further would turn each such touch into several
+//!   random-line loads for no reader's benefit.
+//!
+//! Chunked storage means arena growth allocates one fixed-size chunk and
+//! never copies — see the [`bimst_primitives::soa`] module docs for why
+//! that matters at the 100 MB scale.
 
-use bimst_primitives::{AVec, WKey};
+use bimst_primitives::{AVec, ChunkedArena, WKey};
 
 /// Index of a cluster in the arena.
 pub type ClusterId = u32;
@@ -70,6 +92,12 @@ pub enum ClusterKind {
     },
 }
 
+impl Default for ClusterKind {
+    fn default() -> Self {
+        ClusterKind::LeafVertex { node: u32::MAX }
+    }
+}
+
 impl ClusterKind {
     /// The representative vertex, if this is a composite cluster.
     pub fn rep(&self) -> Option<NodeId> {
@@ -109,8 +137,21 @@ impl ClusterKind {
     }
 }
 
-/// An RC tree node.
-#[derive(Clone, Debug)]
+/// The record half of a cluster (everything but the parent pointer — see
+/// the module docs, *Memory layout*).
+#[derive(Clone, Copy, Debug, Default)]
+struct ClusterBody {
+    kind: ClusterKind,
+    children: AVec<ClusterId, MAX_CHILDREN>,
+    size: u32,
+    alive: bool,
+}
+
+/// A by-value view of one RC tree node, assembled from the arena's parallel
+/// arrays. For cold paths (pretty-printing, invariant checks) that want the
+/// whole record; hot paths use the per-field accessors instead so they only
+/// load the arrays they need.
+#[derive(Clone, Copy, Debug)]
 pub struct Cluster {
     /// What the cluster is.
     pub kind: ClusterKind,
@@ -127,17 +168,26 @@ pub struct Cluster {
     pub size: u32,
 }
 
-/// The cluster arena with deferred frees.
+/// The cluster arena with deferred frees (see the module docs for the
+/// chunked-SoA layout).
 ///
 /// Frees during a batch update are *deferred*: a freed id must not be reused
 /// while stale references may still be visited by the propagation, so freed
 /// slots are quarantined until [`ClusterArena::flush_frees`] at the end of
-/// the batch.
+/// the batch. Flushed slots are recycled in **ascending id order**, so the
+/// id assignment — and with it live-cluster iteration order — after heavy
+/// churn depends only on *which* slots are free, not on the order the
+/// propagation happened to free them in (the same canonicalization as
+/// `InsertResult.evicted`).
 #[derive(Default)]
 pub struct ClusterArena {
-    slots: Vec<Cluster>,
+    bodies: ChunkedArena<ClusterBody>,
+    parents: ChunkedArena<ClusterId>,
+    /// Reusable slots, kept sorted descending so `pop` yields the smallest.
     free: Vec<ClusterId>,
     pending_free: Vec<ClusterId>,
+    /// Reusable merge buffer for [`ClusterArena::flush_frees`].
+    merge_buf: Vec<ClusterId>,
     /// Number of live root clusters (= number of components).
     pub num_roots: usize,
 }
@@ -158,20 +208,25 @@ impl ClusterArena {
         if matches!(kind, ClusterKind::Root { .. }) {
             self.num_roots += 1;
         }
-        let size = children.iter().map(|ch| self.slots[ch as usize].size).sum();
-        let c = Cluster {
+        let size = children
+            .iter()
+            .map(|ch| self.bodies[ch as usize].size)
+            .sum();
+        let body = ClusterBody {
             kind,
             children,
-            parent: NONE_CLUSTER,
-            alive: true,
             size,
+            alive: true,
         };
         if let Some(id) = self.free.pop() {
-            self.slots[id as usize] = c;
+            let i = id as usize;
+            self.bodies[i] = body;
+            self.parents[i] = NONE_CLUSTER;
             id
         } else {
-            self.slots.push(c);
-            (self.slots.len() - 1) as ClusterId
+            let id = self.bodies.push(body);
+            self.parents.push(NONE_CLUSTER);
+            id as ClusterId
         }
     }
 
@@ -180,59 +235,134 @@ impl ClusterArena {
     /// points here are orphaned (their parent becomes [`NONE_CLUSTER`]);
     /// children that were already re-parented are left alone.
     pub fn free(&mut self, id: ClusterId) {
-        let c = &mut self.slots[id as usize];
-        debug_assert!(c.alive, "double free of cluster {id}");
-        if matches!(c.kind, ClusterKind::Root { .. }) {
+        let i = id as usize;
+        debug_assert!(self.bodies[i].alive, "double free of cluster {id}");
+        if matches!(self.bodies[i].kind, ClusterKind::Root { .. }) {
             self.num_roots -= 1;
         }
-        c.alive = false;
-        c.parent = NONE_CLUSTER;
-        let children = c.children;
+        self.bodies[i].alive = false;
+        self.parents[i] = NONE_CLUSTER;
+        let children = self.bodies[i].children;
         for ch in children.iter() {
-            let child = &mut self.slots[ch as usize];
-            if child.parent == id {
-                child.parent = NONE_CLUSTER;
+            if self.parents[ch as usize] == id {
+                self.parents[ch as usize] = NONE_CLUSTER;
             }
         }
         self.pending_free.push(id);
     }
 
     /// Releases quarantined slots for reuse. Call once per batch, after the
-    /// propagation has finished.
+    /// propagation has finished. The merged free list stays sorted
+    /// descending (so `Vec::pop` hands out ascending ids), keeping slot
+    /// assignment independent of the batch's free order. Only the pending
+    /// batch is sorted — O(P lg P) — and merged with the already-sorted
+    /// free list in O(F + P); re-sorting the whole list would make every
+    /// small batch after a mass eviction pay O(F lg F).
     pub fn flush_frees(&mut self) {
-        self.free.append(&mut self.pending_free);
+        merge_sorted_frees(&mut self.free, &mut self.pending_free, &mut self.merge_buf);
     }
 
-    /// Read access.
+    /// The kind of a cluster.
     #[inline]
-    pub fn get(&self, id: ClusterId) -> &Cluster {
-        &self.slots[id as usize]
+    pub fn kind(&self, id: ClusterId) -> &ClusterKind {
+        &self.bodies[id as usize].kind
     }
 
-    /// Write access.
+    /// The children of a cluster.
     #[inline]
-    pub fn get_mut(&mut self, id: ClusterId) -> &mut Cluster {
-        &mut self.slots[id as usize]
+    pub fn children(&self, id: ClusterId) -> &AVec<ClusterId, MAX_CHILDREN> {
+        &self.bodies[id as usize].children
+    }
+
+    /// The parent of a cluster, [`NONE_CLUSTER`] for roots (chase array
+    /// only — see the module docs).
+    #[inline]
+    pub fn parent(&self, id: ClusterId) -> ClusterId {
+        self.parents[id as usize]
+    }
+
+    /// Re-parents a cluster.
+    #[inline]
+    pub fn set_parent(&mut self, id: ClusterId, p: ClusterId) {
+        self.parents[id as usize] = p;
+    }
+
+    /// Number of original vertices in the cluster.
+    #[inline]
+    pub fn size(&self, id: ClusterId) -> u32 {
+        self.bodies[id as usize].size
+    }
+
+    /// Overrides a cluster's size (leaf vertices: heads 1, phantoms 0).
+    #[inline]
+    pub fn set_size(&mut self, id: ClusterId, size: u32) {
+        self.bodies[id as usize].size = size;
+    }
+
+    /// Whether the slot holds a live cluster.
+    #[inline]
+    pub fn alive(&self, id: ClusterId) -> bool {
+        self.bodies[id as usize].alive
+    }
+
+    /// Assembles the whole record by value (cold paths; hot paths use the
+    /// per-field accessors).
+    pub fn get(&self, id: ClusterId) -> Cluster {
+        let i = id as usize;
+        let b = &self.bodies[i];
+        Cluster {
+            kind: b.kind,
+            children: b.children,
+            parent: self.parents[i],
+            alive: b.alive,
+            size: b.size,
+        }
     }
 
     /// Number of slots (live + dead); ids are `< len()`.
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.bodies.len()
     }
 
     /// Whether the arena has no slots at all.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.bodies.is_empty()
     }
 
-    /// Iterates over live clusters.
-    pub fn iter_live(&self) -> impl Iterator<Item = (ClusterId, &Cluster)> {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.alive)
-            .map(|(i, c)| (i as ClusterId, c))
+    /// Iterates over the ids of live clusters in ascending order.
+    pub fn iter_live_ids(&self) -> impl Iterator<Item = ClusterId> + '_ {
+        (0..self.len() as ClusterId).filter(move |&id| self.bodies[id as usize].alive)
     }
+}
+
+/// Merges `pending` (unsorted) into `free` (sorted descending), leaving
+/// `free` sorted descending, `pending` empty, and `buf` as the retained
+/// scratch. Shared by the cluster arena and the engine's node free list.
+pub(crate) fn merge_sorted_frees(free: &mut Vec<u32>, pending: &mut Vec<u32>, buf: &mut Vec<u32>) {
+    if pending.is_empty() {
+        return;
+    }
+    pending.sort_unstable_by(|a, b| b.cmp(a));
+    if free.is_empty() {
+        std::mem::swap(free, pending);
+        return;
+    }
+    buf.clear();
+    buf.reserve(free.len() + pending.len());
+    let (mut i, mut j) = (0, 0);
+    while i < free.len() && j < pending.len() {
+        if free[i] >= pending[j] {
+            buf.push(free[i]);
+            i += 1;
+        } else {
+            buf.push(pending[j]);
+            j += 1;
+        }
+    }
+    buf.extend_from_slice(&free[i..]);
+    buf.extend_from_slice(&pending[j..]);
+    pending.clear();
+    std::mem::swap(free, buf);
 }
 
 #[cfg(test)]
@@ -253,7 +383,7 @@ mod tests {
         a.flush_frees();
         let c3 = a.alloc(ClusterKind::LeafVertex { node: 2 }, AVec::new());
         assert_eq!(c3, c1, "freed slot should be reused after flush");
-        assert!(a.get(c0).alive);
+        assert!(a.alive(c0));
     }
 
     #[test]
@@ -281,5 +411,45 @@ mod tests {
         assert_eq!(a.num_roots, 2);
         a.free(r1);
         assert_eq!(a.num_roots, 1);
+    }
+
+    #[test]
+    fn frees_recycle_in_ascending_id_order() {
+        // Free a churny set in *descending* order; allocation after the
+        // flush must still hand back ascending ids — the recycling order
+        // depends on the free *set*, not on the free *sequence*.
+        let mut a = ClusterArena::new();
+        let ids: Vec<ClusterId> = (0..8)
+            .map(|i| a.alloc(ClusterKind::LeafVertex { node: i }, AVec::new()))
+            .collect();
+        for &id in [ids[6], ids[2], ids[4]].iter() {
+            a.free(id);
+        }
+        a.flush_frees();
+        assert_eq!(
+            a.alloc(ClusterKind::LeafVertex { node: 90 }, AVec::new()),
+            ids[2]
+        );
+        assert_eq!(
+            a.alloc(ClusterKind::LeafVertex { node: 91 }, AVec::new()),
+            ids[4]
+        );
+        assert_eq!(
+            a.alloc(ClusterKind::LeafVertex { node: 92 }, AVec::new()),
+            ids[6]
+        );
+        // A second churn round interleaving old and new frees keeps the
+        // ascending discipline across flushes.
+        a.free(ids[5]);
+        a.free(ids[1]);
+        a.flush_frees();
+        assert_eq!(
+            a.alloc(ClusterKind::LeafVertex { node: 93 }, AVec::new()),
+            ids[1]
+        );
+        assert_eq!(
+            a.alloc(ClusterKind::LeafVertex { node: 94 }, AVec::new()),
+            ids[5]
+        );
     }
 }

@@ -41,6 +41,30 @@
 //!    *dirty*: it flows forward until its death round, where the terminal
 //!    cluster is rebuilt with the new child set.
 //!
+//! # Memory layout (chunked SoA node arena)
+//!
+//! The propagation is **memory-bound**: the round loop touches nodes in
+//! data-dependent order, so its cost is cache misses, not instructions. The
+//! node arena ([`NodeArena`]) is therefore a chunked structure-of-arrays
+//! built on [`bimst_primitives::soa::ChunkedArena`] (see that module's docs
+//! for the chunk-size rationale and the growth-without-copy guarantee that
+//! removes the `Vec`-doubling batch-time spikes):
+//!
+//! * `hot` — one 20-byte header per node (owner, liveness/head flags,
+//!   leaf cluster, lifetime, dedup stamp). Three-plus nodes per cache
+//!   line; every `alive_at` and stamp probe in the frontier dedup loops
+//!   stays in this one array.
+//! * `row0`, `row1` — the first two round rows as their *own* parallel
+//!   arrays. A node's expected lifetime is `O(1)` rounds, and rows 0 and 1
+//!   absorb the bulk of the propagation's accesses; processing round `r`
+//!   walks only the `row_r` array, so a node-touch pulls one ~64-byte
+//!   [`RoundState`] instead of a whole multi-row node record (the former
+//!   array-of-structs `NodeData` dragged ~3 cache lines per touch).
+//! * `spill` — rows ≥ 2, a cold per-node `Vec` in a side array. Long-lived
+//!   spine nodes pay the indirection only in the rare rounds that reach
+//!   them; the buffer is retained across node recycling, so steady-state
+//!   churn stays allocation-free.
+//!
 //! # Plan/apply parallelization and determinism
 //!
 //! Each phase of a round is split into a **plan** step and an **apply**
@@ -70,12 +94,17 @@
 
 use bimst_primitives::hash::{coin, priority};
 use bimst_primitives::par::map_into;
-use bimst_primitives::{AVec, FxHashSet, WKey};
+use bimst_primitives::{AVec, ChunkedArena, FxHashSet, WKey};
 
 use crate::cluster::{ClusterArena, ClusterId, ClusterKind, NodeId, MAX_CHILDREN, NONE_CLUSTER};
 
 /// Sentinel for "no node".
 pub const NONE_NODE: NodeId = u32::MAX;
+
+/// Frontier size above which per-round working sets are sorted before
+/// processing (see `Engine::propagate`); below it the set's arena touches
+/// fit in cache regardless of order.
+const SORT_GRAIN: usize = 2048;
 
 /// Whether `BIMST_PROP_STATS=1` asks for per-round frontier statistics on
 /// stderr (a zero-dependency stand-in for a profiler in the build sandbox).
@@ -126,111 +155,214 @@ impl RoundState {
     }
 }
 
-/// Number of round rows stored inline in [`RoundsBuf`]. Expected lifetime
-/// is `O(1)` rounds, and rows 0 and 1 absorb the bulk of the propagation's
-/// accesses, so two inline rows remove the heap indirection from most of
-/// the hot path without bloating long-lived spine nodes.
-const INLINE_ROUNDS: usize = 2;
+/// Number of round rows stored in the dedicated per-row hot arrays of
+/// [`NodeArena`]. Expected lifetime is `O(1)` rounds, and rows 0 and 1
+/// absorb the bulk of the propagation's accesses, so two resident rows keep
+/// most node-touches inside a single flat array; later rows spill to a cold
+/// per-node vector.
+const RESIDENT_ROUNDS: usize = 2;
 
-/// Round-indexed contraction state of one node: the first
-/// [`INLINE_ROUNDS`] rows live inside [`NodeData`] itself (same cache line
-/// neighborhood as the node header — the propagation is memory-bound and
-/// the former `Vec<RoundState>` cost a dependent cache miss on nearly every
-/// node touch); later rows spill to a heap vector. The spill buffer is
-/// retained across `clear`, so node recycling stays allocation-free.
-#[derive(Clone, Debug, Default)]
-pub struct RoundsBuf {
-    len: u32,
-    inline: [RoundState; INLINE_ROUNDS],
-    spill: Vec<RoundState>,
+const FLAG_ALIVE: u32 = 1;
+const FLAG_HEAD: u32 = 2;
+
+/// Hot per-node header: everything the frontier/dedup loops probe, packed
+/// small so several nodes share a cache line. The dedup `stamp` lives here
+/// deliberately: the frontier loops always test `stamp` and liveness
+/// *together*, so keeping them in one record halves the random cache lines
+/// those loops touch versus a separate stamp array.
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeHot {
+    /// The original vertex this node belongs to (heads and phantoms alike).
+    owner: u32,
+    /// The base vertex cluster of this node.
+    leaf_cluster: ClusterId,
+    /// Lifetime so far (number of round rows; death round = len - 1).
+    rounds_len: u32,
+    /// Bit 0: arena liveness; bit 1: head (identity) node of its owner.
+    flags: u32,
+    /// Epoch stamp for per-round set deduplication.
+    stamp: u32,
 }
 
-impl RoundsBuf {
-    /// Number of rows (the node's lifetime so far; death round = `len - 1`).
+/// The node arena of the ternarized forest, as a chunked
+/// structure-of-arrays (see the module docs, *Memory layout*). Four
+/// parallel [`ChunkedArena`]s share one id space; growth allocates a chunk
+/// and never relocates, so batch latency never pays an arena-wide copy.
+#[derive(Default)]
+pub struct NodeArena {
+    hot: ChunkedArena<NodeHot>,
+    row0: ChunkedArena<RoundState>,
+    row1: ChunkedArena<RoundState>,
+    /// Cold side array: round rows ≥ [`RESIDENT_ROUNDS`]. The per-node
+    /// buffer is cleared, not dropped, on recycling.
+    spill: ChunkedArena<Vec<RoundState>>,
+}
+
+impl NodeArena {
+    /// Number of slots (live + dead); node ids are `< len()`.
     #[inline]
     pub fn len(&self) -> usize {
-        self.len as usize
+        self.hot.len()
     }
 
-    /// Whether the node has no rows at all (freed slots only).
-    #[inline]
+    /// Whether the arena has no slots at all.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.hot.is_empty()
     }
 
-    /// Appends a row.
+    /// Appends a fresh dead slot, returning its id.
+    fn push_slot(&mut self) -> NodeId {
+        let id = self.hot.push(NodeHot::default());
+        self.row0.push(RoundState::fresh());
+        self.row1.push(RoundState::fresh());
+        self.spill.push(Vec::new());
+        id as NodeId
+    }
+
+    /// (Re)initializes a slot's header. Round rows are untouched — callers
+    /// pair this with [`NodeArena::clear_rows`] when recycling. The dedup
+    /// stamp is left alone (stale stamps never match a fresh epoch).
+    fn init(&mut self, v: NodeId, owner: u32, is_head: bool, alive: bool, leaf: ClusterId) {
+        let h = &mut self.hot[v as usize];
+        h.owner = owner;
+        h.leaf_cluster = leaf;
+        h.flags = (alive as u32 * FLAG_ALIVE) | (is_head as u32 * FLAG_HEAD);
+    }
+
+    /// The original vertex owning this node.
     #[inline]
-    pub fn push(&mut self, row: RoundState) {
-        let i = self.len as usize;
-        if i < INLINE_ROUNDS {
-            self.inline[i] = row;
-        } else {
-            debug_assert_eq!(self.spill.len(), i - INLINE_ROUNDS);
-            self.spill.push(row);
-        }
-        self.len += 1;
+    pub fn owner(&self, v: NodeId) -> u32 {
+        self.hot[v as usize].owner
     }
 
-    /// Shrinks to `n` rows (no-op if already shorter).
+    /// Whether this node is its owner's head (identity) node.
     #[inline]
-    pub fn truncate(&mut self, n: usize) {
-        if n < self.len as usize {
-            self.len = n as u32;
-            self.spill.truncate(n.saturating_sub(INLINE_ROUNDS));
-        }
+    pub fn is_head(&self, v: NodeId) -> bool {
+        self.hot[v as usize].flags & FLAG_HEAD != 0
     }
 
-    /// Drops all rows, keeping the spill buffer's capacity.
-    #[inline]
-    pub fn clear(&mut self) {
-        self.len = 0;
-        self.spill.clear();
-    }
-}
-
-impl std::ops::Index<usize> for RoundsBuf {
-    type Output = RoundState;
-    #[inline]
-    fn index(&self, i: usize) -> &RoundState {
-        // Hard check (not debug-only): an out-of-range inline index would
-        // otherwise silently read a *stale* row left by a previous occupant
-        // of the slot — the replaced `Vec<RoundState>` panicked here, and
-        // failing fast is worth one predictable branch.
-        assert!(i < self.len as usize, "round {i} out of {}", self.len);
-        if i < INLINE_ROUNDS {
-            &self.inline[i]
-        } else {
-            &self.spill[i - INLINE_ROUNDS]
-        }
-    }
-}
-
-impl std::ops::IndexMut<usize> for RoundsBuf {
-    #[inline]
-    fn index_mut(&mut self, i: usize) -> &mut RoundState {
-        assert!(i < self.len as usize, "round {i} out of {}", self.len);
-        if i < INLINE_ROUNDS {
-            &mut self.inline[i]
-        } else {
-            &mut self.spill[i - INLINE_ROUNDS]
-        }
-    }
-}
-
-/// Per-vertex data of the ternarized forest.
-#[derive(Clone, Debug)]
-pub struct NodeData {
-    /// The original vertex this node belongs to (heads and phantoms alike).
-    pub owner: u32,
-    /// Whether this node is the owner's head (identity) node; heads count 1
-    /// toward cluster sizes, phantoms 0.
-    pub is_head: bool,
     /// Arena liveness (phantom nodes are freed when their edge is cut).
-    pub alive: bool,
+    #[inline]
+    pub fn alive(&self, v: NodeId) -> bool {
+        self.hot[v as usize].flags & FLAG_ALIVE != 0
+    }
+
+    fn set_alive(&mut self, v: NodeId, alive: bool) {
+        let f = &mut self.hot[v as usize].flags;
+        *f = (*f & !FLAG_ALIVE) | (alive as u32 * FLAG_ALIVE);
+    }
+
     /// The base vertex cluster of this node.
-    pub leaf_cluster: ClusterId,
-    /// Round-indexed contraction state; `rounds.len() - 1` is the death round.
-    pub rounds: RoundsBuf,
+    #[inline]
+    pub fn leaf_cluster(&self, v: NodeId) -> ClusterId {
+        self.hot[v as usize].leaf_cluster
+    }
+
+    fn set_leaf_cluster(&mut self, v: NodeId, c: ClusterId) {
+        self.hot[v as usize].leaf_cluster = c;
+    }
+
+    /// The node's dedup stamp (see [`Engine::bump_epoch`]).
+    #[inline]
+    fn stamp(&self, v: NodeId) -> u32 {
+        self.hot[v as usize].stamp
+    }
+
+    #[inline]
+    fn set_stamp(&mut self, v: NodeId, ep: u32) {
+        self.hot[v as usize].stamp = ep;
+    }
+
+    /// Re-zeroes every stamp (epoch wraparound only).
+    fn clear_stamps(&mut self) {
+        for i in 0..self.hot.len() {
+            self.hot[i].stamp = 0;
+        }
+    }
+
+    /// Number of round rows (the node's lifetime; death round = len - 1).
+    #[inline]
+    pub fn rounds_len(&self, v: NodeId) -> usize {
+        self.hot[v as usize].rounds_len as usize
+    }
+
+    /// The round-`r` row of node `v`.
+    ///
+    /// The lifetime bound on *reads* is debug-asserted, not hard-checked:
+    /// checking it in release would load the node's hot header on every
+    /// row access — one extra random cache line per neighbor probe in the
+    /// memory-bound round loop, which is exactly the traffic this layout
+    /// exists to avoid. An out-of-range resident read is memory-safe
+    /// either way (`row0`/`row1` are arena-length arrays; a stale row
+    /// could only be *logically* wrong), spill reads keep their slice
+    /// bounds check, and the debug suite runs every propagation path with
+    /// the assert armed. Mutations keep the hard check — see
+    /// [`NodeArena::row_mut`].
+    #[inline]
+    pub fn row(&self, v: NodeId, r: usize) -> &RoundState {
+        let vi = v as usize;
+        debug_assert!(
+            r < self.hot[vi].rounds_len as usize,
+            "node {v}: round {r} out of {}",
+            self.hot[vi].rounds_len
+        );
+        match r {
+            0 => &self.row0[vi],
+            1 => &self.row1[vi],
+            _ => &self.spill[vi][r - RESIDENT_ROUNDS],
+        }
+    }
+
+    /// Mutable access to the round-`r` row of node `v`.
+    ///
+    /// Unlike reads, the lifetime bound here is a **hard check** (PR 1's
+    /// fail-fast rationale: writing a stale row left by a previous slot
+    /// occupant would silently corrupt the contraction). It is also nearly
+    /// free: every apply-path caller has just touched the node's hot
+    /// header (stamping, `rounds_len`, `push_row`), so the line is warm.
+    #[inline]
+    pub fn row_mut(&mut self, v: NodeId, r: usize) -> &mut RoundState {
+        let vi = v as usize;
+        assert!(r < self.hot[vi].rounds_len as usize);
+        match r {
+            0 => &mut self.row0[vi],
+            1 => &mut self.row1[vi],
+            _ => &mut self.spill[vi][r - RESIDENT_ROUNDS],
+        }
+    }
+
+    /// Appends a round row to node `v`.
+    #[inline]
+    fn push_row(&mut self, v: NodeId, row: RoundState) {
+        let vi = v as usize;
+        let i = self.hot[vi].rounds_len as usize;
+        match i {
+            0 => self.row0[vi] = row,
+            1 => self.row1[vi] = row,
+            _ => {
+                debug_assert_eq!(self.spill[vi].len(), i - RESIDENT_ROUNDS);
+                self.spill[vi].push(row);
+            }
+        }
+        self.hot[vi].rounds_len = (i + 1) as u32;
+    }
+
+    /// Shrinks node `v` to `n` round rows (no-op if already shorter).
+    fn truncate_rows(&mut self, v: NodeId, n: usize) {
+        let vi = v as usize;
+        if n < self.hot[vi].rounds_len as usize {
+            self.hot[vi].rounds_len = n as u32;
+            self.spill[vi].truncate(n.saturating_sub(RESIDENT_ROUNDS));
+        }
+    }
+
+    /// Drops all round rows of node `v`, keeping the spill buffer's
+    /// capacity so node recycling stays allocation-free.
+    fn clear_rows(&mut self, v: NodeId) {
+        let vi = v as usize;
+        self.hot[vi].rounds_len = 0;
+        self.spill[vi].clear();
+    }
 }
 
 /// Plan produced by phase 2a for a vertex dying this round. `Copy` +
@@ -311,22 +443,23 @@ impl PropScratch {
 pub struct Engine {
     /// Seed of every coin flip.
     pub seed: u64,
-    /// Node arena.
-    pub nodes: Vec<NodeData>,
+    /// Node arena (chunked SoA; see the module docs, *Memory layout*).
+    pub nodes: NodeArena,
     /// Cluster arena.
     pub clusters: ClusterArena,
     free_nodes: Vec<NodeId>,
     pending_free_nodes: Vec<NodeId>,
+    free_merge_buf: Vec<NodeId>,
     /// Vertices whose child set changed without structural change; they are
     /// re-examined every round until their death round rebuilds the cluster.
     dirty: FxHashSet<NodeId>,
     /// Vertices whose round-0 state changed since the last propagation.
     flagged0: Vec<NodeId>,
-    /// Epoch-stamped scratch for per-round set deduplication: cheaper than
-    /// hash sets on the tiny-batch fast path, where per-round constants
-    /// dominate the `O(ℓ lg(1 + n/ℓ))` bound.
-    stamp: Vec<u64>,
-    epoch: u64,
+    /// Epoch for the per-round set-deduplication stamps (stored in the
+    /// node arena's hot headers): cheaper than hash sets on the tiny-batch
+    /// fast path, where per-round constants dominate the
+    /// `O(ℓ lg(1 + n/ℓ))` bound. Wraparound re-zero: [`Engine::bump_epoch`].
+    epoch: u32,
     /// Reusable per-round buffers (see module docs, *Scratch lifecycle*).
     scratch: PropScratch,
 }
@@ -336,13 +469,13 @@ impl Engine {
     pub fn new(seed: u64) -> Self {
         Engine {
             seed,
-            nodes: Vec::new(),
+            nodes: NodeArena::default(),
             clusters: ClusterArena::new(),
             free_nodes: Vec::new(),
             pending_free_nodes: Vec::new(),
+            free_merge_buf: Vec::new(),
             dirty: FxHashSet::default(),
             flagged0: Vec::new(),
-            stamp: Vec::new(),
             epoch: 0,
             scratch: PropScratch::default(),
         }
@@ -362,29 +495,17 @@ impl Engine {
         let id = if let Some(id) = self.free_nodes.pop() {
             id
         } else {
-            self.nodes.push(NodeData {
-                owner: 0,
-                is_head: false,
-                alive: false,
-                leaf_cluster: NONE_CLUSTER,
-                rounds: RoundsBuf::default(),
-            });
-            self.stamp.push(0);
-            (self.nodes.len() - 1) as NodeId
+            self.nodes.push_slot()
         };
         let leaf = self
             .clusters
             .alloc(ClusterKind::LeafVertex { node: id }, AVec::new());
-        self.clusters.get_mut(leaf).size = is_head as u32;
-        let nd = &mut self.nodes[id as usize];
-        nd.owner = owner;
-        nd.is_head = is_head;
-        nd.alive = true;
-        nd.leaf_cluster = leaf;
-        // Recycled slots keep their `rounds` buffer (cleared, not dropped)
+        self.clusters.set_size(leaf, is_head as u32);
+        self.nodes.init(id, owner, is_head, true, leaf);
+        // Recycled slots keep their spill buffer (cleared, not dropped)
         // so steady-state node churn stays allocation-free.
-        nd.rounds.clear();
-        nd.rounds.push(RoundState::fresh());
+        self.nodes.clear_rows(id);
+        self.nodes.push_row(id, RoundState::fresh());
         self.flagged0.push(id);
         id
     }
@@ -393,26 +514,25 @@ impl Engine {
     /// removes all edges first). The slot is quarantined until
     /// the propagation flushes frees at the end of the batch.
     pub fn free_node(&mut self, v: NodeId) {
-        debug_assert!(self.nodes[v as usize].alive, "double free of node {v}");
+        debug_assert!(self.nodes.alive(v), "double free of node {v}");
         debug_assert!(
-            self.nodes[v as usize].rounds[0].adj.is_empty(),
+            self.nodes.row(v, 0).adj.is_empty(),
             "freeing node {v} with live edges"
         );
         // Free every cluster this node is the representative of, plus its
-        // leaf cluster. The `rounds` buffer itself is kept for reuse by the
+        // leaf cluster. The row storage itself is kept for reuse by the
         // next `alloc_node` on this slot.
-        for q in 0..self.nodes[v as usize].rounds.len() {
-            let c = self.nodes[v as usize].rounds[q].cluster;
+        for q in 0..self.nodes.rounds_len(v) {
+            let c = self.nodes.row(v, q).cluster;
             if c != NONE_CLUSTER {
                 self.clusters.free(c);
             }
         }
-        let leaf = self.nodes[v as usize].leaf_cluster;
+        let leaf = self.nodes.leaf_cluster(v);
         self.clusters.free(leaf);
-        let nd = &mut self.nodes[v as usize];
-        nd.rounds.clear();
-        nd.alive = false;
-        nd.leaf_cluster = NONE_CLUSTER;
+        self.nodes.clear_rows(v);
+        self.nodes.set_alive(v, false);
+        self.nodes.set_leaf_cluster(v, NONE_CLUSTER);
         self.dirty.remove(&v);
         self.pending_free_nodes.push(v);
     }
@@ -421,8 +541,8 @@ impl Engine {
     /// by the given leaf edge cluster. Flags both endpoints.
     pub fn add_edge_round0(&mut self, a: NodeId, b: NodeId, cluster: ClusterId) {
         debug_assert!(a != b, "self-loop in base forest");
-        self.nodes[a as usize].rounds[0].adj.push((b, cluster));
-        self.nodes[b as usize].rounds[0].adj.push((a, cluster));
+        self.nodes.row_mut(a, 0).adj.push((b, cluster));
+        self.nodes.row_mut(b, 0).adj.push((a, cluster));
         self.flagged0.push(a);
         self.flagged0.push(b);
     }
@@ -431,7 +551,7 @@ impl Engine {
     /// cluster (which the caller frees). Flags both endpoints.
     pub fn remove_edge_round0(&mut self, a: NodeId, b: NodeId) -> ClusterId {
         let mut found = NONE_CLUSTER;
-        self.nodes[a as usize].rounds[0].adj.retain(|&(u, c)| {
+        self.nodes.row_mut(a, 0).adj.retain(|&(u, c)| {
             if u == b && found == NONE_CLUSTER {
                 found = c;
                 false
@@ -441,7 +561,7 @@ impl Engine {
         });
         assert!(found != NONE_CLUSTER, "edge ({a},{b}) not present");
         let mut found_b = false;
-        self.nodes[b as usize].rounds[0].adj.retain(|&(u, c)| {
+        self.nodes.row_mut(b, 0).adj.retain(|&(u, c)| {
             if u == a && c == found {
                 found_b = true;
                 false
@@ -467,21 +587,33 @@ impl Engine {
             .alloc(ClusterKind::LeafEdge { a, b, key }, AVec::new())
     }
 
+    /// Advances the dedup epoch, re-zeroing the stamps on (u32) wraparound
+    /// so marks from the previous wrap can never alias — one O(n) fill per
+    /// 2³² rounds.
+    #[inline]
+    fn bump_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.nodes.clear_stamps();
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+
     #[inline]
     fn alive_at(&self, v: NodeId, r: usize) -> bool {
-        let nd = &self.nodes[v as usize];
-        nd.alive && nd.rounds.len() > r
+        self.nodes.alive(v) && self.nodes.rounds_len(v) > r
     }
 
     #[inline]
     fn deg(&self, v: NodeId, r: usize) -> usize {
-        self.nodes[v as usize].rounds[r].adj.len()
+        self.nodes.row(v, r).adj.len()
     }
 
     /// The contraction decision of `v` at round `r` — a pure function of the
     /// round-`r` structure and the seed.
     fn decide(&self, v: NodeId, r: usize) -> Decision {
-        let adj = &self.nodes[v as usize].rounds[r].adj;
+        let adj = &self.nodes.row(v, r).adj;
         let rr = r as u64;
         match adj.len() {
             0 => Decision::Finalize,
@@ -539,20 +671,30 @@ impl Engine {
         let mut r = 0usize;
         loop {
             // Deduplicate (flagged ∪ dirty) alive-at-r via epoch stamps.
-            self.epoch += 1;
-            let ep = self.epoch;
+            let ep = self.bump_epoch();
             ws.set.clear();
             for &v in &ws.cur {
-                if self.stamp[v as usize] != ep && self.alive_at(v, r) {
-                    self.stamp[v as usize] = ep;
+                if self.nodes.stamp(v) != ep && self.alive_at(v, r) {
+                    self.nodes.set_stamp(v, ep);
                     ws.set.push(v);
                 }
             }
             for &v in &self.dirty {
-                if self.stamp[v as usize] != ep && self.alive_at(v, r) {
-                    self.stamp[v as usize] = ep;
+                if self.nodes.stamp(v) != ep && self.alive_at(v, r) {
+                    self.nodes.set_stamp(v, ep);
                     ws.set.push(v);
                 }
+            }
+            // Ascending-id processing for large frontiers: the round loop
+            // is memory-bound and its touch order is otherwise discovery
+            // order (scattered); sorting makes every per-`v` arena access
+            // an ascending sweep (TLB- and prefetch-friendly) for
+            // O(|A| lg) compute — far below one cache miss per element.
+            // Small frontiers fit in cache either way, so they keep
+            // discovery order and skip the sort. The cutoff is a pure
+            // function of the set size, so determinism is unaffected.
+            if ws.set.len() > SORT_GRAIN {
+                ws.set.sort_unstable();
             }
             if ws.set.is_empty() {
                 debug_assert!(self.dirty.is_empty(), "dirty nodes left unresolved");
@@ -573,7 +715,14 @@ impl Engine {
         }
         self.scratch = ws;
         self.clusters.flush_frees();
-        self.free_nodes.append(&mut self.pending_free_nodes);
+        // Mirror the cluster arena's discipline: recycle node slots in
+        // ascending-id order, so id assignment after churn depends only on
+        // the free *set*, not the free sequence.
+        crate::cluster::merge_sorted_frees(
+            &mut self.free_nodes,
+            &mut self.pending_free_nodes,
+            &mut self.free_merge_buf,
+        );
     }
 
     /// Processes one round. Input frontier: `ws.set` (deduplicated, alive at
@@ -582,21 +731,26 @@ impl Engine {
     /// module docs for why that makes the result thread-count independent.
     fn process_round(&mut self, r: usize, ws: &mut PropScratch) {
         // P = A ∪ N(A): neighbors must re-decide (leaf status may change).
-        self.epoch += 1;
-        let ep = self.epoch;
+        let ep = self.bump_epoch();
         ws.p.clear();
         for &v in &ws.set {
-            if self.stamp[v as usize] != ep {
-                self.stamp[v as usize] = ep;
+            if self.nodes.stamp(v) != ep {
+                self.nodes.set_stamp(v, ep);
                 ws.p.push(v);
             }
-            for (u, _) in self.nodes[v as usize].rounds[r].adj.iter() {
+            // Copy the (≤3-entry) adjacency so stamping can write the arena.
+            let adj = self.nodes.row(v, r).adj;
+            for (u, _) in adj.iter() {
                 debug_assert!(self.alive_at(u, r), "stale adjacency {v}->{u} at round {r}");
-                if self.stamp[u as usize] != ep {
-                    self.stamp[u as usize] = ep;
+                if self.nodes.stamp(u) != ep {
+                    self.nodes.set_stamp(u, ep);
                     ws.p.push(u);
                 }
             }
+        }
+        // Ascending sweep for the decide/commit loops (see `ws.set`).
+        if ws.p.len() > SORT_GRAIN {
+            ws.p.sort_unstable();
         }
 
         // Phase 1: recompute decisions for P (parallel plan, serial commit).
@@ -606,7 +760,7 @@ impl Engine {
         map_into(&ws.p, &mut ws.decs, |&v| (v, self.decide(v, r)));
         ws.changed.clear();
         for &(v, d) in &ws.decs {
-            let slot = &mut self.nodes[v as usize].rounds[r].decision;
+            let slot = &mut self.nodes.row_mut(v, r).decision;
             if *slot != d {
                 *slot = d;
                 ws.changed.push(v);
@@ -622,13 +776,12 @@ impl Engine {
         // their stored plans. Hence `Q = A ∪ changed ∪ N(A ∪ changed)`
         // — deliberately *not* the seed's `P ∪ N(P)`, which reprocessed the
         // full two-hop neighborhood of `A` every round.
-        self.epoch += 1;
-        let ep = self.epoch;
+        let ep = self.bump_epoch();
         ws.q.clear();
         for src in [&ws.set, &ws.changed] {
             for &v in src.iter() {
-                if self.stamp[v as usize] != ep {
-                    self.stamp[v as usize] = ep;
+                if self.nodes.stamp(v) != ep {
+                    self.nodes.set_stamp(v, ep);
                     ws.q.push(v);
                 }
             }
@@ -638,18 +791,23 @@ impl Engine {
         while i < seeds {
             let v = ws.q[i];
             i += 1;
-            for (u, _) in self.nodes[v as usize].rounds[r].adj.iter() {
-                if self.stamp[u as usize] != ep {
-                    self.stamp[u as usize] = ep;
+            let adj = self.nodes.row(v, r).adj;
+            for (u, _) in adj.iter() {
+                if self.nodes.stamp(u) != ep {
+                    self.nodes.set_stamp(u, ep);
                     ws.q.push(u);
                 }
             }
+        }
+        // Ascending sweep for the plan/apply loops (see `ws.set`).
+        if ws.q.len() > SORT_GRAIN {
+            ws.q.sort_unstable();
         }
 
         ws.dying.clear();
         ws.surviving.clear();
         for &v in &ws.q {
-            if self.nodes[v as usize].rounds[r].decision != Decision::Survive {
+            if self.nodes.row(v, r).decision != Decision::Survive {
                 ws.dying.push(v);
             } else {
                 ws.surviving.push(v);
@@ -679,17 +837,16 @@ impl Engine {
     /// its own leaf, everything raked into it during its lifetime, and the
     /// edge clusters its decision consumes.
     fn terminal_plan(&self, v: NodeId, r: usize) -> TerminalPlan {
-        let nd = &self.nodes[v as usize];
         let mut children: AVec<ClusterId, MAX_CHILDREN> = AVec::new();
-        children.push(nd.leaf_cluster);
+        children.push(self.nodes.leaf_cluster(v));
         // Dying vertices receive no rakes in their death round, so rows
         // `0..r` hold the complete hanging set (row `r` may be stale).
         for q in 0..r {
-            for c in nd.rounds[q].raked_in.iter() {
+            for c in self.nodes.row(v, q).raked_in.iter() {
                 children.push(c);
             }
         }
-        let row = &nd.rounds[r];
+        let row = self.nodes.row(v, r);
         let kind = match row.decision {
             Decision::Rake(u) => {
                 let (nu, c) = row.adj[0];
@@ -705,8 +862,8 @@ impl Engine {
                 let (w, c2) = row.adj[1];
                 children.push(c1);
                 children.push(c2);
-                let k1 = self.clusters.get(c1).kind.edge_key().expect("edge role");
-                let k2 = self.clusters.get(c2).kind.edge_key().expect("edge role");
+                let k1 = self.clusters.kind(c1).edge_key().expect("edge role");
+                let k2 = self.clusters.kind(c2).edge_key().expect("edge role");
                 let bound = if u < w { (u, w) } else { (w, u) };
                 ClusterKind::Binary {
                     rep: v,
@@ -721,43 +878,44 @@ impl Engine {
     }
 
     fn apply_terminal(&mut self, plan: TerminalPlan, r: usize) {
-        let v = plan.v as usize;
+        let v = plan.v;
         // Unchanged? Keep the old cluster id to stop the cascade.
-        let old = self.nodes[v].rounds[r].cluster;
-        if old != NONE_CLUSTER && self.nodes[v].rounds.len() == r + 1 {
-            let oc = self.clusters.get(old);
-            if oc.alive && oc.kind == plan.kind && oc.children.sorted() == plan.children.sorted() {
-                self.dirty.remove(&plan.v);
-                return;
-            }
+        let old = self.nodes.row(v, r).cluster;
+        if old != NONE_CLUSTER
+            && self.nodes.rounds_len(v) == r + 1
+            && self.clusters.alive(old)
+            && *self.clusters.kind(old) == plan.kind
+            && self.clusters.children(old).sorted() == plan.children.sorted()
+        {
+            self.dirty.remove(&v);
+            return;
         }
         // Free any terminal this vertex formed at this or a later round, and
         // drop the now-dead future rows.
-        for q in r..self.nodes[v].rounds.len() {
-            let c = self.nodes[v].rounds[q].cluster;
+        for q in r..self.nodes.rounds_len(v) {
+            let c = self.nodes.row(v, q).cluster;
             if c != NONE_CLUSTER {
                 self.clusters.free(c);
-                self.nodes[v].rounds[q].cluster = NONE_CLUSTER;
+                self.nodes.row_mut(v, q).cluster = NONE_CLUSTER;
             }
         }
-        self.nodes[v].rounds.truncate(r + 1);
-        self.nodes[v].rounds[r].raked_in.clear();
+        self.nodes.truncate_rows(v, r + 1);
+        self.nodes.row_mut(v, r).raked_in.clear();
         let id = self.clusters.alloc(plan.kind, plan.children);
         for ch in plan.children.iter() {
-            self.clusters.get_mut(ch).parent = id;
+            self.clusters.set_parent(ch, id);
         }
-        self.nodes[v].rounds[r].cluster = id;
-        self.dirty.remove(&plan.v);
+        self.nodes.row_mut(v, r).cluster = id;
+        self.dirty.remove(&v);
     }
 
     /// A survivor's rake-in list and next-round adjacency, read off its
     /// neighbors' freshly committed decisions and clusters.
     fn survive_plan(&self, v: NodeId, r: usize) -> SurvivePlan {
-        let nd = &self.nodes[v as usize];
         let mut raked: AVec<ClusterId, 3> = AVec::new();
         let mut adj_next: AVec<(NodeId, ClusterId), 3> = AVec::new();
-        for (u, c) in nd.rounds[r].adj.iter() {
-            let urow = &self.nodes[u as usize].rounds[r];
+        for (u, c) in self.nodes.row(v, r).adj.iter() {
+            let urow = self.nodes.row(u, r);
             match urow.decision {
                 Decision::Rake(t) => {
                     debug_assert_eq!(t, v, "rake target mismatch");
@@ -767,7 +925,7 @@ impl Engine {
                 Decision::Compress => {
                     let b = urow.cluster;
                     debug_assert!(b != NONE_CLUSTER);
-                    let (x, y) = match self.clusters.get(b).kind {
+                    let (x, y) = match *self.clusters.kind(b) {
                         ClusterKind::Binary { bound, .. } => bound,
                         ref k => unreachable!("compress produced {k:?}"),
                     };
@@ -785,35 +943,37 @@ impl Engine {
     }
 
     fn apply_survive(&mut self, plan: SurvivePlan, r: usize, next: &mut Vec<NodeId>) {
-        let v = plan.v as usize;
+        let v = plan.v;
         // If this vertex previously died at `r`, its old terminal is stale.
-        let old = self.nodes[v].rounds[r].cluster;
+        let old = self.nodes.row(v, r).cluster;
         if old != NONE_CLUSTER {
             self.clusters.free(old);
-            self.nodes[v].rounds[r].cluster = NONE_CLUSTER;
+            self.nodes.row_mut(v, r).cluster = NONE_CLUSTER;
         }
-        if self.nodes[v].rounds[r].raked_in.sorted() != plan.raked.sorted() {
-            self.nodes[v].rounds[r].raked_in = plan.raked;
-            self.dirty.insert(plan.v);
+        if self.nodes.row(v, r).raked_in.sorted() != plan.raked.sorted() {
+            self.nodes.row_mut(v, r).raked_in = plan.raked;
+            self.dirty.insert(v);
         }
-        let created = if self.nodes[v].rounds.len() == r + 1 {
-            self.nodes[v].rounds.push(RoundState::fresh());
+        let created = if self.nodes.rounds_len(v) == r + 1 {
+            self.nodes.push_row(v, RoundState::fresh());
             true
         } else {
             false
         };
-        let row = &mut self.nodes[v].rounds[r + 1];
+        let row = self.nodes.row_mut(v, r + 1);
         if created || row.adj.sorted() != plan.adj_next.sorted() {
             row.adj = plan.adj_next;
-            next.push(plan.v);
+            next.push(v);
         }
     }
 
     /// Walks parent pointers from a cluster to the root cluster above it.
+    /// A pure chase over the arena's dense parent array (see
+    /// [`crate::cluster`], *Memory layout*).
     pub fn root_from(&self, mut c: ClusterId) -> ClusterId {
         let mut steps = 0usize;
         loop {
-            let p = self.clusters.get(c).parent;
+            let p = self.clusters.parent(c);
             if p == NONE_CLUSTER {
                 return c;
             }
@@ -828,7 +988,9 @@ impl Engine {
 
     /// Number of live nodes (heads + phantoms).
     pub fn live_nodes(&self) -> usize {
-        self.nodes.iter().filter(|n| n.alive).count()
+        (0..self.nodes.len() as NodeId)
+            .filter(|&v| self.nodes.alive(v))
+            .count()
     }
 
     // ------------------------------------------------------------------
@@ -843,36 +1005,33 @@ impl Engine {
     pub fn rebuild_from_scratch(&self) -> Engine {
         let mut e = Engine::new(self.seed);
         // Recreate the node arena with identical ids.
-        for (id, nd) in self.nodes.iter().enumerate() {
-            e.nodes.push(NodeData {
-                owner: nd.owner,
-                is_head: nd.is_head,
-                alive: nd.alive,
-                leaf_cluster: NONE_CLUSTER,
-                rounds: RoundsBuf::default(),
-            });
-            e.stamp.push(0);
-            if nd.alive {
+        for id in 0..self.nodes.len() as NodeId {
+            let nid = e.nodes.push_slot();
+            debug_assert_eq!(nid, id);
+            let (owner, is_head) = (self.nodes.owner(id), self.nodes.is_head(id));
+            if self.nodes.alive(id) {
                 let leaf = e
                     .clusters
-                    .alloc(ClusterKind::LeafVertex { node: id as NodeId }, AVec::new());
-                e.clusters.get_mut(leaf).size = nd.is_head as u32;
-                e.nodes[id].leaf_cluster = leaf;
-                e.nodes[id].rounds.push(RoundState::fresh());
-                e.flagged0.push(id as NodeId);
+                    .alloc(ClusterKind::LeafVertex { node: id }, AVec::new());
+                e.clusters.set_size(leaf, is_head as u32);
+                e.nodes.init(id, owner, is_head, true, leaf);
+                e.nodes.push_row(id, RoundState::fresh());
+                e.flagged0.push(id);
+            } else {
+                e.nodes.init(id, owner, is_head, false, NONE_CLUSTER);
             }
         }
         // Recreate round-0 edges (each once).
-        for (id, nd) in self.nodes.iter().enumerate() {
-            if !nd.alive {
+        for id in 0..self.nodes.len() as NodeId {
+            if !self.nodes.alive(id) {
                 continue;
             }
-            for (u, c) in nd.rounds[0].adj.iter() {
-                if (id as NodeId) < u {
-                    let key = self.clusters.get(c).kind.edge_key().expect("leaf edge");
-                    let nc = e.alloc_edge_cluster(id as NodeId, u, key);
-                    e.nodes[id].rounds[0].adj.push((u, nc));
-                    e.nodes[u as usize].rounds[0].adj.push((id as NodeId, nc));
+            for (u, c) in self.nodes.row(id, 0).adj.iter() {
+                if id < u {
+                    let key = self.clusters.kind(c).edge_key().expect("leaf edge");
+                    let nc = e.alloc_edge_cluster(id, u, key);
+                    e.nodes.row_mut(id, 0).adj.push((u, nc));
+                    e.nodes.row_mut(u, 0).adj.push((id, nc));
                 }
             }
         }
@@ -891,25 +1050,27 @@ impl Engine {
                 other.nodes.len()
             ));
         }
-        for id in 0..self.nodes.len() {
-            let a = &self.nodes[id];
-            let b = &other.nodes[id];
-            if a.alive != b.alive {
-                return Err(format!("node {id}: alive {} vs {}", a.alive, b.alive));
-            }
-            if !a.alive {
-                continue;
-            }
-            if a.rounds.len() != b.rounds.len() {
+        for id in 0..self.nodes.len() as NodeId {
+            if self.nodes.alive(id) != other.nodes.alive(id) {
                 return Err(format!(
-                    "node {id}: lifetime {} vs {}",
-                    a.rounds.len(),
-                    b.rounds.len()
+                    "node {id}: alive {} vs {}",
+                    self.nodes.alive(id),
+                    other.nodes.alive(id)
                 ));
             }
-            for r in 0..a.rounds.len() {
-                let ra = &a.rounds[r];
-                let rb = &b.rounds[r];
+            if !self.nodes.alive(id) {
+                continue;
+            }
+            if self.nodes.rounds_len(id) != other.nodes.rounds_len(id) {
+                return Err(format!(
+                    "node {id}: lifetime {} vs {}",
+                    self.nodes.rounds_len(id),
+                    other.nodes.rounds_len(id)
+                ));
+            }
+            for r in 0..self.nodes.rounds_len(id) {
+                let ra = self.nodes.row(id, r);
+                let rb = other.nodes.row(id, r);
                 if ra.decision != rb.decision {
                     return Err(format!(
                         "node {id} round {r}: decision {:?} vs {:?}",
@@ -920,7 +1081,7 @@ impl Engine {
                     let mut s: Vec<(NodeId, WKey)> = row
                         .adj
                         .iter()
-                        .map(|(u, c)| (u, e.clusters.get(c).kind.edge_key().unwrap()))
+                        .map(|(u, c)| (u, e.clusters.kind(c).edge_key().unwrap()))
                         .collect();
                     s.sort_unstable_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
                     s
@@ -932,7 +1093,7 @@ impl Engine {
                     let mut s: Vec<NodeId> = row
                         .raked_in
                         .iter()
-                        .map(|c| e.clusters.get(c).kind.rep().unwrap())
+                        .map(|c| e.clusters.kind(c).rep().unwrap())
                         .collect();
                     s.sort_unstable();
                     s
@@ -948,32 +1109,34 @@ impl Engine {
     /// Structural sanity check of the cluster forest: parent/child pointers
     /// are mutually consistent and every live non-root cluster has a parent.
     pub fn check_cluster_invariants(&self) -> Result<(), String> {
-        for (id, c) in self.clusters.iter_live() {
-            for ch in c.children.iter() {
-                let child = self.clusters.get(ch);
-                if !child.alive {
+        for id in self.clusters.iter_live_ids() {
+            for ch in self.clusters.children(id).iter() {
+                if !self.clusters.alive(ch) {
                     return Err(format!("cluster {id} has dead child {ch}"));
                 }
-                if child.parent != id {
+                if self.clusters.parent(ch) != id {
                     return Err(format!(
                         "cluster {id} child {ch} has parent {}",
-                        child.parent
+                        self.clusters.parent(ch)
                     ));
                 }
             }
-            if c.parent != NONE_CLUSTER {
-                let p = self.clusters.get(c.parent);
-                if !p.alive {
-                    return Err(format!("cluster {id} has dead parent {}", c.parent));
+            let p = self.clusters.parent(id);
+            if p != NONE_CLUSTER {
+                if !self.clusters.alive(p) {
+                    return Err(format!("cluster {id} has dead parent {p}"));
                 }
-                if !p.children.iter().any(|ch| ch == id) {
+                if !self.clusters.children(p).iter().any(|ch| ch == id) {
                     return Err(format!("cluster {id} not among parent's children"));
                 }
-            } else if !matches!(c.kind, ClusterKind::Root { .. }) {
+            } else if !matches!(self.clusters.kind(id), ClusterKind::Root { .. }) {
                 // Orphan non-root: only legal for leaf clusters of isolated
                 // *fresh* vertices before their first propagation — after
                 // propagate() everything is parented.
-                return Err(format!("non-root cluster {id} has no parent: {:?}", c.kind));
+                return Err(format!(
+                    "non-root cluster {id} has no parent: {:?}",
+                    self.clusters.kind(id)
+                ));
             }
         }
         Ok(())
@@ -1003,8 +1166,8 @@ mod tests {
     fn singleton_finalizes_round_zero() {
         let e = build(1, &[], 1);
         assert_eq!(e.clusters.num_roots, 1);
-        assert_eq!(e.nodes[0].rounds.len(), 1);
-        assert_eq!(e.nodes[0].rounds[0].decision, Decision::Finalize);
+        assert_eq!(e.nodes.rounds_len(0), 1);
+        assert_eq!(e.nodes.row(0, 0).decision, Decision::Finalize);
     }
 
     #[test]
@@ -1013,8 +1176,8 @@ mod tests {
         assert_eq!(e.clusters.num_roots, 1);
         e.check_cluster_invariants().unwrap();
         // One endpoint rakes, the other finalizes one round later.
-        let d0 = e.nodes[0].rounds[e.nodes[0].rounds.len() - 1].decision;
-        let d1 = e.nodes[1].rounds[e.nodes[1].rounds.len() - 1].decision;
+        let d0 = e.nodes.row(0, e.nodes.rounds_len(0) - 1).decision;
+        let d1 = e.nodes.row(1, e.nodes.rounds_len(1) - 1).decision;
         assert!(
             matches!((d0, d1), (Decision::Rake(_), Decision::Finalize))
                 || matches!((d0, d1), (Decision::Finalize, Decision::Rake(_)))
@@ -1030,8 +1193,8 @@ mod tests {
         e.check_cluster_invariants().unwrap();
         let binaries = e
             .clusters
-            .iter_live()
-            .filter(|(_, c)| matches!(c.kind, ClusterKind::Binary { .. }))
+            .iter_live_ids()
+            .filter(|&c| matches!(e.clusters.kind(c), ClusterKind::Binary { .. }))
             .count();
         assert!(binaries > 0, "a long path must compress somewhere");
     }
@@ -1054,7 +1217,7 @@ mod tests {
     #[test]
     fn roots_found_by_parent_chase() {
         let e = build(5, &[(0, 1, 1.0), (1, 2, 2.0), (3, 4, 3.0)], 11);
-        let root = |v: u32| e.root_from(e.nodes[v as usize].leaf_cluster);
+        let root = |v: u32| e.root_from(e.nodes.leaf_cluster(v));
         assert_eq!(root(0), root(1));
         assert_eq!(root(0), root(2));
         assert_eq!(root(3), root(4));
@@ -1103,10 +1266,10 @@ mod tests {
         // must equal the max key among base edges between its boundaries.
         let edges = [(0, 1, 5.0), (1, 2, 9.0), (2, 3, 2.0), (3, 4, 7.0)];
         let e = build(5, &edges, 23);
-        for (_, c) in e.clusters.iter_live() {
+        for id in e.clusters.iter_live_ids() {
             if let ClusterKind::Binary {
                 bound: (x, y), key, ..
-            } = c.kind
+            } = *e.clusters.kind(id)
             {
                 // Brute force: max weight among base edges strictly between
                 // x and y on the path (vertex ids are path positions).
@@ -1157,5 +1320,23 @@ mod tests {
         let scratch = e.rebuild_from_scratch();
         e.same_contraction(&scratch).unwrap();
         e.check_cluster_invariants().unwrap();
+    }
+
+    #[test]
+    fn node_rows_survive_chunk_boundary_growth() {
+        // Push the node arena across several chunk boundaries in one batch
+        // and check that early nodes' round rows are intact — the SoA
+        // arena's growth must never disturb existing state.
+        let n = 2 * bimst_primitives::soa::CHUNK + 100;
+        let mut e = Engine::new(13);
+        for i in 0..n {
+            e.alloc_node(i as u32, true);
+        }
+        e.propagate();
+        assert_eq!(e.clusters.num_roots, n);
+        for v in [0u32, 1, bimst_primitives::soa::CHUNK as u32, n as u32 - 1] {
+            assert_eq!(e.nodes.row(v, 0).decision, Decision::Finalize);
+            assert!(e.nodes.alive(v));
+        }
     }
 }

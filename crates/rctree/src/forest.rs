@@ -22,16 +22,16 @@
 //! the MSF layer never selects them for eviction (they are always in any
 //! minimum spanning forest).
 
-use bimst_primitives::{EdgeId, FxHashMap, VertexId, WKey};
+use bimst_primitives::{AVec, ChunkedArena, EdgeId, FxHashMap, VertexId, WKey};
 
-use crate::cluster::{Cluster, ClusterId};
+use crate::cluster::{Cluster, ClusterId, ClusterKind, MAX_CHILDREN};
 use crate::contract::{Engine, NONE_NODE};
 
 /// A node of the ternarized base forest (head or phantom).
 pub type NodeId = u32;
 
 /// Spine bookkeeping for one node.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 struct SpineInfo {
     /// Previous node on the owner's spine (`NONE_NODE` for heads).
     prev: NodeId,
@@ -86,7 +86,11 @@ pub struct RcForest {
     n: usize,
     heads: Vec<NodeId>,
     tails: Vec<NodeId>,
-    spine: Vec<SpineInfo>,
+    /// Indexed by node id, grown one slot per phantom. Chunked so growth
+    /// never copies: as a `Vec` this was the last doubling arena on the
+    /// insert path (a 1M-vertex forest pays a ~24 MB copy-plus-fault storm
+    /// the batch its first phantom appears — measured at ~13 ms).
+    spine: ChunkedArena<SpineInfo>,
     edges: FxHashMap<EdgeId, EdgeRec>,
 }
 
@@ -97,7 +101,7 @@ impl RcForest {
     pub fn new(n: usize, seed: u64) -> Self {
         let mut engine = Engine::new(seed);
         let mut heads = Vec::with_capacity(n);
-        let mut spine = Vec::with_capacity(n);
+        let mut spine = ChunkedArena::new();
         for v in 0..n {
             let h = engine.alloc_node(v as u32, true);
             debug_assert_eq!(h as usize, spine.len());
@@ -258,7 +262,7 @@ impl RcForest {
             // Head: just clear the slot.
             return;
         }
-        let owner = self.engine.nodes[node as usize].owner;
+        let owner = self.engine.nodes.owner(node);
         let pr = info.prev;
         let nx = info.next;
         let c = self.engine.remove_edge_round0(pr, node);
@@ -288,33 +292,50 @@ impl RcForest {
 
     /// The root cluster of the component containing `v`.
     pub fn root_cluster_of(&self, v: VertexId) -> ClusterId {
-        let leaf = self.engine.nodes[self.heads[v as usize] as usize].leaf_cluster;
+        let leaf = self.engine.nodes.leaf_cluster(self.heads[v as usize]);
         self.engine.root_from(leaf)
     }
 
     /// Number of original vertices in `v`'s component (isolated vertex: 1).
     /// `O(lg n)` w.h.p. — the root cluster carries its vertex count.
     pub fn component_size(&self, v: VertexId) -> usize {
-        self.engine.clusters.get(self.root_cluster_of(v)).size as usize
+        self.engine.clusters.size(self.root_cluster_of(v)) as usize
     }
 
     // ------------------------------------------------------------------
     // RC tree access (for the compressed path tree in `bimst-core`)
     // ------------------------------------------------------------------
 
-    /// Read access to an RC tree node.
-    pub fn cluster(&self, c: ClusterId) -> &Cluster {
+    /// Read access to an RC tree node, assembled by value from the arena's
+    /// parallel arrays (cold paths: pretty-printing, diagnostics). Hot
+    /// paths use [`RcForest::cluster_kind`] / [`RcForest::cluster_children`]
+    /// / [`RcForest::parent`] so they only load the arrays they need.
+    pub fn cluster(&self, c: ClusterId) -> Cluster {
         self.engine.clusters.get(c)
     }
 
-    /// Parent of a cluster (`NONE_CLUSTER` for roots).
+    /// The kind of a cluster (hot array only).
+    #[inline]
+    pub fn cluster_kind(&self, c: ClusterId) -> &ClusterKind {
+        self.engine.clusters.kind(c)
+    }
+
+    /// The children of a cluster (warm array only).
+    #[inline]
+    pub fn cluster_children(&self, c: ClusterId) -> &AVec<ClusterId, MAX_CHILDREN> {
+        self.engine.clusters.children(c)
+    }
+
+    /// Parent of a cluster (`NONE_CLUSTER` for roots). A single dense-array
+    /// read — the CPT's bottom-up marking loop lives on this.
+    #[inline]
     pub fn parent(&self, c: ClusterId) -> ClusterId {
-        self.engine.clusters.get(c).parent
+        self.engine.clusters.parent(c)
     }
 
     /// The base leaf cluster of a node.
     pub fn leaf_cluster(&self, node: NodeId) -> ClusterId {
-        self.engine.nodes[node as usize].leaf_cluster
+        self.engine.nodes.leaf_cluster(node)
     }
 
     /// The head node representing original vertex `v`.
@@ -324,7 +345,7 @@ impl RcForest {
 
     /// The original vertex owning a base node (head or phantom).
     pub fn owner(&self, node: NodeId) -> VertexId {
-        self.engine.nodes[node as usize].owner
+        self.engine.nodes.owner(node)
     }
 
     /// Upper bound (exclusive) on cluster ids; useful for scratch arrays.

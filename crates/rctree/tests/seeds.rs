@@ -68,11 +68,13 @@ fn same_seed_same_structure_different_seed_different_coins() {
         let links: Vec<(u32, u32, f64, u64)> =
             (0..63u32).map(|i| (i, i + 1, i as f64, i as u64)).collect();
         f.batch_update(&[], &links);
-        f.engine()
-            .nodes
-            .iter()
-            .filter(|nd| nd.alive)
-            .map(|nd| nd.rounds.len() * 31 + nd.rounds.len() * nd.rounds.len())
+        let nodes = &f.engine().nodes;
+        (0..nodes.len() as u32)
+            .filter(|&v| nodes.alive(v))
+            .map(|v| {
+                let l = nodes.rounds_len(v);
+                l * 31 + l * l
+            })
             .sum::<usize>()
     };
     assert_eq!(build(7), build(7));
