@@ -1,0 +1,245 @@
+//! Machine-readable perf trajectory for the mixed read/write serving path.
+//!
+//! Emits `BENCH_mixed_workload.json` (in the current directory): per-batch
+//! query latency of the `bimst-query` batch engine **and its paired
+//! sequential per-query baseline, measured in the same run on the same
+//! structure state**, while insert/expire batches keep flowing from a
+//! [`bimst_graphgen::MixedStream`] — the serving workload ISSUE 3 targets.
+//! Every PR that touches the query engine, the CPT, or the root-walk path
+//! should re-run this and commit the refreshed file:
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin bench_mixed
+//! ```
+//!
+//! Shape: an `SwConnEager` window over n = 1,000,000 vertices (ER endpoint
+//! stream, window = 262,144 positions, insert batches of 4,096). Once the
+//! window is sliding in steady state, each measured round interleaves one
+//! insert batch, one expiry, and query batches of ℓq ∈ {1, 64, 4096} split
+//! across three kinds (window connectivity, MSF path-max, component size).
+//! Per `(kind, engine, ℓq)` the runner reports, in ns/query:
+//!
+//! * `ns_per_query` — mean over every query issued (throughput).
+//! * `batch_median` / `batch_p99` / `batch_max` — the per-batch latency
+//!   distribution, the tail-gating columns (same protocol as
+//!   `BENCH_batch_insert.json`; regressions in median/p99 are review
+//!   blockers, means on this box are advisory — see ROADMAP).
+//!
+//! `engine: "seq"` rows are the baseline: identically-distributed query
+//! batches from the same stream answered by the one-at-a-time public API
+//! (`is_connected` / `path_max` / `component_size` loops). `engine:
+//! "batch"` rows are `QueryBatch`. Batches alternate between engines so
+//! neither rides a cache warmed by the other answering the same queries
+//! first. An `insert` row records write throughput during the mixed run so
+//! read-path PRs can't silently tax the write path.
+//!
+//! Scale knobs (positional): `bench_mixed [n] [window] [rounds]`. CI runs a
+//! tiny instance as a smoke test; committed numbers use the defaults.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
+use bimst_query::{QueryBatch, ReadHandle};
+use bimst_sliding::SwConnEager;
+
+/// Per-batch ns/query samples for one `(kind, engine)` cell.
+#[derive(Default)]
+struct Samples {
+    batch_ns: Vec<f64>,
+    queries: usize,
+    total_secs: f64,
+}
+
+impl Samples {
+    fn record(&mut self, secs: f64, batch_len: usize) {
+        self.total_secs += secs;
+        self.queries += batch_len;
+        self.batch_ns.push(secs * 1e9 / batch_len.max(1) as f64);
+    }
+
+    fn row(&mut self, kind: &str, engine: &str, qbatch: usize) -> String {
+        self.batch_ns.sort_by(f64::total_cmp);
+        // Ceiling index, like bench_json: with few batches flooring reads
+        // ~p98 and lets genuine spikes slip past the tail gate.
+        let pct = |q: f64| self.batch_ns[((self.batch_ns.len() - 1) as f64 * q).ceil() as usize];
+        format!(
+            "{{\"kind\": \"{kind}\", \"engine\": \"{engine}\", \"qbatch\": {qbatch}, \"queries\": {}, \"ns_per_query\": {:.1}, \"batch_median\": {:.1}, \"batch_p99\": {:.1}, \"batch_max\": {:.1}}}",
+            self.queries,
+            self.total_secs * 1e9 / self.queries.max(1) as f64,
+            pct(0.5),
+            pct(0.99),
+            self.batch_ns[self.batch_ns.len() - 1],
+        )
+    }
+}
+
+/// Drives one ℓq configuration end to end and returns its JSON rows.
+fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String> {
+    // Query batches per kind per round, so small ℓq gets enough samples
+    // for a meaningful p99 without inflating the insert stream. Each kind's
+    // batches alternate between the two engines (hence the even counts):
+    // timing both engines on the *same* batch back-to-back would hand
+    // whichever runs second a cache pre-warmed by the first, so instead
+    // each engine gets its own fresh, identically-distributed batches.
+    let per_kind = match qbatch {
+        0..=7 => 128,
+        8..=511 => 16,
+        _ => 4,
+    };
+    let cfg = MixedConfig {
+        n: n as u32,
+        topology: MixedTopology::ErdosRenyi,
+        insert_batch: 4096,
+        query_batch: qbatch,
+        queries_per_insert: 3 * per_kind,
+        window,
+    };
+    let mut stream = MixedStream::new(cfg, 42);
+    let mut eager =
+        SwConnEager::with_edge_capacity(n, 7, (window as usize).min(n.saturating_sub(1)));
+    let mut q = QueryBatch::new();
+
+    // Warmup: run the op cycle untimed until the window actually slides
+    // (plus one spare round so every scratch buffer has hit steady state).
+    let ops_per_round = 2 + cfg.queries_per_insert;
+    let warm_rounds = (window / 4096 + 2) as usize;
+    for _ in 0..warm_rounds * ops_per_round {
+        match stream.next_op() {
+            Op::Insert(b) => {
+                eager.batch_insert(&b);
+            }
+            Op::Expire(d) => eager.batch_expire(d),
+            Op::ConnectedQueries(qs) => {
+                black_box(q.batch_window_connected(&eager, &qs));
+            }
+            Op::PathMaxQueries(qs) => {
+                black_box(q.batch_path_max(ReadHandle::new(eager.msf()), &qs));
+            }
+            Op::ComponentSizeQueries(vs) => {
+                black_box(q.batch_component_size(ReadHandle::new(eager.msf()), &vs));
+            }
+        }
+    }
+
+    let mut insert = Samples::default();
+    let (mut conn_b, mut conn_s) = (Samples::default(), Samples::default());
+    let (mut pm_b, mut pm_s) = (Samples::default(), Samples::default());
+    let (mut cs_b, mut cs_s) = (Samples::default(), Samples::default());
+    // Engine-alternation toggles, one per kind.
+    let (mut conn_t, mut pm_t, mut cs_t) = (false, false, false);
+
+    for _ in 0..rounds * ops_per_round {
+        match stream.next_op() {
+            Op::Insert(b) => {
+                let t0 = Instant::now();
+                black_box(eager.batch_insert(&b));
+                insert.record(t0.elapsed().as_secs_f64(), b.len());
+            }
+            Op::Expire(d) => eager.batch_expire(d),
+            Op::ConnectedQueries(qs) => {
+                conn_t = !conn_t;
+                let t0 = Instant::now();
+                if conn_t {
+                    black_box(q.batch_window_connected(&eager, &qs));
+                } else {
+                    for &(u, v) in &qs {
+                        black_box(eager.is_connected(u, v));
+                    }
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                if conn_t { &mut conn_b } else { &mut conn_s }.record(secs, qs.len());
+            }
+            Op::PathMaxQueries(qs) => {
+                pm_t = !pm_t;
+                let msf = eager.msf();
+                let t0 = Instant::now();
+                if pm_t {
+                    black_box(q.batch_path_max(ReadHandle::new(msf), &qs));
+                } else {
+                    for &(u, v) in &qs {
+                        black_box(msf.path_max(u, v));
+                    }
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                if pm_t { &mut pm_b } else { &mut pm_s }.record(secs, qs.len());
+            }
+            Op::ComponentSizeQueries(vs) => {
+                cs_t = !cs_t;
+                let msf = eager.msf();
+                let t0 = Instant::now();
+                if cs_t {
+                    black_box(q.batch_component_size(ReadHandle::new(msf), &vs));
+                } else {
+                    for &v in &vs {
+                        black_box(msf.component_size(v));
+                    }
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                if cs_t { &mut cs_b } else { &mut cs_s }.record(secs, vs.len());
+            }
+        }
+    }
+
+    let rows = vec![
+        conn_b.row("window_connected", "batch", qbatch),
+        conn_s.row("window_connected", "seq", qbatch),
+        pm_b.row("path_max", "batch", qbatch),
+        pm_s.row("path_max", "seq", qbatch),
+        cs_b.row("component_size", "batch", qbatch),
+        cs_s.row("component_size", "seq", qbatch),
+        insert.row("insert", "write", 4096),
+    ];
+    for r in &rows {
+        eprintln!("qbatch={qbatch}: {r}");
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let window: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let rounds: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(32)
+        .max(1);
+    let all = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Process-level warmup, as in bench_json: fault in allocator arenas so
+    // the first configuration is not penalized relative to later ones.
+    eprintln!("warmup...");
+    run_config(n, window, 1, 64);
+
+    let mut rows: Vec<String> = Vec::new();
+    for qbatch in [1usize, 64, 4096] {
+        rows.extend(run_config(n, window, rounds, qbatch));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"mixed_workload\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"insert_batch\": 4096,");
+    let _ = writeln!(json, "  \"host_threads\": {all},");
+    let _ = writeln!(json, "  \"unit\": \"ns_per_query\",");
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"engine=seq rows are the sequential per-query loop over identically-distributed batches alternated with the batch engine in the same run (paired same-day)\","
+    );
+    json.push_str("  \"measurements\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    {r}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_mixed_workload.json", &json).expect("write BENCH_mixed_workload.json");
+    println!("{json}");
+}

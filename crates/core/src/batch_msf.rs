@@ -122,6 +122,19 @@ impl BatchMsf {
         }
     }
 
+    /// [`BatchMsf::new`], pre-sizing the forest's live-edge map for
+    /// `edge_capacity` simultaneous MSF edges (at most `n − 1`; the hint is
+    /// clamped). Takes the map's growth rehashes — the last doubling
+    /// structure on the insert path — at construction instead of as a
+    /// mid-stream latency spike. The hint only pre-sizes; it is not a limit.
+    pub fn with_edge_capacity(n: usize, seed: u64, edge_capacity: usize) -> Self {
+        BatchMsf {
+            forest: RcForest::with_edge_capacity(n, seed, edge_capacity),
+            weight_sum: 0.0,
+            scratch: InsertScratch::default(),
+        }
+    }
+
     /// Combined capacity (in elements) of every reusable buffer on the
     /// insert path — this structure's scratch plus the RC-tree engine's
     /// propagation scratch. Steady-state workloads must plateau here; the
@@ -153,6 +166,13 @@ impl BatchMsf {
     /// Whether `u` and `v` are connected. `O(lg n)` w.h.p.
     pub fn connected(&self, u: VertexId, v: VertexId) -> bool {
         self.forest.connected(u, v)
+    }
+
+    /// Number of vertices in `v`'s component (isolated vertex: 1).
+    /// `O(lg n)` w.h.p. — one root walk; the root cluster carries its
+    /// vertex count.
+    pub fn component_size(&self, v: VertexId) -> usize {
+        self.forest.component_size(v)
     }
 
     /// Heaviest edge key on the MSF path between `u` and `v` (`None` if

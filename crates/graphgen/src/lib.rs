@@ -14,6 +14,10 @@
 //! * [`EdgeStream`] — a timestamped infinite stream over any topology, cut
 //!   into arbitrary insert batches for the sliding-window experiments; the
 //!   stream position is `τ(e)`, exactly the paper's recency weight.
+//! * [`MixedStream`] — a mixed read/write **operation** stream: insert
+//!   batches, expirations, and query batches interleaved over any of the
+//!   above topologies, for driving the batch-parallel query engine
+//!   (`bimst-query`) under serving-style workloads.
 //!
 //! All generators are deterministic given their seed (ChaCha8).
 
@@ -190,6 +194,218 @@ impl EdgeStream {
     }
 }
 
+/// One operation of a mixed read/write workload (see [`MixedStream`]).
+///
+/// Insert/expire operations target a sliding-window structure (which
+/// assigns stream positions and recency weights itself); query operations
+/// are batches for the `bimst-query` executor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Append these edges on the new side of the window.
+    Insert(Vec<(u32, u32)>),
+    /// Expire the Δ oldest stream positions.
+    Expire(u64),
+    /// Batch of window-connectivity queries.
+    ConnectedQueries(Vec<(u32, u32)>),
+    /// Batch of path-max queries against the MSF.
+    PathMaxQueries(Vec<(u32, u32)>),
+    /// Batch of component-size queries.
+    ComponentSizeQueries(Vec<u32>),
+}
+
+/// Topology the endpoints of a [`MixedStream`] are drawn from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MixedTopology {
+    /// Uniform random endpoints (the generic dense-cycle workload).
+    ErdosRenyi,
+    /// Preferential-attachment pool: heavy-tailed degrees, stresses the
+    /// ternarization spines.
+    PowerLaw,
+    /// 2-D grid pool: long paths, deep compress chains.
+    Grid,
+}
+
+/// Shape of a [`MixedStream`] workload.
+#[derive(Clone, Copy, Debug)]
+pub struct MixedConfig {
+    /// Vertex count.
+    pub n: u32,
+    /// Endpoint distribution.
+    pub topology: MixedTopology,
+    /// Edges per insert batch.
+    pub insert_batch: usize,
+    /// Queries per query batch.
+    pub query_batch: usize,
+    /// Query batches issued between consecutive insert batches.
+    pub queries_per_insert: usize,
+    /// Sliding-window width in stream positions; `0` = insert-only (no
+    /// [`Op::Expire`] is ever emitted).
+    pub window: u64,
+}
+
+impl MixedConfig {
+    /// A serving-style default: ER endpoints, write batches of 4096,
+    /// read-mostly (4 query batches per insert), fixed window of
+    /// `16 × insert_batch`.
+    pub fn serving(n: u32) -> Self {
+        MixedConfig {
+            n,
+            topology: MixedTopology::ErdosRenyi,
+            insert_batch: 4096,
+            query_batch: 4096,
+            queries_per_insert: 4,
+            window: 16 * 4096,
+        }
+    }
+}
+
+/// A deterministic mixed read/write operation stream.
+///
+/// Each round emits one [`Op::Insert`], then `queries_per_insert` query
+/// batches rotating through the three query kinds, then (in sliding mode)
+/// one [`Op::Expire`] sized to hold the window at `cfg.window`. Query
+/// endpoints are a half/half mix of uniform vertices and endpoints of
+/// recently inserted edges, so query batches hit warm components the way a
+/// serving workload does rather than mostly asking about isolated vertices.
+pub struct MixedStream {
+    cfg: MixedConfig,
+    /// Endpoint pool for non-uniform topologies (empty for ER).
+    pool: Vec<(u32, u32)>,
+    r: ChaCha8Rng,
+    /// Stream positions emitted so far.
+    t: u64,
+    /// Positions already expired.
+    tw: u64,
+    /// Recently inserted endpoint pairs (ring, capped).
+    recent: Vec<(u32, u32)>,
+    recent_at: usize,
+    /// Position in the per-round phase cycle.
+    phase: usize,
+    /// Rotation of the query kinds across query batches.
+    qkind: usize,
+}
+
+impl MixedStream {
+    /// A fresh stream. Identical `(cfg, seed)` give identical op sequences.
+    pub fn new(cfg: MixedConfig, seed: u64) -> Self {
+        assert!(cfg.n >= 2 && cfg.insert_batch > 0);
+        let pool = match cfg.topology {
+            MixedTopology::ErdosRenyi => Vec::new(),
+            MixedTopology::PowerLaw => preferential_attachment(cfg.n, 2, seed ^ 0x9e37)
+                .into_iter()
+                .map(|(u, v, _, _)| (u, v))
+                .collect(),
+            MixedTopology::Grid => {
+                // side² ≤ n keeps every pool endpoint inside the vertex
+                // range; a grid needs at least a 2×2 square.
+                let side = (cfg.n as f64).sqrt() as u32;
+                assert!(side >= 2, "Grid topology needs n >= 4");
+                grid(side, side, seed ^ 0x9e37)
+                    .into_iter()
+                    .map(|(u, v, _, _)| (u, v))
+                    .collect()
+            }
+        };
+        MixedStream {
+            cfg,
+            pool,
+            r: rng(seed),
+            t: 0,
+            tw: 0,
+            recent: Vec::new(),
+            recent_at: 0,
+            phase: 0,
+            qkind: 0,
+        }
+    }
+
+    /// The configuration this stream was built with.
+    pub fn config(&self) -> &MixedConfig {
+        &self.cfg
+    }
+
+    fn endpoints(&mut self) -> (u32, u32) {
+        if self.pool.is_empty() {
+            let n = self.cfg.n;
+            let u = self.r.gen_range(0..n);
+            let mut v = self.r.gen_range(0..n - 1);
+            if v >= u {
+                v += 1;
+            }
+            (u, v)
+        } else {
+            self.pool[self.r.gen_range(0..self.pool.len())]
+        }
+    }
+
+    /// A query vertex: half the time uniform, half the time an endpoint of
+    /// a recently inserted edge.
+    fn query_vertex(&mut self) -> u32 {
+        if !self.recent.is_empty() && self.r.gen_bool(0.5) {
+            let (u, v) = self.recent[self.r.gen_range(0..self.recent.len())];
+            if self.r.gen_bool(0.5) {
+                u
+            } else {
+                v
+            }
+        } else {
+            self.r.gen_range(0..self.cfg.n)
+        }
+    }
+
+    /// Emits the next operation of the cycle.
+    pub fn next_op(&mut self) -> Op {
+        let q = self.cfg.queries_per_insert;
+        let sliding = self.cfg.window > 0;
+        // Phases: 0 = insert, 1..=q = query batches, q+1 = expire (sliding).
+        let phases = 1 + q + usize::from(sliding);
+        let phase = self.phase;
+        self.phase = (self.phase + 1) % phases;
+        if phase == 0 {
+            let batch: Vec<(u32, u32)> = (0..self.cfg.insert_batch)
+                .map(|_| self.endpoints())
+                .collect();
+            self.t += batch.len() as u64;
+            for &e in &batch {
+                if self.recent.len() < 4096 {
+                    self.recent.push(e);
+                } else {
+                    self.recent[self.recent_at % 4096] = e;
+                    self.recent_at += 1;
+                }
+            }
+            return Op::Insert(batch);
+        }
+        if sliding && phase == phases - 1 {
+            let overflow = self.t.saturating_sub(self.cfg.window);
+            let delta = overflow.saturating_sub(self.tw);
+            self.tw = overflow.max(self.tw);
+            return Op::Expire(delta);
+        }
+        let len = self.cfg.query_batch;
+        let kind = self.qkind;
+        self.qkind = (self.qkind + 1) % 3;
+        match kind {
+            0 => Op::ConnectedQueries(
+                (0..len)
+                    .map(|_| (self.query_vertex(), self.query_vertex()))
+                    .collect(),
+            ),
+            1 => Op::PathMaxQueries(
+                (0..len)
+                    .map(|_| (self.query_vertex(), self.query_vertex()))
+                    .collect(),
+            ),
+            _ => Op::ComponentSizeQueries((0..len).map(|_| self.query_vertex()).collect()),
+        }
+    }
+
+    /// Convenience: the next `count` operations.
+    pub fn take_ops(&mut self, count: usize) -> Vec<Op> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,6 +476,92 @@ mod tests {
         assert_eq!((b[0].0, b[0].1), (topo[0].0, topo[0].1));
         assert_eq!((b[3].0, b[3].1), (topo[0].0, topo[0].1));
         assert_ne!(b[0].2, b[3].2, "weights resampled per emission");
+    }
+
+    #[test]
+    fn mixed_stream_cycle_and_determinism() {
+        let cfg = MixedConfig {
+            n: 100,
+            topology: MixedTopology::ErdosRenyi,
+            insert_batch: 8,
+            query_batch: 5,
+            queries_per_insert: 3,
+            window: 16,
+        };
+        let ops = MixedStream::new(cfg, 7).take_ops(10);
+        // Round shape: Insert, 3 query batches, Expire, repeat.
+        assert!(matches!(ops[0], Op::Insert(ref b) if b.len() == 8));
+        assert!(matches!(ops[1], Op::ConnectedQueries(ref q) if q.len() == 5));
+        assert!(matches!(ops[2], Op::PathMaxQueries(_)));
+        assert!(matches!(ops[3], Op::ComponentSizeQueries(_)));
+        assert!(matches!(ops[4], Op::Expire(0))); // still under the window
+        assert!(matches!(ops[5], Op::Insert(_)));
+        assert!(matches!(ops[9], Op::Expire(d) if d == 0));
+        // Deterministic; seed-sensitive.
+        assert_eq!(MixedStream::new(cfg, 7).take_ops(10), ops);
+        assert_ne!(MixedStream::new(cfg, 8).take_ops(10), ops);
+        // Expire totals track the window: after r inserts of 8, expired
+        // positions must equal max(0, 8r - 16).
+        let mut s = MixedStream::new(cfg, 7);
+        let mut inserted = 0u64;
+        let mut expired = 0u64;
+        for op in s.take_ops(50) {
+            match op {
+                Op::Insert(b) => inserted += b.len() as u64,
+                Op::Expire(d) => {
+                    expired += d;
+                    assert_eq!(expired, inserted.saturating_sub(16));
+                }
+                _ => {}
+            }
+        }
+        assert!(expired > 0);
+    }
+
+    #[test]
+    fn mixed_stream_insert_only_never_expires() {
+        let cfg = MixedConfig {
+            window: 0,
+            ..MixedConfig::serving(50)
+        };
+        let ops = MixedStream::new(cfg, 3).take_ops(20);
+        assert!(ops.iter().all(|op| !matches!(op, Op::Expire(_))));
+    }
+
+    #[test]
+    fn mixed_stream_pool_topologies_stay_in_range() {
+        // Non-square n values included: the grid pool must clamp to
+        // side² ≤ n, not round up past the vertex range.
+        for n in [4u32, 5, 7, 400, 401] {
+            for topo in [MixedTopology::PowerLaw, MixedTopology::Grid] {
+                let cfg = MixedConfig {
+                    topology: topo,
+                    ..MixedConfig::serving(n)
+                };
+                let mut s = MixedStream::new(cfg, 5);
+                for op in s.take_ops(12) {
+                    let ok = match op {
+                        Op::Insert(b) => b.iter().all(|&(u, v)| u < n && v < n && u != v),
+                        Op::ConnectedQueries(q) | Op::PathMaxQueries(q) => {
+                            q.iter().all(|&(u, v)| u < n && v < n)
+                        }
+                        Op::ComponentSizeQueries(q) => q.iter().all(|&v| v < n),
+                        Op::Expire(_) => true,
+                    };
+                    assert!(ok, "out-of-range endpoint from {topo:?} at n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Grid topology needs n >= 4")]
+    fn mixed_stream_grid_rejects_tiny_n() {
+        let cfg = MixedConfig {
+            topology: MixedTopology::Grid,
+            ..MixedConfig::serving(3)
+        };
+        MixedStream::new(cfg, 1);
     }
 
     /// Local tiny union-find to avoid a dev-dependency.

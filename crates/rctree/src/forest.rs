@@ -99,6 +99,20 @@ impl RcForest {
     /// contraction decision; two forests with the same seed and the same
     /// update history are structurally identical.
     pub fn new(n: usize, seed: u64) -> Self {
+        Self::with_edge_capacity(n, seed, 0)
+    }
+
+    /// [`RcForest::new`], pre-sizing the live-edge map for `edge_capacity`
+    /// simultaneous edges.
+    ///
+    /// The edge map is the last doubling structure on the insert path: grown
+    /// incrementally it rehashes at power-of-two boundaries (~8 MB moved in
+    /// one batch at 262 K live edges). A forest never holds more than
+    /// `n − 1` live edges, so callers that know their scale (the MSF facade,
+    /// the sliding-window layer, the benches) pass a hint and take the
+    /// allocation once, at construction, instead of as a latency spike
+    /// mid-stream. The hint only pre-sizes; it is not a limit.
+    pub fn with_edge_capacity(n: usize, seed: u64, edge_capacity: usize) -> Self {
         let mut engine = Engine::new(seed);
         let mut heads = Vec::with_capacity(n);
         let mut spine = ChunkedArena::new();
@@ -115,7 +129,10 @@ impl RcForest {
             tails: heads.clone(),
             heads,
             spine,
-            edges: FxHashMap::default(),
+            edges: FxHashMap::with_capacity_and_hasher(
+                edge_capacity.min(n.saturating_sub(1)),
+                Default::default(),
+            ),
         }
     }
 
@@ -300,6 +317,21 @@ impl RcForest {
     /// `O(lg n)` w.h.p. — the root cluster carries its vertex count.
     pub fn component_size(&self, v: VertexId) -> usize {
         self.engine.clusters.size(self.root_cluster_of(v)) as usize
+    }
+
+    /// The root cluster above `c` — a pure chase over the dense parent
+    /// array. Grouped query batches (`bimst-query`) resolve each distinct
+    /// leaf once through this instead of re-walking per query.
+    pub fn root_from(&self, c: ClusterId) -> ClusterId {
+        self.engine.root_from(c)
+    }
+
+    /// Number of original vertices under a **root** cluster (phantoms are
+    /// not counted). Pairs with [`RcForest::root_from`] /
+    /// [`RcForest::root_cluster_of`] so a query batch can turn cached roots
+    /// into component sizes with one dense-array read each.
+    pub fn cluster_size(&self, c: ClusterId) -> usize {
+        self.engine.clusters.size(c) as usize
     }
 
     // ------------------------------------------------------------------

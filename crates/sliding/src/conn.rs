@@ -35,9 +35,28 @@ impl SwConn {
         }
     }
 
+    /// [`SwConn::new`] with the forest's live-edge map pre-sized. Under lazy
+    /// expiry the MSF retains expired edges, so the live set is bounded only
+    /// by the forest bound `n − 1` — long-running windows should pass a hint
+    /// near that to take the map's rehashes up front.
+    pub fn with_edge_capacity(n: usize, seed: u64, edge_capacity: usize) -> Self {
+        SwConn {
+            msf: BatchMsf::with_edge_capacity(n, seed, edge_capacity),
+            tw: 0,
+            t: 0,
+        }
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.msf.num_vertices()
+    }
+
+    /// Read access to the underlying MSF (batched queries, verification).
+    /// Query layers must apply the recent-edge test themselves: expired
+    /// edges are still present here (see [`SwConn::is_connected`]).
+    pub fn msf(&self) -> &BatchMsf {
+        &self.msf
     }
 
     /// Current window: `[tw, t)` in stream positions.
@@ -120,6 +139,18 @@ impl SwConnEager {
     pub fn new(n: usize, seed: u64) -> Self {
         SwConnEager {
             msf: BatchMsf::new(n, seed),
+            d: OrdSet::new(),
+            tw: 0,
+            t: 0,
+        }
+    }
+
+    /// [`SwConnEager::new`] with the forest's live-edge map pre-sized.
+    /// Under eager expiry the MSF holds at most `min(window, n − 1)` edges,
+    /// so a window-width hint removes every mid-stream rehash.
+    pub fn with_edge_capacity(n: usize, seed: u64, edge_capacity: usize) -> Self {
+        SwConnEager {
+            msf: BatchMsf::with_edge_capacity(n, seed, edge_capacity),
             d: OrdSet::new(),
             tw: 0,
             t: 0,

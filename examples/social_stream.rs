@@ -1,73 +1,102 @@
-//! Sliding-window monitoring of a social interaction stream.
+//! Serving a mixed read/write workload over a social interaction stream.
 //!
 //! ```sh
 //! cargo run --release --example social_stream
 //! ```
 //!
-//! The scenario from the paper's motivation: an endless stream of
-//! interactions (edges) where only the most recent window matters. We keep
-//! four monitors running simultaneously over one stream —
-//! connectivity-with-component-count, bipartiteness, cycle-freeness, and
-//! approximate "interaction strength" (MSF weight) — each updated with
-//! arbitrary-size batches and expirations.
+//! The scenario from the paper's motivation, extended to the serving shape
+//! the ROADMAP targets: an endless stream of interactions (edges) where
+//! only the most recent window matters, interleaved with *batches of
+//! queries* — "are these two users connected right now?", "how big is this
+//! user's community?", "how stale is the link between them?" — answered by
+//! the batch-parallel query engine (`bimst-query`) between write batches.
+//!
+//! `MixedStream` generates the op mix (inserts, expirations, query batches
+//! over warm endpoints); `SwConnEager` maintains the window's MSF; one
+//! reusable `QueryBatch` executor serves every read batch from a `ReadHandle`
+//! snapshot of the structure — no clones, no locks, shared root walks.
 
-use bimst_graphgen::EdgeStream;
-use bimst_sliding::{ApproxMsfWeight, CycleFree, SwBipartite, SwConnEager};
+use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
+use bimst_query::{QueryBatch, ReadHandle};
+use bimst_sliding::SwConnEager;
 
 fn main() {
-    let n = 2_000usize;
-    let window = 6_000u64; // keep the last 6k interactions
-    let batch = 1_000usize;
+    let n = 2_000u32;
+    let cfg = MixedConfig {
+        n,
+        topology: MixedTopology::PowerLaw, // hubs, like a real social graph
+        insert_batch: 1_000,
+        query_batch: 512,
+        queries_per_insert: 3, // one batch each: connected / path-max / size
+        window: 6_000,         // keep the last 6k interactions
+    };
+    let mut stream = MixedStream::new(cfg, 99);
+    let mut window =
+        SwConnEager::with_edge_capacity(n as usize, 1, cfg.window.min(n as u64 - 1) as usize);
+    let mut engine = QueryBatch::new();
 
-    let mut stream = EdgeStream::uniform(n as u32, 99);
-    let mut conn = SwConnEager::new(n, 1);
-    let mut bip = SwBipartite::new(n, 2);
-    let mut cyc = CycleFree::new(n, 3);
-    let mut strength = ApproxMsfWeight::new(n, 0.2, 100.0, 4);
-
-    println!("streaming {n}-vertex interactions, window = {window}, batches of {batch}\n");
     println!(
-        "{:>6} {:>10} {:>10} {:>9} {:>9} {:>12}",
-        "round", "arrived", "components", "bipartite", "cyclic", "approx-MSF"
+        "serving {n}-vertex interaction stream: window = {}, {} writes + 3×{} queries per round\n",
+        cfg.window, cfg.insert_batch, cfg.query_batch
+    );
+    println!(
+        "{:>6} {:>9} {:>11} {:>11} {:>13} {:>12}",
+        "round", "arrived", "components", "connected%", "max-comp-size", "oldest-link"
     );
 
-    for round in 0..12u64 {
-        let edges = stream.next_batch(batch);
-        let pairs: Vec<(u32, u32)> = edges.iter().map(|&(u, v, _, _)| (u, v)).collect();
-        let weighted: Vec<(u32, u32, f64)> = edges
-            .iter()
-            .map(|&(u, v, w, _)| (u, v, 1.0 + w * 99.0)) // weights in [1, 100]
-            .collect();
-
-        conn.batch_insert(&pairs);
-        bip.batch_insert(&pairs);
-        cyc.batch_insert(&pairs);
-        strength.batch_insert(&weighted);
-
-        // Slide: once the stream exceeds the window, expire the overflow.
-        let arrived = (round + 1) * batch as u64;
-        let overflow = arrived.saturating_sub(window);
-        let already = conn.window().0;
-        let expire = overflow.saturating_sub(already);
-        conn.batch_expire(expire);
-        bip.batch_expire(expire);
-        cyc.batch_expire(expire);
-        strength.batch_expire(expire);
-
-        println!(
-            "{:>6} {:>10} {:>10} {:>9} {:>9} {:>12.1}",
-            round,
-            arrived,
-            conn.num_components(),
-            bip.is_bipartite(),
-            cyc.has_cycle(),
-            strength.weight()
-        );
+    let mut round = 0u64;
+    let mut arrived = 0u64;
+    let (mut connected_pct, mut max_comp, mut oldest) = (0.0f64, 0usize, None::<u64>);
+    while round < 12 {
+        match stream.next_op() {
+            Op::Insert(batch) => {
+                arrived += batch.len() as u64;
+                window.batch_insert(&batch);
+            }
+            Op::Expire(delta) => {
+                window.batch_expire(delta);
+                let stale = oldest.map_or("-".into(), |tau| format!("τ={tau}"));
+                println!(
+                    "{round:>6} {arrived:>9} {:>11} {connected_pct:>10.1}% {max_comp:>13} {stale:>12}",
+                    window.num_components(),
+                );
+                round += 1;
+            }
+            Op::ConnectedQueries(pairs) => {
+                let hits = engine
+                    .batch_window_connected(&window, &pairs)
+                    .iter()
+                    .filter(|&&c| c)
+                    .count();
+                connected_pct = 100.0 * hits as f64 / pairs.len() as f64;
+            }
+            Op::ComponentSizeQueries(users) => {
+                let h = ReadHandle::new(window.msf());
+                max_comp = engine
+                    .batch_component_size(h, &users)
+                    .into_iter()
+                    .max()
+                    .unwrap_or(0);
+            }
+            Op::PathMaxQueries(pairs) => {
+                // Recency weights are −τ, so the path *maximum* is the
+                // oldest link on the connecting path: a staleness probe.
+                let h = ReadHandle::new(window.msf());
+                oldest = engine
+                    .batch_path_max(h, &pairs)
+                    .into_iter()
+                    .flatten()
+                    .map(|k| k.id) // τ of the oldest link
+                    .min();
+            }
+        }
     }
 
-    // Spot queries.
+    // A final hand-written spot batch through the same engine.
+    let pairs = [(0u32, 1u32), (10, 20), (100, 1999)];
+    let answers = engine.batch_window_connected(&window, &pairs);
     println!("\nspot queries on the final window:");
-    for (u, v) in [(0u32, 1u32), (10, 20), (100, 1999)] {
-        println!("  connected({u}, {v}) = {}", conn.is_connected(u, v));
+    for ((u, v), c) in pairs.iter().zip(answers) {
+        println!("  connected({u}, {v}) = {c}");
     }
 }

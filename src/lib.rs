@@ -7,16 +7,29 @@
 //!
 //! ```
 //! use bimst_repro::core::BatchMsf;
+//! use bimst_repro::query::{QueryBatch, ReadHandle};
 //! use bimst_repro::sliding::SwConnEager;
 //!
 //! let mut msf = BatchMsf::new(8, 1);
 //! msf.batch_insert(&[(0, 1, 1.0, 10), (1, 2, 2.0, 11)]);
 //! assert!(msf.connected(0, 2));
 //!
+//! // Batched reads: a snapshot handle plus a reusable executor. Results
+//! // are bit-identical to the per-query loop, computed with shared root
+//! // walks / shared compressed path trees, in parallel for large batches.
+//! let mut q = QueryBatch::new();
+//! let h = ReadHandle::new(&msf);
+//! assert_eq!(q.batch_connected(h, &[(0, 2), (0, 3)]), vec![true, false]);
+//! assert_eq!(q.batch_component_size(h, &[0, 3]), vec![3, 1]);
+//! assert_eq!(q.batch_path_max(h, &[(0, 2)])[0].unwrap().w, 2.0);
+//!
 //! let mut win = SwConnEager::new(8, 2);
 //! win.batch_insert(&[(0, 1), (1, 2)]);
 //! win.batch_expire(1);
 //! assert!(!win.is_connected(0, 1));
+//! // The same executor serves window-connectivity batches (lazy windows
+//! // get the recent-edge test applied for them).
+//! assert_eq!(q.batch_window_connected(&win, &[(0, 1), (1, 2)]), vec![false, true]);
 //! ```
 
 /// The paper's contribution: compressed path trees and batch-incremental
@@ -28,6 +41,9 @@ pub use bimst_rctree as rctree;
 
 /// Sliding-window applications (re-export of `bimst-sliding`).
 pub use bimst_sliding as sliding;
+
+/// Batch-parallel query engine (re-export of `bimst-query`).
+pub use bimst_query as query;
 
 /// Static MSF algorithms (re-export of `bimst-msf`).
 pub use bimst_msf as msf;
