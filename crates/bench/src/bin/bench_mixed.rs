@@ -40,40 +40,10 @@ use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::Instant;
 
+use bimst_bench::Samples;
 use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
 use bimst_query::{QueryBatch, ReadHandle};
 use bimst_sliding::SwConnEager;
-
-/// Per-batch ns/query samples for one `(kind, engine)` cell.
-#[derive(Default)]
-struct Samples {
-    batch_ns: Vec<f64>,
-    queries: usize,
-    total_secs: f64,
-}
-
-impl Samples {
-    fn record(&mut self, secs: f64, batch_len: usize) {
-        self.total_secs += secs;
-        self.queries += batch_len;
-        self.batch_ns.push(secs * 1e9 / batch_len.max(1) as f64);
-    }
-
-    fn row(&mut self, kind: &str, engine: &str, qbatch: usize) -> String {
-        self.batch_ns.sort_by(f64::total_cmp);
-        // Ceiling index, like bench_json: with few batches flooring reads
-        // ~p98 and lets genuine spikes slip past the tail gate.
-        let pct = |q: f64| self.batch_ns[((self.batch_ns.len() - 1) as f64 * q).ceil() as usize];
-        format!(
-            "{{\"kind\": \"{kind}\", \"engine\": \"{engine}\", \"qbatch\": {qbatch}, \"queries\": {}, \"ns_per_query\": {:.1}, \"batch_median\": {:.1}, \"batch_p99\": {:.1}, \"batch_max\": {:.1}}}",
-            self.queries,
-            self.total_secs * 1e9 / self.queries.max(1) as f64,
-            pct(0.5),
-            pct(0.99),
-            self.batch_ns[self.batch_ns.len() - 1],
-        )
-    }
-}
 
 /// Drives one ℓq configuration end to end and returns its JSON rows.
 fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String> {

@@ -1,0 +1,342 @@
+//! Machine-readable perf trajectory for the sharded serving runtime.
+//!
+//! Emits `BENCH_serve.json` (in the current directory): what the
+//! `bimst-service` channel architecture — admission queue, writer thread,
+//! group commit, coalescing, reader-pool fan-out — costs and buys relative
+//! to driving the *identical op stream* inline on the caller thread (one
+//! `SwConnEager` + one `QueryBatch`, the PR 3 unsharded serving shape).
+//! Every PR that touches the service, the query engine, or the channel
+//! protocol should re-run this and commit the refreshed file:
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin bench_serve
+//! ```
+//!
+//! Shape: two `SwConnEager` windows over n = 1,000,000 vertices (same
+//! structure seed), driven round-for-round by two identical
+//! `MixedStream`s (same stream seed): one through a `Service`, one inline
+//! — the paired same-run baseline (`engine: "inline"` rows). Each round
+//! interleaves one insert batch of 4,096, six query batches (three kinds ×
+//! two measurement modes), and one expiry:
+//!
+//! * **Pipelined mode** (first three query batches): submitted together,
+//!   awaited together — the writer can group-commit and coalesce. The
+//!   whole round's wall time becomes the `kind: "round"` rows (sustained
+//!   mixed throughput, ns per op over insert edges + all queries).
+//! * **Latency mode** (last three): submit → wait, one at a time. Per
+//!   batch admission-to-answer time becomes the per-kind rows
+//!   (`window_connected` / `path_max` / `component_size`), with the
+//!   `batch_median` / `batch_p99` / `batch_max` tail columns that gate
+//!   reviews (means advise; see ROADMAP). For the inline engine,
+//!   admission-to-answer is pure compute — the difference *is* the
+//!   serving stack's overhead.
+//! * `kind: "insert"` rows: service = submit + write barrier
+//!   (admission-to-applied); inline = `batch_insert` wall time. ns/edge.
+//!
+//! The harness also cross-checks every latency-mode answer against the
+//! inline engine (same seeds ⇒ same state ⇒ answers must be identical), so
+//! a run doubles as an end-to-end protocol check at full scale.
+//!
+//! Scale knobs (positional): `bench_serve [n] [window] [rounds] [readers]`.
+//! CI runs a tiny instance as a smoke test; committed numbers use the
+//! defaults.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+use bimst_bench::Samples;
+use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
+use bimst_query::QueryBatch;
+use bimst_service::{Answered, Service, ServiceConfig};
+use bimst_sliding::SwConnEager;
+
+const INSERT_BATCH: usize = 4096;
+const STRUCT_SEED: u64 = 7;
+const STREAM_SEED: u64 = 42;
+
+/// Three pipelined query batches, then three latency-mode ones, per round.
+const QUERIES_PER_INSERT: usize = 6;
+
+fn stream(n: usize, window: u64, qbatch: usize) -> MixedStream {
+    MixedStream::new(
+        MixedConfig {
+            n: n as u32,
+            topology: MixedTopology::ErdosRenyi,
+            insert_batch: INSERT_BATCH,
+            query_batch: qbatch,
+            queries_per_insert: QUERIES_PER_INSERT,
+            window,
+        },
+        STREAM_SEED,
+    )
+}
+
+fn structure(n: usize, window: u64) -> SwConnEager {
+    SwConnEager::with_edge_capacity(n, STRUCT_SEED, (window as usize).min(n.saturating_sub(1)))
+}
+
+/// Per-engine measurement cells for one configuration.
+#[derive(Default)]
+struct Cells {
+    conn: Samples,
+    pm: Samples,
+    cs: Samples,
+    insert: Samples,
+    round: Samples,
+}
+
+impl Cells {
+    fn rows(&mut self, engine: &str, qbatch: usize) -> Vec<String> {
+        vec![
+            self.conn.row("window_connected", engine, qbatch),
+            self.pm.row("path_max", engine, qbatch),
+            self.cs.row("component_size", engine, qbatch),
+            self.insert
+                .row_as("insert", engine, qbatch, "edges", "ns_per_edge"),
+            self.round
+                .row_as("round", engine, qbatch, "ops", "ns_per_op"),
+        ]
+    }
+}
+
+/// Number of queries in a query op (0 for writes).
+fn op_len(op: &Op) -> usize {
+    match op {
+        Op::ConnectedQueries(q) | Op::PathMaxQueries(q) => q.len(),
+        Op::ComponentSizeQueries(q) => q.len(),
+        Op::Insert(_) | Op::Expire(_) => 0,
+    }
+}
+
+/// The inline (unsharded, channel-free) engine: the paired baseline.
+struct Inline {
+    w: SwConnEager,
+    q: QueryBatch,
+}
+
+impl Inline {
+    /// Runs one query op and returns its answers (for the cross-check).
+    fn answer(&mut self, op: &Op) -> Answered {
+        let resp = match op {
+            Op::ConnectedQueries(qs) => bimst_service::QueryResp::WindowConnected(
+                self.q.batch_window_connected(&self.w, qs),
+            ),
+            Op::PathMaxQueries(qs) => {
+                let h = bimst_query::ReadHandle::new(self.w.msf());
+                bimst_service::QueryResp::PathMax(self.q.batch_path_max(h, qs))
+            }
+            Op::ComponentSizeQueries(vs) => {
+                let h = bimst_query::ReadHandle::new(self.w.msf());
+                bimst_service::QueryResp::ComponentSize(self.q.batch_component_size(h, vs))
+            }
+            _ => unreachable!("answer() is only called on query ops"),
+        };
+        Answered {
+            generation: 0,
+            resp,
+        }
+    }
+}
+
+/// Drives one `(qbatch, rounds)` configuration end to end and returns its
+/// JSON rows: service and inline engines interleaved round-for-round so
+/// host noise hits both alike.
+fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize, readers: usize) -> Vec<String> {
+    let svc_cfg = ServiceConfig {
+        readers,
+        queue_cap: 64,
+        write_budget: INSERT_BATCH,
+        coalesce: true,
+    };
+    let svc = Service::start(structure(n, window), svc_cfg);
+    let mut inl = Inline {
+        w: structure(n, window),
+        q: QueryBatch::new(),
+    };
+    let mut svc_stream = stream(n, window, qbatch);
+    let mut inl_stream = stream(n, window, qbatch);
+
+    let ops_per_round = 2 + QUERIES_PER_INSERT;
+    let round_items = INSERT_BATCH + QUERIES_PER_INSERT * qbatch;
+    let warm_rounds = (window / INSERT_BATCH as u64 + 2) as usize;
+
+    // Warmup until the window slides: both engines process every op so
+    // arenas, maps, and scratch reach steady state before timing starts.
+    for _ in 0..warm_rounds * ops_per_round {
+        match svc_stream.next_op() {
+            op @ (Op::Insert(_) | Op::Expire(_)) => {
+                svc.submit_op(op).expect("service alive");
+            }
+            op => {
+                let t = svc.submit_op(op).expect("service alive").unwrap();
+                black_box(t.wait().expect("service answers"));
+            }
+        }
+        match inl_stream.next_op() {
+            Op::Insert(b) => {
+                inl.w.batch_insert(&b);
+            }
+            Op::Expire(d) => inl.w.batch_expire(d),
+            op => {
+                black_box(inl.answer(&op));
+            }
+        }
+    }
+
+    let mut svc_cells = Cells::default();
+    let mut inl_cells = Cells::default();
+
+    for _ in 0..rounds {
+        // --- service round ---
+        let ops: Vec<Op> = (0..ops_per_round).map(|_| svc_stream.next_op()).collect();
+        let mut qseen = 0usize;
+        let mut pipelined = Vec::new();
+        // Latency-mode answers, kept for the cross-check against the
+        // inline engine's answers to the twin ops.
+        let mut svc_answers: Vec<Answered> = Vec::new();
+        let t_round = Instant::now();
+        for op in &ops {
+            match op {
+                Op::Insert(b) => {
+                    let t0 = Instant::now();
+                    svc.insert(b.clone()).expect("service alive");
+                    svc.barrier()
+                        .expect("service alive")
+                        .wait()
+                        .expect("barrier resolves");
+                    svc_cells.insert.record(t0.elapsed().as_secs_f64(), b.len());
+                }
+                Op::Expire(d) => svc.expire(*d).expect("service alive"),
+                q => {
+                    qseen += 1;
+                    if qseen <= 3 {
+                        // Pipelined: queue now, await after the triple.
+                        pipelined.push(svc.submit_op(q.clone()).expect("service alive").unwrap());
+                        if qseen == 3 {
+                            for t in pipelined.drain(..) {
+                                black_box(t.wait().expect("service answers"));
+                            }
+                        }
+                    } else {
+                        // Latency mode: admission-to-answer, one at a time.
+                        let cell = match q {
+                            Op::ConnectedQueries(_) => &mut svc_cells.conn,
+                            Op::PathMaxQueries(_) => &mut svc_cells.pm,
+                            _ => &mut svc_cells.cs,
+                        };
+                        let t0 = Instant::now();
+                        let ticket = svc.submit_op(q.clone()).expect("service alive").unwrap();
+                        let answered = ticket.wait().expect("service answers");
+                        cell.record(t0.elapsed().as_secs_f64(), op_len(q));
+                        svc_answers.push(answered);
+                    }
+                }
+            }
+        }
+        svc_cells
+            .round
+            .record(t_round.elapsed().as_secs_f64(), round_items);
+
+        // --- inline round (identical ops from the twin stream) ---
+        let iops: Vec<Op> = (0..ops_per_round).map(|_| inl_stream.next_op()).collect();
+        let mut qseen = 0usize;
+        let mut check_idx = 0usize;
+        let t_round = Instant::now();
+        for op in &iops {
+            match op {
+                Op::Insert(b) => {
+                    let t0 = Instant::now();
+                    inl.w.batch_insert(b);
+                    inl_cells.insert.record(t0.elapsed().as_secs_f64(), b.len());
+                }
+                Op::Expire(d) => inl.w.batch_expire(*d),
+                q => {
+                    qseen += 1;
+                    if qseen <= 3 {
+                        black_box(inl.answer(q));
+                    } else {
+                        let cell = match q {
+                            Op::ConnectedQueries(_) => &mut inl_cells.conn,
+                            Op::PathMaxQueries(_) => &mut inl_cells.pm,
+                            _ => &mut inl_cells.cs,
+                        };
+                        let t0 = Instant::now();
+                        let answered = inl.answer(q);
+                        cell.record(t0.elapsed().as_secs_f64(), op_len(q));
+                        // Same seeds, same state: served answers must be
+                        // bit-identical to the inline engine's.
+                        let served = &svc_answers[check_idx];
+                        check_idx += 1;
+                        assert_eq!(
+                            served.resp, answered.resp,
+                            "service answers diverged from the inline engine"
+                        );
+                    }
+                }
+            }
+        }
+        inl_cells
+            .round
+            .record(t_round.elapsed().as_secs_f64(), round_items);
+    }
+
+    svc.shutdown();
+    let mut rows = svc_cells.rows("service", qbatch);
+    rows.extend(inl_cells.rows("inline", qbatch));
+    for r in &rows {
+        eprintln!("qbatch={qbatch}: {r}");
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1_000_000);
+    let window: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 18);
+    let rounds: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(24)
+        .max(1);
+    let readers: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(2);
+    let all = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Process-level warmup, as in bench_json / bench_mixed.
+    eprintln!("warmup...");
+    run_config(n, window, 1, 64, readers);
+
+    let mut rows: Vec<String> = Vec::new();
+    for (qbatch, mult) in [(1usize, 8usize), (64, 2), (4096, 1)] {
+        rows.extend(run_config(n, window, rounds * mult, qbatch, readers));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"serve\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"insert_batch\": {INSERT_BATCH},");
+    let _ = writeln!(json, "  \"readers\": {readers},");
+    let _ = writeln!(json, "  \"host_threads\": {all},");
+    let _ = writeln!(
+        json,
+        "  \"unit\": \"ns_per_query (query kinds: admission-to-answer), ns_per_edge (insert: admission-to-applied via write barrier for the service), ns_per_op (round: sustained mixed throughput incl. pipelined batches)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"engine=inline rows drive the identical op stream (same structure and stream seeds) on the caller thread — one SwConnEager + one QueryBatch, no channels — interleaved round-for-round with the service in the same run (paired same-day); latency-mode answers are asserted bit-identical across engines\","
+    );
+    json.push_str("  \"measurements\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    {r}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("{json}");
+}

@@ -1,0 +1,156 @@
+//! The bench-artifact drift gate (CI: smoke job).
+//!
+//! The committed `BENCH_*.json` files are the repo's perf-review protocol:
+//! ROADMAP gates regressions on their `batch_median` / `batch_p99` columns
+//! against the paired same-run baseline rows. A refactor that renames a
+//! column, drops the baseline rows, or emits malformed JSON would silently
+//! disarm that gate — the files would still exist, reviewers would still
+//! "see numbers". This test parses every committed artifact with the
+//! offline parser (`bimst_bench::json`) and fails the build if the
+//! contract rots:
+//!
+//! * every `BENCH_*.json` at the workspace root parses as a JSON object
+//!   with a `bench` name and a non-empty `measurements` array;
+//! * every measurement row carries numeric `batch_median` / `batch_p99` /
+//!   `batch_max` tail columns with `median ≤ p99 ≤ max`, plus a throughput
+//!   mean (`ns_per_edge` / `ns_per_query` / `ns_per_op`);
+//! * every file carries its paired baseline: either ≥ 2 distinct `engine`
+//!   values among the rows (`batch` vs `seq`, `service` vs `inline`) or a
+//!   top-level `baseline*` block (the insert bench's PR-pinned re-runs);
+//! * the three protocol files named by ROADMAP are actually present, so
+//!   deleting or renaming one fails loudly too.
+
+use std::path::{Path, PathBuf};
+
+use bimst_bench::json::{parse, Json};
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn bench_files() -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir(workspace_root())
+        .expect("read workspace root")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// The perf-protocol files the ROADMAP's gating instructions name; moving
+/// or renaming one must fail this gate, not silently skip it.
+const REQUIRED: &[&str] = &[
+    "BENCH_batch_insert.json",
+    "BENCH_mixed_workload.json",
+    "BENCH_serve.json",
+];
+
+#[test]
+fn committed_bench_artifacts_match_the_gating_schema() {
+    let files = bench_files();
+    let names: Vec<&str> = files
+        .iter()
+        .filter_map(|p| p.file_name().and_then(|n| n.to_str()))
+        .collect();
+    for req in REQUIRED {
+        assert!(
+            names.contains(req),
+            "perf-protocol file {req} is missing from the workspace root \
+             (ROADMAP's regression gate reads it)"
+        );
+    }
+
+    for path in &files {
+        let name = path.file_name().unwrap().to_string_lossy();
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {name}: {e}"));
+        let doc = parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+
+        assert!(
+            doc.get("bench").and_then(Json::as_str).is_some(),
+            "{name}: top-level \"bench\" name missing"
+        );
+        let rows = doc
+            .get("measurements")
+            .and_then(Json::as_arr)
+            .unwrap_or_else(|| panic!("{name}: \"measurements\" array missing"));
+        assert!(!rows.is_empty(), "{name}: measurements are empty");
+
+        let mut engines: Vec<String> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let num = |key: &str| {
+                row.get(key)
+                    .and_then(Json::as_f64)
+                    .unwrap_or_else(|| panic!("{name} row {i}: numeric \"{key}\" missing"))
+            };
+            let (med, p99, max) = (num("batch_median"), num("batch_p99"), num("batch_max"));
+            assert!(
+                med <= p99 && p99 <= max,
+                "{name} row {i}: tail columns out of order \
+                 (median {med} / p99 {p99} / max {max})"
+            );
+            assert!(
+                row.get("ns_per_edge")
+                    .or_else(|| row.get("ns_per_query"))
+                    .or_else(|| row.get("ns_per_op"))
+                    .and_then(Json::as_f64)
+                    .is_some(),
+                "{name} row {i}: throughput mean \
+                 (ns_per_edge / ns_per_query / ns_per_op) missing"
+            );
+            if let Some(e) = row.get("engine").and_then(Json::as_str) {
+                if !engines.iter().any(|k| k == e) {
+                    engines.push(e.to_string());
+                }
+            }
+        }
+
+        // The paired-baseline requirement: comparable rows in the same
+        // file, measured in the same run (or PR-pinned re-runs for the
+        // insert bench).
+        let has_baseline_block = doc.keys().any(|k| k.starts_with("baseline"));
+        assert!(
+            engines.len() >= 2 || has_baseline_block,
+            "{name}: no paired baseline (need >= 2 engine values among rows, \
+             or a top-level baseline* block)"
+        );
+    }
+}
+
+/// The gate must reject the failure modes it exists for — guard the guard,
+/// so a parser refactor cannot quietly accept rotten files.
+#[test]
+fn gate_rejects_rotten_artifacts() {
+    // Missing tail column.
+    let no_tail = r#"{"bench": "x", "measurements": [
+        {"engine": "a", "ns_per_query": 1.0, "batch_median": 1.0, "batch_p99": 2.0}
+    ]}"#;
+    let doc = parse(no_tail).unwrap();
+    let row = &doc.get("measurements").unwrap().as_arr().unwrap()[0];
+    assert!(row.get("batch_max").is_none());
+
+    // Inverted percentiles parse fine but violate the ordering the gate
+    // checks.
+    let doc =
+        parse(r#"{"measurements": [{"batch_median": 9.0, "batch_p99": 2.0, "batch_max": 10.0}]}"#)
+            .unwrap();
+    let row = &doc.get("measurements").unwrap().as_arr().unwrap()[0];
+    let (m, p) = (
+        row.get("batch_median").unwrap().as_f64().unwrap(),
+        row.get("batch_p99").unwrap().as_f64().unwrap(),
+    );
+    assert!(m > p, "the fixture must trip the ordering check");
+
+    // Truncated file fails the parser outright.
+    assert!(parse(r#"{"bench": "x", "measurements": ["#).is_err());
+}

@@ -18,7 +18,7 @@
 //! Every intermediate of `batch_insert` — the endpoint set `K`, the CPT
 //! working graph, the dense relabeling table, the inner-MSF sort order and
 //! union-find, the membership stamps, and the cut/link lists — lives in a
-//! [`BatchMsf`]-owned [`InsertScratch`]. Buffers are reset by truncation or
+//! [`BatchMsf`]-owned `InsertScratch`. Buffers are reset by truncation or
 //! by bumping a per-batch epoch (the relabel table and the `E(M)`
 //! membership set are epoch-stamped arrays, so "clearing" them is a counter
 //! increment). Together with the propagation scratch inside the RC-tree

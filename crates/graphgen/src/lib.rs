@@ -406,6 +406,18 @@ impl MixedStream {
     }
 }
 
+/// A `MixedStream` is an infinite operation iterator — the adapter that
+/// lets a serving layer drain it straight into an op channel
+/// (`stream.by_ref().take(k)` for a bounded drive, or feed
+/// `bimst-service`'s submit loop until backpressure says stop).
+impl Iterator for MixedStream {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        Some(self.next_op())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -278,8 +278,10 @@ const GROUPED_MIN_AVG_COMPONENT: usize = 8;
 /// `batch_path_max` additionally builds a fresh per-chunk
 /// [`ForestPathMax`] oracle (binary-lifting tables sized by the chunk, not
 /// the structure — a rebuild-into-scratch oracle API is a known follow-up).
-/// One `QueryBatch` serves one thread of control; the parallelism is
-/// *inside* each call.
+/// The `*_into` variants write answers into a caller-provided buffer, so a
+/// serving loop that also reuses its output vectors allocates nothing per
+/// batch at steady state. One `QueryBatch` serves one thread of control;
+/// the parallelism is *inside* each call.
 #[derive(Default)]
 pub struct QueryBatch {
     /// Distinct queried vertices, sorted.
@@ -288,6 +290,9 @@ pub struct QueryBatch {
     roots: Vec<ClusterId>,
     /// Per-chunk scratch for the path-max / lazy-window plans.
     path_ws: Vec<PathChunkScratch>,
+    /// Path-max answers reused by the lazy window plan (`*_into` variants
+    /// stay allocation-free at steady state).
+    pm_buf: Vec<Option<WKey>>,
 }
 
 impl QueryBatch {
@@ -345,35 +350,66 @@ impl QueryBatch {
         h: ReadHandle<'_>,
         queries: &[(VertexId, VertexId)],
     ) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_connected_into(h, queries, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_connected`] into a caller-provided buffer
+    /// (cleared and refilled): at steady state a serving loop allocates
+    /// nothing per batch, mirroring the write path's scratch discipline.
+    pub fn batch_connected_into(
+        &mut self,
+        h: ReadHandle<'_>,
+        queries: &[(VertexId, VertexId)],
+        out: &mut Vec<bool>,
+    ) {
         let f = h.msf.forest();
         if !Self::use_grouped(h, queries.len()) {
-            return par::map(queries, |&(u, v)| f.connected(u, v));
+            par::map_into(queries, out, |&(u, v)| f.connected(u, v));
+            return;
         }
         self.verts.clear();
         self.verts.extend(queries.iter().flat_map(|&(u, v)| [u, v]));
         self.cache_roots(f);
         let me = &*self;
-        par::map(queries, |&(u, v)| me.cached_root(u) == me.cached_root(v))
+        par::map_into(queries, out, |&(u, v)| {
+            me.cached_root(u) == me.cached_root(v)
+        });
     }
 
     /// Batched [`BatchMsf::component_size`]: `out[i]` answers `vs[i]`.
     /// Plan selection as in [`QueryBatch::batch_connected`].
     pub fn batch_component_size(&mut self, h: ReadHandle<'_>, vs: &[VertexId]) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.batch_component_size_into(h, vs, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_component_size`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_component_size_into(
+        &mut self,
+        h: ReadHandle<'_>,
+        vs: &[VertexId],
+        out: &mut Vec<usize>,
+    ) {
         let f = h.msf.forest();
         if !Self::use_grouped(h, vs.len()) {
-            return par::map(vs, |&v| f.component_size(v));
+            par::map_into(vs, out, |&v| f.component_size(v));
+            return;
         }
         self.verts.clear();
         self.verts.extend_from_slice(vs);
         self.cache_roots(f);
         let me = &*self;
-        par::map(vs, |&v| f.cluster_size(me.cached_root(v)))
+        par::map_into(vs, out, |&v| f.cluster_size(me.cached_root(v)));
     }
 
     /// Batched [`BatchMsf::path_max`]: `out[i]` answers `queries[i]`
     /// (`None` when disconnected or `u == v`).
     ///
-    /// Queries are cut into fixed chunks of [`PATH_CHUNK`]; each chunk is
+    /// Queries are cut into fixed chunks (`PATH_CHUNK` = 512); each chunk is
     /// answered from one compressed path tree over its distinct endpoints
     /// plus a static path-max oracle, and chunks run in parallel with
     /// per-chunk reused scratch.
@@ -382,8 +418,22 @@ impl QueryBatch {
         h: ReadHandle<'_>,
         queries: &[(VertexId, VertexId)],
     ) -> Vec<Option<WKey>> {
+        let mut out = Vec::new();
+        self.batch_path_max_into(h, queries, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_path_max`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_path_max_into(
+        &mut self,
+        h: ReadHandle<'_>,
+        queries: &[(VertexId, VertexId)],
+        out: &mut Vec<Option<WKey>>,
+    ) {
         let f = h.msf.forest();
-        let mut out: Vec<Option<WKey>> = vec![None; queries.len()];
+        out.clear();
+        out.resize(queries.len(), None);
         let nchunks = queries.len().div_ceil(PATH_CHUNK);
         if self.path_ws.len() < nchunks {
             self.path_ws.resize_with(nchunks, Default::default);
@@ -401,7 +451,6 @@ impl QueryBatch {
             .map(|((ws, o), q)| (ws, o, q))
             .collect();
         par_each(&mut items, &|(ws, o, q)| ws.run(f, q, o));
-        out
     }
 
     /// Batched window connectivity (`SwConn::is_connected` /
@@ -416,19 +465,36 @@ impl QueryBatch {
         w: &W,
         queries: &[(VertexId, VertexId)],
     ) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_window_connected_into(w, queries, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_window_connected`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_window_connected_into<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        out: &mut Vec<bool>,
+    ) {
         let h = ReadHandle::new(WindowConnectivity::msf(w));
         if w.lazy_expiry() {
             let tw = w.window_start();
-            let pm = self.batch_path_max(h, queries);
-            queries
-                .iter()
-                .zip(&pm)
-                .map(|(&(u, v), k)| u == v || k.is_some_and(|k| k.id >= tw))
-                .collect()
+            let mut pm = std::mem::take(&mut self.pm_buf);
+            self.batch_path_max_into(h, queries, &mut pm);
+            out.clear();
+            out.extend(
+                queries
+                    .iter()
+                    .zip(&pm)
+                    .map(|(&(u, v), k)| u == v || k.is_some_and(|k| k.id >= tw)),
+            );
+            self.pm_buf = pm;
         } else {
             // `batch_connected` already answers `u == v` as true (equal
             // roots), exactly like the eager structure's root comparison.
-            self.batch_connected(h, queries)
+            self.batch_connected_into(h, queries, out);
         }
     }
 }

@@ -68,7 +68,7 @@
 //! # Plan/apply parallelization and determinism
 //!
 //! Each phase of a round is split into a **plan** step and an **apply**
-//! step. Plans ([`TerminalPlan`], [`SurvivePlan`], and the phase-1 decision
+//! step. Plans (`TerminalPlan`, `SurvivePlan`, and the phase-1 decision
 //! list) are pure functions of the engine state (`&self`), so they are
 //! computed for a whole round at once with `bimst_primitives::par::map_into`
 //! — parallel above [`bimst_primitives::GRAIN`] elements, sequential below
@@ -83,7 +83,7 @@
 //!
 //! All per-round working sets (the frontier, the neighborhoods `P` and `Q`,
 //! the plan buffers, the next-round frontier) live in an engine-owned
-//! [`PropScratch`]. Buffers are cleared by truncation (or by bumping the
+//! `PropScratch`. Buffers are cleared by truncation (or by bumping the
 //! engine's epoch counter for the stamp-based dedup sets) and never shrunk,
 //! so once the engine has processed its largest batch, further propagations
 //! perform **zero heap allocations** in this module. `propagate` takes the

@@ -1,0 +1,666 @@
+//! Persistent sharded serving runtime over the sliding-window MSF
+//! structures: one writer thread owning a [`SwConn`]/[`SwConnEager`]
+//! instance, a pool of reader workers each owning a
+//! [`bimst_query::QueryBatch`] shard, connected by channels.
+//!
+//! PR 3's query engine made a *single caller* fast: `ReadHandle` is a
+//! shared borrow, so the borrow checker guarantees no insert runs while a
+//! query batch is in flight — but only within one thread of control. A
+//! serving workload has many clients submitting writes and reads
+//! concurrently, which needs that same guarantee as a **runtime protocol**:
+//!
+//! ```text
+//!                    bounded op queue (backpressure)
+//!   clients ──────────────┐
+//!    insert / expire      │          ┌──────────────────────────────┐
+//!    query batches     ┌──▼───────┐  │  generation g snapshot       │
+//!    (tickets)         │  writer  │──┼──► reader 0 (QueryBatch)     │
+//!                      │  thread  │  │──► reader 1 (QueryBatch)     │
+//!                      │ owns the │  │──► …        (QueryBatch)     │
+//!                      │ structure│◄─┼─── partial answers (join)    │
+//!                      └──────────┘  └──────────────────────────────┘
+//! ```
+//!
+//! * **Group commit.** The writer drains the admission queue: consecutive
+//!   insert ops are merged (up to [`ServiceConfig::write_budget`] edges)
+//!   into one `batch_insert`, consecutive expirations into one
+//!   `batch_expire` — amortizing exactly the way the paper's
+//!   `O(ℓ lg(1 + n/ℓ))` batch bound assumes. Stream positions concatenate
+//!   and expiry deltas add, so merging never changes the structure's state
+//!   or any answer (see `bimst_sliding::SlidingWrite`).
+//! * **Generations and epoch handoff.** Every applied write group
+//!   increments a generation counter. A query batch admitted at generation
+//!   *g* (i.e. after the *g*-th write group and before the *g+1*-st) is
+//!   answered from the structure *as of g*: the writer publishes a
+//!   reader-side snapshot of the structure, fans the coalesced query
+//!   work out to the reader pool, and **does not touch the structure again
+//!   until every partial answer has been collected** (the join barrier is
+//!   the epoch retire). That is PR 3's compile-time borrow discipline —
+//!   many readers XOR one writer — restated as a runtime protocol across
+//!   the channel boundary.
+//! * **Query coalescing.** Queued query batches of the same kind are merged
+//!   into one shared-work plan before dispatch (one sorted distinct-endpoint
+//!   root pass, one set of shared CPT chunks), then answers are split back
+//!   per request. Answers are bit-identical to the per-query loop, so
+//!   coalescing and sharding are invisible to clients.
+//! * **Backpressure.** The admission queue is bounded
+//!   ([`ServiceConfig::queue_cap`]): [`ServiceHandle::insert`] blocks when
+//!   the service is behind, [`ServiceHandle::try_insert`] returns the op
+//!   back with [`TrySubmitError::Full`] so the client can retry or shed
+//!   load. A submission that returns `Ok` is **admitted**: it will be
+//!   applied (writes) or answered (queries) even across shutdown.
+//! * **Drain-ordered shutdown.** [`Service::shutdown`] stops admission and
+//!   joins the writer, which (1) keeps processing the queue in admission
+//!   order until every handle is dropped and the queue is empty, (2)
+//!   retires the reader pool, and only then (3) drops the structure. Every
+//!   admitted query's ticket resolves.
+//!
+//! Pick `bimst-service` when ops originate on more than one thread or you
+//! need admission-order semantics under mixed read/write traffic; drive a
+//! raw [`bimst_query::QueryBatch`] inline when a single loop owns the
+//! structure — the service's channel hop costs ~µs per batch (see
+//! `BENCH_serve.json`, which pairs the two on the same op stream).
+//!
+//! # Quick start
+//!
+//! ```
+//! use bimst_service::{QueryReq, Service, ServiceConfig};
+//!
+//! let svc = Service::eager(100, 42, ServiceConfig::default());
+//! // A path over vertices 0..=98; vertex 99 stays isolated.
+//! svc.insert((0..98).map(|v| (v, v + 1)).collect()).unwrap();
+//! let ticket = svc.query(QueryReq::WindowConnected(vec![(0, 98), (0, 99)])).unwrap();
+//! let answered = ticket.wait().unwrap();
+//! assert_eq!(answered.generation, 1); // admitted after the first write group
+//! assert_eq!(answered.resp.into_window_connected().unwrap(), vec![true, false]);
+//! svc.shutdown();
+//! ```
+
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+use bimst_graphgen::Op;
+use bimst_primitives::{VertexId, WKey};
+use bimst_query::WindowConnectivity;
+use bimst_sliding::{SlidingWrite, SwConn, SwConnEager};
+
+mod reader;
+mod shard;
+
+use shard::Req;
+
+/// What a window structure must provide to be served: the write surface
+/// (`bimst_sliding::SlidingWrite`, driven by the writer thread) and the
+/// read surface (`bimst_query::WindowConnectivity`, consumed by the reader
+/// pool through snapshots — hence `Sync`). Blanket-implemented; both
+/// [`SwConn`] and [`SwConnEager`] qualify.
+pub trait ServeWindow: SlidingWrite + WindowConnectivity + Send + Sync + 'static {}
+
+impl<W: SlidingWrite + WindowConnectivity + Send + Sync + 'static> ServeWindow for W {}
+
+/// Shape of a [`Service`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Reader workers (query shards). Each owns a `QueryBatch` whose
+    /// scratch persists across generations; coalesced query batches are
+    /// split across them in contiguous ranges. Clamped to ≥ 1.
+    pub readers: usize,
+    /// Capacity of the bounded admission queue (ops, not edges). Clamped
+    /// to ≥ 1. Blocking submits park when full; `try_*` submits return
+    /// [`TrySubmitError::Full`].
+    pub queue_cap: usize,
+    /// Group-commit budget: the writer merges consecutive queued insert
+    /// ops until the merged batch holds at least this many edges (a single
+    /// submitted op larger than the budget is still applied whole).
+    pub write_budget: usize,
+    /// Merge adjacent queued query batches of the same kind into one
+    /// shared-work plan. Disabling serves each request as its own plan
+    /// (answers are identical either way).
+    pub coalesce: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            readers: 2,
+            queue_cap: 1024,
+            write_budget: 1 << 14,
+            coalesce: true,
+        }
+    }
+}
+
+/// One query batch, as submitted by a client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryReq {
+    /// Window connectivity (`is_connected` on the served structure).
+    WindowConnected(Vec<(VertexId, VertexId)>),
+    /// Path-max over the underlying MSF (`None` when disconnected or
+    /// `u == v`).
+    PathMax(Vec<(VertexId, VertexId)>),
+    /// Component size in the underlying MSF.
+    ComponentSize(Vec<VertexId>),
+}
+
+impl QueryReq {
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryReq::WindowConnected(q) | QueryReq::PathMax(q) => q.len(),
+            QueryReq::ComponentSize(q) => q.len(),
+        }
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Answers to one [`QueryReq`], in query order.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResp {
+    /// See [`QueryReq::WindowConnected`].
+    WindowConnected(Vec<bool>),
+    /// See [`QueryReq::PathMax`].
+    PathMax(Vec<Option<WKey>>),
+    /// See [`QueryReq::ComponentSize`].
+    ComponentSize(Vec<usize>),
+}
+
+impl QueryResp {
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        match self {
+            QueryResp::WindowConnected(a) => a.len(),
+            QueryResp::PathMax(a) => a.len(),
+            QueryResp::ComponentSize(a) => a.len(),
+        }
+    }
+
+    /// Whether the answer set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The connectivity answers, if this was a window-connectivity batch.
+    pub fn into_window_connected(self) -> Option<Vec<bool>> {
+        match self {
+            QueryResp::WindowConnected(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The path-max answers, if this was a path-max batch.
+    pub fn into_path_max(self) -> Option<Vec<Option<WKey>>> {
+        match self {
+            QueryResp::PathMax(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The component sizes, if this was a component-size batch.
+    pub fn into_component_size(self) -> Option<Vec<usize>> {
+        match self {
+            QueryResp::ComponentSize(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A resolved query: the answers plus the generation they were computed at
+/// (the number of write groups applied before the batch was admitted —
+/// snapshot consistency means the answers reflect exactly that state).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Answered {
+    /// Write-group generation the batch was admitted (and answered) at.
+    pub generation: u64,
+    /// Answers, in query order.
+    pub resp: QueryResp,
+}
+
+/// The service has shut down (or its writer died); the submission was not
+/// admitted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServiceClosed;
+
+impl std::fmt::Display for ServiceClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("bimst-service: service is shut down")
+    }
+}
+
+impl std::error::Error for ServiceClosed {}
+
+/// Why a `try_*` submission was rejected; carries the op back so the
+/// caller can retry without cloning (a rejected op is **not** admitted and
+/// will never be applied).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TrySubmitError<T> {
+    /// The bounded admission queue is full — backpressure; retry later.
+    Full(T),
+    /// The service has shut down.
+    Closed(T),
+}
+
+impl<T> TrySubmitError<T> {
+    /// The rejected op.
+    pub fn into_inner(self) -> T {
+        match self {
+            TrySubmitError::Full(t) | TrySubmitError::Closed(t) => t,
+        }
+    }
+
+    /// Whether this rejection is retryable backpressure.
+    pub fn is_full(&self) -> bool {
+        matches!(self, TrySubmitError::Full(_))
+    }
+}
+
+impl<T> std::fmt::Display for TrySubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrySubmitError::Full(_) => f.write_str("bimst-service: admission queue full"),
+            TrySubmitError::Closed(_) => f.write_str("bimst-service: service is shut down"),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for TrySubmitError<T> {}
+
+/// A pending query's answer slot. Admission guarantees resolution: once
+/// the submitting call returned `Ok`, [`QueryTicket::wait`] returns the
+/// answers even if the service is shut down in between (drain ordering).
+#[derive(Debug)]
+pub struct QueryTicket {
+    rx: Receiver<Answered>,
+}
+
+impl QueryTicket {
+    /// Blocks until the batch is answered.
+    ///
+    /// `Err(ServiceClosed)` is only possible if the writer thread died
+    /// abnormally (panicked); orderly shutdown always answers first.
+    pub fn wait(self) -> Result<Answered, ServiceClosed> {
+        self.rx.recv().map_err(|_| ServiceClosed)
+    }
+
+    /// Non-blocking poll: `Ok(Some(_))` once answered, `Ok(None)` while
+    /// pending, `Err(ServiceClosed)` if the writer died abnormally (so a
+    /// poll loop terminates instead of spinning on a dead service).
+    pub fn try_wait(&self) -> Result<Option<Answered>, ServiceClosed> {
+        match self.rx.try_recv() {
+            Ok(a) => Ok(Some(a)),
+            Err(mpsc::TryRecvError::Empty) => Ok(None),
+            Err(mpsc::TryRecvError::Disconnected) => Err(ServiceClosed),
+        }
+    }
+}
+
+/// A pending [`ServiceHandle::barrier`]: resolves with the generation once
+/// every write admitted before the barrier has been applied.
+#[derive(Debug)]
+pub struct BarrierTicket {
+    rx: Receiver<u64>,
+}
+
+impl BarrierTicket {
+    /// Blocks until all prior writes are applied; returns the generation.
+    pub fn wait(self) -> Result<u64, ServiceClosed> {
+        self.rx.recv().map_err(|_| ServiceClosed)
+    }
+}
+
+/// A clonable client endpoint: submissions from any number of threads are
+/// admitted in channel (FIFO) order, which is the order the service's
+/// sequential semantics are defined against.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: SyncSender<Req>,
+}
+
+impl ServiceHandle {
+    /// Admits an insert batch (blocking under backpressure). The edges are
+    /// appended on the new side of the window, positions assigned in
+    /// admission order.
+    pub fn insert(&self, edges: Vec<(VertexId, VertexId)>) -> Result<(), ServiceClosed> {
+        self.tx.send(Req::Insert(edges)).map_err(|_| ServiceClosed)
+    }
+
+    /// [`ServiceHandle::insert`] without blocking: under a full queue the
+    /// batch is handed back via [`TrySubmitError::Full`], un-admitted.
+    pub fn try_insert(
+        &self,
+        edges: Vec<(VertexId, VertexId)>,
+    ) -> Result<(), TrySubmitError<Vec<(VertexId, VertexId)>>> {
+        self.tx.try_send(Req::Insert(edges)).map_err(|e| match e {
+            TrySendError::Full(Req::Insert(v)) => TrySubmitError::Full(v),
+            TrySendError::Disconnected(Req::Insert(v)) => TrySubmitError::Closed(v),
+            _ => unreachable!("try_insert sent Req::Insert"),
+        })
+    }
+
+    /// Admits an expiration of the `delta` oldest stream positions
+    /// (blocking under backpressure).
+    pub fn expire(&self, delta: u64) -> Result<(), ServiceClosed> {
+        self.tx.send(Req::Expire(delta)).map_err(|_| ServiceClosed)
+    }
+
+    /// [`ServiceHandle::expire`] without blocking.
+    pub fn try_expire(&self, delta: u64) -> Result<(), TrySubmitError<u64>> {
+        self.tx.try_send(Req::Expire(delta)).map_err(|e| match e {
+            TrySendError::Full(Req::Expire(d)) => TrySubmitError::Full(d),
+            TrySendError::Disconnected(Req::Expire(d)) => TrySubmitError::Closed(d),
+            _ => unreachable!("try_expire sent Req::Expire"),
+        })
+    }
+
+    /// Admits a query batch (blocking under backpressure); the ticket
+    /// resolves with answers computed at the admission generation.
+    pub fn query(&self, req: QueryReq) -> Result<QueryTicket, ServiceClosed> {
+        let (resp, rx) = mpsc::channel();
+        self.tx
+            .send(Req::Query { req, resp })
+            .map_err(|_| ServiceClosed)?;
+        Ok(QueryTicket { rx })
+    }
+
+    /// [`ServiceHandle::query`] without blocking.
+    pub fn try_query(&self, req: QueryReq) -> Result<QueryTicket, TrySubmitError<QueryReq>> {
+        let (resp, rx) = mpsc::channel();
+        match self.tx.try_send(Req::Query { req, resp }) {
+            Ok(()) => Ok(QueryTicket { rx }),
+            Err(TrySendError::Full(Req::Query { req, .. })) => Err(TrySubmitError::Full(req)),
+            Err(TrySendError::Disconnected(Req::Query { req, .. })) => {
+                Err(TrySubmitError::Closed(req))
+            }
+            Err(_) => unreachable!("try_query sent Req::Query"),
+        }
+    }
+
+    /// Admits a write barrier: its ticket resolves (with the generation)
+    /// once every write admitted before it has been applied.
+    pub fn barrier(&self) -> Result<BarrierTicket, ServiceClosed> {
+        let (resp, rx) = mpsc::channel();
+        self.tx
+            .send(Req::Barrier(resp))
+            .map_err(|_| ServiceClosed)?;
+        Ok(BarrierTicket { rx })
+    }
+
+    /// Adapter from a `bimst_graphgen` mixed-workload op
+    /// ([`bimst_graphgen::MixedStream`] is an iterator of these): writes
+    /// are admitted fire-and-forget, query ops return a ticket.
+    pub fn submit_op(&self, op: Op) -> Result<Option<QueryTicket>, ServiceClosed> {
+        match op {
+            Op::Insert(edges) => self.insert(edges).map(|()| None),
+            Op::Expire(delta) => self.expire(delta).map(|()| None),
+            Op::ConnectedQueries(qs) => self.query(QueryReq::WindowConnected(qs)).map(Some),
+            Op::PathMaxQueries(qs) => self.query(QueryReq::PathMax(qs)).map(Some),
+            Op::ComponentSizeQueries(vs) => self.query(QueryReq::ComponentSize(vs)).map(Some),
+        }
+    }
+}
+
+/// A running serving instance. Derefs to [`ServiceHandle`] for submissions
+/// from the owning thread; [`Service::handle`] clones an endpoint for
+/// other client threads.
+pub struct Service {
+    handle: ServiceHandle,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl Service {
+    /// Starts a service around an existing window structure.
+    pub fn start<W: ServeWindow>(w: W, cfg: ServiceConfig) -> Service {
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+        let writer = std::thread::Builder::new()
+            .name("bimst-serve-writer".into())
+            .spawn(move || shard::writer_main(w, cfg, rx))
+            .expect("spawn bimst-service writer thread");
+        Service {
+            handle: ServiceHandle { tx },
+            writer: Some(writer),
+        }
+    }
+
+    /// A service over a fresh eager-expiry window ([`SwConnEager`]):
+    /// expired edges are cut, component counting works, `PathMax` /
+    /// `ComponentSize` reflect exactly the window's MSF.
+    pub fn eager(n: usize, seed: u64, cfg: ServiceConfig) -> Service {
+        Service::start(SwConnEager::new(n, seed), cfg)
+    }
+
+    /// A service over a fresh lazy-expiry window ([`SwConn`]): `O(1)`
+    /// expiry; `WindowConnected` applies the recent-edge test, while
+    /// `PathMax` / `ComponentSize` answer over the retained MSF (which
+    /// still contains expired edges).
+    pub fn lazy(n: usize, seed: u64, cfg: ServiceConfig) -> Service {
+        Service::start(SwConn::new(n, seed), cfg)
+    }
+
+    /// A client endpoint for another thread.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stops admission from this `Service` and blocks until the writer has
+    /// drained: every admitted write applied, every admitted query
+    /// answered, readers retired — in that order. If other
+    /// [`ServiceHandle`] clones are still alive, the writer keeps serving
+    /// them and `shutdown` blocks until they are dropped too (admission
+    /// guarantees survive shutdown races; nothing acked is ever lost).
+    ///
+    /// Dropping a `Service` without calling `shutdown` also drains, but
+    /// detached — the writer finishes in the background.
+    pub fn shutdown(mut self) {
+        let writer = self.writer.take();
+        drop(self); // closes this end of the admission queue
+        if let Some(writer) = writer {
+            let _ = writer.join();
+        }
+    }
+}
+
+impl std::ops::Deref for Service {
+    type Target = ServiceHandle;
+
+    fn deref(&self) -> &ServiceHandle {
+        &self.handle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(readers: usize) -> ServiceConfig {
+        ServiceConfig {
+            readers,
+            queue_cap: 64,
+            write_budget: 1 << 12,
+            coalesce: true,
+        }
+    }
+
+    /// Answers must match a sequentially driven structure, for both expiry
+    /// disciplines and several reader counts.
+    #[test]
+    fn serves_like_the_sequential_structure() {
+        for readers in [1, 3] {
+            let svc = Service::eager(10, 5, cfg(readers));
+            let mut seq = SwConnEager::new(10, 5);
+
+            svc.insert(vec![(0, 1), (1, 2), (3, 4)]).unwrap();
+            seq.batch_insert(&[(0, 1), (1, 2), (3, 4)]);
+            let t1 = svc
+                .query(QueryReq::WindowConnected(vec![(0, 2), (0, 3), (3, 4)]))
+                .unwrap();
+
+            svc.expire(1).unwrap();
+            seq.batch_expire(1);
+            let t2 = svc.query(QueryReq::ComponentSize(vec![0, 1, 3])).unwrap();
+            let t3 = svc.query(QueryReq::PathMax(vec![(1, 2), (0, 2)])).unwrap();
+
+            let a1 = t1.wait().unwrap();
+            assert_eq!(a1.generation, 1);
+            assert_eq!(
+                a1.resp.into_window_connected().unwrap(),
+                vec![true, false, true]
+            );
+
+            let a2 = t2.wait().unwrap();
+            assert_eq!(a2.generation, 2);
+            assert_eq!(
+                a2.resp.into_component_size().unwrap(),
+                vec![
+                    seq.msf().component_size(0),
+                    seq.msf().component_size(1),
+                    seq.msf().component_size(3)
+                ]
+            );
+
+            let a3 = t3.wait().unwrap();
+            assert_eq!(
+                a3.resp.into_path_max().unwrap(),
+                vec![seq.msf().path_max(1, 2), seq.msf().path_max(0, 2)]
+            );
+            svc.shutdown();
+        }
+    }
+
+    #[test]
+    fn lazy_window_applies_recent_edge_test() {
+        let svc = Service::lazy(6, 9, cfg(2));
+        let mut seq = SwConn::new(6, 9);
+        svc.insert(vec![(0, 1), (1, 2)]).unwrap();
+        seq.batch_insert(&[(0, 1), (1, 2)]);
+        svc.expire(1).unwrap();
+        seq.batch_expire(1);
+        let got = svc
+            .query(QueryReq::WindowConnected(vec![(0, 1), (1, 2), (0, 2)]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            got.resp.into_window_connected().unwrap(),
+            vec![
+                seq.is_connected(0, 1),
+                seq.is_connected(1, 2),
+                seq.is_connected(0, 2)
+            ]
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn barrier_reports_generation_after_prior_writes() {
+        let svc = Service::eager(5, 1, cfg(1));
+        assert_eq!(svc.barrier().unwrap().wait().unwrap(), 0);
+        svc.insert(vec![(0, 1)]).unwrap();
+        svc.expire(1).unwrap();
+        // Two write ops admitted before this barrier: the generation it
+        // reports must cover both (group commit may merge neither here —
+        // they are different kinds — so exactly 2).
+        assert_eq!(svc.barrier().unwrap().wait().unwrap(), 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_all_admitted_queries() {
+        let svc = Service::eager(50, 3, cfg(2));
+        svc.insert((0..49).map(|v| (v, v + 1)).collect()).unwrap();
+        let tickets: Vec<QueryTicket> = (0..40)
+            .map(|i| {
+                svc.query(QueryReq::WindowConnected(vec![(i % 50, (i + 1) % 50)]))
+                    .unwrap()
+            })
+            .collect();
+        svc.shutdown(); // every admitted ticket must still resolve
+        for t in tickets {
+            let a = t.wait().expect("drain-on-shutdown answers every query");
+            assert_eq!(a.resp.len(), 1);
+        }
+    }
+
+    /// Shutdown blocks until every handle clone is dropped (that is what
+    /// makes "admitted ⇒ processed" exact), so the orderly path is
+    /// drop-then-shutdown.
+    #[test]
+    fn shutdown_completes_once_handles_are_dropped() {
+        let svc = Service::eager(4, 2, cfg(1));
+        let h = svc.handle();
+        h.insert(vec![(0, 1)]).unwrap();
+        drop(h);
+        svc.shutdown();
+    }
+
+    /// Submissions against a dead writer (its receiver gone) map onto the
+    /// closed errors instead of panicking or hanging.
+    #[test]
+    fn submitting_to_a_dead_writer_fails_cleanly() {
+        let (tx, rx) = mpsc::sync_channel(4);
+        drop(rx);
+        let h = ServiceHandle { tx };
+        assert_eq!(h.insert(vec![(0, 1)]), Err(ServiceClosed));
+        assert!(matches!(h.try_expire(1), Err(TrySubmitError::Closed(1))));
+        assert!(matches!(
+            h.try_insert(vec![(2, 3)]),
+            Err(TrySubmitError::Closed(v)) if v == vec![(2, 3)]
+        ));
+        assert!(h.query(QueryReq::ComponentSize(vec![0])).is_err());
+        assert!(h.barrier().is_err());
+        assert_eq!(
+            h.try_query(QueryReq::PathMax(vec![])).unwrap_err(),
+            TrySubmitError::Closed(QueryReq::PathMax(vec![]))
+        );
+    }
+
+    /// A malformed batch (out-of-range vertex id) must fail stop — ticket
+    /// errors, service dead — never strand the writer at its join barrier.
+    #[test]
+    fn malformed_query_fails_stop_instead_of_hanging() {
+        let svc = Service::eager(4, 2, cfg(2));
+        svc.insert(vec![(0, 1)]).unwrap();
+        let t = svc.query(QueryReq::ComponentSize(vec![900])).unwrap();
+        assert!(t.wait().is_err(), "poisoned serve must resolve as closed");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let svc = Service::eager(4, 2, cfg(2));
+        svc.insert(vec![]).unwrap();
+        let a = svc
+            .query(QueryReq::PathMax(vec![]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(a.resp.is_empty());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn mixed_stream_ops_drive_the_service() {
+        use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology};
+        let cfg_stream = MixedConfig {
+            n: 64,
+            topology: MixedTopology::ErdosRenyi,
+            insert_batch: 16,
+            query_batch: 8,
+            queries_per_insert: 3,
+            window: 64,
+        };
+        let svc = Service::eager(64, 7, cfg(2));
+        let mut tickets = Vec::new();
+        for op in MixedStream::new(cfg_stream, 11).take(25) {
+            if let Some(t) = svc.submit_op(op).unwrap() {
+                tickets.push(t);
+            }
+        }
+        svc.shutdown();
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().resp.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! The reader side of the runtime: persistent worker threads, each owning
+//! one [`QueryBatch`] shard, answering range-partitioned slices of the
+//! writer's coalesced query plans against an epoch-pinned snapshot.
+//!
+//! # The epoch-handoff protocol
+//!
+//! The structure lives on the writer thread; readers see it only through
+//! [`Snapshot`], a type-erased shared borrow that crosses the task channel.
+//! Rust cannot express "this borrow is valid until the writer collects the
+//! matching [`Partial`]" in lifetimes, so the invariant is a protocol,
+//! enforced by the writer's control flow and documented here as the
+//! contract every `unsafe` block below relies on:
+//!
+//! 1. **Publish.** The writer creates a `Snapshot` of `&W` and sends tasks
+//!    referencing it. From this point the writer does not mutate (or move)
+//!    the structure.
+//! 2. **Serve.** A reader dereferences the snapshot only between receiving
+//!    a task and sending that task's `Partial` — never holding the
+//!    reference across loop iterations.
+//! 3. **Retire.** The writer blocks until it has received one `Partial`
+//!    per dispatched task, and only then resumes mutation. The channel's
+//!    happens-before edge on each `Partial` makes the readers' last loads
+//!    visible before the writer's next store.
+//!
+//! Together 1–3 re-create the borrow checker's many-readers-XOR-one-writer
+//! rule at runtime, which is why every answer is computed against one
+//! consistent generation.
+
+use std::ops::Range;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bimst_primitives::{VertexId, WKey};
+use bimst_query::{QueryBatch, ReadHandle, WindowConnectivity};
+
+use crate::ServeWindow;
+
+/// A shared borrow of the shard structure, valid for exactly one serve
+/// generation (see the module docs for the protocol that makes this
+/// sound). `Copy` so one publication fans out to many tasks.
+pub(crate) struct Snapshot<W>(*const W);
+
+impl<W> Snapshot<W> {
+    /// Publishes the structure for the current generation.
+    pub(crate) fn publish(w: &W) -> Self {
+        Snapshot(w as *const W)
+    }
+
+    /// Dereferences the snapshot.
+    ///
+    /// # Safety
+    ///
+    /// Callers must be inside the publish→retire window of the protocol in
+    /// the module docs: the writer is parked at the join barrier and will
+    /// not mutate until this task's [`Partial`] is sent.
+    pub(crate) unsafe fn get<'a>(&self) -> &'a W {
+        unsafe { &*self.0 }
+    }
+}
+
+impl<W> Clone for Snapshot<W> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<W> Copy for Snapshot<W> {}
+
+// SAFETY: the raw pointer is only dereferenced under the publish→retire
+// protocol (no `&mut` alias exists while any reader holds the borrow), and
+// `W: Sync` makes `&W` itself shareable across threads.
+unsafe impl<W: Sync> Send for Snapshot<W> {}
+
+/// One coalesced query plan's merged input, shared by every range task cut
+/// from it.
+#[derive(Clone)]
+pub(crate) enum Work {
+    /// Window connectivity over endpoint pairs.
+    WindowConnected(Arc<Vec<(VertexId, VertexId)>>),
+    /// MSF path-max over endpoint pairs.
+    PathMax(Arc<Vec<(VertexId, VertexId)>>),
+    /// MSF component sizes over vertices.
+    ComponentSize(Arc<Vec<VertexId>>),
+}
+
+/// A range of one plan, assigned to one reader.
+pub(crate) struct ServeTask<W> {
+    /// The generation's published structure.
+    pub snap: Snapshot<W>,
+    /// The plan's merged input.
+    pub work: Work,
+    /// The slice of the merged input this task answers.
+    pub range: Range<usize>,
+    /// Where the partial answers go (the writer's join barrier counts
+    /// these).
+    pub done: Sender<Partial>,
+}
+
+/// Partial answers for one [`ServeTask`]'s range.
+pub(crate) struct Partial {
+    /// Start of the range within the merged input (where to splice).
+    pub start: usize,
+    /// The answers, kind-tagged like [`Work`].
+    pub resp: PartialResp,
+}
+
+/// See [`Partial`].
+pub(crate) enum PartialResp {
+    /// Window-connectivity answers.
+    Bools(Vec<bool>),
+    /// Path-max answers.
+    Keys(Vec<Option<WKey>>),
+    /// Component sizes.
+    Sizes(Vec<usize>),
+    /// The reader panicked executing this range (e.g. an out-of-range
+    /// vertex id). Sent so the writer fails stop instead of waiting
+    /// forever at the join barrier for an answer that cannot come.
+    Panicked,
+}
+
+enum Task<W> {
+    Serve(ServeTask<W>),
+    Stop,
+}
+
+/// The persistent reader workers. Tasks are assigned round-robin; each
+/// reader's `QueryBatch` scratch (sorted-endpoint buffers, CPT chunk
+/// workspaces) survives across generations, so steady-state serving reuses
+/// capacity exactly like the write path's scratch discipline.
+pub(crate) struct ReaderPool<W> {
+    txs: Vec<Sender<Task<W>>>,
+    threads: Vec<JoinHandle<()>>,
+    next: usize,
+}
+
+impl<W: ServeWindow> ReaderPool<W> {
+    /// Spawns `readers` workers (clamped to ≥ 1).
+    pub(crate) fn spawn(readers: usize) -> Self {
+        let readers = readers.max(1);
+        let mut txs = Vec::with_capacity(readers);
+        let mut threads = Vec::with_capacity(readers);
+        for i in 0..readers {
+            let (tx, rx) = channel::<Task<W>>();
+            let handle = std::thread::Builder::new()
+                .name(format!("bimst-serve-reader-{i}"))
+                .spawn(move || reader_main(rx))
+                .expect("spawn bimst-service reader thread");
+            txs.push(tx);
+            threads.push(handle);
+        }
+        ReaderPool {
+            txs,
+            threads,
+            next: 0,
+        }
+    }
+
+    /// Number of workers.
+    pub(crate) fn len(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Hands a task to the next worker (round-robin).
+    pub(crate) fn dispatch(&mut self, task: ServeTask<W>) {
+        let i = self.next;
+        self.next = (self.next + 1) % self.txs.len();
+        self.txs[i]
+            .send(Task::Serve(task))
+            .expect("bimst-service reader worker alive");
+    }
+
+    /// Retires the pool: readers finish queued tasks, then exit and join.
+    pub(crate) fn shutdown(self) {
+        for tx in &self.txs {
+            let _ = tx.send(Task::Stop);
+        }
+        drop(self.txs);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+fn reader_main<W: ServeWindow>(rx: Receiver<Task<W>>) {
+    let mut q = QueryBatch::new();
+    while let Ok(task) = rx.recv() {
+        let t = match task {
+            Task::Serve(t) => t,
+            Task::Stop => break,
+        };
+        // SAFETY: protocol steps 1–3 (module docs) — the writer published
+        // this snapshot for the current generation and is parked at the
+        // join barrier until the `send` below is received.
+        let w: &W = unsafe { t.snap.get() };
+        // A panic (e.g. an out-of-range vertex id in a client's batch)
+        // must not strand the writer at its join barrier: catch it, report
+        // a poison partial, and let the writer fail stop. The panic cannot
+        // leave the snapshot borrowed — the catch boundary is inside the
+        // publish→retire window — but the executor's scratch may be
+        // mid-update, so it is discarded below.
+        let range = t.range.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &t.work {
+            Work::WindowConnected(pairs) => {
+                let mut out = Vec::new();
+                q.batch_window_connected_into(w, &pairs[range.clone()], &mut out);
+                PartialResp::Bools(out)
+            }
+            Work::PathMax(pairs) => {
+                let mut out = Vec::new();
+                q.batch_path_max_into(
+                    ReadHandle::new(WindowConnectivity::msf(w)),
+                    &pairs[range.clone()],
+                    &mut out,
+                );
+                PartialResp::Keys(out)
+            }
+            Work::ComponentSize(vs) => {
+                let mut out = Vec::new();
+                q.batch_component_size_into(
+                    ReadHandle::new(WindowConnectivity::msf(w)),
+                    &vs[range.clone()],
+                    &mut out,
+                );
+                PartialResp::Sizes(out)
+            }
+        }));
+        let resp = result.unwrap_or_else(|_| {
+            q = QueryBatch::new(); // scratch may be torn mid-update
+            PartialResp::Panicked
+        });
+        let _ = t.done.send(Partial {
+            start: t.range.start,
+            resp,
+        });
+    }
+}

@@ -1,0 +1,346 @@
+//! The writer side of the runtime: one thread owning the window structure,
+//! draining the admission queue in FIFO order with group commit for writes
+//! and coalescing + fan-out for reads.
+//!
+//! Sequential semantics: the state after processing the queue is identical
+//! to applying every admitted op one at a time in admission order, and
+//! every query is answered from exactly the state at its admission point.
+//! Group commit preserves this because consecutive inserts concatenate
+//! stream positions and consecutive expirations add deltas
+//! (`bimst_sliding::SlidingWrite`'s contract), and coalescing preserves it
+//! because batch-query answers are bit-identical to the per-query loop
+//! regardless of how batches are merged or range-partitioned (the
+//! `bimst-query` determinism contract, pinned by `tests/prop_query.rs`).
+
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+
+use bimst_primitives::VertexId;
+
+use crate::reader::{Partial, PartialResp, ReaderPool, ServeTask, Snapshot, Work};
+use crate::{Answered, QueryReq, QueryResp, ServeWindow, ServiceConfig};
+
+/// An admitted operation (see `ServiceHandle` for the client-side view).
+pub(crate) enum Req {
+    /// Append edges on the new side of the window.
+    Insert(Vec<(VertexId, VertexId)>),
+    /// Expire the Δ oldest stream positions.
+    Expire(u64),
+    /// Answer a query batch at the admission generation.
+    Query {
+        /// The batch.
+        req: QueryReq,
+        /// Where the [`Answered`] goes.
+        resp: Sender<Answered>,
+    },
+    /// Resolve with the generation once prior writes are applied.
+    Barrier(Sender<u64>),
+}
+
+/// Smallest per-reader slice of a merged plan: below this, splitting costs
+/// more (task envelope, channel hop) than a reader saves. The partition is
+/// a fixed function of `(plan len, reader count)` — never of timing — and
+/// answers are partition-independent anyway.
+const MIN_SHARD: usize = 64;
+
+/// The writer loop. Runs until the admission queue disconnects (every
+/// `ServiceHandle` dropped), which is what makes "admitted ⇒ processed"
+/// exact: a submission that was acked is in the queue, and the queue is
+/// drained to the end before the readers retire and the structure drops.
+pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Receiver<Req>) {
+    let mut pool: ReaderPool<W> = ReaderPool::spawn(cfg.readers);
+    let (done_tx, done_rx) = channel::<Partial>();
+    let mut generation: u64 = 0;
+    // An op pulled while merging that belongs to the *next* step.
+    let mut carry: Option<Req> = None;
+    // Group-commit buffer, reused across groups.
+    let mut wbuf: Vec<(VertexId, VertexId)> = Vec::new();
+    // The current coalescing run of query requests, reused across runs.
+    let mut run: Vec<(QueryReq, Sender<Answered>)> = Vec::new();
+
+    loop {
+        let first = match carry.take() {
+            Some(r) => r,
+            None => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => break, // all handles dropped and queue drained
+            },
+        };
+        match first {
+            Req::Insert(edges) => {
+                // Group commit: merge consecutive queued inserts up to the
+                // budget. Positions concatenate, so one batch_insert of the
+                // merged run equals the per-op inserts — but pays the
+                // O(ℓ lg(1 + n/ℓ)) batch bound once.
+                wbuf.clear();
+                wbuf.extend_from_slice(&edges);
+                while wbuf.len() < cfg.write_budget.max(1) {
+                    match rx.try_recv() {
+                        Ok(Req::Insert(more)) => wbuf.extend_from_slice(&more),
+                        Ok(other) => {
+                            carry = Some(other);
+                            break;
+                        }
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                w.batch_insert(&wbuf);
+                generation += 1;
+            }
+            Req::Expire(delta) => {
+                // Merge consecutive expirations: deltas add.
+                let mut delta = delta;
+                loop {
+                    match rx.try_recv() {
+                        Ok(Req::Expire(more)) => delta = delta.saturating_add(more),
+                        Ok(other) => {
+                            carry = Some(other);
+                            break;
+                        }
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                w.batch_expire(delta);
+                generation += 1;
+            }
+            Req::Barrier(resp) => {
+                let _ = resp.send(generation);
+            }
+            Req::Query { req, resp } => {
+                // Coalesce the queued run of queries admitted at this
+                // generation into shared-work plans. Barriers inside the
+                // run are answered inline (queries do not advance the
+                // generation, so their promise already holds).
+                run.clear();
+                run.push((req, resp));
+                if cfg.coalesce {
+                    loop {
+                        match rx.try_recv() {
+                            Ok(Req::Query { req, resp }) => run.push((req, resp)),
+                            Ok(Req::Barrier(resp)) => {
+                                let _ = resp.send(generation);
+                            }
+                            Ok(other) => {
+                                carry = Some(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                }
+                serve(&w, generation, &mut pool, &done_tx, &done_rx, &mut run);
+            }
+        }
+    }
+    drop(done_tx);
+    pool.shutdown();
+}
+
+/// Serves one coalesced run of query batches at one generation: merge
+/// same-kind requests into one plan each, publish the snapshot, fan the
+/// plans out across the reader pool, join, split answers back per request.
+fn serve<W: ServeWindow>(
+    w: &W,
+    generation: u64,
+    pool: &mut ReaderPool<W>,
+    done_tx: &Sender<Partial>,
+    done_rx: &Receiver<Partial>,
+    run: &mut Vec<(QueryReq, Sender<Answered>)>,
+) {
+    // Merge per kind, in run order (so per-kind cursors can split answers
+    // back without bookkeeping).
+    let mut conn: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut pm: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut cs: Vec<VertexId> = Vec::new();
+    for (req, _) in run.iter() {
+        match req {
+            QueryReq::WindowConnected(qs) => conn.extend_from_slice(qs),
+            QueryReq::PathMax(qs) => pm.extend_from_slice(qs),
+            QueryReq::ComponentSize(vs) => cs.extend_from_slice(vs),
+        }
+    }
+
+    // Publish (protocol step 1): from here until the join completes, this
+    // thread must not mutate `w` — rustc enforces it locally via the `&W`
+    // borrow, the protocol extends it across the reader threads.
+    let snap = Snapshot::publish(w);
+    let (conn, pm, cs) = (Arc::new(conn), Arc::new(pm), Arc::new(cs));
+    let mut expected = 0usize;
+    expected += fan_out(
+        pool,
+        snap,
+        Work::WindowConnected(conn.clone()),
+        conn.len(),
+        done_tx,
+    );
+    expected += fan_out(pool, snap, Work::PathMax(pm.clone()), pm.len(), done_tx);
+    expected += fan_out(
+        pool,
+        snap,
+        Work::ComponentSize(cs.clone()),
+        cs.len(),
+        done_tx,
+    );
+
+    // Join barrier (protocol step 3): collect every partial before
+    // touching the structure again. Plans of different kinds are in flight
+    // simultaneously, so a run mixing kinds uses the whole pool.
+    let mut conn_out: Vec<bool> = vec![false; conn.len()];
+    let mut pm_out = vec![None; pm.len()];
+    let mut cs_out: Vec<usize> = vec![0; cs.len()];
+    let mut poisoned = false;
+    for _ in 0..expected {
+        let p = done_rx.recv().expect("bimst-service reader pool alive");
+        match p.resp {
+            PartialResp::Bools(b) => conn_out[p.start..p.start + b.len()].copy_from_slice(&b),
+            PartialResp::Keys(k) => pm_out[p.start..p.start + k.len()].copy_from_slice(&k),
+            PartialResp::Sizes(s) => cs_out[p.start..p.start + s.len()].copy_from_slice(&s),
+            PartialResp::Panicked => poisoned = true,
+        }
+    }
+    // Fail stop, but only after the join barrier: every reader is parked
+    // again, so unwinding the writer (dropping the structure) is safe, and
+    // pending tickets resolve with `ServiceClosed` instead of hanging.
+    assert!(
+        !poisoned,
+        "bimst-service: a reader worker panicked serving a query batch \
+         (malformed batch, e.g. an out-of-range vertex id?)"
+    );
+
+    // Split the merged answers back per request, in run order. A client
+    // that dropped its ticket makes the send fail; that is its business.
+    let (mut ci, mut pi, mut si) = (0usize, 0usize, 0usize);
+    for (req, resp) in run.drain(..) {
+        let answers = match &req {
+            QueryReq::WindowConnected(qs) => {
+                let out = conn_out[ci..ci + qs.len()].to_vec();
+                ci += qs.len();
+                QueryResp::WindowConnected(out)
+            }
+            QueryReq::PathMax(qs) => {
+                let out = pm_out[pi..pi + qs.len()].to_vec();
+                pi += qs.len();
+                QueryResp::PathMax(out)
+            }
+            QueryReq::ComponentSize(vs) => {
+                let out = cs_out[si..si + vs.len()].to_vec();
+                si += vs.len();
+                QueryResp::ComponentSize(out)
+            }
+        };
+        let _ = resp.send(Answered {
+            generation,
+            resp: answers,
+        });
+    }
+}
+
+/// Cuts one plan into contiguous ranges and hands them to the pool
+/// round-robin. Returns the number of tasks dispatched.
+fn fan_out<W: ServeWindow>(
+    pool: &mut ReaderPool<W>,
+    snap: Snapshot<W>,
+    work: Work,
+    len: usize,
+    done: &Sender<Partial>,
+) -> usize {
+    if len == 0 {
+        return 0;
+    }
+    let chunk = len.div_ceil(pool.len()).max(MIN_SHARD);
+    let mut parts = 0;
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + chunk).min(len);
+        pool.dispatch(ServeTask {
+            snap,
+            work: work.clone(),
+            range: lo..hi,
+            done: done.clone(),
+        });
+        lo = hi;
+        parts += 1;
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bimst_sliding::SwConnEager;
+
+    /// The coalesced serve path, driven directly with a deterministic
+    /// multi-request run (the service-level tests cannot force coalescing,
+    /// which depends on queue timing): merged plans must split back into
+    /// per-request answers that match the sequential structure.
+    #[test]
+    fn serve_splits_coalesced_answers_per_request() {
+        let mut w = SwConnEager::new(8, 3);
+        w.batch_insert(&[(0, 1), (1, 2), (4, 5)]);
+        w.batch_expire(1);
+
+        let mut pool: ReaderPool<SwConnEager> = ReaderPool::spawn(2);
+        let (done_tx, done_rx) = channel();
+        let mut rxs = Vec::new();
+        let mut run = Vec::new();
+        let reqs = [
+            QueryReq::WindowConnected(vec![(0, 1), (1, 2)]),
+            QueryReq::ComponentSize(vec![0, 4]),
+            QueryReq::WindowConnected(vec![(4, 5)]),
+            QueryReq::PathMax(vec![(1, 2), (0, 2)]),
+            QueryReq::ComponentSize(vec![2]),
+        ];
+        for req in &reqs {
+            let (tx, rx) = channel();
+            run.push((req.clone(), tx));
+            rxs.push(rx);
+        }
+        serve(&w, 7, &mut pool, &done_tx, &done_rx, &mut run);
+        assert!(run.is_empty(), "serve consumes the run");
+
+        let answers: Vec<Answered> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        assert!(answers.iter().all(|a| a.generation == 7));
+        assert_eq!(
+            answers[0].resp,
+            QueryResp::WindowConnected(vec![w.is_connected(0, 1), w.is_connected(1, 2)])
+        );
+        assert_eq!(
+            answers[1].resp,
+            QueryResp::ComponentSize(vec![w.msf().component_size(0), w.msf().component_size(4)])
+        );
+        assert_eq!(
+            answers[2].resp,
+            QueryResp::WindowConnected(vec![w.is_connected(4, 5)])
+        );
+        assert_eq!(
+            answers[3].resp,
+            QueryResp::PathMax(vec![w.msf().path_max(1, 2), w.msf().path_max(0, 2)])
+        );
+        assert_eq!(
+            answers[4].resp,
+            QueryResp::ComponentSize(vec![w.msf().component_size(2)])
+        );
+        pool.shutdown();
+    }
+
+    /// Large merged plans are range-partitioned across readers; splicing
+    /// the partials back must reconstruct the full per-query loop answers.
+    #[test]
+    fn fan_out_partitions_reassemble_exactly() {
+        let mut w = SwConnEager::new(200, 5);
+        let ring: Vec<(u32, u32)> = (0..199).map(|v| (v, v + 1)).collect();
+        w.batch_insert(&ring);
+        w.batch_expire(40);
+
+        let pairs: Vec<(u32, u32)> = (0..500u32).map(|i| (i % 200, (i * 7 + 3) % 200)).collect();
+        let mut pool: ReaderPool<SwConnEager> = ReaderPool::spawn(3);
+        let (done_tx, done_rx) = channel();
+        let (tx, rx) = channel();
+        let mut run = vec![(QueryReq::WindowConnected(pairs.clone()), tx)];
+        serve(&w, 1, &mut pool, &done_tx, &done_rx, &mut run);
+        let got = rx.recv().unwrap().resp.into_window_connected().unwrap();
+        let want: Vec<bool> = pairs.iter().map(|&(u, v)| w.is_connected(u, v)).collect();
+        assert_eq!(got, want);
+        pool.shutdown();
+    }
+}

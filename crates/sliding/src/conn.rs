@@ -10,6 +10,66 @@ pub(crate) fn recency_weight(tau: u64) -> f64 {
     -(tau as f64)
 }
 
+/// The *write* surface a serving layer drives: append a batch on the new
+/// side of the window, advance the window's left endpoint. Implemented by
+/// [`SwConn`] (lazy expiry) and [`SwConnEager`] (eager expiry), so a writer
+/// loop can own either discipline behind one bound (`bimst-service` pairs
+/// this with `bimst_query::WindowConnectivity`, the matching *read*
+/// surface).
+///
+/// The contract mirrors the paper's stream model: `batch_insert` assigns
+/// consecutive stream positions, `batch_expire(Δ)` drops the Δ oldest
+/// positions, and interleavings of arbitrary sizes are legal. Positions are
+/// totally ordered, so any sequence of calls has exactly one sequential
+/// meaning — which is what lets a serving runtime group-commit consecutive
+/// inserts (positions concatenate) and merge consecutive expirations
+/// (deltas add) without changing the structure's final state or any
+/// query answer.
+pub trait SlidingWrite {
+    /// Appends a batch on the new side of the window; positions are
+    /// assigned consecutively. Returns the τ of the first edge.
+    fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64;
+
+    /// Expires the `delta` oldest stream positions.
+    fn batch_expire(&mut self, delta: u64);
+
+    /// Current window `[tw, t)` in stream positions.
+    fn window(&self) -> (u64, u64);
+
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+}
+
+impl SlidingWrite for SwConn {
+    fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
+        SwConn::batch_insert(self, edges)
+    }
+    fn batch_expire(&mut self, delta: u64) {
+        SwConn::batch_expire(self, delta)
+    }
+    fn window(&self) -> (u64, u64) {
+        SwConn::window(self)
+    }
+    fn num_vertices(&self) -> usize {
+        SwConn::num_vertices(self)
+    }
+}
+
+impl SlidingWrite for SwConnEager {
+    fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
+        SwConnEager::batch_insert(self, edges)
+    }
+    fn batch_expire(&mut self, delta: u64) {
+        SwConnEager::batch_expire(self, delta)
+    }
+    fn window(&self) -> (u64, u64) {
+        SwConnEager::window(self)
+    }
+    fn num_vertices(&self) -> usize {
+        SwConnEager::num_vertices(self)
+    }
+}
+
 /// Sliding-window connectivity with **lazy** expiry (`SW-Conn`,
 /// Theorem 5.1).
 ///

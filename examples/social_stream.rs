@@ -1,23 +1,30 @@
-//! Serving a mixed read/write workload over a social interaction stream.
+//! Serving a mixed read/write workload over a social interaction stream —
+//! through the real serving path (`bimst-service`).
 //!
 //! ```sh
 //! cargo run --release --example social_stream
 //! ```
 //!
-//! The scenario from the paper's motivation, extended to the serving shape
-//! the ROADMAP targets: an endless stream of interactions (edges) where
-//! only the most recent window matters, interleaved with *batches of
-//! queries* — "are these two users connected right now?", "how big is this
-//! user's community?", "how stale is the link between them?" — answered by
-//! the batch-parallel query engine (`bimst-query`) between write batches.
+//! The scenario from the paper's motivation, at the serving shape the
+//! ROADMAP targets: an endless stream of interactions (edges) where only
+//! the most recent window matters, interleaved with *batches of queries* —
+//! "are these two users connected right now?", "how big is this user's
+//! community?", "how stale is the link between them?" — submitted to a
+//! persistent sharded runtime rather than driven inline:
 //!
-//! `MixedStream` generates the op mix (inserts, expirations, query batches
-//! over warm endpoints); `SwConnEager` maintains the window's MSF; one
-//! reusable `QueryBatch` executor serves every read batch from a `ReadHandle`
-//! snapshot of the structure — no clones, no locks, shared root walks.
+//! * a `MixedStream` generates the op mix and is drained straight into the
+//!   service (it is an iterator of ops; `ServiceHandle::submit_op` is the
+//!   channel adapter);
+//! * the service's writer thread owns the `SwConnEager` window and
+//!   group-commits the write batches;
+//! * its reader pool answers each query ticket from a generation-pinned
+//!   snapshot — the `generation` stamp on every answer says exactly which
+//!   prefix of the write stream it reflects;
+//! * shutdown drains: every admitted ticket resolves before the structure
+//!   is dropped.
 
 use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
-use bimst_query::{QueryBatch, ReadHandle};
+use bimst_service::{QueryReq, QueryResp, Service, ServiceConfig};
 use bimst_sliding::SwConnEager;
 
 fn main() {
@@ -31,72 +38,80 @@ fn main() {
         window: 6_000,         // keep the last 6k interactions
     };
     let mut stream = MixedStream::new(cfg, 99);
-    let mut window =
-        SwConnEager::with_edge_capacity(n as usize, 1, cfg.window.min(n as u64 - 1) as usize);
-    let mut engine = QueryBatch::new();
+    let svc = Service::start(
+        SwConnEager::with_edge_capacity(n as usize, 1, cfg.window.min(n as u64 - 1) as usize),
+        ServiceConfig {
+            readers: 2,
+            queue_cap: 64,
+            write_budget: cfg.insert_batch,
+            coalesce: true,
+        },
+    );
 
     println!(
-        "serving {n}-vertex interaction stream: window = {}, {} writes + 3×{} queries per round\n",
+        "serving {n}-vertex interaction stream: window = {}, {} writes + 3×{} queries per round,\n\
+         writer + 2 reader shards behind a bounded queue\n",
         cfg.window, cfg.insert_batch, cfg.query_batch
     );
     println!(
-        "{:>6} {:>9} {:>11} {:>11} {:>13} {:>12}",
-        "round", "arrived", "components", "connected%", "max-comp-size", "oldest-link"
+        "{:>6} {:>4} {:>9} {:>11} {:>13} {:>12}",
+        "round", "gen", "arrived", "connected%", "max-comp-size", "oldest-link"
     );
 
     let mut round = 0u64;
     let mut arrived = 0u64;
+    let mut generation = 0u64;
     let (mut connected_pct, mut max_comp, mut oldest) = (0.0f64, 0usize, None::<u64>);
     while round < 12 {
-        match stream.next_op() {
-            Op::Insert(batch) => {
-                arrived += batch.len() as u64;
-                window.batch_insert(&batch);
+        let op = stream.next_op();
+        let is_expire = matches!(op, Op::Expire(_));
+        if let Op::Insert(batch) = &op {
+            arrived += batch.len() as u64;
+        }
+        // A closed-loop client: submit each query batch, await its
+        // answers. (Concurrent clients would pipeline their tickets and
+        // let the writer coalesce the queued batches.)
+        if let Some(t) = svc.submit_op(op).expect("service alive") {
+            let answered = t.wait().expect("admitted queries are answered");
+            generation = answered.generation;
+            match answered.resp {
+                QueryResp::WindowConnected(hits) => {
+                    connected_pct =
+                        100.0 * hits.iter().filter(|&&c| c).count() as f64 / hits.len() as f64;
+                }
+                QueryResp::ComponentSize(sizes) => {
+                    max_comp = sizes.into_iter().max().unwrap_or(0);
+                }
+                QueryResp::PathMax(keys) => {
+                    // Recency weights are −τ, so the path *maximum* is the
+                    // oldest link on the connecting path: a staleness probe.
+                    oldest = keys.into_iter().flatten().map(|k| k.id).min();
+                }
             }
-            Op::Expire(delta) => {
-                window.batch_expire(delta);
-                let stale = oldest.map_or("-".into(), |tau| format!("τ={tau}"));
-                println!(
-                    "{round:>6} {arrived:>9} {:>11} {connected_pct:>10.1}% {max_comp:>13} {stale:>12}",
-                    window.num_components(),
-                );
-                round += 1;
-            }
-            Op::ConnectedQueries(pairs) => {
-                let hits = engine
-                    .batch_window_connected(&window, &pairs)
-                    .iter()
-                    .filter(|&&c| c)
-                    .count();
-                connected_pct = 100.0 * hits as f64 / pairs.len() as f64;
-            }
-            Op::ComponentSizeQueries(users) => {
-                let h = ReadHandle::new(window.msf());
-                max_comp = engine
-                    .batch_component_size(h, &users)
-                    .into_iter()
-                    .max()
-                    .unwrap_or(0);
-            }
-            Op::PathMaxQueries(pairs) => {
-                // Recency weights are −τ, so the path *maximum* is the
-                // oldest link on the connecting path: a staleness probe.
-                let h = ReadHandle::new(window.msf());
-                oldest = engine
-                    .batch_path_max(h, &pairs)
-                    .into_iter()
-                    .flatten()
-                    .map(|k| k.id) // τ of the oldest link
-                    .min();
-            }
+        }
+        if is_expire {
+            let stale = oldest.map_or("-".into(), |tau| format!("τ={tau}"));
+            println!(
+                "{round:>6} {generation:>4} {arrived:>9} {connected_pct:>10.1}% {max_comp:>13} {stale:>12}"
+            );
+            round += 1;
         }
     }
 
-    // A final hand-written spot batch through the same engine.
-    let pairs = [(0u32, 1u32), (10, 20), (100, 1999)];
-    let answers = engine.batch_window_connected(&window, &pairs);
-    println!("\nspot queries on the final window:");
-    for ((u, v), c) in pairs.iter().zip(answers) {
+    // A final hand-written spot batch through the same serving path.
+    let pairs = vec![(0u32, 1u32), (10, 20), (100, 1999)];
+    let answers = svc
+        .query(QueryReq::WindowConnected(pairs.clone()))
+        .expect("service alive")
+        .wait()
+        .expect("answered");
+    println!(
+        "\nspot queries on the final window (generation {}):",
+        answers.generation
+    );
+    let hits = answers.resp.into_window_connected().unwrap();
+    for ((u, v), c) in pairs.iter().zip(hits) {
         println!("  connected({u}, {v}) = {c}");
     }
+    svc.shutdown(); // drain: nothing admitted is lost
 }

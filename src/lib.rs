@@ -31,6 +31,28 @@
 //! // get the recent-edge test applied for them).
 //! assert_eq!(q.batch_window_connected(&win, &[(0, 1), (1, 2)]), vec![false, true]);
 //! ```
+//!
+//! Serving: when ops originate on many threads, hand the window to
+//! `bimst-service` — a writer thread group-commits the write stream, a
+//! reader pool answers query tickets from generation-pinned snapshots,
+//! and a bounded queue provides backpressure (`try_*` variants) with
+//! drain-ordered shutdown. Answers are bit-identical to a sequential
+//! replay of the admitted ops; see the README's *Serving* section for the
+//! architecture diagram and the generation-handoff rules.
+//!
+//! ```
+//! use bimst_repro::service::{QueryReq, Service, ServiceConfig};
+//!
+//! let svc = Service::eager(8, 2, ServiceConfig::default());
+//! let h = svc.handle(); // Clone one per client thread
+//! h.insert(vec![(0, 1), (1, 2)]).unwrap();
+//! let ticket = h.query(QueryReq::WindowConnected(vec![(0, 2), (0, 7)])).unwrap();
+//! let answered = ticket.wait().unwrap();
+//! assert_eq!(answered.generation, 1);
+//! assert_eq!(answered.resp.into_window_connected().unwrap(), vec![true, false]);
+//! drop(h);
+//! svc.shutdown(); // drains: every admitted ticket resolves first
+//! ```
 
 /// The paper's contribution: compressed path trees and batch-incremental
 /// MSF (re-export of `bimst-core`).
@@ -44,6 +66,9 @@ pub use bimst_sliding as sliding;
 
 /// Batch-parallel query engine (re-export of `bimst-query`).
 pub use bimst_query as query;
+
+/// Sharded serving runtime (re-export of `bimst-service`).
+pub use bimst_service as service;
 
 /// Static MSF algorithms (re-export of `bimst-msf`).
 pub use bimst_msf as msf;
