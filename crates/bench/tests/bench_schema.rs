@@ -56,6 +56,39 @@ const REQUIRED: &[&str] = &[
     "BENCH_serve.json",
 ];
 
+/// The insert bench's paired same-day baseline requirement: the document
+/// carries at least one `baseline_*` block explicitly marked
+/// same-day/same-run whose measurements all have a numeric `ns_per_edge`
+/// and whose `batch` values cover every entry of `main_batches`. One
+/// predicate, used by the gate *and* its rejection test, so the two cannot
+/// drift apart.
+fn has_paired_same_day_baseline(doc: &Json, main_batches: &[f64]) -> bool {
+    doc.keys().any(|k| {
+        if !k.starts_with("baseline_") || !(k.contains("same_day") || k.contains("same_run")) {
+            return false;
+        }
+        let Some(brows) = doc
+            .get(k)
+            .and_then(|b| b.get("measurements"))
+            .and_then(Json::as_arr)
+        else {
+            return false;
+        };
+        if brows.is_empty()
+            || !brows
+                .iter()
+                .all(|r| r.get("ns_per_edge").and_then(Json::as_f64).is_some())
+        {
+            return false;
+        }
+        let bb: Vec<f64> = brows
+            .iter()
+            .filter_map(|r| r.get("batch").and_then(Json::as_f64))
+            .collect();
+        main_batches.iter().all(|m| bb.iter().any(|b| b == m))
+    })
+}
+
 #[test]
 fn committed_bench_artifacts_match_the_gating_schema() {
     let files = bench_files();
@@ -124,6 +157,32 @@ fn committed_bench_artifacts_match_the_gating_schema() {
             "{name}: no paired baseline (need >= 2 engine values among rows, \
              or a top-level baseline* block)"
         );
+
+        // The insert bench's regression gate compares *paired same-day
+        // runs* (ROADMAP perf protocol: this host's run-to-run variance
+        // swamps cross-day means, so a refresh that drops the same-day
+        // baseline rows is ungateable). Require at least one `baseline_*`
+        // block explicitly marked same-day/same-run, carrying comparable
+        // rows: a numeric `ns_per_edge` per row, and coverage of every
+        // batch size the main measurements report.
+        if name == "BENCH_batch_insert.json" {
+            let mut main_batches: Vec<f64> = rows
+                .iter()
+                .filter_map(|r| r.get("batch").and_then(Json::as_f64))
+                .collect();
+            main_batches.sort_by(f64::total_cmp);
+            main_batches.dedup();
+            assert!(
+                !main_batches.is_empty(),
+                "{name}: measurements carry no batch sizes"
+            );
+            assert!(
+                has_paired_same_day_baseline(&doc, &main_batches),
+                "{name}: no paired same-day baseline block \
+                 (need a baseline_*same_day*/*same_run* key whose measurements \
+                 carry ns_per_edge rows covering every main batch size)"
+            );
+        }
     }
 }
 
@@ -153,4 +212,37 @@ fn gate_rejects_rotten_artifacts() {
 
     // Truncated file fails the parser outright.
     assert!(parse(r#"{"bench": "x", "measurements": ["#).is_err());
+
+    // The paired same-day baseline predicate — exercised through the
+    // *same function the gate calls*, so loosening the gate breaks these
+    // fixtures. Each fixture carries exactly one defect.
+    let batches = [1.0, 4096.0];
+    // Not same-day/same-run marked.
+    let doc = parse(
+        r#"{"baseline_pr9_file": {"measurements": [
+            {"batch": 1, "ns_per_edge": 1.0}, {"batch": 4096, "ns_per_edge": 1.0}]}}"#,
+    )
+    .unwrap();
+    assert!(!has_paired_same_day_baseline(&doc, &batches));
+    // Rows missing ns_per_edge.
+    let doc =
+        parse(r#"{"baseline_rerun_same_day": {"measurements": [{"batch": 1}, {"batch": 4096}]}}"#)
+            .unwrap();
+    assert!(!has_paired_same_day_baseline(&doc, &batches));
+    // Batch coverage incomplete.
+    let doc = parse(
+        r#"{"baseline_rerun_same_day": {"measurements": [{"batch": 1, "ns_per_edge": 1.0}]}}"#,
+    )
+    .unwrap();
+    assert!(!has_paired_same_day_baseline(&doc, &batches));
+    // Empty measurements.
+    let doc = parse(r#"{"baseline_rerun_same_day": {"measurements": []}}"#).unwrap();
+    assert!(!has_paired_same_day_baseline(&doc, &batches));
+    // And the well-formed shape passes.
+    let doc = parse(
+        r#"{"baseline_rerun_same_run": {"measurements": [
+            {"batch": 1, "ns_per_edge": 2.0}, {"batch": 4096, "ns_per_edge": 3.0}]}}"#,
+    )
+    .unwrap();
+    assert!(has_paired_same_day_baseline(&doc, &batches));
 }

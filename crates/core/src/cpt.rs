@@ -22,8 +22,8 @@
 //! owner keeps degree ≥ 3 and no re-pruning is needed (see `DESIGN.md`).
 
 use bimst_primitives::soa::EpochSlotMap;
-use bimst_primitives::{AVec, FxHashSet, VertexId, WKey};
-use bimst_rctree::cluster::NodeId;
+use bimst_primitives::{AVec, FxHashMap, FxHashSet, VertexId, WKey};
+use bimst_rctree::cluster::{NodeId, MAX_CHILDREN};
 use bimst_rctree::{ClusterId, ClusterKind, RcForest, NONE_CLUSTER};
 
 /// An edge of a compressed path tree. `key.id` is the id of the heaviest
@@ -235,20 +235,36 @@ impl ExpGraph {
     }
 }
 
-/// Recursive `ExpandCluster` (Algorithm 1), accumulating into `g`. Reads
-/// only the cluster arrays it needs (`kind`, and `children` on the marked
-/// spine) — the dense-slot scratch keeps the whole walk hash-free.
+/// A marked cluster's body (kind + children), gathered into the packed
+/// scratch by the bottom-up marking walk so the top-down expansion never
+/// returns to the cluster record array for marked clusters — the same
+/// "pack the frontier once, sweep the pack" dataflow as the round-major
+/// contraction loop (`bimst-rctree::contract`, *Round-major frontier
+/// packing*). The gather shares the marking chase's pass over the arena,
+/// and every marked probe during expansion becomes one hash lookup that
+/// yields membership *and* the body, where the unpacked walk paid a hash
+/// probe plus a cold record load per marked cluster.
+#[derive(Clone, Copy)]
+struct PackedBody {
+    kind: ClusterKind,
+    children: AVec<ClusterId, MAX_CHILDREN>,
+}
+
+/// Recursive `ExpandCluster` (Algorithm 1), accumulating into `g`. Marked
+/// clusters are served from the packed bodies (`marked` maps cluster id →
+/// pack index); unmarked clusters read only the `kind` record they are
+/// summarized by.
 fn expand(
     f: &RcForest,
     c: ClusterId,
-    marked: &FxHashSet<ClusterId>,
+    marked: &FxHashMap<ClusterId, u32>,
+    bodies: &[PackedBody],
     marked_heads: &FxHashSet<NodeId>,
     g: &mut ExpGraph,
 ) {
-    let kind = *f.cluster_kind(c);
-    if !marked.contains(&c) {
+    let Some(&ix) = marked.get(&c) else {
         // Lines 3-9: an unmarked cluster is summarized by its boundary.
-        match kind {
+        match *f.cluster_kind(c) {
             ClusterKind::LeafEdge { a, b, key } => g.add_edge(a, b, key),
             ClusterKind::Binary {
                 bound: (a, b), key, ..
@@ -258,8 +274,9 @@ fn expand(
             ClusterKind::Root { .. } | ClusterKind::LeafVertex { .. } => {}
         }
         return;
-    }
-    match kind {
+    };
+    let body = &bodies[ix as usize];
+    match body.kind {
         // Lines 10-11: a marked leaf vertex.
         ClusterKind::LeafVertex { node } => g.ensure_vertex(node),
         ClusterKind::LeafEdge { .. } => unreachable!("edge clusters are never marked"),
@@ -267,8 +284,8 @@ fn expand(
         ClusterKind::Unary { rep, .. }
         | ClusterKind::Binary { rep, .. }
         | ClusterKind::Root { rep } => {
-            for ch in f.cluster_children(c).iter() {
-                expand(f, ch, marked, marked_heads, g);
+            for ch in body.children.iter() {
+                expand(f, ch, marked, bodies, marked_heads, g);
             }
             g.prune(rep, marked_heads);
         }
@@ -287,11 +304,15 @@ fn expand(
 #[derive(Default)]
 pub struct CptScratch {
     g: ExpGraph,
-    /// Clusters containing a marked vertex. Deliberately a *hash* set, not
-    /// an epoch-stamped table: it holds `O(ℓ lg(1 + n/ℓ))` entries probed
-    /// many times each, so it stays compact and cache-warm, where a
-    /// cluster-id-indexed table would take a cold DRAM miss per probe.
-    marked: FxHashSet<ClusterId>,
+    /// Clusters containing a marked vertex, mapped to their index in
+    /// `bodies`. Deliberately a *hash* map, not an epoch-stamped table: it
+    /// holds `O(ℓ lg(1 + n/ℓ))` entries probed many times each, so it
+    /// stays compact and cache-warm, where a cluster-id-indexed table
+    /// would take a cold DRAM miss per probe.
+    marked: FxHashMap<ClusterId, u32>,
+    /// Packed bodies of the marked clusters, gathered by the marking walk
+    /// (see [`PackedBody`]); `bodies[marked[&c]]` is `c`'s record.
+    bodies: Vec<PackedBody>,
     /// Head nodes of the marked vertices (same reasoning: `O(ℓ)` entries).
     marked_heads: FxHashSet<NodeId>,
     heads: Vec<NodeId>,
@@ -311,6 +332,7 @@ impl CptScratch {
         self.g.touched.capacity()
             + self.g.adj.capacity()
             + self.g.present.capacity()
+            + self.bodies.capacity()
             + self.heads.capacity()
             + self.roots.capacity()
             + self.verts.capacity()
@@ -360,15 +382,29 @@ pub fn compressed_path_tree_with(
     ws.marked_heads.extend(ws.heads.iter().copied());
 
     // Bottom-up marking of clusters; collect the distinct roots reached —
-    // pure chases over the arena's dense parent array.
+    // pure chases over the arena's dense parent array. Each newly marked
+    // cluster's body (kind + children) is gathered into the pack here, so
+    // the expansion below reads marked bodies from the packed copies: the
+    // body load overlaps the independent parent-chase miss stream instead
+    // of sitting on the expansion recursion's critical path.
     ws.marked.clear();
+    ws.bodies.clear();
     ws.roots.clear();
     for &h in &ws.heads {
         let mut c = f.leaf_cluster(h);
         loop {
-            if !ws.marked.insert(c) {
-                break; // merged into an already-marked path
+            // Single hash probe per cluster (entry API): this loop runs
+            // once per marked cluster per batch, on the insert hot path.
+            match ws.marked.entry(c) {
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    break; // merged into an already-marked path
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(ws.bodies.len() as u32);
+                }
             }
+            let (kind, children) = f.cluster_kind_children(c);
+            ws.bodies.push(PackedBody { kind, children });
             let p = f.parent(c);
             if p == NONE_CLUSTER {
                 ws.roots.push(c);
@@ -382,7 +418,7 @@ pub fn compressed_path_tree_with(
     for i in 0..ws.roots.len() {
         let root = ws.roots[i];
         ws.g.clear(node_bound);
-        expand(f, root, &ws.marked, &ws.marked_heads, &mut ws.g);
+        expand(f, root, &ws.marked, &ws.bodies, &ws.marked_heads, &mut ws.g);
         // Contract phantom edges: every base node maps to its owner. The
         // compact entries are emitted in first-touch order; an entry whose
         // node was spliced out (and possibly re-touched under a fresh

@@ -34,7 +34,7 @@ pub mod weight;
 pub use avec::AVec;
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use hash::{coin, hash2, hash3, mix64};
-pub use soa::{ChunkedArena, EpochSet, EpochSlotMap};
+pub use soa::{ChunkedArena, EpochSet, EpochSlotMap, PackedRounds};
 pub use weight::{EdgeId, WKey, Weight, NEG_INF};
 
 /// A vertex identifier. The substrate addresses vertices densely, `0..n`.

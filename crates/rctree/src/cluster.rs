@@ -274,6 +274,17 @@ impl ClusterArena {
         &self.bodies[id as usize].children
     }
 
+    /// The kind and children of a cluster in **one** record read. The CPT's
+    /// bottom-up marking walk gathers marked bodies through this while it
+    /// chases the parent array, so the top-down expansion reads packed
+    /// copies instead of returning to the record array cluster by cluster
+    /// (see `bimst-core`'s CPT packing).
+    #[inline]
+    pub fn kind_children(&self, id: ClusterId) -> (ClusterKind, AVec<ClusterId, MAX_CHILDREN>) {
+        let b = &self.bodies[id as usize];
+        (b.kind, b.children)
+    }
+
     /// The parent of a cluster, [`NONE_CLUSTER`] for roots (chase array
     /// only — see the module docs).
     #[inline]

@@ -65,6 +65,46 @@
 //!   them; the buffer is retained across node recycling, so steady-state
 //!   churn stays allocation-free.
 //!
+//! # Round-major frontier packing (rounds ≥ 2, large frontiers)
+//!
+//! Rows 0 and 1 are flat arena-length arrays, so processing those rounds
+//! already sweeps dense storage. Rows ≥ 2 live in the cold per-node
+//! `spill` vectors, and the round loop probes each such row ~4–7 times per
+//! round (neighborhood building, every neighbor's degree under `decide`,
+//! the dying/surviving partition, both plan phases) — each probe two
+//! dependent cold loads (spill pointer, then row). Deep rounds with
+//! frontiers above `PACK_GRAIN` (2048) therefore process **round-major**: the
+//! round's working set `P ∪ N(P)` is gathered once, in ascending id
+//! order, into a frontier-packed scratch array
+//! ([`bimst_primitives::soa::PackedRounds`]), and every later row read of
+//! the round is a packed-array hit (plus one index-table probe — 8 node
+//! ids per cache line) instead of a fresh spill chase.
+//!
+//! The size gate is load-bearing, not a tuning nicety. Measured on the
+//! `BENCH_batch_insert.json` protocol, incremental batches up to ℓ=4096
+//! put ~30–170 nodes in each deep round (the frontier decays
+//! geometrically, and rows 0–1 absorb the bulk of the work), so their
+//! whole row working set is cache-resident and the pack's domain-sized
+//! index table costs one *cold* probe per touch for nothing — an ungated
+//! pack measured ~15% worse `batch_median` at ℓ=4096. Large deep
+//! frontiers (from-scratch contractions and `rebuild_from_scratch`, where
+//! round `r` still holds `~c^r · n` nodes) are where spill re-touches
+//! genuinely leave cache and the packed sweep pays. This is the third
+//! re-confirmation of the workspace's layout lesson: "fewer cold lines
+//! per touch", not "fewer indirections", is the target.
+//!
+//! Coherence: the arena stays authoritative. The three places a round
+//! mutates a round-`r` row — the phase-1 decision commit, the terminal
+//! rebuild of 2a, and the survivor update of 2b — write the arena and
+//! either update the packed copy in place (decisions), re-copy it
+//! ([`PackedRounds::refresh`] after 2a, because 2b's plans read dying
+//! neighbors' fresh clusters), or skip the refresh because nothing reads
+//! the row again this round (2b runs last; the next round re-gathers from
+//! the arena). Reads of nodes outside the gathered set fall back to the
+//! arena, so packing is a pure cache: results are bit-identical with the
+//! pack on or off, and `same_contraction` against a from-scratch rebuild
+//! plus the `par_determinism` suite pin that.
+//!
 //! # Plan/apply parallelization and determinism
 //!
 //! Each phase of a round is split into a **plan** step and an **apply**
@@ -94,7 +134,7 @@
 
 use bimst_primitives::hash::{coin, priority};
 use bimst_primitives::par::map_into;
-use bimst_primitives::{AVec, ChunkedArena, FxHashSet, WKey};
+use bimst_primitives::{AVec, ChunkedArena, FxHashSet, PackedRounds, WKey};
 
 use crate::cluster::{ClusterArena, ClusterId, ClusterKind, NodeId, MAX_CHILDREN, NONE_CLUSTER};
 
@@ -105,6 +145,16 @@ pub const NONE_NODE: NodeId = u32::MAX;
 /// processing (see `Engine::propagate`); below it the set's arena touches
 /// fit in cache regardless of order.
 const SORT_GRAIN: usize = 2048;
+
+/// Deep-round frontier size above which the round is processed over the
+/// round-major pack (see the module docs, *Round-major frontier packing*).
+/// Below it the frontier's row working set is cache-resident either way and
+/// the pack's index-table probes are pure overhead — measured on the ℓ=4096
+/// insert protocol, where deep-round frontiers are ~30–170 nodes and an
+/// ungated pack cost ~15% of `batch_median` (the same cold-probe tax the
+/// dense vertex→root table paid in the query engine before it was reverted).
+/// A pure function of the frontier size, so determinism is unaffected.
+const PACK_GRAIN: usize = 2048;
 
 /// Whether `BIMST_PROP_STATS=1` asks for per-round frontier statistics on
 /// stderr (a zero-dependency stand-in for a profiler in the build sandbox).
@@ -419,6 +469,10 @@ struct PropScratch {
     survive_plans: Vec<SurvivePlan>,
     /// Frontier flagged for the next round.
     next: Vec<NodeId>,
+    /// Round-major pack of the working set's round-`r` rows for rounds ≥
+    /// [`RESIDENT_ROUNDS`] (see the module docs, *Round-major frontier
+    /// packing*).
+    pack: PackedRounds<RoundState>,
 }
 
 impl PropScratch {
@@ -435,6 +489,7 @@ impl PropScratch {
             + self.terminal_plans.capacity()
             + self.survive_plans.capacity()
             + self.next.capacity()
+            + self.pack.high_water()
     }
 }
 
@@ -605,22 +660,47 @@ impl Engine {
         self.nodes.alive(v) && self.nodes.rounds_len(v) > r
     }
 
+    /// The round-`r` row of `v`, served from the round-major pack when the
+    /// round is packed and `v` was gathered; arena fallback otherwise (the
+    /// arena is always authoritative — see the module docs, *Round-major
+    /// frontier packing*).
     #[inline]
-    fn deg(&self, v: NodeId, r: usize) -> usize {
-        self.nodes.row(v, r).adj.len()
+    fn prow<'a>(
+        &'a self,
+        pack: &'a PackedRounds<RoundState>,
+        v: NodeId,
+        r: usize,
+    ) -> &'a RoundState {
+        if r >= RESIDENT_ROUNDS {
+            if let Some(row) = pack.get(v) {
+                return row;
+            }
+        }
+        self.nodes.row(v, r)
+    }
+
+    /// Gathers `v`'s round-`r` row into the pack (no-op when present).
+    #[inline]
+    fn gather(&self, pack: &mut PackedRounds<RoundState>, v: NodeId, r: usize) {
+        pack.insert_with(v, || *self.nodes.row(v, r));
+    }
+
+    #[inline]
+    fn deg(&self, pack: &PackedRounds<RoundState>, v: NodeId, r: usize) -> usize {
+        self.prow(pack, v, r).adj.len()
     }
 
     /// The contraction decision of `v` at round `r` — a pure function of the
     /// round-`r` structure and the seed.
-    fn decide(&self, v: NodeId, r: usize) -> Decision {
-        let adj = &self.nodes.row(v, r).adj;
+    fn decide(&self, pack: &PackedRounds<RoundState>, v: NodeId, r: usize) -> Decision {
+        let adj = &self.prow(pack, v, r).adj;
         let rr = r as u64;
         match adj.len() {
             0 => Decision::Finalize,
             1 => {
                 let (u, _) = adj[0];
                 debug_assert!(self.alive_at(u, r));
-                if self.deg(u, r) == 1 {
+                if self.deg(pack, u, r) == 1 {
                     // Two-vertex component: exactly one endpoint rakes.
                     if priority(self.seed, v as u64, rr) < priority(self.seed, u as u64, rr) {
                         Decision::Rake(u)
@@ -634,8 +714,8 @@ impl Engine {
             2 => {
                 let (u, _) = adj[0];
                 let (w, _) = adj[1];
-                let du = self.deg(u, r);
-                let dw = self.deg(w, r);
+                let du = self.deg(pack, u, r);
+                let dw = self.deg(pack, w, r);
                 if du == 1 || dw == 1 {
                     // A neighbor is a leaf about to rake into us: survive.
                     Decision::Survive
@@ -730,6 +810,17 @@ impl Engine {
     /// (grain-gated), applies run serially in planning order — see the
     /// module docs for why that makes the result thread-count independent.
     fn process_round(&mut self, r: usize, ws: &mut PropScratch) {
+        // Deep rounds with large frontiers process round-major: gather the
+        // working set's rows into the frontier pack once, then run every
+        // phase off it (see the module docs, *Round-major frontier
+        // packing*). Every deep round must `begin` the pack — an O(1)
+        // epoch bump — even when it stays below [`PACK_GRAIN`], so entries
+        // gathered by an earlier packed round can never alias this one's
+        // arena-fallback reads.
+        let packed = r >= RESIDENT_ROUNDS && ws.set.len() > PACK_GRAIN;
+        if r >= RESIDENT_ROUNDS {
+            ws.pack.begin(if packed { self.nodes.len() } else { 0 });
+        }
         // P = A ∪ N(A): neighbors must re-decide (leaf status may change).
         let ep = self.bump_epoch();
         ws.p.clear();
@@ -738,8 +829,11 @@ impl Engine {
                 self.nodes.set_stamp(v, ep);
                 ws.p.push(v);
             }
+            if packed {
+                self.gather(&mut ws.pack, v, r);
+            }
             // Copy the (≤3-entry) adjacency so stamping can write the arena.
-            let adj = self.nodes.row(v, r).adj;
+            let adj = self.prow(&ws.pack, v, r).adj;
             for (u, _) in adj.iter() {
                 debug_assert!(self.alive_at(u, r), "stale adjacency {v}->{u} at round {r}");
                 if self.nodes.stamp(u) != ep {
@@ -752,18 +846,48 @@ impl Engine {
         if ws.p.len() > SORT_GRAIN {
             ws.p.sort_unstable();
         }
+        // Gather sweep: `decide` over P reads P's rows and every neighbor's
+        // degree, so pack `P ∪ N(P)`. The frontier's own rows were already
+        // gathered by the P-building loop above (its adjacency read pays
+        // the one arena load either way, so gathering there keeps the set
+        // rows to a single arena pass); this sweep re-probes them for free
+        // and gathers the remainder — `N(set)` and `N(P)` — in P's
+        // (sorted) order, so those first-touch arena loads form an
+        // ascending sweep. After this the parallel plan phases read only
+        // the pack.
+        if packed {
+            for i in 0..ws.p.len() {
+                let v = ws.p[i];
+                self.gather(&mut ws.pack, v, r);
+                let adj = ws.pack.get(v).expect("just gathered").adj;
+                for (u, _) in adj.iter() {
+                    self.gather(&mut ws.pack, u, r);
+                }
+            }
+        }
 
         // Phase 1: recompute decisions for P (parallel plan, serial commit).
         // Track which decisions actually changed — only those vertices (and
         // the structurally-changed set `A`) can alter what their neighbors
         // read in phase 2.
-        map_into(&ws.p, &mut ws.decs, |&v| (v, self.decide(v, r)));
+        map_into(&ws.p, &mut ws.decs, |&v| (v, self.decide(&ws.pack, v, r)));
         ws.changed.clear();
         for &(v, d) in &ws.decs {
-            let slot = &mut self.nodes.row_mut(v, r).decision;
-            if *slot != d {
-                *slot = d;
-                ws.changed.push(v);
+            if packed {
+                // Compare against the warm packed copy; write the (cold)
+                // arena row only when the decision actually flipped.
+                let row = ws.pack.get_mut(v).expect("P is packed");
+                if row.decision != d {
+                    row.decision = d;
+                    self.nodes.row_mut(v, r).decision = d;
+                    ws.changed.push(v);
+                }
+            } else {
+                let slot = &mut self.nodes.row_mut(v, r).decision;
+                if *slot != d {
+                    *slot = d;
+                    ws.changed.push(v);
+                }
             }
         }
 
@@ -791,7 +915,7 @@ impl Engine {
         while i < seeds {
             let v = ws.q[i];
             i += 1;
-            let adj = self.nodes.row(v, r).adj;
+            let adj = self.prow(&ws.pack, v, r).adj;
             for (u, _) in adj.iter() {
                 if self.nodes.stamp(u) != ep {
                     self.nodes.set_stamp(u, ep);
@@ -807,7 +931,7 @@ impl Engine {
         ws.dying.clear();
         ws.surviving.clear();
         for &v in &ws.q {
-            if self.nodes.row(v, r).decision != Decision::Survive {
+            if self.prow(&ws.pack, v, r).decision != Decision::Survive {
                 ws.dying.push(v);
             } else {
                 ws.surviving.push(v);
@@ -816,37 +940,48 @@ impl Engine {
 
         // Phase 2a: rebuild terminal clusters of dying vertices.
         map_into(&ws.dying, &mut ws.terminal_plans, |&v| {
-            self.terminal_plan(v, r)
+            self.terminal_plan(&ws.pack, v, r)
         });
         for i in 0..ws.terminal_plans.len() {
             self.apply_terminal(ws.terminal_plans[i], r);
+            if packed {
+                // 2b's plans read dying neighbors' freshly committed
+                // clusters, so the packed copy must track the rebuild.
+                let v = ws.terminal_plans[i].v;
+                ws.pack.refresh(v, *self.nodes.row(v, r));
+            }
         }
 
         // Phase 2b: survivors recompute rake-ins and next-round adjacency
         // (reading the cluster ids committed by 2a).
         map_into(&ws.surviving, &mut ws.survive_plans, |&v| {
-            self.survive_plan(v, r)
+            self.survive_plan(&ws.pack, v, r)
         });
         ws.next.clear();
         for i in 0..ws.survive_plans.len() {
             self.apply_survive(ws.survive_plans[i], r, &mut ws.next);
         }
+        // No refresh after 2b: nothing reads round-`r` rows again this
+        // round, and the next round re-gathers from the (authoritative)
+        // arena.
     }
 
     /// Children of the terminal cluster `v` forms when dying at round `r`:
     /// its own leaf, everything raked into it during its lifetime, and the
     /// edge clusters its decision consumes.
-    fn terminal_plan(&self, v: NodeId, r: usize) -> TerminalPlan {
+    fn terminal_plan(&self, pack: &PackedRounds<RoundState>, v: NodeId, r: usize) -> TerminalPlan {
         let mut children: AVec<ClusterId, MAX_CHILDREN> = AVec::new();
         children.push(self.nodes.leaf_cluster(v));
         // Dying vertices receive no rakes in their death round, so rows
         // `0..r` hold the complete hanging set (row `r` may be stale).
+        // Historical rows are read straight from the arena: only the
+        // current round's rows are packed.
         for q in 0..r {
             for c in self.nodes.row(v, q).raked_in.iter() {
                 children.push(c);
             }
         }
-        let row = self.nodes.row(v, r);
+        let row = self.prow(pack, v, r);
         let kind = match row.decision {
             Decision::Rake(u) => {
                 let (nu, c) = row.adj[0];
@@ -911,11 +1046,11 @@ impl Engine {
 
     /// A survivor's rake-in list and next-round adjacency, read off its
     /// neighbors' freshly committed decisions and clusters.
-    fn survive_plan(&self, v: NodeId, r: usize) -> SurvivePlan {
+    fn survive_plan(&self, pack: &PackedRounds<RoundState>, v: NodeId, r: usize) -> SurvivePlan {
         let mut raked: AVec<ClusterId, 3> = AVec::new();
         let mut adj_next: AVec<(NodeId, ClusterId), 3> = AVec::new();
-        for (u, c) in self.nodes.row(v, r).adj.iter() {
-            let urow = self.nodes.row(u, r);
+        for (u, c) in self.prow(pack, v, r).adj.iter() {
+            let urow = self.prow(pack, u, r);
             match urow.decision {
                 Decision::Rake(t) => {
                     debug_assert_eq!(t, v, "rake target mismatch");
@@ -1320,6 +1455,47 @@ mod tests {
         let scratch = e.rebuild_from_scratch();
         e.same_contraction(&scratch).unwrap();
         e.check_cluster_invariants().unwrap();
+    }
+
+    #[test]
+    fn packed_deep_rounds_match_unpacked_bit_for_bit() {
+        // A one-batch contraction of a long path keeps deep-round
+        // frontiers far above PACK_GRAIN (round r still holds ~c^r · n
+        // nodes), so the round-major pack engages; the same base forest
+        // built in small batches keeps every deep frontier below the
+        // gate, so its propagations run the arena path. The two engines
+        // must encode the identical contraction — the pack is a cache,
+        // never a semantic.
+        let n = 40_000u32;
+        let edges: Vec<(u32, u32, f64)> = (0..n - 1)
+            .map(|i| (i, i + 1, ((i * 7919) % 10_000) as f64))
+            .collect();
+        let big = build(n as usize, &edges, 77);
+        assert!(
+            big.scratch.pack.high_water() > 0,
+            "one-batch {n}-node contraction never engaged the pack — \
+             is PACK_GRAIN miscalibrated?"
+        );
+        let mut inc = Engine::new(77);
+        for i in 0..n {
+            inc.alloc_node(i, true);
+        }
+        inc.propagate();
+        for chunk in edges.iter().enumerate().collect::<Vec<_>>().chunks(256) {
+            for &(i, &(a, b, w)) in chunk {
+                let c = inc.alloc_edge_cluster(a, b, WKey::new(w, i as u64));
+                inc.add_edge_round0(a, b, c);
+            }
+            inc.propagate();
+        }
+        assert_eq!(
+            inc.scratch.pack.high_water(),
+            0,
+            "small-batch propagations unexpectedly crossed PACK_GRAIN"
+        );
+        big.same_contraction(&inc).unwrap();
+        big.check_cluster_invariants().unwrap();
+        inc.check_cluster_invariants().unwrap();
     }
 
     #[test]

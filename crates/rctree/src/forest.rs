@@ -358,6 +358,16 @@ impl RcForest {
         self.engine.clusters.children(c)
     }
 
+    /// The kind and children of a cluster as one record read — the gather
+    /// primitive of the CPT's packed expansion (`bimst-core`).
+    #[inline]
+    pub fn cluster_kind_children(
+        &self,
+        c: ClusterId,
+    ) -> (ClusterKind, AVec<ClusterId, MAX_CHILDREN>) {
+        self.engine.clusters.kind_children(c)
+    }
+
     /// Parent of a cluster (`NONE_CLUSTER` for roots). A single dense-array
     /// read — the CPT's bottom-up marking loop lives on this.
     #[inline]

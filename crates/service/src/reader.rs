@@ -185,22 +185,26 @@ impl<W: ServeWindow> ReaderPool<W> {
 fn reader_main<W: ServeWindow>(rx: Receiver<Task<W>>) {
     let mut q = QueryBatch::new();
     while let Ok(task) = rx.recv() {
-        let t = match task {
+        let ServeTask {
+            snap,
+            work,
+            range,
+            done,
+        } = match task {
             Task::Serve(t) => t,
             Task::Stop => break,
         };
         // SAFETY: protocol steps 1–3 (module docs) — the writer published
         // this snapshot for the current generation and is parked at the
         // join barrier until the `send` below is received.
-        let w: &W = unsafe { t.snap.get() };
+        let w: &W = unsafe { snap.get() };
         // A panic (e.g. an out-of-range vertex id in a client's batch)
         // must not strand the writer at its join barrier: catch it, report
         // a poison partial, and let the writer fail stop. The panic cannot
         // leave the snapshot borrowed — the catch boundary is inside the
         // publish→retire window — but the executor's scratch may be
         // mid-update, so it is discarded below.
-        let range = t.range.clone();
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &t.work {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &work {
             Work::WindowConnected(pairs) => {
                 let mut out = Vec::new();
                 q.batch_window_connected_into(w, &pairs[range.clone()], &mut out);
@@ -229,8 +233,14 @@ fn reader_main<W: ServeWindow>(rx: Receiver<Task<W>>) {
             q = QueryBatch::new(); // scratch may be torn mid-update
             PartialResp::Panicked
         });
-        let _ = t.done.send(Partial {
-            start: t.range.start,
+        // Release the plan's `Arc` *before* signalling completion: once
+        // the writer has collected every `Partial`, no reader holds a
+        // reference, so the writer can deterministically reclaim the
+        // merged-plan buffer (`Arc::try_unwrap`) for the next generation
+        // instead of reallocating per dispatch.
+        drop(work);
+        let _ = done.send(Partial {
+            start: range.start,
             resp,
         });
     }

@@ -15,7 +15,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
-use bimst_primitives::VertexId;
+use bimst_primitives::{VertexId, WKey};
 
 use crate::reader::{Partial, PartialResp, ReaderPool, ServeTask, Snapshot, Work};
 use crate::{Answered, QueryReq, QueryResp, ServeWindow, ServiceConfig};
@@ -43,6 +43,50 @@ pub(crate) enum Req {
 /// answers are partition-independent anyway.
 const MIN_SHARD: usize = 64;
 
+/// Reusable buffers of the serve path: the per-kind merged plans and the
+/// merged answer arrays. Before this existed, every dispatch allocated all
+/// six afresh (the ROADMAP's "serve path still allocates per dispatch"
+/// lever); now the plan buffers round-trip through the readers' `Arc`s —
+/// readers drop their clones *before* signalling the join barrier (see
+/// `reader_main`), so after the join `Arc::try_unwrap` deterministically
+/// hands the writer its buffer back, capacity intact. Same ratchet
+/// discipline as the engine scratch: capacities grow to the largest run
+/// ever coalesced, then steady-state serving allocates nothing here.
+#[derive(Default)]
+pub(crate) struct ServeScratch {
+    conn: Vec<(VertexId, VertexId)>,
+    pm: Vec<(VertexId, VertexId)>,
+    cs: Vec<VertexId>,
+    conn_out: Vec<bool>,
+    pm_out: Vec<Option<WKey>>,
+    cs_out: Vec<usize>,
+}
+
+impl ServeScratch {
+    /// Combined buffer capacity in elements — the steady-state metric the
+    /// allocation-stability test pins (`serve_scratch_steady_state`).
+    #[cfg(test)]
+    pub(crate) fn high_water(&self) -> usize {
+        self.conn.capacity()
+            + self.pm.capacity()
+            + self.cs.capacity()
+            + self.conn_out.capacity()
+            + self.pm_out.capacity()
+            + self.cs_out.capacity()
+    }
+
+    /// Reclaims a merged-plan buffer from its post-join `Arc` (see the
+    /// struct docs). The fallback allocation only triggers if a reader
+    /// somehow still holds a clone — correct either way, but the
+    /// steady-state test would catch it as capacity churn.
+    fn reclaim<T>(slot: &mut Vec<T>, arc: Arc<Vec<T>>) {
+        if let Ok(mut v) = Arc::try_unwrap(arc) {
+            v.clear();
+            *slot = v;
+        }
+    }
+}
+
 /// The writer loop. Runs until the admission queue disconnects (every
 /// `ServiceHandle` dropped), which is what makes "admitted ⇒ processed"
 /// exact: a submission that was acked is in the queue, and the queue is
@@ -57,6 +101,8 @@ pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Rece
     let mut wbuf: Vec<(VertexId, VertexId)> = Vec::new();
     // The current coalescing run of query requests, reused across runs.
     let mut run: Vec<(QueryReq, Sender<Answered>)> = Vec::new();
+    // Merged-plan/answer buffers, reused across generations.
+    let mut scratch = ServeScratch::default();
 
     loop {
         let first = match carry.take() {
@@ -128,7 +174,15 @@ pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Rece
                         }
                     }
                 }
-                serve(&w, generation, &mut pool, &done_tx, &done_rx, &mut run);
+                serve(
+                    &w,
+                    generation,
+                    &mut pool,
+                    &done_tx,
+                    &done_rx,
+                    &mut run,
+                    &mut scratch,
+                );
             }
         }
     }
@@ -137,8 +191,12 @@ pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Rece
 }
 
 /// Serves one coalesced run of query batches at one generation: merge
-/// same-kind requests into one plan each, publish the snapshot, fan the
-/// plans out across the reader pool, join, split answers back per request.
+/// same-kind requests into one plan each (into the reused scratch),
+/// publish the snapshot, fan the plans out across the reader pool, join,
+/// split answers back per request, then reclaim the plan buffers for the
+/// next generation. Steady-state dispatches allocate only the per-client
+/// answer vectors (which the clients keep).
+#[allow(clippy::too_many_arguments)]
 fn serve<W: ServeWindow>(
     w: &W,
     generation: u64,
@@ -146,17 +204,17 @@ fn serve<W: ServeWindow>(
     done_tx: &Sender<Partial>,
     done_rx: &Receiver<Partial>,
     run: &mut Vec<(QueryReq, Sender<Answered>)>,
+    ws: &mut ServeScratch,
 ) {
     // Merge per kind, in run order (so per-kind cursors can split answers
-    // back without bookkeeping).
-    let mut conn: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut pm: Vec<(VertexId, VertexId)> = Vec::new();
-    let mut cs: Vec<VertexId> = Vec::new();
+    // back without bookkeeping). The buffers arrive cleared from the
+    // previous generation's reclaim.
+    debug_assert!(ws.conn.is_empty() && ws.pm.is_empty() && ws.cs.is_empty());
     for (req, _) in run.iter() {
         match req {
-            QueryReq::WindowConnected(qs) => conn.extend_from_slice(qs),
-            QueryReq::PathMax(qs) => pm.extend_from_slice(qs),
-            QueryReq::ComponentSize(vs) => cs.extend_from_slice(vs),
+            QueryReq::WindowConnected(qs) => ws.conn.extend_from_slice(qs),
+            QueryReq::PathMax(qs) => ws.pm.extend_from_slice(qs),
+            QueryReq::ComponentSize(vs) => ws.cs.extend_from_slice(vs),
         }
     }
 
@@ -164,7 +222,9 @@ fn serve<W: ServeWindow>(
     // thread must not mutate `w` — rustc enforces it locally via the `&W`
     // borrow, the protocol extends it across the reader threads.
     let snap = Snapshot::publish(w);
-    let (conn, pm, cs) = (Arc::new(conn), Arc::new(pm), Arc::new(cs));
+    let conn = Arc::new(std::mem::take(&mut ws.conn));
+    let pm = Arc::new(std::mem::take(&mut ws.pm));
+    let cs = Arc::new(std::mem::take(&mut ws.cs));
     let mut expected = 0usize;
     expected += fan_out(
         pool,
@@ -185,19 +245,28 @@ fn serve<W: ServeWindow>(
     // Join barrier (protocol step 3): collect every partial before
     // touching the structure again. Plans of different kinds are in flight
     // simultaneously, so a run mixing kinds uses the whole pool.
-    let mut conn_out: Vec<bool> = vec![false; conn.len()];
-    let mut pm_out = vec![None; pm.len()];
-    let mut cs_out: Vec<usize> = vec![0; cs.len()];
+    ws.conn_out.clear();
+    ws.conn_out.resize(conn.len(), false);
+    ws.pm_out.clear();
+    ws.pm_out.resize(pm.len(), None);
+    ws.cs_out.clear();
+    ws.cs_out.resize(cs.len(), 0);
     let mut poisoned = false;
     for _ in 0..expected {
         let p = done_rx.recv().expect("bimst-service reader pool alive");
         match p.resp {
-            PartialResp::Bools(b) => conn_out[p.start..p.start + b.len()].copy_from_slice(&b),
-            PartialResp::Keys(k) => pm_out[p.start..p.start + k.len()].copy_from_slice(&k),
-            PartialResp::Sizes(s) => cs_out[p.start..p.start + s.len()].copy_from_slice(&s),
+            PartialResp::Bools(b) => ws.conn_out[p.start..p.start + b.len()].copy_from_slice(&b),
+            PartialResp::Keys(k) => ws.pm_out[p.start..p.start + k.len()].copy_from_slice(&k),
+            PartialResp::Sizes(s) => ws.cs_out[p.start..p.start + s.len()].copy_from_slice(&s),
             PartialResp::Panicked => poisoned = true,
         }
     }
+    // Every partial is in, and readers drop their plan clones before
+    // sending (reader_main), so the Arcs are singly held again: take the
+    // buffers back for the next generation.
+    ServeScratch::reclaim(&mut ws.conn, conn);
+    ServeScratch::reclaim(&mut ws.pm, pm);
+    ServeScratch::reclaim(&mut ws.cs, cs);
     // Fail stop, but only after the join barrier: every reader is parked
     // again, so unwinding the writer (dropping the structure) is safe, and
     // pending tickets resolve with `ServiceClosed` instead of hanging.
@@ -213,17 +282,17 @@ fn serve<W: ServeWindow>(
     for (req, resp) in run.drain(..) {
         let answers = match &req {
             QueryReq::WindowConnected(qs) => {
-                let out = conn_out[ci..ci + qs.len()].to_vec();
+                let out = ws.conn_out[ci..ci + qs.len()].to_vec();
                 ci += qs.len();
                 QueryResp::WindowConnected(out)
             }
             QueryReq::PathMax(qs) => {
-                let out = pm_out[pi..pi + qs.len()].to_vec();
+                let out = ws.pm_out[pi..pi + qs.len()].to_vec();
                 pi += qs.len();
                 QueryResp::PathMax(out)
             }
             QueryReq::ComponentSize(vs) => {
-                let out = cs_out[si..si + vs.len()].to_vec();
+                let out = ws.cs_out[si..si + vs.len()].to_vec();
                 si += vs.len();
                 QueryResp::ComponentSize(out)
             }
@@ -295,7 +364,8 @@ mod tests {
             run.push((req.clone(), tx));
             rxs.push(rx);
         }
-        serve(&w, 7, &mut pool, &done_tx, &done_rx, &mut run);
+        let mut ws = ServeScratch::default();
+        serve(&w, 7, &mut pool, &done_tx, &done_rx, &mut run, &mut ws);
         assert!(run.is_empty(), "serve consumes the run");
 
         let answers: Vec<Answered> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
@@ -337,10 +407,63 @@ mod tests {
         let (done_tx, done_rx) = channel();
         let (tx, rx) = channel();
         let mut run = vec![(QueryReq::WindowConnected(pairs.clone()), tx)];
-        serve(&w, 1, &mut pool, &done_tx, &done_rx, &mut run);
+        let mut ws = ServeScratch::default();
+        serve(&w, 1, &mut pool, &done_tx, &done_rx, &mut run, &mut ws);
         let got = rx.recv().unwrap().resp.into_window_connected().unwrap();
         let want: Vec<bool> = pairs.iter().map(|&(u, v)| w.is_connected(u, v)).collect();
         assert_eq!(got, want);
+        pool.shutdown();
+    }
+
+    /// The serve path's merged-plan/answer buffers must reach a capacity
+    /// plateau and stay there: after a warmup dispatch at each run shape,
+    /// repeated same-shape generations reclaim every buffer through the
+    /// post-join `Arc` round-trip instead of reallocating (the ROADMAP's
+    /// "serve path still allocates per dispatch" lever, closed). Styled
+    /// after `scratch_steady_state.rs` on the write path.
+    #[test]
+    fn serve_scratch_steady_state() {
+        let mut w = SwConnEager::new(300, 9);
+        let ring: Vec<(u32, u32)> = (0..299).map(|v| (v, v + 1)).collect();
+        w.batch_insert(&ring);
+        w.batch_expire(20);
+
+        let mut pool: ReaderPool<SwConnEager> = ReaderPool::spawn(3);
+        let (done_tx, done_rx) = channel();
+        let mut ws = ServeScratch::default();
+        let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i % 300, (i * 11 + 5) % 300)).collect();
+        let verts: Vec<u32> = (0..250u32).map(|i| (i * 7) % 300).collect();
+
+        let mut dispatch = |ws: &mut ServeScratch, gen: u64| {
+            let mut rxs = Vec::new();
+            let mut run = Vec::new();
+            for req in [
+                QueryReq::WindowConnected(pairs.clone()),
+                QueryReq::PathMax(pairs[..128].to_vec()),
+                QueryReq::ComponentSize(verts.clone()),
+                QueryReq::WindowConnected(pairs[..64].to_vec()),
+            ] {
+                let (tx, rx) = channel();
+                run.push((req, tx));
+                rxs.push(rx);
+            }
+            serve(&w, gen, &mut pool, &done_tx, &done_rx, &mut run, ws);
+            for rx in rxs {
+                rx.recv().expect("answer delivered");
+            }
+        };
+
+        dispatch(&mut ws, 0); // warmup: buffers ratchet to this run shape
+        let high_water = ws.high_water();
+        assert!(high_water > 0, "scratch should be warm after a dispatch");
+        for gen in 1..60u64 {
+            dispatch(&mut ws, gen);
+            assert_eq!(
+                ws.high_water(),
+                high_water,
+                "serve scratch grew on steady-state generation {gen}"
+            );
+        }
         pool.shutdown();
     }
 }

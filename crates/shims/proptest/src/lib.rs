@@ -8,11 +8,26 @@
 //!
 //! Differences from real proptest, deliberately accepted:
 //!
-//! * **No shrinking.** A failing case panics with the case number; cases are
+//! * **No shrinking.** A failing case reports the case number *and its
+//!   replay seed* (the RNG state the case was generated from) — for
+//!   `prop_assert!` failures and for bodies that panic outright
+//!   (`debug_assert!`, `unwrap`, slice indexing) alike; cases are
 //!   generated from a deterministic per-test seed, so failures reproduce
 //!   exactly by re-running the test.
 //! * Value generation is a single `generate` call on a seeded splitmix64
 //!   stream rather than a value tree.
+//!
+//! # The regression-seed corpus (`tests/seeds/`)
+//!
+//! Instead of shrinking, the workspace pins failing cases in a checked-in
+//! corpus: a property test named `foo` replays every seed listed in
+//! `tests/seeds/foo.seeds` (relative to its crate's manifest directory)
+//! **before** generating random cases. Each line is one replay seed — the
+//! RNG state printed by a failing run — so a reproduction is deterministic
+//! and shrink-free: add the printed line to the file and the case runs
+//! first on every future `cargo test`, in every CI lane. Lines starting
+//! with `#` and blank lines are comments. (File names use the bare test
+//! function name; keep property-test names unique within a crate.)
 
 use std::fmt;
 use std::ops::Range;
@@ -31,6 +46,19 @@ impl TestRng {
             h = h.wrapping_mul(0x1000_0000_01b3);
         }
         TestRng { state: h }
+    }
+
+    /// An RNG resumed from a replay seed (a `state()` captured earlier):
+    /// generates exactly the values of the case that state began.
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The current state — capture it *before* generating a case and it is
+    /// that case's replay seed (see the module docs, *The regression-seed
+    /// corpus*).
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next raw 64-bit value.
@@ -282,6 +310,37 @@ pub mod bool {
     pub const ANY: Any = Any;
 }
 
+/// Loads the replay-seed corpus for one property test: the parsed seeds of
+/// `{manifest_dir}/tests/seeds/{test_name}.seeds`, or empty if the file
+/// does not exist. Malformed lines fail loudly — a corpus entry that
+/// silently stopped parsing would un-pin the regression it exists for.
+#[doc(hidden)]
+pub fn load_seed_corpus(manifest_dir: &str, test_name: &str) -> Vec<u64> {
+    let path = std::path::Path::new(manifest_dir)
+        .join("tests")
+        .join("seeds")
+        .join(format!("{test_name}.seeds"));
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        // Only a genuinely absent file means "no corpus". Any other read
+        // failure (permissions, the path created as a directory, …) must
+        // fail loudly — silently skipping it would un-pin every
+        // regression the file exists to hold.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Vec::new(),
+        Err(e) => panic!("cannot read seed corpus {}: {e}", path.display()),
+    };
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let digits = l.strip_prefix("0x").unwrap_or(l);
+            u64::from_str_radix(digits, 16).unwrap_or_else(|e| {
+                panic!("malformed replay seed {l:?} in {}: {e}", path.display())
+            })
+        })
+        .collect()
+}
+
 /// Everything tests conventionally import.
 pub mod prelude {
     pub use crate::{
@@ -319,17 +378,72 @@ macro_rules! __proptest_items {
         fn $name:ident ( $($arg:pat in $strat:expr),+ $(,)? ) $body:block
     )*) => {$(
         $(#[$meta])*
+        #[allow(unreachable_code)] // diverging bodies (panic!) are legal
         fn $name() {
             let cfg: $crate::ProptestConfig = $cfg;
+            // The body is expanded exactly once, as a closure both loops
+            // call (generation happens inside, so argument types are
+            // inferred from the strategies) — code size stays linear and
+            // a `static` declared in a body is one static, not one per
+            // loop. `catch_unwind` wraps each call so a *panicking* body
+            // (debug_assert!, unwrap, slice OOB) still gets its replay
+            // seed reported before the unwind continues — prop_assert!
+            // failures come back as Err.
+            #[allow(unused_mut)]
+            let mut case_body = |rng: &mut $crate::TestRng|
+                -> ::std::result::Result<(), $crate::TestCaseError> {
+                $(let $arg = $crate::Strategy::generate(&($strat), rng);)+
+                $body
+                Ok(())
+            };
+            // Regression-seed corpus: replay pinned cases first, so a
+            // once-failing case runs on every future test invocation (see
+            // the crate docs, *The regression-seed corpus*).
+            for seed in $crate::load_seed_corpus(env!("CARGO_MANIFEST_DIR"), stringify!($name)) {
+                let mut rng = $crate::TestRng::from_state(seed);
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || case_body(&mut rng),
+                ));
+                match result {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => panic!(
+                        "property {} failed replaying corpus seed {:#018x} \
+                         (tests/seeds/{}.seeds): {}",
+                        stringify!($name), seed, stringify!($name), e
+                    ),
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "property {} panicked replaying corpus seed {:#018x} \
+                             (tests/seeds/{}.seeds)",
+                            stringify!($name), seed, stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
             let mut rng = $crate::TestRng::deterministic(concat!(module_path!(), "::", stringify!($name)));
             for case in 0..cfg.cases {
-                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
-                let result = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
-                    $body
-                    Ok(())
-                })();
-                if let ::std::result::Result::Err(e) = result {
-                    panic!("property {} failed at case {}: {}", stringify!($name), case, e);
+                let replay_seed = rng.state();
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || case_body(&mut rng),
+                ));
+                match result {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => panic!(
+                        "property {} failed at case {}: {}\n  replay: add the line \
+                         {:#018x} to tests/seeds/{}.seeds (next to this test's \
+                         crate manifest) to pin this case",
+                        stringify!($name), case, e, replay_seed, stringify!($name)
+                    ),
+                    ::std::result::Result::Err(payload) => {
+                        eprintln!(
+                            "property {} panicked at case {}\n  replay: add the line \
+                             {:#018x} to tests/seeds/{}.seeds (next to this test's \
+                             crate manifest) to pin this case",
+                            stringify!($name), case, replay_seed, stringify!($name)
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
                 }
             }
         }
@@ -426,6 +540,66 @@ mod tests {
         ]) {
             prop_assert!(z < 10 || (100..105).contains(&z));
         }
+    }
+
+    /// First-invocation flag for the test below. Module-level rather than
+    /// body-level on principle: the macro expands the body once (into the
+    /// shared `case_body` closure), but keeping cross-case state outside
+    /// the body makes the test independent of that implementation detail.
+    static PIN_FIRST: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The checked-in corpus entry for this test
+        /// (`tests/seeds/corpus_pins_first_case.seeds`) must be replayed
+        /// *before* any random case: the very first invocation of the body
+        /// sees exactly the values the pinned seed generates.
+        #[test]
+        fn corpus_pins_first_case(x in 0u64..1_000_000) {
+            if PIN_FIRST.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                let mut r = crate::TestRng::from_state(0xdeadbeef);
+                let expect = crate::Strategy::generate(&(0u64..1_000_000), &mut r);
+                prop_assert_eq!(x, expect, "corpus seed was not replayed first");
+            }
+        }
+
+        /// Bodies that panic (rather than `prop_assert!`-fail) must unwind
+        /// with the original payload after the replay line is printed —
+        /// `should_panic(expected)` matching the message pins the
+        /// `resume_unwind` path.
+        #[test]
+        #[should_panic(expected = "boom at case 0")]
+        fn panicking_bodies_keep_their_payload(x in 0u64..4) {
+            let _ = x;
+            panic!("boom at case 0");
+        }
+    }
+
+    #[test]
+    fn seed_corpus_parsing_and_replay() {
+        // Parsing: hex with/without 0x, comments, blanks; missing file is
+        // an empty corpus.
+        let dir = std::env::temp_dir().join(format!("bimst_seeds_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("tests/seeds")).unwrap();
+        std::fs::write(
+            dir.join("tests/seeds/my_prop.seeds"),
+            "# pinned regression\n0x00ff\n\nabc123\n",
+        )
+        .unwrap();
+        let seeds = crate::load_seed_corpus(dir.to_str().unwrap(), "my_prop");
+        assert_eq!(seeds, vec![0xff, 0xabc123]);
+        assert!(crate::load_seed_corpus(dir.to_str().unwrap(), "absent").is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Replay: resuming from a captured state regenerates the case.
+        let mut a = crate::TestRng::deterministic("replay");
+        let _burn = a.next_u64();
+        let state = a.state();
+        let vals: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let mut b = crate::TestRng::from_state(state);
+        let replayed: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(vals, replayed);
     }
 
     #[test]

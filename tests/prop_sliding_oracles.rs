@@ -1,0 +1,539 @@
+//! Differential oracles for the six sliding-window application modules
+//! (`approx_msf`, `bipartite`, `cyclefree`, `mincut`, `kcert`,
+//! `sparsify`), driven by random insert/expire interleavings from
+//! [`bimst_graphgen::MixedStream`] — the same op generator the serving
+//! benches use, so the tested interleavings have serving-workload shape
+//! (batched inserts, window-holding expirations) rather than hand-rolled
+//! scripts.
+//!
+//! Each module is checked against a brute-force recompute of the window
+//! graph:
+//!
+//! | module | oracle |
+//! |---|---|
+//! | `ApproxMsfWeight` | exact Kruskal MSF weight; `exact ≤ approx ≤ (1+ε)·exact` |
+//! | `SwBipartite` | BFS 2-coloring (odd-cycle detection) |
+//! | `CycleFree` | union-find cycle check |
+//! | `global_min_cut` / `is_k_connected` | exhaustive bipartition enumeration |
+//! | `KCertificate` | edge-count bound, window-subgraph, forest disjointness, max-flow cut preservation |
+//! | `Sparsifier` | exact component structure (in the `p̃ = 1` regime), window-subgraph, determinism |
+//!
+//! The query ops `MixedStream` interleaves between inserts are used as
+//! *checkpoints*: every time the stream emits a query batch, the structure
+//! under test is compared against its oracle, so invariants are probed at
+//! many intermediate windows, not just at the end.
+//!
+//! Every property replays the checked-in seeds in `tests/seeds/` first —
+//! the workspace's regression-corpus convention (see `TESTING.md`).
+
+use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
+use bimst_primitives::hash::hash2;
+use bimst_primitives::WKey;
+use bimst_sliding::{
+    global_min_cut, ApproxMsfWeight, CycleFree, KCertificate, Sparsifier, SparsifierConfig,
+    SwBipartite,
+};
+use proptest::prelude::*;
+
+/// A proptest-shaped MixedStream workload: topology, batch size, window.
+fn stream_cfg(n: u32) -> impl Strategy<Value = (MixedConfig, u64)> {
+    (
+        prop_oneof![
+            Just(MixedTopology::ErdosRenyi),
+            Just(MixedTopology::PowerLaw),
+            Just(MixedTopology::Grid),
+        ],
+        1usize..6,
+        4u64..48,
+        0u64..1_000_000,
+    )
+        .prop_map(move |(topology, insert_batch, window, seed)| {
+            (
+                MixedConfig {
+                    n,
+                    topology,
+                    insert_batch,
+                    query_batch: 1,
+                    queries_per_insert: 1,
+                    window,
+                },
+                seed,
+            )
+        })
+}
+
+/// One event of a replayed MixedStream workload: the insert/expire ops are
+/// forwarded to the structure under test, and the query ops the stream
+/// interleaves become [`Ev::Checkpoint`]s carrying the oracle's exact
+/// window (the unexpired suffix of the edge history).
+enum Ev<'a> {
+    Insert(&'a [(u32, u32)]),
+    Expire(u64),
+    Checkpoint(&'a [(u32, u32)]),
+}
+
+/// Replays `ops` operations of a MixedStream through one event handler
+/// (single closure, so the handler can own every structure mutably), then
+/// emits a final checkpoint.
+fn run_stream(
+    cfg: MixedConfig,
+    seed: u64,
+    ops: usize,
+    mut f: impl FnMut(Ev<'_>) -> Result<(), TestCaseError>,
+) -> Result<(), TestCaseError> {
+    let mut s = MixedStream::new(cfg, seed);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut tw = 0usize;
+    for op in s.take_ops(ops) {
+        match op {
+            Op::Insert(batch) => {
+                f(Ev::Insert(&batch))?;
+                edges.extend_from_slice(&batch);
+            }
+            Op::Expire(delta) => {
+                f(Ev::Expire(delta))?;
+                tw = (tw + delta as usize).min(edges.len());
+            }
+            _ => f(Ev::Checkpoint(&edges[tw..]))?,
+        }
+    }
+    f(Ev::Checkpoint(&edges[tw..]))
+}
+
+/// Deterministic per-position weight in `[1, wmax]` for the weighted
+/// modules (MixedStream edges are unweighted; the stream position τ is the
+/// weight's identity, exactly like the recency weights downstream).
+fn weight_at(wseed: u64, tau: u64, wmax: f64) -> f64 {
+    1.0 + (hash2(wseed, tau) % 1000) as f64 / 1000.0 * (wmax - 1.0)
+}
+
+/// Exact MSF weight of a weighted edge list (Kruskal oracle).
+fn exact_msf_weight(n: usize, edges: &[(u32, u32, f64)]) -> f64 {
+    let es: Vec<bimst_msf::Edge> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(u, v, w))| bimst_msf::Edge::new(u, v, WKey::new(w, i as u64)))
+        .collect();
+    bimst_msf::kruskal(n, &es)
+        .into_iter()
+        .map(|i| es[i].key.w)
+        .sum()
+}
+
+/// Exhaustive global min cut of an undirected weighted multigraph over its
+/// *touched* vertices: the minimum crossing weight over all proper
+/// bipartitions (`None` below two touched vertices) — the ground truth
+/// `global_min_cut` approximates with Stoer–Wagner sweeps. Exponential in
+/// touched vertices; callers keep graphs small.
+fn exhaustive_min_cut(edges: &[(u32, u32, f64)]) -> Option<f64> {
+    let mut verts: Vec<u32> = edges
+        .iter()
+        .filter(|&&(u, v, _)| u != v)
+        .flat_map(|&(u, v, _)| [u, v])
+        .collect();
+    verts.sort_unstable();
+    verts.dedup();
+    let t = verts.len();
+    if t < 2 {
+        return None;
+    }
+    assert!(t <= 16, "exhaustive oracle is for small graphs");
+    let side = |mask: u64, v: u32| mask >> verts.binary_search(&v).unwrap() & 1;
+    let mut best = f64::INFINITY;
+    // Fix vertex 0's side to halve the enumeration; skip the trivial cut.
+    for mask in 1..(1u64 << (t - 1)) {
+        let cut: f64 = edges
+            .iter()
+            .filter(|&&(u, v, _)| u != v && side(mask, u) != side(mask, v))
+            .map(|&(_, _, w)| w)
+            .sum();
+        best = best.min(cut);
+    }
+    Some(best)
+}
+
+/// Unit-capacity max flow (edge-disjoint paths) — the pairwise-connectivity
+/// oracle for the k-certificate's cut-preservation property.
+fn max_flow(n: usize, edges: &[(u32, u32)], s: u32, t: u32) -> usize {
+    use std::collections::{HashMap, VecDeque};
+    let mut cap: HashMap<(u32, u32), i32> = HashMap::new();
+    for &(u, v) in edges {
+        if u == v {
+            continue;
+        }
+        *cap.entry((u, v)).or_insert(0) += 1;
+        *cap.entry((v, u)).or_insert(0) += 1;
+    }
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &(u, v) in cap.keys() {
+        adj[u as usize].push(v);
+    }
+    let mut flow = 0;
+    loop {
+        let mut prev = vec![u32::MAX; n];
+        prev[s as usize] = s;
+        let mut q = VecDeque::from([s]);
+        while let Some(x) = q.pop_front() {
+            for &y in &adj[x as usize] {
+                if cap[&(x, y)] > 0 && prev[y as usize] == u32::MAX {
+                    prev[y as usize] = x;
+                    q.push_back(y);
+                }
+            }
+        }
+        if prev[t as usize] == u32::MAX {
+            return flow;
+        }
+        let mut x = t;
+        while x != s {
+            let p = prev[x as usize];
+            *cap.get_mut(&(p, x)).unwrap() -= 1;
+            *cap.get_mut(&(x, p)).unwrap() += 1;
+            x = p;
+        }
+        flow += 1;
+    }
+}
+
+/// Canonical component labelling: each vertex mapped to the smallest
+/// vertex of its component, so two edge sets with the same partition
+/// compare equal regardless of union order.
+fn components(n: usize, edges: impl Iterator<Item = (u32, u32)>) -> Vec<u32> {
+    let mut uf: Vec<u32> = (0..n as u32).collect();
+    fn find(uf: &mut [u32], mut x: u32) -> u32 {
+        while uf[x as usize] != x {
+            x = uf[x as usize];
+        }
+        x
+    }
+    for (u, v) in edges {
+        let (ru, rv) = (find(&mut uf, u), find(&mut uf, v));
+        if ru != rv {
+            uf[ru as usize] = rv;
+        }
+    }
+    let mut min_of = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let r = find(&mut uf, v) as usize;
+        min_of[r] = min_of[r].min(v);
+    }
+    (0..n as u32)
+        .map(|v| min_of[find(&mut uf, v) as usize])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// §5.3 / Theorem 5.4: at every checkpoint of a mixed insert/expire
+    /// stream, the estimate brackets the exact Kruskal MSF weight of the
+    /// window graph: `exact ≤ approx ≤ (1+ε)·exact`.
+    #[test]
+    fn approx_msf_weight_within_eps_of_exact(
+        (cfg, seed) in stream_cfg(16),
+        eps_mil in 150u64..800,
+        wseed in 0u64..1000,
+    ) {
+        let n = cfg.n as usize;
+        let eps = eps_mil as f64 / 1000.0;
+        let wmax = 16.0;
+        let mut a = ApproxMsfWeight::new(n, eps, wmax, seed);
+        let mut weighted: Vec<(u32, u32, f64)> = Vec::new();
+        let mut tw = 0usize;
+        let mut s = MixedStream::new(cfg, seed);
+        for op in s.take_ops(24) {
+            match op {
+                Op::Insert(batch) => {
+                    let t0 = weighted.len() as u64;
+                    let wb: Vec<(u32, u32, f64)> = batch
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &(u, v))| (u, v, weight_at(wseed, t0 + j as u64, wmax)))
+                        .collect();
+                    a.batch_insert(&wb);
+                    weighted.extend_from_slice(&wb);
+                }
+                Op::Expire(d) => {
+                    a.batch_expire(d);
+                    tw = (tw + d as usize).min(weighted.len());
+                }
+                _ => {
+                    let exact = exact_msf_weight(n, &weighted[tw..]);
+                    let approx = a.weight();
+                    prop_assert!(approx >= exact - 1e-9, "approx {approx} < exact {exact}");
+                    prop_assert!(
+                        approx <= (1.0 + eps) * exact + 1e-9,
+                        "approx {approx} > (1+{eps})·{exact}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// §5.2 / Theorem 5.3: the cycle-double-cover component test agrees
+    /// with a BFS 2-coloring of the window graph at every checkpoint.
+    #[test]
+    fn bipartite_matches_two_coloring_under_mixed_stream((cfg, seed) in stream_cfg(12)) {
+        let n = cfg.n as usize;
+        let mut b = SwBipartite::new(n, seed);
+        run_stream(cfg, seed, 28, |ev| {
+            match ev {
+                Ev::Insert(batch) => b.batch_insert(batch),
+                Ev::Expire(d) => b.batch_expire(d),
+                Ev::Checkpoint(window) => {
+                // Oracle: BFS 2-coloring.
+                let mut color = vec![-1i8; n];
+                let mut adj = vec![Vec::new(); n];
+                for &(u, v) in window {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+                let mut two_colorable = true;
+                'outer: for s in 0..n {
+                    if color[s] != -1 {
+                        continue;
+                    }
+                    color[s] = 0;
+                    let mut q = std::collections::VecDeque::from([s as u32]);
+                    while let Some(x) = q.pop_front() {
+                        for &y in &adj[x as usize] {
+                            if color[y as usize] == -1 {
+                                color[y as usize] = 1 - color[x as usize];
+                                q.push_back(y);
+                            } else if color[y as usize] == color[x as usize] {
+                                two_colorable = false;
+                                break 'outer;
+                            }
+                        }
+                    }
+                }
+                prop_assert_eq!(b.is_bipartite(), two_colorable);
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// §5.5 / Theorem 5.6: cycle detection agrees with a union-find sweep
+    /// of the window at every checkpoint.
+    #[test]
+    fn cyclefree_matches_union_find_under_mixed_stream((cfg, seed) in stream_cfg(10)) {
+        let n = cfg.n as usize;
+        let mut cf = CycleFree::new(n, seed);
+        run_stream(cfg, seed, 28, |ev| {
+            match ev {
+                Ev::Insert(batch) => cf.batch_insert(batch),
+                Ev::Expire(d) => cf.batch_expire(d),
+                Ev::Checkpoint(window) => {
+                let mut uf: Vec<u32> = (0..n as u32).collect();
+                fn find(uf: &[u32], mut x: u32) -> u32 {
+                    while uf[x as usize] != x {
+                        x = uf[x as usize];
+                    }
+                    x
+                }
+                let mut cyclic = false;
+                for &(u, v) in window {
+                    let (ru, rv) = (find(&uf, u), find(&uf, v));
+                    if ru == rv {
+                        cyclic = true;
+                        break;
+                    }
+                    uf[ru as usize] = rv;
+                }
+                prop_assert_eq!(cf.has_cycle(), cyclic);
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// §5.4: the Stoer–Wagner `global_min_cut` equals the exhaustive
+    /// bipartition enumeration on arbitrary small weighted multigraphs
+    /// (self-loops, parallel edges, disconnection, all-isolated included).
+    #[test]
+    fn global_min_cut_matches_exhaustive_enumeration(
+        edges in proptest::collection::vec((0u32..7, 0u32..7, 1u64..64), 0..16),
+    ) {
+        let weighted: Vec<(u32, u32, f64)> = edges
+            .iter()
+            .map(|&(u, v, w)| (u, v, w as f64 / 4.0))
+            .collect();
+        let got = global_min_cut(&weighted);
+        let expect = exhaustive_min_cut(&weighted);
+        match (got, expect) {
+            (None, None) => {}
+            (Some(g), Some(e)) => prop_assert!(
+                (g - e).abs() < 1e-9,
+                "Stoer–Wagner {g} vs exhaustive {e} on {weighted:?}"
+            ),
+            (g, e) => prop_assert!(false, "presence mismatch: {g:?} vs {e:?}"),
+        }
+    }
+
+    /// §5.4 / Theorem 5.5 end-to-end: `is_k_connected` (min cut of the
+    /// certificate, property P3) agrees with the exhaustive min cut of the
+    /// *window graph* at every checkpoint of a mixed stream.
+    #[test]
+    fn kcert_k_connectivity_matches_exhaustive_min_cut(
+        (cfg, seed) in stream_cfg(7),
+        k in 1usize..4,
+    ) {
+        let n = cfg.n as usize;
+        let mut kc = KCertificate::new(n, k, seed);
+        run_stream(cfg, seed, 20, |ev| {
+            match ev {
+                Ev::Insert(batch) => {
+                    kc.batch_insert(batch);
+                }
+                Ev::Expire(d) => kc.batch_expire(d),
+                Ev::Checkpoint(window) => {
+                    let weighted: Vec<(u32, u32, f64)> =
+                        window.iter().map(|&(u, v)| (u, v, 1.0)).collect();
+                    let expect =
+                        matches!(exhaustive_min_cut(&weighted), Some(c) if c >= k as f64);
+                    prop_assert_eq!(
+                        kc.is_k_connected(),
+                        expect,
+                        "k={} window={:?}",
+                        k,
+                        window
+                    );
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// §5.4 / Theorem 5.5 invariants: the certificate stays within its
+    /// `k(n−1)` size bound, is an edge-disjoint union of forests, is a
+    /// subgraph of the window, and preserves pairwise connectivity
+    /// truncated at `k` (property P2, against a max-flow oracle).
+    #[test]
+    fn kcert_invariants_under_mixed_stream(
+        (cfg, seed) in stream_cfg(9),
+        k in 1usize..4,
+    ) {
+        let n = cfg.n as usize;
+        let mut kc = KCertificate::new(n, k, seed);
+        run_stream(cfg, seed, 20, |ev| {
+            match ev {
+                Ev::Insert(batch) => {
+                    kc.batch_insert(batch);
+                }
+                Ev::Expire(d) => kc.batch_expire(d),
+                Ev::Checkpoint(window) => {
+                let cert = kc.make_cert();
+                prop_assert!(cert.len() <= k * (n - 1));
+                // Subgraph: every certificate τ is an *unexpired* stream
+                // position whose endpoints match the window edge at that
+                // position (positions are global, so `τ − tw` indexes the
+                // window slice). A forest that retained an expired edge
+                // fails here even when truncated flows hide it.
+                let (tw, t) = kc.window();
+                prop_assert_eq!(t - tw, window.len() as u64, "window bookkeeping diverged");
+                for &(tau, u, v) in &cert {
+                    prop_assert!(
+                        (tw..t).contains(&tau),
+                        "certificate retains expired/future position {} (window [{}, {}))",
+                        tau, tw, t
+                    );
+                    let (wu, wv) = window[(tau - tw) as usize];
+                    prop_assert!(
+                        (u, v) == (wu, wv) || (u, v) == (wv, wu),
+                        "certificate edge ({}, {}) at τ={} is not the window edge ({}, {})",
+                        u, v, tau, wu, wv
+                    );
+                }
+                // Forests are disjoint: τ appears at most once.
+                let mut taus: Vec<u64> = cert.iter().map(|&(tau, ..)| tau).collect();
+                taus.sort_unstable();
+                let before = taus.len();
+                taus.dedup();
+                prop_assert_eq!(taus.len(), before, "a position is in two forests");
+                // Each forest is acyclic and they stack: F_i edge counts
+                // are non-increasing in i (a maximal spanning forest of a
+                // subgraph of what F_{i-1} spanned cannot have more edges).
+                for i in 1..k {
+                    prop_assert!(
+                        kc.forest_edge_count(i) <= kc.forest_edge_count(i - 1),
+                        "forest {} larger than forest {}", i, i - 1
+                    );
+                }
+                // P2: pairwise connectivity truncated at k is preserved.
+                let cert_edges: Vec<(u32, u32)> =
+                    cert.iter().map(|&(_, u, v)| (u, v)).collect();
+                for s in 0..n as u32 {
+                    for t in (s + 1..n as u32).step_by(3) {
+                        let full = max_flow(n, window, s, t).min(k);
+                        let in_cert = max_flow(n, &cert_edges, s, t).min(k);
+                        prop_assert_eq!(in_cert, full, "pair ({}, {})", s, t);
+                        // P1 is one-directional: connectivity in F_1..F_i
+                        // *witnesses* i-edge-connectivity, so the O(1)
+                        // bound must never exceed the truth and must agree
+                        // exactly at the connectivity-vs-disconnection
+                        // threshold (F_1 is a maximal spanning forest).
+                        let lb = kc.connectivity_lower_bound(s, t).min(k);
+                        prop_assert!(
+                            lb <= full,
+                            "lower bound {} exceeds connectivity {} at ({}, {})",
+                            lb, full, s, t
+                        );
+                        prop_assert_eq!(lb >= 1, full >= 1, "pair ({}, {})", s, t);
+                    }
+                }
+                }
+            }
+            Ok(())
+        })?;
+    }
+
+    /// §5.6 / Theorem 5.8 in the exact regime: with `ε = 0.5` and `n ≤ 16`
+    /// the scaled constants give sampling probability `p̃ = 1` for every
+    /// edge (β = 0), so the sparsifier must be a subgraph of the window
+    /// with all weights exactly 1 that preserves the window's component
+    /// structure — and identical seeds must reproduce it bit-for-bit.
+    #[test]
+    fn sparsifier_preserves_components_in_exact_regime((cfg, seed) in stream_cfg(14)) {
+        let n = cfg.n as usize;
+        let sc = SparsifierConfig::scaled(n, 0.5);
+        let mut sp = Sparsifier::new(n, sc, seed);
+        let mut twin = Sparsifier::new(n, sc, seed);
+        run_stream(cfg, seed, 16, |ev| {
+            match ev {
+                Ev::Insert(batch) => {
+                    sp.batch_insert(batch);
+                    twin.batch_insert(batch);
+                }
+                Ev::Expire(d) => {
+                    sp.batch_expire(d);
+                    twin.batch_expire(d);
+                }
+                Ev::Checkpoint(window) => {
+                let got = sp.sparsify();
+                // Window subgraph with exact weights: τ identifies the
+                // stream position, β = 0 forces weight 1.
+                for &(u, v, w, _) in &got {
+                    prop_assert_eq!(w, 1.0, "β must be 0 in the exact regime");
+                    prop_assert!(
+                        window.contains(&(u, v)) || window.contains(&(v, u)),
+                        "sparsifier edge ({}, {}) not in window", u, v
+                    );
+                }
+                // Component structure is exactly preserved (F₁ of the
+                // unsampled certificate is a maximal spanning forest).
+                let roots_window = components(n, window.iter().copied());
+                let roots_sparse = components(n, got.iter().map(|&(u, v, ..)| (u, v)));
+                prop_assert_eq!(roots_window, roots_sparse);
+                // Deterministic given the seed.
+                let mut a = got;
+                let mut b = twin.sparsify();
+                a.sort_by_key(|&(.., tau)| tau);
+                b.sort_by_key(|&(.., tau)| tau);
+                prop_assert_eq!(a, b);
+                }
+            }
+            Ok(())
+        })?;
+    }
+}
