@@ -48,7 +48,7 @@ use std::time::Instant;
 use bimst_bench::Samples;
 use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
 use bimst_query::QueryBatch;
-use bimst_service::{Answered, Service, ServiceConfig};
+use bimst_service::{Answered, Service, ServiceConfig, SyncPolicy};
 use bimst_sliding::SwConnEager;
 
 const INSERT_BATCH: usize = 4096;
@@ -148,6 +148,7 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize, readers: usiz
         queue_cap: 64,
         write_budget: INSERT_BATCH,
         coalesce: true,
+        ..ServiceConfig::default()
     };
     let svc = Service::start(structure(n, window), svc_cfg);
     let mut inl = Inline {
@@ -290,6 +291,103 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize, readers: usiz
     rows
 }
 
+/// The admission-path cost of durability (`kind: "wal_insert"` rows): for
+/// one sync policy, a WAL-backed service and an in-memory twin (`sync:
+/// "off"`, tagged `pair: <policy>`) drive identical write streams
+/// interleaved round-for-round — the paired same-run protocol of the
+/// query phase, applied to the write path. Each sample is one insert
+/// batch, submit-to-applied (write barrier), so it prices exactly what
+/// the WAL adds in front of `batch_insert`: encode + append under
+/// `GroupCommit`/`None`, plus the fsync under `Always`/`GroupCommit`.
+fn run_wal_config(
+    n: usize,
+    window: u64,
+    rounds: usize,
+    readers: usize,
+    sync: SyncPolicy,
+) -> Vec<String> {
+    let tag = match sync {
+        SyncPolicy::Always => "always",
+        SyncPolicy::GroupCommit => "group_commit",
+        SyncPolicy::None => "none",
+    };
+    let dir = std::env::temp_dir().join(format!("bimst_bench_wal_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc_cfg = ServiceConfig {
+        readers,
+        queue_cap: 64,
+        write_budget: INSERT_BATCH,
+        coalesce: true,
+        sync,
+        // Off: checkpoint compaction cost is a different axis; these rows
+        // price the per-batch logging overhead alone.
+        checkpoint_every: 0,
+    };
+    let wal =
+        Service::eager_durable(&dir, n, STRUCT_SEED, svc_cfg).expect("create bench WAL store");
+    let off = Service::eager(n, STRUCT_SEED, svc_cfg);
+    let mut wal_stream = stream(n, window, 1);
+    let mut off_stream = stream(n, window, 1);
+
+    let mut wal_cell = Samples::default();
+    let mut off_cell = Samples::default();
+    let warm = (window / INSERT_BATCH as u64 + 2) as usize;
+    for round in 0..warm + rounds {
+        for (svc, s, cell) in [
+            (&wal, &mut wal_stream, &mut wal_cell),
+            (&off, &mut off_stream, &mut off_cell),
+        ] {
+            loop {
+                match s.next_op() {
+                    Op::Insert(b) => {
+                        let len = b.len();
+                        let t0 = Instant::now();
+                        svc.insert(b).expect("service alive");
+                        svc.barrier()
+                            .expect("service alive")
+                            .wait()
+                            .expect("barrier resolves");
+                        if round >= warm {
+                            cell.record(t0.elapsed().as_secs_f64(), len);
+                        }
+                        break; // one insert batch per engine per round
+                    }
+                    Op::Expire(d) => svc.expire(d).expect("service alive"),
+                    _ => {} // write-path bench: skip query ops
+                }
+            }
+        }
+    }
+    wal.shutdown();
+    off.shutdown();
+    std::fs::remove_dir_all(&dir).expect("clean bench WAL store");
+
+    let extra_wal = format!("\"sync\": \"{tag}\", \"pair\": \"{tag}\"");
+    let extra_off = format!("\"sync\": \"off\", \"pair\": \"{tag}\"");
+    let rows = vec![
+        wal_cell.row_with(
+            "wal_insert",
+            "service",
+            0,
+            "edges",
+            "ns_per_edge",
+            &extra_wal,
+        ),
+        off_cell.row_with(
+            "wal_insert",
+            "service",
+            0,
+            "edges",
+            "ns_per_edge",
+            &extra_off,
+        ),
+    ];
+    for r in &rows {
+        eprintln!("wal sync={tag}: {r}");
+    }
+    rows
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let n: usize = args
@@ -313,6 +411,17 @@ fn main() {
     for (qbatch, mult) in [(1usize, 8usize), (64, 2), (4096, 1)] {
         rows.extend(run_config(n, window, rounds * mult, qbatch, readers));
     }
+    // Durability pricing: each sync policy against its own in-memory twin.
+    // 6× rounds: these rows gate on batch_p99, and with fewer samples the
+    // ceiling-index percentile degenerates to batch_max — a single
+    // scheduler spike on a 1-CPU host would decide the gate.
+    for sync in [
+        SyncPolicy::Always,
+        SyncPolicy::GroupCommit,
+        SyncPolicy::None,
+    ] {
+        rows.extend(run_wal_config(n, window, rounds * 6, readers, sync));
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -328,7 +437,7 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "  \"baseline\": \"engine=inline rows drive the identical op stream (same structure and stream seeds) on the caller thread — one SwConnEager + one QueryBatch, no channels — interleaved round-for-round with the service in the same run (paired same-day); latency-mode answers are asserted bit-identical across engines\","
+        "  \"baseline\": \"engine=inline rows drive the identical op stream (same structure and stream seeds) on the caller thread — one SwConnEager + one QueryBatch, no channels — interleaved round-for-round with the service in the same run (paired same-day); latency-mode answers are asserted bit-identical across engines. kind=wal_insert rows price the durability admission path: for each sync policy (sync=always/group_commit/none) a WAL-backed service is interleaved round-for-round with an in-memory twin (sync=off) tagged pair=<policy> in the same run\","
     );
     json.push_str("  \"measurements\": [\n");
     for (i, r) in rows.iter().enumerate() {

@@ -50,13 +50,35 @@ impl Samples {
         items_key: &str,
         mean_key: &str,
     ) -> String {
+        self.row_with(kind, engine, qbatch, items_key, mean_key, "")
+    }
+
+    /// [`Samples::row_as`] with extra JSON fields spliced in after
+    /// `qbatch` — `extra` is either empty or a fragment like
+    /// `"\"sync\": \"group_commit\", \"pair\": \"group_commit\""` (the WAL
+    /// sync-policy rows of `BENCH_serve.json`, which the schema gate keys
+    /// on).
+    pub fn row_with(
+        &mut self,
+        kind: &str,
+        engine: &str,
+        qbatch: usize,
+        items_key: &str,
+        mean_key: &str,
+        extra: &str,
+    ) -> String {
         if self.batch_ns.is_empty() {
             self.batch_ns.push(0.0); // all-zero row rather than a panic
         }
         self.batch_ns.sort_by(f64::total_cmp);
         let pct = |q: f64| self.batch_ns[((self.batch_ns.len() - 1) as f64 * q).ceil() as usize];
+        let extra = if extra.is_empty() {
+            String::new()
+        } else {
+            format!("{extra}, ")
+        };
         format!(
-            "{{\"kind\": \"{kind}\", \"engine\": \"{engine}\", \"qbatch\": {qbatch}, \"{items_key}\": {}, \"{mean_key}\": {:.1}, \"batch_median\": {:.1}, \"batch_p99\": {:.1}, \"batch_max\": {:.1}}}",
+            "{{\"kind\": \"{kind}\", \"engine\": \"{engine}\", \"qbatch\": {qbatch}, {extra}\"{items_key}\": {}, \"{mean_key}\": {:.1}, \"batch_median\": {:.1}, \"batch_p99\": {:.1}, \"batch_max\": {:.1}}}",
             self.items,
             self.total_secs * 1e9 / self.items.max(1) as f64,
             pct(0.5),

@@ -89,6 +89,25 @@ fn has_paired_same_day_baseline(doc: &Json, main_batches: &[f64]) -> bool {
     })
 }
 
+/// The serve bench's durability requirement: for every WAL sync policy
+/// (`always` / `group_commit` / `none`) the measurements carry a
+/// `kind: "wal_insert"` row measured under that policy *and* its paired
+/// in-memory twin (`sync: "off"`) tagged `pair: <policy>` — the
+/// interleaved same-run baseline the sync-policy regression gate compares
+/// against. One predicate, used by the gate and its rejection fixtures.
+fn has_wal_sync_rows(rows: &[Json]) -> bool {
+    let wal_row = |sync: &str, pair: &str| {
+        rows.iter().any(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("wal_insert")
+                && r.get("sync").and_then(Json::as_str) == Some(sync)
+                && r.get("pair").and_then(Json::as_str) == Some(pair)
+        })
+    };
+    ["always", "group_commit", "none"]
+        .iter()
+        .all(|p| wal_row(p, p) && wal_row("off", p))
+}
+
 #[test]
 fn committed_bench_artifacts_match_the_gating_schema() {
     let files = bench_files();
@@ -165,6 +184,18 @@ fn committed_bench_artifacts_match_the_gating_schema() {
         // block explicitly marked same-day/same-run, carrying comparable
         // rows: a numeric `ns_per_edge` per row, and coverage of every
         // batch size the main measurements report.
+        // The serve bench prices the WAL admission path per sync policy;
+        // a refresh that drops those rows (or their paired in-memory
+        // twins) would disarm the durability regression gate.
+        if name == "BENCH_serve.json" {
+            assert!(
+                has_wal_sync_rows(rows),
+                "{name}: WAL sync-policy rows missing (need kind=wal_insert \
+                 rows for sync=always/group_commit/none, each with a paired \
+                 sync=off row tagged pair=<policy>, measured in the same run)"
+            );
+        }
+
         if name == "BENCH_batch_insert.json" {
             let mut main_batches: Vec<f64> = rows
                 .iter()
@@ -245,4 +276,57 @@ fn gate_rejects_rotten_artifacts() {
     )
     .unwrap();
     assert!(has_paired_same_day_baseline(&doc, &batches));
+
+    // The WAL sync-policy predicate — again through the gate's own
+    // function. A policy row without its paired off-twin must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "wal_insert", "sync": "always", "pair": "always"},
+            {"kind": "wal_insert", "sync": "off", "pair": "always"},
+            {"kind": "wal_insert", "sync": "group_commit", "pair": "group_commit"},
+            {"kind": "wal_insert", "sync": "off", "pair": "group_commit"},
+            {"kind": "wal_insert", "sync": "none", "pair": "none"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_wal_sync_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …a missing policy must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "wal_insert", "sync": "always", "pair": "always"},
+            {"kind": "wal_insert", "sync": "off", "pair": "always"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_wal_sync_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …rows of the wrong kind must not satisfy it…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "insert", "sync": "always", "pair": "always"},
+            {"kind": "insert", "sync": "off", "pair": "always"},
+            {"kind": "insert", "sync": "group_commit", "pair": "group_commit"},
+            {"kind": "insert", "sync": "off", "pair": "group_commit"},
+            {"kind": "insert", "sync": "none", "pair": "none"},
+            {"kind": "insert", "sync": "off", "pair": "none"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_wal_sync_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …and the complete six-row shape passes.
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "wal_insert", "sync": "always", "pair": "always"},
+            {"kind": "wal_insert", "sync": "off", "pair": "always"},
+            {"kind": "wal_insert", "sync": "group_commit", "pair": "group_commit"},
+            {"kind": "wal_insert", "sync": "off", "pair": "group_commit"},
+            {"kind": "wal_insert", "sync": "none", "pair": "none"},
+            {"kind": "wal_insert", "sync": "off", "pair": "none"}]}"#,
+    )
+    .unwrap();
+    assert!(has_wal_sync_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
 }

@@ -76,18 +76,22 @@
 //! svc.shutdown();
 //! ```
 
+use std::io;
+use std::path::Path;
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
 use bimst_graphgen::Op;
 use bimst_primitives::{VertexId, WKey};
 use bimst_query::WindowConnectivity;
-use bimst_sliding::{SlidingWrite, SwConn, SwConnEager};
+use bimst_sliding::{SlidingWrite, SwConn, SwConnEager, WindowCheckpoint};
 
 mod reader;
 mod shard;
 
-use shard::Req;
+use shard::{DurCtl, Req};
+
+pub use bimst_wal::SyncPolicy;
 
 /// What a window structure must provide to be served: the write surface
 /// (`bimst_sliding::SlidingWrite`, driven by the writer thread) and the
@@ -117,6 +121,19 @@ pub struct ServiceConfig {
     /// shared-work plan. Disabling serves each request as its own plan
     /// (answers are identical either way).
     pub coalesce: bool,
+    /// When the writer fsyncs WAL appends — only meaningful for durable
+    /// services ([`Service::eager_durable`] / [`Service::lazy_durable`] /
+    /// [`Service::recover`]); ignored by the in-memory constructors.
+    /// Under [`SyncPolicy::Always`] group commit is disabled so the
+    /// record boundary is the op boundary; the other policies keep the
+    /// `write_budget` group-commit merge and sync (or don't) per merged
+    /// group. See the README's *Durability* section for what an
+    /// acked-but-unsynced op means under each policy.
+    pub sync: SyncPolicy,
+    /// Durable services write a compacted checkpoint after at least this
+    /// many admitted write ops (`0` = never; recovery then replays the
+    /// whole log). Ignored by the in-memory constructors.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +143,8 @@ impl Default for ServiceConfig {
             queue_cap: 1024,
             write_budget: 1 << 14,
             coalesce: true,
+            sync: SyncPolicy::GroupCommit,
+            checkpoint_every: 1 << 15,
         }
     }
 }
@@ -234,7 +253,9 @@ impl std::error::Error for ServiceClosed {}
 
 /// Why a `try_*` submission was rejected; carries the op back so the
 /// caller can retry without cloning (a rejected op is **not** admitted and
-/// will never be applied).
+/// will never be applied). `#[must_use]`: dropping the rejection silently
+/// drops the op — retry it, shed it deliberately, or at least log it.
+#[must_use = "a rejected op was not admitted; retry or shed it deliberately"]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TrySubmitError<T> {
     /// The bounded admission queue is full — backpressure; retry later.
@@ -271,6 +292,8 @@ impl<T: std::fmt::Debug> std::error::Error for TrySubmitError<T> {}
 /// A pending query's answer slot. Admission guarantees resolution: once
 /// the submitting call returned `Ok`, [`QueryTicket::wait`] returns the
 /// answers even if the service is shut down in between (drain ordering).
+/// `#[must_use]`: a dropped ticket is a query whose answers nobody reads.
+#[must_use = "a dropped ticket discards the query's answers; call wait() or try_wait()"]
 #[derive(Debug)]
 pub struct QueryTicket {
     rx: Receiver<Answered>,
@@ -298,7 +321,9 @@ impl QueryTicket {
 }
 
 /// A pending [`ServiceHandle::barrier`]: resolves with the generation once
-/// every write admitted before the barrier has been applied.
+/// every write admitted before the barrier has been applied. `#[must_use]`:
+/// an unwaited barrier synchronizes nothing.
+#[must_use = "a barrier only synchronizes if you wait() on it"]
 #[derive(Debug)]
 pub struct BarrierTicket {
     rx: Receiver<u64>,
@@ -411,12 +436,22 @@ pub struct Service {
 }
 
 impl Service {
-    /// Starts a service around an existing window structure.
+    /// Starts a service around an existing window structure (in-memory:
+    /// no WAL; `cfg.sync` / `cfg.checkpoint_every` are ignored).
     pub fn start<W: ServeWindow>(w: W, cfg: ServiceConfig) -> Service {
+        Service::spawn(w, cfg, 0, None)
+    }
+
+    fn spawn<W: ServeWindow>(
+        w: W,
+        cfg: ServiceConfig,
+        generation: u64,
+        dur: Option<DurCtl<W>>,
+    ) -> Service {
         let (tx, rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
         let writer = std::thread::Builder::new()
             .name("bimst-serve-writer".into())
-            .spawn(move || shard::writer_main(w, cfg, rx))
+            .spawn(move || shard::writer_main(w, cfg, rx, generation, dur))
             .expect("spawn bimst-service writer thread");
         Service {
             handle: ServiceHandle { tx },
@@ -437,6 +472,111 @@ impl Service {
     /// still contains expired edges).
     pub fn lazy(n: usize, seed: u64, cfg: ServiceConfig) -> Service {
         Service::start(SwConn::new(n, seed), cfg)
+    }
+
+    /// [`Service::eager`] with durability: admitted write ops are logged
+    /// to a fresh WAL store at `path` (created; must not already hold
+    /// one) *before* they are applied, under `cfg.sync`, with compacted
+    /// checkpoints every `cfg.checkpoint_every` ops. After a crash or
+    /// shutdown, [`Service::recover`] resumes from `path`.
+    pub fn eager_durable(
+        path: impl AsRef<Path>,
+        n: usize,
+        seed: u64,
+        cfg: ServiceConfig,
+    ) -> io::Result<Service> {
+        let meta = bimst_wal::Meta {
+            n: n as u64,
+            seed,
+            eager: true,
+        };
+        let store = bimst_wal::Store::create(path, &meta)?;
+        Ok(Service::start_durable(
+            SwConnEager::new(n, seed),
+            store,
+            0,
+            cfg,
+        ))
+    }
+
+    /// [`Service::lazy`] with durability; see [`Service::eager_durable`].
+    pub fn lazy_durable(
+        path: impl AsRef<Path>,
+        n: usize,
+        seed: u64,
+        cfg: ServiceConfig,
+    ) -> io::Result<Service> {
+        let meta = bimst_wal::Meta {
+            n: n as u64,
+            seed,
+            eager: false,
+        };
+        let store = bimst_wal::Store::create(path, &meta)?;
+        Ok(Service::start_durable(SwConn::new(n, seed), store, 0, cfg))
+    }
+
+    /// Reopens the WAL store at `path`, rebuilds the window it describes
+    /// (newest valid checkpoint + replay of the intact log tail — a torn
+    /// final record is discarded, never misparsed), and resumes serving
+    /// at the recovered generation. The store remembers its own identity
+    /// (`n`, seed, expiry discipline), so only the serving shape is
+    /// taken from `cfg`.
+    ///
+    /// Answers after recovery are bit-identical to a service that had
+    /// applied the surviving admitted-op prefix without interruption
+    /// (pinned by `tests/wal_recovery.rs` and the torture suite in
+    /// `crates/wal/tests/`).
+    pub fn recover(path: impl AsRef<Path>, cfg: ServiceConfig) -> io::Result<Service> {
+        let (store, meta, rec) = bimst_wal::Store::open(path)?;
+        let n = meta.n as usize;
+        if meta.eager {
+            let mut w = SwConnEager::new(n, meta.seed);
+            Service::rebuild(&mut w, &rec);
+            Ok(Service::start_durable(w, store, rec.generation, cfg))
+        } else {
+            let mut w = SwConn::new(n, meta.seed);
+            Service::rebuild(&mut w, &rec);
+            Ok(Service::start_durable(w, store, rec.generation, cfg))
+        }
+    }
+
+    fn rebuild<W: ServeWindow + WindowCheckpoint>(w: &mut W, rec: &bimst_wal::Recovery) {
+        if let Some(ck) = &rec.checkpoint {
+            w.restore(&ck.edges, ck.tw, ck.t);
+        }
+        for op in &rec.tail {
+            match op {
+                Op::Insert(edges) => {
+                    w.batch_insert(edges);
+                }
+                Op::Expire(delta) => w.batch_expire(*delta),
+                // The service only logs writes; skip anything else a
+                // foreign writer may have appended.
+                _ => {}
+            }
+        }
+    }
+
+    fn start_durable<W: ServeWindow + WindowCheckpoint>(
+        w: W,
+        store: bimst_wal::Store,
+        generation: u64,
+        cfg: ServiceConfig,
+    ) -> Service {
+        Service::spawn(
+            w,
+            cfg,
+            generation,
+            Some(DurCtl::new(
+                store,
+                cfg.sync,
+                cfg.checkpoint_every,
+                |w: &W| {
+                    let (tw, t) = w.window();
+                    (tw, t, w.compact_edges())
+                },
+            )),
+        )
     }
 
     /// A client endpoint for another thread.
@@ -480,6 +620,7 @@ mod tests {
             queue_cap: 64,
             write_budget: 1 << 12,
             coalesce: true,
+            ..ServiceConfig::default()
         }
     }
 
@@ -662,5 +803,146 @@ mod tests {
         for t in tickets {
             assert_eq!(t.wait().unwrap().resp.len(), 8);
         }
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "bimst_service_{tag}_{}_{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::SeqCst)
+        ))
+    }
+
+    /// Orderly shutdown → recover resumes at the same generation and the
+    /// recovered window answers like a sequentially driven twin, for both
+    /// expiry disciplines and every sync policy.
+    #[test]
+    fn durable_shutdown_then_recover_round_trips() {
+        for sync in [
+            SyncPolicy::Always,
+            SyncPolicy::GroupCommit,
+            SyncPolicy::None,
+        ] {
+            for eager in [true, false] {
+                let dir = tmpdir("round_trip");
+                let c = ServiceConfig {
+                    sync,
+                    checkpoint_every: 3,
+                    ..cfg(2)
+                };
+                let svc = if eager {
+                    Service::eager_durable(&dir, 16, 5, c).unwrap()
+                } else {
+                    Service::lazy_durable(&dir, 16, 5, c).unwrap()
+                };
+                let mut seq = SwConnEager::new(16, 5);
+                let script: [&[(u32, u32)]; 4] =
+                    [&[(0, 1), (1, 2)], &[(3, 4)], &[(2, 3), (8, 9)], &[(9, 10)]];
+                for edges in script {
+                    svc.insert(edges.to_vec()).unwrap();
+                    seq.batch_insert(edges);
+                }
+                svc.expire(2).unwrap();
+                seq.batch_expire(2);
+                let live_gen = svc.barrier().unwrap().wait().unwrap();
+                svc.shutdown();
+
+                let svc = Service::recover(&dir, c).unwrap();
+                assert_eq!(svc.barrier().unwrap().wait().unwrap(), live_gen);
+                let qs: Vec<(u32, u32)> = vec![(0, 2), (2, 4), (8, 10), (0, 10)];
+                let got = svc
+                    .query(QueryReq::WindowConnected(qs.clone()))
+                    .unwrap()
+                    .wait()
+                    .unwrap()
+                    .resp
+                    .into_window_connected()
+                    .unwrap();
+                let want: Vec<bool> = qs.iter().map(|&(u, v)| seq.is_connected(u, v)).collect();
+                assert_eq!(got, want, "sync={sync:?} eager={eager}");
+                svc.shutdown();
+                std::fs::remove_dir_all(&dir).unwrap();
+            }
+        }
+    }
+
+    /// A recovered service keeps logging: ops after recovery survive a
+    /// second recovery, and the generation keeps counting from where the
+    /// first incarnation stopped (no restart at zero, no gap).
+    #[test]
+    fn recovery_chains_across_incarnations() {
+        let dir = tmpdir("chain");
+        let c = ServiceConfig {
+            checkpoint_every: 2,
+            ..cfg(1)
+        };
+        let svc = Service::eager_durable(&dir, 8, 1, c).unwrap();
+        svc.insert(vec![(0, 1)]).unwrap();
+        svc.insert(vec![(1, 2)]).unwrap();
+        assert!(svc.barrier().unwrap().wait().unwrap() >= 1);
+        svc.shutdown();
+
+        let svc = Service::recover(&dir, c).unwrap();
+        let g1 = svc.barrier().unwrap().wait().unwrap();
+        svc.insert(vec![(2, 3)]).unwrap();
+        svc.expire(1).unwrap();
+        let g2 = svc.barrier().unwrap().wait().unwrap();
+        assert_eq!(g2, g1 + 2, "second incarnation continues the count");
+        svc.shutdown();
+
+        let svc = Service::recover(&dir, c).unwrap();
+        assert_eq!(svc.barrier().unwrap().wait().unwrap(), g2);
+        let a = svc
+            .query(QueryReq::WindowConnected(vec![(1, 3), (0, 1)]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut seq = SwConnEager::new(8, 1);
+        seq.batch_insert(&[(0, 1)]);
+        seq.batch_insert(&[(1, 2)]);
+        seq.batch_insert(&[(2, 3)]);
+        seq.batch_expire(1);
+        assert_eq!(
+            a.resp.into_window_connected().unwrap(),
+            vec![seq.is_connected(1, 3), seq.is_connected(0, 1)]
+        );
+        svc.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Under `Always` the writer must not merge: every admitted write op
+    /// is its own WAL record, so the recovered generation equals the op
+    /// count even with a backlog that group commit would have collapsed.
+    #[test]
+    fn always_policy_is_per_op() {
+        let dir = tmpdir("always");
+        let c = ServiceConfig {
+            sync: SyncPolicy::Always,
+            checkpoint_every: 0, // never: exercise the pure-tail path
+            ..cfg(1)
+        };
+        let svc = Service::eager_durable(&dir, 8, 2, c).unwrap();
+        for i in 0..6u32 {
+            svc.insert(vec![(i % 7, i % 7 + 1)]).unwrap();
+        }
+        assert_eq!(svc.barrier().unwrap().wait().unwrap(), 6);
+        svc.shutdown();
+        let (_, _, rec) = bimst_wal::Store::open(&dir).unwrap();
+        assert_eq!(rec.generation, 6);
+        assert_eq!(rec.tail.len(), 6, "one record per op under Always");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `eager_durable` refuses a directory that already holds a store —
+    /// clobbering an existing log would silently destroy its history.
+    #[test]
+    fn durable_create_refuses_existing_store() {
+        let dir = tmpdir("refuse");
+        let svc = Service::eager_durable(&dir, 4, 0, cfg(1)).unwrap();
+        svc.shutdown();
+        assert!(Service::eager_durable(&dir, 4, 0, cfg(1)).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

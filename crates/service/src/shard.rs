@@ -16,6 +16,7 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
 use bimst_primitives::{VertexId, WKey};
+use bimst_wal::{Checkpoint, Store, SyncPolicy};
 
 use crate::reader::{Partial, PartialResp, ReaderPool, ServeTask, Snapshot, Work};
 use crate::{Answered, QueryReq, QueryResp, ServeWindow, ServiceConfig};
@@ -35,6 +36,92 @@ pub(crate) enum Req {
     },
     /// Resolve with the generation once prior writes are applied.
     Barrier(Sender<u64>),
+}
+
+/// The writer thread's durability side-car: the WAL store plus the policy
+/// knobs, created by the durable `Service` constructors. The write path
+/// is **log before apply**: a group's record is appended (and fsynced,
+/// per policy) before `batch_insert`/`batch_expire` runs, so no applied —
+/// hence query-visible — state can out-run the log. The `snapshot` fn
+/// pointer (monomorphized per `W` by the constructor) is how checkpoints
+/// read the structure without `writer_main` needing a `WindowCheckpoint`
+/// bound for the plain in-memory case.
+pub(crate) struct DurCtl<W> {
+    store: Store,
+    sync: SyncPolicy,
+    checkpoint_every: u64,
+    /// Admitted write ops since the last checkpoint.
+    since: u64,
+    /// `(tw, t, compact_edges)` of the structure, for checkpoints.
+    snapshot: SnapshotFn<W>,
+}
+
+/// `(tw, t, compact_edges)` of a window, read when a checkpoint is due.
+pub(crate) type SnapshotFn<W> = fn(&W) -> (u64, u64, Vec<(u64, VertexId, VertexId)>);
+
+impl<W> DurCtl<W> {
+    pub(crate) fn new(
+        store: Store,
+        sync: SyncPolicy,
+        checkpoint_every: u64,
+        snapshot: SnapshotFn<W>,
+    ) -> Self {
+        DurCtl {
+            store,
+            sync,
+            checkpoint_every,
+            since: 0,
+            snapshot,
+        }
+    }
+
+    /// Under `Always` the record boundary must be the op boundary, so the
+    /// writer skips group-commit merging entirely.
+    fn per_op(&self) -> bool {
+        self.sync == SyncPolicy::Always
+    }
+
+    /// Logs one write group (the merged batch) ahead of its apply. WAL IO
+    /// failure is fail-stop: a writer that cannot log must not apply, or
+    /// acked-and-answered state would be silently undurable.
+    fn log_insert(&mut self, edges: &[(VertexId, VertexId)], ops: u64) {
+        self.store
+            .append_insert(edges)
+            .expect("bimst-service: WAL append failed");
+        self.commit(ops);
+    }
+
+    fn log_expire(&mut self, delta: u64, ops: u64) {
+        self.store
+            .append_expire(delta)
+            .expect("bimst-service: WAL append failed");
+        self.commit(ops);
+    }
+
+    fn commit(&mut self, ops: u64) {
+        if self.sync != SyncPolicy::None {
+            self.store.sync().expect("bimst-service: WAL fsync failed");
+        }
+        self.since += ops;
+    }
+
+    /// After a group is applied: write a compacted checkpoint if the op
+    /// budget since the last one is spent.
+    fn maybe_checkpoint(&mut self, w: &W, generation: u64) {
+        if self.checkpoint_every == 0 || self.since < self.checkpoint_every {
+            return;
+        }
+        let (tw, t, edges) = (self.snapshot)(w);
+        self.store
+            .checkpoint(&Checkpoint {
+                generation,
+                tw,
+                t,
+                edges,
+            })
+            .expect("bimst-service: WAL checkpoint failed");
+        self.since = 0;
+    }
 }
 
 /// Smallest per-reader slice of a merged plan: below this, splitting costs
@@ -91,10 +178,24 @@ impl ServeScratch {
 /// `ServiceHandle` dropped), which is what makes "admitted ⇒ processed"
 /// exact: a submission that was acked is in the queue, and the queue is
 /// drained to the end before the readers retire and the structure drops.
-pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Receiver<Req>) {
+///
+/// With a `DurCtl` attached, every applied write group is logged (and
+/// fsynced, per policy) *before* the apply, and the final sync on loop
+/// exit makes an orderly shutdown fully durable under every policy. One
+/// WAL record always equals one applied group equals one generation
+/// increment, so the generation recovered from the log is exactly the
+/// generation the live service would have reported.
+pub(crate) fn writer_main<W: ServeWindow>(
+    mut w: W,
+    cfg: ServiceConfig,
+    rx: Receiver<Req>,
+    mut generation: u64,
+    mut dur: Option<DurCtl<W>>,
+) {
     let mut pool: ReaderPool<W> = ReaderPool::spawn(cfg.readers);
     let (done_tx, done_rx) = channel::<Partial>();
-    let mut generation: u64 = 0;
+    // Under `Always`, records must be per-op, so group-commit merging is off.
+    let merge = !dur.as_ref().is_some_and(DurCtl::per_op);
     // An op pulled while merging that belongs to the *next* step.
     let mut carry: Option<Req> = None;
     // Group-commit buffer, reused across groups.
@@ -120,34 +221,58 @@ pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Rece
                 // O(ℓ lg(1 + n/ℓ)) batch bound once.
                 wbuf.clear();
                 wbuf.extend_from_slice(&edges);
-                while wbuf.len() < cfg.write_budget.max(1) {
+                let mut ops = 1u64;
+                while merge && wbuf.len() < cfg.write_budget.max(1) {
                     match rx.try_recv() {
-                        Ok(Req::Insert(more)) => wbuf.extend_from_slice(&more),
+                        Ok(Req::Insert(more)) => {
+                            wbuf.extend_from_slice(&more);
+                            ops += 1;
+                        }
                         Ok(other) => {
                             carry = Some(other);
                             break;
                         }
                         Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                     }
+                }
+                if let Some(d) = dur.as_mut() {
+                    d.log_insert(&wbuf, ops);
                 }
                 w.batch_insert(&wbuf);
                 generation += 1;
+                if let Some(d) = dur.as_mut() {
+                    d.maybe_checkpoint(&w, generation);
+                }
             }
             Req::Expire(delta) => {
-                // Merge consecutive expirations: deltas add.
+                // Merge consecutive expirations: deltas add. (Under a
+                // per-record sync policy `merge` is off and the group is
+                // this one op.)
                 let mut delta = delta;
-                loop {
-                    match rx.try_recv() {
-                        Ok(Req::Expire(more)) => delta = delta.saturating_add(more),
-                        Ok(other) => {
-                            carry = Some(other);
-                            break;
+                let mut ops = 1u64;
+                if merge {
+                    loop {
+                        match rx.try_recv() {
+                            Ok(Req::Expire(more)) => {
+                                delta = delta.saturating_add(more);
+                                ops += 1;
+                            }
+                            Ok(other) => {
+                                carry = Some(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                         }
-                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
                     }
+                }
+                if let Some(d) = dur.as_mut() {
+                    d.log_expire(delta, ops);
                 }
                 w.batch_expire(delta);
                 generation += 1;
+                if let Some(d) = dur.as_mut() {
+                    d.maybe_checkpoint(&w, generation);
+                }
             }
             Req::Barrier(resp) => {
                 let _ = resp.send(generation);
@@ -185,6 +310,13 @@ pub(crate) fn writer_main<W: ServeWindow>(mut w: W, cfg: ServiceConfig, rx: Rece
                 );
             }
         }
+    }
+    // Orderly shutdown: whatever the policy deferred is synced now, so a
+    // clean drop of the service loses nothing — `SyncPolicy::None`'s loss
+    // window is crashes only. Best-effort: the process is exiting the
+    // writer either way, and the tail is still torn-safe on disk.
+    if let Some(d) = dur.as_mut() {
+        let _ = d.store.sync();
     }
     drop(done_tx);
     pool.shutdown();

@@ -510,6 +510,17 @@ macro_rules! prop_assert_ne {
             )));
         }
     }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (va, vb) = (&$a, &$b);
+        if va == vb {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{:?} == {:?}: {}",
+                va,
+                vb,
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
 #[cfg(test)]

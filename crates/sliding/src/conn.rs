@@ -40,6 +40,85 @@ pub trait SlidingWrite {
     fn num_vertices(&self) -> usize;
 }
 
+/// The checkpoint/restore surface a durability layer (`bimst-wal`) drives:
+/// a compacted edge set that, together with the window endpoints, is
+/// *prefix-equivalent* — a fresh structure restored from it answers every
+/// future query bit-identically to one that applied the whole op stream.
+///
+/// Why a compacted set suffices:
+///
+/// * **Eager expiry** ([`SwConnEager`]): the structure holds exactly the
+///   window's MSF. By the recent-edge property (Lemma 5.1), a window edge
+///   that is not currently an MSF edge can never become one — its MSF path
+///   witness only gets younger — so dropping non-tree edges loses nothing.
+/// * **Lazy expiry** ([`SwConn`]): the retained forest is the incremental
+///   MSF of the whole stream. Under insert-only semantics with distinct
+///   positions, an edge evicted from the MSF never re-enters it (MSF
+///   sparsification), so the retained tree edges determine every future
+///   eviction decision and answer.
+pub trait WindowCheckpoint: SlidingWrite {
+    /// The retained edges as `(τ, u, v)`, τ strictly ascending.
+    fn compact_edges(&self) -> Vec<(u64, VertexId, VertexId)>;
+
+    /// Rebuilds this (freshly constructed, never written) structure from a
+    /// checkpoint taken on an identically-constructed one.
+    ///
+    /// # Panics
+    ///
+    /// If the structure has already been written to, or `tw > t`.
+    fn restore(&mut self, edges: &[(u64, VertexId, VertexId)], tw: u64, t: u64);
+}
+
+impl WindowCheckpoint for SwConn {
+    fn compact_edges(&self) -> Vec<(u64, VertexId, VertexId)> {
+        // Retained MSF edges; their id *is* their stream position τ.
+        let mut out: Vec<(u64, VertexId, VertexId)> = self
+            .msf
+            .iter_msf_edges()
+            .map(|(id, u, v, _)| (id, u, v))
+            .collect();
+        out.sort_unstable_by_key(|&(tau, ..)| tau);
+        out
+    }
+
+    fn restore(&mut self, edges: &[(u64, VertexId, VertexId)], tw: u64, t: u64) {
+        restore_guard(self.window(), self.msf.msf_edge_count(), tw, t);
+        let batch: Vec<(VertexId, VertexId, u64)> =
+            edges.iter().map(|&(tau, u, v)| (u, v, tau)).collect();
+        self.batch_insert_at(&batch);
+        // Set `t` before the expiry so `expire_before` cannot clamp `tw`
+        // when the checkpoint's edges sit entirely below the endpoints
+        // (e.g. a fully-expired window).
+        self.t = self.t.max(t);
+        self.expire_before(tw);
+    }
+}
+
+impl WindowCheckpoint for SwConnEager {
+    fn compact_edges(&self) -> Vec<(u64, VertexId, VertexId)> {
+        self.msf_edges()
+    }
+
+    fn restore(&mut self, edges: &[(u64, VertexId, VertexId)], tw: u64, t: u64) {
+        restore_guard(self.window(), self.msf.msf_edge_count(), tw, t);
+        let batch: Vec<(VertexId, VertexId, u64)> =
+            edges.iter().map(|&(tau, u, v)| (u, v, tau)).collect();
+        self.batch_insert_at(&batch);
+        self.t = self.t.max(t);
+        // Eager checkpoints only hold unexpired edges (τ ≥ tw), so this
+        // cuts nothing — it just installs the left endpoint.
+        self.expire_before(tw);
+    }
+}
+
+fn restore_guard(window: (u64, u64), edge_count: usize, tw: u64, t: u64) {
+    assert!(
+        window == (0, 0) && edge_count == 0,
+        "restore requires a fresh structure"
+    );
+    assert!(tw <= t, "checkpoint window endpoints inverted ({tw} > {t})");
+}
+
 impl SlidingWrite for SwConn {
     fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
         SwConn::batch_insert(self, edges)
@@ -479,6 +558,106 @@ mod tests {
         let edges = e.msf_edges();
         assert_eq!(edges.len(), 3);
         assert!(edges.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    /// Checkpoint/restore prefix-equivalence: restore a fresh structure
+    /// from `compact_edges()` mid-stream, continue both copies with the
+    /// identical op suffix, and every answer must stay bit-identical —
+    /// for both expiry disciplines (the invariant `bimst-wal` recovery
+    /// rests on).
+    #[test]
+    fn restore_is_prefix_equivalent() {
+        use bimst_primitives::hash::hash2;
+        let n = 20usize;
+        let mut lazy = SwConn::new(n, 3);
+        let mut eager = SwConnEager::new(n, 4);
+        let step = |w_lazy: &mut SwConn, w_eager: &mut SwConnEager, round: u64| {
+            let len = (hash2(round, 0) % 6) as usize;
+            let batch: Vec<(u32, u32)> = (0..len)
+                .map(|k| {
+                    (
+                        (hash2(round, 2 * k as u64 + 1) % n as u64) as u32,
+                        (hash2(round, 2 * k as u64 + 2) % n as u64) as u32,
+                    )
+                })
+                .collect();
+            w_lazy.batch_insert(&batch);
+            w_eager.batch_insert(&batch);
+            let d = hash2(round, 77) % 4;
+            w_lazy.batch_expire(d);
+            w_eager.batch_expire(d);
+        };
+        for round in 0..25u64 {
+            step(&mut lazy, &mut eager, round);
+        }
+
+        // Snapshot both, restore fresh copies (fresh = same constructor
+        // args, as `Service::recover` rebuilds them).
+        let (ltw, lt) = lazy.window();
+        let mut lazy2 = SwConn::new(n, 3);
+        lazy2.restore(&lazy.compact_edges(), ltw, lt);
+        let (etw, et) = eager.window();
+        let mut eager2 = SwConnEager::new(n, 4);
+        eager2.restore(&eager.compact_edges(), etw, et);
+        assert_eq!(lazy2.window(), lazy.window());
+        assert_eq!(eager2.window(), eager.window());
+        assert_eq!(eager2.num_components(), eager.num_components());
+
+        // Continue both with the identical suffix; answers must agree.
+        for round in 25..50u64 {
+            step(&mut lazy, &mut eager, round);
+            step(&mut lazy2, &mut eager2, round);
+            assert_eq!(eager2.num_components(), eager.num_components());
+            for a in 0..n as u32 {
+                let b = (hash2(round ^ 0xfeed, a as u64) % n as u64) as u32;
+                assert_eq!(
+                    lazy2.is_connected(a, b),
+                    lazy.is_connected(a, b),
+                    "lazy r{round} ({a},{b})"
+                );
+                assert_eq!(
+                    eager2.is_connected(a, b),
+                    eager.is_connected(a, b),
+                    "eager r{round} ({a},{b})"
+                );
+                assert_eq!(
+                    eager2.msf().path_max(a, b),
+                    eager.msf().path_max(a, b),
+                    "eager path_max r{round} ({a},{b})"
+                );
+                assert_eq!(
+                    lazy2.msf().path_max(a, b),
+                    lazy.msf().path_max(a, b),
+                    "lazy path_max r{round} ({a},{b})"
+                );
+            }
+        }
+    }
+
+    /// A fully-expired window checkpoints to an empty edge set with
+    /// `tw == t`; restore must land on exactly that window, not clamp it.
+    #[test]
+    fn restore_fully_expired_window() {
+        let mut eager = SwConnEager::new(4, 1);
+        eager.batch_insert(&[(0, 1), (1, 2)]);
+        eager.batch_expire(99);
+        assert_eq!(eager.window(), (2, 2));
+        assert!(eager.compact_edges().is_empty());
+        let mut fresh = SwConnEager::new(4, 1);
+        fresh.restore(&[], 2, 2);
+        assert_eq!(fresh.window(), (2, 2));
+        assert_eq!(fresh.num_components(), 4);
+        // And the stream continues at position t.
+        assert_eq!(fresh.batch_insert(&[(2, 3)]), 2);
+        assert!(fresh.is_connected(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "fresh structure")]
+    fn restore_refuses_a_written_structure() {
+        let mut w = SwConnEager::new(4, 1);
+        w.batch_insert(&[(0, 1)]);
+        w.restore(&[], 1, 1);
     }
 
     #[test]

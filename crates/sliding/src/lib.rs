@@ -38,7 +38,7 @@ pub mod sparsify;
 
 pub use approx_msf::ApproxMsfWeight;
 pub use bipartite::SwBipartite;
-pub use conn::{SlidingWrite, SwConn, SwConnEager};
+pub use conn::{SlidingWrite, SwConn, SwConnEager, WindowCheckpoint};
 pub use cyclefree::CycleFree;
 pub use kcert::KCertificate;
 pub use mincut::global_min_cut;

@@ -1,5 +1,6 @@
 //! Serving a mixed read/write workload over a social interaction stream —
-//! through the real serving path (`bimst-service`).
+//! through the real serving path (`bimst-service`), with the write stream
+//! logged to a write-ahead log so the window survives the process.
 //!
 //! ```sh
 //! cargo run --release --example social_stream
@@ -15,20 +16,25 @@
 //! * a `MixedStream` generates the op mix and is drained straight into the
 //!   service (it is an iterator of ops; `ServiceHandle::submit_op` is the
 //!   channel adapter);
-//! * the service's writer thread owns the `SwConnEager` window and
-//!   group-commits the write batches;
+//! * the service's writer thread owns the `SwConnEager` window, group-
+//!   commits the write batches, and logs every applied write group to the
+//!   WAL (one fsync per merged group under the default `GroupCommit`
+//!   policy) *before* applying it;
 //! * its reader pool answers each query ticket from a generation-pinned
 //!   snapshot — the `generation` stamp on every answer says exactly which
 //!   prefix of the write stream it reflects;
 //! * shutdown drains: every admitted ticket resolves before the structure
-//!   is dropped.
+//!   is dropped — and then the demo **recovers**: `Service::recover`
+//!   rebuilds the window from the log (newest checkpoint + tail replay)
+//!   and resumes serving at the exact generation the first incarnation
+//!   reached, which the spot queries at the end run against.
 
 use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
 use bimst_service::{QueryReq, QueryResp, Service, ServiceConfig};
-use bimst_sliding::SwConnEager;
 
 fn main() {
     let n = 2_000u32;
+    let seed = 1u64;
     let cfg = MixedConfig {
         n,
         topology: MixedTopology::PowerLaw, // hubs, like a real social graph
@@ -37,21 +43,30 @@ fn main() {
         queries_per_insert: 3, // one batch each: connected / path-max / size
         window: 6_000,         // keep the last 6k interactions
     };
+    let svc_cfg = ServiceConfig {
+        readers: 2,
+        queue_cap: 64,
+        write_budget: cfg.insert_batch,
+        coalesce: true,
+        // Defaults: sync = GroupCommit (one fsync per merged write group),
+        // periodic compacted checkpoints.
+        ..ServiceConfig::default()
+    };
     let mut stream = MixedStream::new(cfg, 99);
-    let svc = Service::start(
-        SwConnEager::with_edge_capacity(n as usize, 1, cfg.window.min(n as u64 - 1) as usize),
-        ServiceConfig {
-            readers: 2,
-            queue_cap: 64,
-            write_budget: cfg.insert_batch,
-            coalesce: true,
-        },
-    );
+
+    // The durable log lives in a directory; a real deployment would point
+    // this at persistent storage.
+    let dir = std::env::temp_dir().join(format!("bimst_social_stream_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let svc = Service::eager_durable(&dir, n as usize, seed, svc_cfg).expect("create WAL store");
 
     println!(
         "serving {n}-vertex interaction stream: window = {}, {} writes + 3×{} queries per round,\n\
-         writer + 2 reader shards behind a bounded queue\n",
-        cfg.window, cfg.insert_batch, cfg.query_batch
+         writer + 2 reader shards behind a bounded queue, WAL at {}\n",
+        cfg.window,
+        cfg.insert_batch,
+        cfg.query_batch,
+        dir.display()
     );
     println!(
         "{:>6} {:>4} {:>9} {:>11} {:>13} {:>12}",
@@ -98,20 +113,43 @@ fn main() {
         }
     }
 
-    // A final hand-written spot batch through the same serving path.
+    // Crash-free shutdown: drain (nothing admitted is lost), final sync.
+    // The barrier reads the generation the writer actually reached (the
+    // last *answered query*'s stamp is older: writes kept landing).
+    let final_gen = svc
+        .barrier()
+        .expect("service alive")
+        .wait()
+        .expect("barrier resolves");
+    svc.shutdown();
+    println!("\nshutdown at generation {final_gen}; recovering from the log...");
+
+    // Recovery: rebuild from the newest checkpoint + WAL tail. The store
+    // remembers its own identity (n, seed, expiry discipline); serving
+    // resumes at the recovered generation.
+    let svc = Service::recover(&dir, svc_cfg).expect("recover from WAL");
+    let recovered = svc
+        .barrier()
+        .expect("service alive")
+        .wait()
+        .expect("barrier resolves");
+    println!("recovered at generation {recovered} — spot queries against the restored window:");
+
+    // A final hand-written spot batch through the recovered serving path.
     let pairs = vec![(0u32, 1u32), (10, 20), (100, 1999)];
     let answers = svc
         .query(QueryReq::WindowConnected(pairs.clone()))
         .expect("service alive")
         .wait()
         .expect("answered");
-    println!(
-        "\nspot queries on the final window (generation {}):",
-        answers.generation
-    );
     let hits = answers.resp.into_window_connected().unwrap();
     for ((u, v), c) in pairs.iter().zip(hits) {
         println!("  connected({u}, {v}) = {c}");
     }
-    svc.shutdown(); // drain: nothing admitted is lost
+    assert_eq!(
+        recovered, final_gen,
+        "recovery must resume exactly where the shutdown left off"
+    );
+    svc.shutdown();
+    std::fs::remove_dir_all(&dir).expect("clean up the demo log");
 }

@@ -70,6 +70,10 @@ pub use bimst_query as query;
 /// Sharded serving runtime (re-export of `bimst-service`).
 pub use bimst_service as service;
 
+/// Write-ahead op log, checkpoints, crash recovery (re-export of
+/// `bimst-wal`).
+pub use bimst_wal as wal;
+
 /// Static MSF algorithms (re-export of `bimst-msf`).
 pub use bimst_msf as msf;
 

@@ -172,6 +172,7 @@ proptest! {
             queue_cap: [1, 4, 64][shape % 3],
             write_budget: if shape % 2 == 0 { 1 } else { 1 << 12 },
             coalesce: shape < 4,
+            ..ServiceConfig::default()
         };
 
         let eager = Service::eager(n, seed, cfg);
@@ -202,6 +203,7 @@ proptest! {
             queue_cap: 4096,
             write_budget: 8,
             coalesce: true,
+            ..ServiceConfig::default()
         };
         let svc = Service::eager(n, seed, cfg);
         let mut tickets = Vec::new();
@@ -235,6 +237,7 @@ fn try_submit_under_full_queue_never_loses_acked_ops() {
         queue_cap: 1,
         write_budget: 1 << 12,
         coalesce: true,
+        ..ServiceConfig::default()
     };
     let svc = Service::eager(n, 3, cfg);
     let mut seq = SwConnEager::new(n, 3);
@@ -341,6 +344,7 @@ fn concurrent_clients_get_ordered_generations_and_full_drain() {
             queue_cap: 8,
             write_budget: 64,
             coalesce: true,
+            ..ServiceConfig::default()
         },
     );
 
