@@ -65,6 +65,7 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
         query_batch: qbatch,
         queries_per_insert: 3 * per_kind,
         window,
+        tenants: 0,
     };
     let mut stream = MixedStream::new(cfg, 42);
     let mut eager =
@@ -90,6 +91,7 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
             Op::ComponentSizeQueries(vs) => {
                 black_box(q.batch_component_size(ReadHandle::new(eager.msf()), &vs));
             }
+            Op::TenantConnectedQueries(..) => unreachable!("tenants: 0 stream"),
         }
     }
 
@@ -149,6 +151,7 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
                 let secs = t0.elapsed().as_secs_f64();
                 if cs_t { &mut cs_b } else { &mut cs_s }.record(secs, vs.len());
             }
+            Op::TenantConnectedQueries(..) => unreachable!("tenants: 0 stream"),
         }
     }
 

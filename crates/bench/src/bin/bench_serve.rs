@@ -67,6 +67,7 @@ fn stream(n: usize, window: u64, qbatch: usize) -> MixedStream {
             query_batch: qbatch,
             queries_per_insert: QUERIES_PER_INSERT,
             window,
+            tenants: 0,
         },
         STREAM_SEED,
     )
@@ -103,7 +104,9 @@ impl Cells {
 /// Number of queries in a query op (0 for writes).
 fn op_len(op: &Op) -> usize {
     match op {
-        Op::ConnectedQueries(q) | Op::PathMaxQueries(q) => q.len(),
+        Op::ConnectedQueries(q) | Op::PathMaxQueries(q) | Op::TenantConnectedQueries(_, q) => {
+            q.len()
+        }
         Op::ComponentSizeQueries(q) => q.len(),
         Op::Insert(_) | Op::Expire(_) => 0,
     }

@@ -1,0 +1,249 @@
+//! Machine-readable perf trajectory for multi-tenant window serving.
+//!
+//! Emits `BENCH_tenants.json` (in the current directory): what the
+//! shared-contraction design — one lazy [`TenantSet`] structure at ℓ_max
+//! answering every tenant through per-tenant recency cutoffs — buys over
+//! the naive N-copy deployment (one dedicated `SwConn` per tenant, each
+//! fed every insert). Every PR that touches the tenant registry, the
+//! cutoff query plans, or the sliding contraction should re-run this and
+//! commit the refreshed file:
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin bench_tenants
+//! ```
+//!
+//! Shape: for each tenant count N ∈ {1, 4, 16, 64}, N nested windows
+//! ℓᵢ = ℓ_max·(i+1)/N over one stream. Per round, both deployments apply
+//! the identical insert batch and expiry, then answer the identical
+//! per-tenant query batches — the shared side as **one** mixed-tenant
+//! grouped plan (`batch_tenant_connected`), the naive side per structure.
+//! Rounds interleave shared/naive so host noise hits both alike (the
+//! paired same-run protocol of `BENCH_serve.json`), and every answer is
+//! asserted bit-identical across deployments, so a run doubles as a
+//! correctness check at bench scale.
+//!
+//! The `kind: "tenants"` rows carry aggregate ns per op (insert edges +
+//! all tenants' queries); the review gate compares shared vs naive
+//! ops/sec at each N (the ≥ 4× floor at N = 64 is the tentpole's
+//! acceptance bar — naive pays the O(ℓ lg(1 + n/ℓ)) contraction N times
+//! per insert batch, shared pays it once).
+//!
+//! Scale knobs (positional):
+//! `bench_tenants [n] [max_window] [rounds] [insert_batch] [qper]`.
+//! CI runs a tiny instance as a smoke test; committed numbers use the
+//! defaults.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bimst_bench::Samples;
+use bimst_primitives::hash::hash2;
+use bimst_query::QueryBatch;
+use bimst_sliding::{SwConn, TenantConfig, TenantSet, TenantSpec};
+
+const TENANT_COUNTS: [usize; 4] = [1, 4, 16, 64];
+const EDGE_SEED: u64 = 17;
+const QUERY_SEED: u64 = 23;
+
+/// Nested tenant windows ℓᵢ = ℓ_max·(i+1)/N (tenant N−1 is the full
+/// window, tenant 0 the shortest).
+fn specs(count: usize, max_window: u64) -> Vec<TenantSpec> {
+    (0..count)
+        .map(|i| TenantSpec {
+            id: i as u32,
+            window: (max_window * (i as u64 + 1) / count as u64).max(1),
+        })
+        .collect()
+}
+
+fn edge_batch(n: u32, round: u64, len: usize) -> Vec<(u32, u32)> {
+    (0..len as u64)
+        .map(|i| {
+            (
+                (hash2(EDGE_SEED, round * 1_000_003 + 2 * i) % u64::from(n)) as u32,
+                (hash2(EDGE_SEED, round * 1_000_003 + 2 * i + 1) % u64::from(n)) as u32,
+            )
+        })
+        .collect()
+}
+
+fn query_batch(n: u32, round: u64, tenant: u32, len: usize) -> Vec<(u32, u32)> {
+    (0..len as u64)
+        .map(|i| {
+            let k = (round << 20) ^ (u64::from(tenant) << 40) ^ i;
+            (
+                (hash2(QUERY_SEED, 2 * k) % u64::from(n)) as u32,
+                (hash2(QUERY_SEED, 2 * k + 1) % u64::from(n)) as u32,
+            )
+        })
+        .collect()
+}
+
+/// One dedicated per-tenant window of the naive deployment, with the same
+/// expiry discipline `TenantSet` applies internally (slide after every
+/// write, floored by explicit expirations).
+struct NaiveTenant {
+    w: SwConn,
+    window: u64,
+    floor: u64,
+}
+
+impl NaiveTenant {
+    fn insert(&mut self, edges: &[(u32, u32)]) {
+        self.w.batch_insert(edges);
+        self.advance();
+    }
+
+    fn expire(&mut self, delta: u64) {
+        let (_, t) = self.w.window();
+        self.floor = self.floor.saturating_add(delta).min(t);
+        self.advance();
+    }
+
+    fn advance(&mut self) {
+        let (_, t) = self.w.window();
+        self.w
+            .expire_before(t.saturating_sub(self.window).max(self.floor));
+    }
+}
+
+/// Drives one tenant count end to end and returns its two paired rows.
+fn run_config(
+    n: usize,
+    max_window: u64,
+    rounds: usize,
+    insert_batch: usize,
+    qper: usize,
+    count: usize,
+) -> Vec<String> {
+    let specs = specs(count, max_window);
+    let mut shared = TenantSet::new(n, 7, &specs, TenantConfig::default());
+    let mut naive: Vec<NaiveTenant> = specs
+        .iter()
+        .map(|s| NaiveTenant {
+            w: SwConn::new(n, 7 ^ u64::from(s.id)),
+            window: s.window,
+            floor: 0,
+        })
+        .collect();
+    let mut q = QueryBatch::new();
+
+    let round_items = insert_batch + count * qper;
+    let warm_rounds = (max_window / insert_batch as u64 + 2) as usize;
+    let mut shared_cell = Samples::default();
+    let mut naive_cell = Samples::default();
+    // Reused across rounds: the mixed shared batch and the answer compare.
+    let mut mixed: Vec<(u32, u32, u32)> = Vec::new();
+
+    for round in 0..warm_rounds + rounds {
+        let r = round as u64;
+        let edges = edge_batch(n as u32, r, insert_batch);
+        let slide = round >= warm_rounds; // hold the window open, then slide
+        let queries: Vec<Vec<(u32, u32)>> = specs
+            .iter()
+            .map(|s| query_batch(n as u32, r, s.id, qper))
+            .collect();
+
+        // --- shared round: one structure, one mixed grouped plan ---
+        let t0 = Instant::now();
+        shared.batch_insert(&edges);
+        if slide {
+            shared.batch_expire(insert_batch as u64);
+        }
+        mixed.clear();
+        for (s, qs) in specs.iter().zip(&queries) {
+            mixed.extend(qs.iter().map(|&(u, v)| (s.id, u, v)));
+        }
+        let shared_answers = q.batch_tenant_connected(&shared, &mixed);
+        if slide {
+            shared_cell.record(t0.elapsed().as_secs_f64(), round_items);
+        }
+
+        // --- naive round: N copies, each paying the full write path ---
+        let t0 = Instant::now();
+        let mut naive_answers: Vec<bool> = Vec::with_capacity(count * qper);
+        for (nv, qs) in naive.iter_mut().zip(&queries) {
+            nv.insert(&edges);
+            if slide {
+                nv.expire(insert_batch as u64);
+            }
+            naive_answers.extend(q.batch_window_connected(&nv.w, qs));
+        }
+        if slide {
+            naive_cell.record(t0.elapsed().as_secs_f64(), round_items);
+        }
+
+        assert_eq!(
+            shared_answers, naive_answers,
+            "shared deployment diverged from the naive N-copy baseline \
+             (tenants={count}, round={round})"
+        );
+    }
+
+    let extra = format!("\"tenants\": {count}");
+    let rows = vec![
+        shared_cell.row_with("tenants", "shared", qper, "ops", "ns_per_op", &extra),
+        naive_cell.row_with("tenants", "naive", qper, "ops", "ns_per_op", &extra),
+    ];
+    for r in &rows {
+        eprintln!("tenants={count}: {r}");
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let max_window: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 14);
+    let rounds: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+        .max(1);
+    let insert_batch: usize = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024)
+        .max(1);
+    let qper: usize = args
+        .get(5)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(64)
+        .max(1);
+    let all = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Process-level warmup, as in bench_serve.
+    eprintln!("warmup...");
+    run_config(n, max_window, 1, insert_batch, qper, 4);
+
+    let mut rows: Vec<String> = Vec::new();
+    for count in TENANT_COUNTS {
+        rows.extend(run_config(n, max_window, rounds, insert_batch, qper, count));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"tenants\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"max_window\": {max_window},");
+    let _ = writeln!(json, "  \"insert_batch\": {insert_batch},");
+    let _ = writeln!(json, "  \"queries_per_tenant\": {qper},");
+    let _ = writeln!(json, "  \"host_threads\": {all},");
+    let _ = writeln!(
+        json,
+        "  \"unit\": \"ns_per_op aggregate over one round (insert edges + every tenant's queries), per tenant count\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"engine=naive rows run the N-copy deployment — one dedicated SwConn per tenant, each fed the identical insert batch and answering its own query batch — interleaved round-for-round with the shared TenantSet in the same run (paired same-run); every answer is asserted bit-identical across deployments. The review gate compares shared vs naive ops/sec per tenants value (>= 4x at tenants=64)\","
+    );
+    json.push_str("  \"measurements\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    {r}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_tenants.json", &json).expect("write BENCH_tenants.json");
+    println!("{json}");
+}

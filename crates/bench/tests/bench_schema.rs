@@ -17,7 +17,7 @@
 //! * every file carries its paired baseline: either ≥ 2 distinct `engine`
 //!   values among the rows (`batch` vs `seq`, `service` vs `inline`) or a
 //!   top-level `baseline*` block (the insert bench's PR-pinned re-runs);
-//! * the three protocol files named by ROADMAP are actually present, so
+//! * the four protocol files named by ROADMAP are actually present, so
 //!   deleting or renaming one fails loudly too.
 
 use std::path::{Path, PathBuf};
@@ -54,6 +54,7 @@ const REQUIRED: &[&str] = &[
     "BENCH_batch_insert.json",
     "BENCH_mixed_workload.json",
     "BENCH_serve.json",
+    "BENCH_tenants.json",
 ];
 
 /// The insert bench's paired same-day baseline requirement: the document
@@ -106,6 +107,25 @@ fn has_wal_sync_rows(rows: &[Json]) -> bool {
     ["always", "group_commit", "none"]
         .iter()
         .all(|p| wal_row(p, p) && wal_row("off", p))
+}
+
+/// The tenants bench's pairing requirement: for every tenant count the
+/// sweep commits to (1/4/16/64), the measurements carry a
+/// `kind: "tenants"` row for the shared deployment *and* its paired naive
+/// N-copy baseline row with the same `tenants` value, measured in the same
+/// run — the rows the shared-vs-naive ops/sec gate (≥ 4× at 64) compares.
+/// One predicate, used by the gate and its rejection fixtures.
+fn has_tenant_sweep_rows(rows: &[Json]) -> bool {
+    let tenant_row = |engine: &str, count: f64| {
+        rows.iter().any(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("tenants")
+                && r.get("engine").and_then(Json::as_str) == Some(engine)
+                && r.get("tenants").and_then(Json::as_f64) == Some(count)
+        })
+    };
+    [1.0, 4.0, 16.0, 64.0]
+        .iter()
+        .all(|&c| tenant_row("shared", c) && tenant_row("naive", c))
 }
 
 #[test]
@@ -193,6 +213,18 @@ fn committed_bench_artifacts_match_the_gating_schema() {
                 "{name}: WAL sync-policy rows missing (need kind=wal_insert \
                  rows for sync=always/group_commit/none, each with a paired \
                  sync=off row tagged pair=<policy>, measured in the same run)"
+            );
+        }
+
+        // The tenants bench gates the shared-contraction win per tenant
+        // count; a refresh that drops a count or its paired naive row
+        // would disarm the ≥ 4× comparison.
+        if name == "BENCH_tenants.json" {
+            assert!(
+                has_tenant_sweep_rows(rows),
+                "{name}: tenant sweep rows missing (need kind=tenants rows \
+                 with engine=shared and engine=naive for every tenants value \
+                 in 1/4/16/64, measured in the same run)"
             );
         }
 
@@ -327,6 +359,66 @@ fn gate_rejects_rotten_artifacts() {
     )
     .unwrap();
     assert!(has_wal_sync_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+
+    // The tenant-sweep predicate — through the gate's own function. A
+    // shared row without its paired naive baseline at the same count must
+    // fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "tenants", "engine": "shared", "tenants": 1},
+            {"kind": "tenants", "engine": "naive", "tenants": 1},
+            {"kind": "tenants", "engine": "shared", "tenants": 4},
+            {"kind": "tenants", "engine": "naive", "tenants": 4},
+            {"kind": "tenants", "engine": "shared", "tenants": 16},
+            {"kind": "tenants", "engine": "naive", "tenants": 16},
+            {"kind": "tenants", "engine": "shared", "tenants": 64}]}"#,
+    )
+    .unwrap();
+    assert!(!has_tenant_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …a missing tenant count must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "tenants", "engine": "shared", "tenants": 1},
+            {"kind": "tenants", "engine": "naive", "tenants": 1}]}"#,
+    )
+    .unwrap();
+    assert!(!has_tenant_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …rows of the wrong kind must not satisfy it…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "round", "engine": "shared", "tenants": 1},
+            {"kind": "round", "engine": "naive", "tenants": 1},
+            {"kind": "round", "engine": "shared", "tenants": 4},
+            {"kind": "round", "engine": "naive", "tenants": 4},
+            {"kind": "round", "engine": "shared", "tenants": 16},
+            {"kind": "round", "engine": "naive", "tenants": 16},
+            {"kind": "round", "engine": "shared", "tenants": 64},
+            {"kind": "round", "engine": "naive", "tenants": 64}]}"#,
+    )
+    .unwrap();
+    assert!(!has_tenant_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …and the complete paired sweep passes.
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "tenants", "engine": "shared", "tenants": 1},
+            {"kind": "tenants", "engine": "naive", "tenants": 1},
+            {"kind": "tenants", "engine": "shared", "tenants": 4},
+            {"kind": "tenants", "engine": "naive", "tenants": 4},
+            {"kind": "tenants", "engine": "shared", "tenants": 16},
+            {"kind": "tenants", "engine": "naive", "tenants": 16},
+            {"kind": "tenants", "engine": "shared", "tenants": 64},
+            {"kind": "tenants", "engine": "naive", "tenants": 64}]}"#,
+    )
+    .unwrap();
+    assert!(has_tenant_sweep_rows(
         doc.get("measurements").unwrap().as_arr().unwrap()
     ));
 }

@@ -211,6 +211,9 @@ pub enum Op {
     PathMaxQueries(Vec<(u32, u32)>),
     /// Batch of component-size queries.
     ComponentSizeQueries(Vec<u32>),
+    /// Batch of window-connectivity queries tagged with the tenant id
+    /// whose window they are asked against (multi-tenant serving).
+    TenantConnectedQueries(u32, Vec<(u32, u32)>),
 }
 
 /// Topology the endpoints of a [`MixedStream`] are drawn from.
@@ -241,6 +244,11 @@ pub struct MixedConfig {
     /// Sliding-window width in stream positions; `0` = insert-only (no
     /// [`Op::Expire`] is ever emitted).
     pub window: u64,
+    /// Number of logical tenants tagging connectivity query batches. `0` =
+    /// untagged ([`Op::ConnectedQueries`]); when positive, connectivity
+    /// batches become [`Op::TenantConnectedQueries`] rotating through
+    /// tenant ids `0..tenants`. Other query kinds are unaffected.
+    pub tenants: u32,
 }
 
 impl MixedConfig {
@@ -255,6 +263,7 @@ impl MixedConfig {
             query_batch: 4096,
             queries_per_insert: 4,
             window: 16 * 4096,
+            tenants: 0,
         }
     }
 }
@@ -283,6 +292,8 @@ pub struct MixedStream {
     phase: usize,
     /// Rotation of the query kinds across query batches.
     qkind: usize,
+    /// Rotation of tenant ids across tagged connectivity batches.
+    tenant: u32,
 }
 
 impl MixedStream {
@@ -316,6 +327,7 @@ impl MixedStream {
             recent_at: 0,
             phase: 0,
             qkind: 0,
+            tenant: 0,
         }
     }
 
@@ -386,11 +398,18 @@ impl MixedStream {
         let kind = self.qkind;
         self.qkind = (self.qkind + 1) % 3;
         match kind {
-            0 => Op::ConnectedQueries(
-                (0..len)
+            0 => {
+                let qs: Vec<(u32, u32)> = (0..len)
                     .map(|_| (self.query_vertex(), self.query_vertex()))
-                    .collect(),
-            ),
+                    .collect();
+                if self.cfg.tenants > 0 {
+                    let tenant = self.tenant;
+                    self.tenant = (self.tenant + 1) % self.cfg.tenants;
+                    Op::TenantConnectedQueries(tenant, qs)
+                } else {
+                    Op::ConnectedQueries(qs)
+                }
+            }
             1 => Op::PathMaxQueries(
                 (0..len)
                     .map(|_| (self.query_vertex(), self.query_vertex()))
@@ -499,6 +518,7 @@ mod tests {
             query_batch: 5,
             queries_per_insert: 3,
             window: 16,
+            tenants: 0,
         };
         let ops = MixedStream::new(cfg, 7).take_ops(10);
         // Round shape: Insert, 3 query batches, Expire, repeat.
@@ -554,7 +574,9 @@ mod tests {
                 for op in s.take_ops(12) {
                     let ok = match op {
                         Op::Insert(b) => b.iter().all(|&(u, v)| u < n && v < n && u != v),
-                        Op::ConnectedQueries(q) | Op::PathMaxQueries(q) => {
+                        Op::ConnectedQueries(q)
+                        | Op::PathMaxQueries(q)
+                        | Op::TenantConnectedQueries(_, q) => {
                             q.iter().all(|&(u, v)| u < n && v < n)
                         }
                         Op::ComponentSizeQueries(q) => q.iter().all(|&v| v < n),
@@ -564,6 +586,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mixed_stream_tenant_tagging() {
+        let cfg = MixedConfig {
+            tenants: 3,
+            ..MixedConfig::serving(50)
+        };
+        let ops = MixedStream::new(cfg, 9).take_ops(60);
+        // Connectivity batches are tagged and rotate tenant ids 0..3; the
+        // plain variant never appears; other kinds are untouched.
+        let tags: Vec<u32> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::TenantConnectedQueries(t, q) => {
+                    assert_eq!(q.len(), cfg.query_batch);
+                    Some(*t)
+                }
+                Op::ConnectedQueries(_) => panic!("untagged batch with tenants > 0"),
+                _ => None,
+            })
+            .collect();
+        assert!(tags.len() >= 3);
+        assert!(tags.iter().zip(&tags[1..]).all(|(a, b)| (a + 1) % 3 == *b));
+        assert!(ops.iter().any(|op| matches!(op, Op::PathMaxQueries(_))));
+        // tenants == 0 keeps the untagged kind.
+        let untagged = MixedStream::new(MixedConfig::serving(50), 9).take_ops(60);
+        assert!(untagged
+            .iter()
+            .all(|op| !matches!(op, Op::TenantConnectedQueries(..))));
     }
 
     #[test]

@@ -63,7 +63,7 @@ use bimst_core::{BatchMsf, Cpt};
 use bimst_msf::ForestPathMax;
 use bimst_primitives::{par, FxHashMap, VertexId, WKey, GRAIN};
 use bimst_rctree::{ClusterId, RcForest};
-use bimst_sliding::{SwConn, SwConnEager};
+use bimst_sliding::{SwConn, SwConnEager, TenantSet};
 use rayon::prelude::*;
 
 /// A shared, thread-safe view of a [`BatchMsf`] at one version.
@@ -111,8 +111,23 @@ impl<'a> From<&'a BatchMsf> for ReadHandle<'a> {
     }
 }
 
+/// How one tenant's queries are routed by a multi-window structure
+/// (see [`WindowConnectivity::tenant_route`]).
+pub enum TenantRoute<'a> {
+    /// Served from the shared structure: one merged path-max plan, this
+    /// cutoff applied as the tenant's recent-edge test.
+    Shared {
+        /// The tenant's expiry cutoff τᵢ (≥ the shared window start).
+        cutoff: u64,
+    },
+    /// Divergence fallback: served from the tenant's own dedicated
+    /// structure, whose window *is* the tenant's window.
+    Dedicated(&'a SwConn),
+}
+
 /// Sliding-window structures that can serve batched window-connectivity
-/// queries (implemented here for [`SwConn`] and [`SwConnEager`]).
+/// queries (implemented here for [`SwConn`], [`SwConnEager`] and the
+/// multi-tenant [`TenantSet`]).
 ///
 /// The two expiry disciplines need different batch plans: under lazy expiry
 /// the MSF still contains expired edges, so a window query is a *path-max*
@@ -126,6 +141,14 @@ pub trait WindowConnectivity {
     /// Whether expired edges are still present in the MSF and must be
     /// discounted at query time.
     fn lazy_expiry(&self) -> bool;
+    /// Resolves a tenant id to its serving route. Single-window structures
+    /// serve no tenants (the default); multi-window registries like
+    /// [`TenantSet`] override this. `None` means the id is unknown *or*
+    /// the structure is not tenant-aware — callers treat that as a routing
+    /// bug and fail stop.
+    fn tenant_route(&self, _tenant: u32) -> Option<TenantRoute<'_>> {
+        None
+    }
 }
 
 impl WindowConnectivity for SwConn {
@@ -149,6 +172,28 @@ impl WindowConnectivity for SwConnEager {
     }
     fn lazy_expiry(&self) -> bool {
         false
+    }
+}
+
+/// A [`TenantSet`] reads as its *shared* structure (lazy, window ℓ_max);
+/// per-tenant cutoffs ride in via [`WindowConnectivity::tenant_route`] and
+/// the `*_at` plans.
+impl WindowConnectivity for TenantSet {
+    fn msf(&self) -> &BatchMsf {
+        self.shared().msf()
+    }
+    fn window_start(&self) -> u64 {
+        self.window_start_tau()
+    }
+    fn lazy_expiry(&self) -> bool {
+        true
+    }
+    fn tenant_route(&self, tenant: u32) -> Option<TenantRoute<'_>> {
+        if let Some(d) = self.dedicated(tenant) {
+            return Some(TenantRoute::Dedicated(d));
+        }
+        self.cutoff(tenant)
+            .map(|cutoff| TenantRoute::Shared { cutoff })
     }
 }
 
@@ -497,6 +542,157 @@ impl QueryBatch {
             self.batch_connected_into(h, queries, out);
         }
     }
+
+    /// Debug-asserts every caller-supplied cutoff is at or above the
+    /// window start (satisfied by construction for [`TenantSet`] cutoffs):
+    /// a stale cutoff below `TW` would silently answer from expired edges,
+    /// so it fails loudly instead.
+    fn assert_cutoffs_fresh<W: WindowConnectivity>(w: &W, cutoffs: &[u64]) {
+        debug_assert!(
+            cutoffs.iter().all(|&c| c >= w.window_start()),
+            "stale cutoff below the window start {}",
+            w.window_start()
+        );
+    }
+
+    /// Generalized recent-edge test: `out[i]` answers `queries[i]` against
+    /// the window suffix `[cutoffs[i], t)` rather than the structure's own
+    /// window. This is the multi-tenant primitive — one shared path-max
+    /// plan (grouped endpoints, shared CPTs) answers a *mixed* batch from
+    /// many tenants, and each tenant's cutoff is applied as a final O(1)
+    /// per-query filter, never re-walking the shared work.
+    ///
+    /// Correct under both expiry disciplines for any `cutoff ≥ TW`: the
+    /// retained MSF is the incremental MSF of a superset window, and
+    /// Lemma 5.1 filters it to any suffix.
+    pub fn batch_connected_at<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: &[u64],
+    ) -> Vec<bool> {
+        let mut out = Vec::new();
+        self.batch_connected_at_into(w, queries, cutoffs, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_connected_at`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_connected_at_into<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: &[u64],
+        out: &mut Vec<bool>,
+    ) {
+        assert_eq!(queries.len(), cutoffs.len(), "one cutoff per query");
+        Self::assert_cutoffs_fresh(w, cutoffs);
+        let h = ReadHandle::new(WindowConnectivity::msf(w));
+        let mut pm = std::mem::take(&mut self.pm_buf);
+        self.batch_path_max_into(h, queries, &mut pm);
+        out.clear();
+        out.extend(
+            queries
+                .iter()
+                .zip(&pm)
+                .zip(cutoffs)
+                .map(|((&(u, v), k), &c)| u == v || k.is_some_and(|k| k.id >= c)),
+        );
+        self.pm_buf = pm;
+    }
+
+    /// Batched path-max restricted to per-query window suffixes: `out[i]`
+    /// is the heaviest (= oldest) MSF path edge for `queries[i]` if it is
+    /// unexpired at `cutoffs[i]`, else `None` (disconnected in that
+    /// tenant's window). Same shared plan as
+    /// [`QueryBatch::batch_connected_at`].
+    pub fn batch_path_max_at<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: &[u64],
+    ) -> Vec<Option<WKey>> {
+        let mut out = Vec::new();
+        self.batch_path_max_at_into(w, queries, cutoffs, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_path_max_at`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_path_max_at_into<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: &[u64],
+        out: &mut Vec<Option<WKey>>,
+    ) {
+        assert_eq!(queries.len(), cutoffs.len(), "one cutoff per query");
+        Self::assert_cutoffs_fresh(w, cutoffs);
+        let h = ReadHandle::new(WindowConnectivity::msf(w));
+        self.batch_path_max_into(h, queries, out);
+        for (slot, &c) in out.iter_mut().zip(cutoffs) {
+            *slot = slot.filter(|k| k.id >= c);
+        }
+    }
+
+    /// A mixed multi-tenant connectivity batch: `queries[i]` is
+    /// `(tenant, u, v)` and the answer is connectivity in that tenant's
+    /// window. Shared-routed tenants are answered by **one** merged
+    /// [`QueryBatch::batch_connected_at`] plan across all of them;
+    /// dedicated (divergence-fallback) tenants get one
+    /// [`QueryBatch::batch_window_connected`] each against their own small
+    /// structure. Answers are bit-identical to the sequential
+    /// `TenantSet::is_connected` loop.
+    ///
+    /// # Panics
+    ///
+    /// On a tenant id the structure does not serve (fail stop — see
+    /// [`WindowConnectivity::tenant_route`]).
+    pub fn batch_tenant_connected<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(u32, VertexId, VertexId)],
+    ) -> Vec<bool> {
+        let mut out = vec![false; queries.len()];
+        // Partition by route, keeping original indices for the scatter.
+        let mut shared_qs: Vec<(VertexId, VertexId)> = Vec::new();
+        let mut shared_cuts: Vec<u64> = Vec::new();
+        let mut shared_idx: Vec<usize> = Vec::new();
+        let mut ded: Vec<(u32, Vec<usize>)> = Vec::new();
+        for (i, &(tenant, u, v)) in queries.iter().enumerate() {
+            match w.tenant_route(tenant) {
+                Some(TenantRoute::Shared { cutoff }) => {
+                    shared_qs.push((u, v));
+                    shared_cuts.push(cutoff);
+                    shared_idx.push(i);
+                }
+                Some(TenantRoute::Dedicated(_)) => {
+                    match ded.iter_mut().find(|(t, _)| *t == tenant) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => ded.push((tenant, vec![i])),
+                    }
+                }
+                None => panic!("bimst-query: no route for tenant id {tenant}"),
+            }
+        }
+        let mut ans = Vec::new();
+        self.batch_connected_at_into(w, &shared_qs, &shared_cuts, &mut ans);
+        for (&i, &a) in shared_idx.iter().zip(&ans) {
+            out[i] = a;
+        }
+        for (tenant, idxs) in &ded {
+            let Some(TenantRoute::Dedicated(d)) = w.tenant_route(*tenant) else {
+                unreachable!("route changed mid-batch");
+            };
+            let qs: Vec<(VertexId, VertexId)> =
+                idxs.iter().map(|&i| (queries[i].1, queries[i].2)).collect();
+            self.batch_window_connected_into(d, &qs, &mut ans);
+            for (&i, &a) in idxs.iter().zip(&ans) {
+                out[i] = a;
+            }
+        }
+        out
+    }
 }
 
 // `ReadHandle` must be shareable across worker threads; this is a
@@ -645,5 +841,103 @@ mod tests {
         assert!(q.batch_connected(h, &[]).is_empty());
         assert!(q.batch_path_max(h, &[]).is_empty());
         assert!(q.batch_component_size(h, &[]).is_empty());
+    }
+
+    #[test]
+    fn cutoff_plans_match_per_query_filters() {
+        // One lazy window, three nested cutoffs: each query answered at its
+        // own cutoff must equal a window whose start *is* that cutoff.
+        let mut lazy = SwConn::new(6, 3);
+        lazy.batch_insert(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let queries: Vec<(u32, u32)> = (0..6u32)
+            .flat_map(|u| (0..6u32).map(move |v| (u, v)))
+            .collect();
+        let mut q = QueryBatch::new();
+        for cut in 0..=4u64 {
+            let cutoffs = vec![cut; queries.len()];
+            let got = q.batch_connected_at(&lazy, &queries, &cutoffs);
+            let mut reference = SwConn::new(6, 3);
+            reference.batch_insert(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+            reference.expire_before(cut);
+            let expect: Vec<bool> = queries
+                .iter()
+                .map(|&(u, v)| reference.is_connected(u, v))
+                .collect();
+            assert_eq!(got, expect, "cutoff {cut}");
+            // Path-max-at: present iff connected at the cutoff (u != v).
+            let pm = q.batch_path_max_at(&lazy, &queries, &cutoffs);
+            for ((&(u, v), k), &conn) in queries.iter().zip(&pm).zip(&got) {
+                assert_eq!(k.is_some(), conn && u != v, "cutoff {cut} ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_plans_work_on_eager_windows() {
+        // Any cutoff ≥ the eager window's own start filters its retained
+        // window MSF by Lemma 5.1.
+        let mut eager = SwConnEager::new(5, 9);
+        eager.batch_insert(&[(0, 1), (1, 2), (2, 3)]);
+        eager.batch_expire(1); // window [1, 3): edge (0,1) cut
+        let queries = [(0u32, 1u32), (1, 2), (1, 3), (2, 3)];
+        let mut q = QueryBatch::new();
+        assert_eq!(
+            q.batch_connected_at(&eager, &queries, &[1, 1, 1, 1]),
+            vec![false, true, true, true]
+        );
+        assert_eq!(
+            q.batch_connected_at(&eager, &queries, &[2, 2, 2, 2]),
+            vec![false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn mixed_tenant_batch_matches_sequential() {
+        use bimst_sliding::{TenantConfig, TenantSpec};
+        let specs = [
+            TenantSpec { id: 0, window: 64 },
+            TenantSpec { id: 1, window: 8 },
+            TenantSpec { id: 2, window: 2 }, // dedicated under 1/8 · 64
+        ];
+        let cfg = TenantConfig {
+            dedicated_fraction: 1.0 / 8.0,
+        };
+        let mut ts = TenantSet::new(10, 5, &specs, cfg);
+        assert!(ts.dedicated(2).is_some());
+        let mut q = QueryBatch::new();
+        for round in 0..12u32 {
+            let batch: Vec<(u32, u32)> = (0..5)
+                .map(|k| ((round + k) % 10, (round + 3 * k + 1) % 10))
+                .collect();
+            ts.batch_insert(&batch);
+            let mixed: Vec<(u32, u32, u32)> = (0..10u32)
+                .flat_map(|u| (0..10u32).map(move |v| ((u + v) % 3, u, v)))
+                .collect();
+            let got = q.batch_tenant_connected(&ts, &mixed);
+            let expect: Vec<bool> = mixed
+                .iter()
+                .map(|&(ten, u, v)| ts.is_connected(ten, u, v))
+                .collect();
+            assert_eq!(got, expect, "round {round}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no route for tenant")]
+    fn tenant_batch_on_single_window_fails_stop() {
+        let mut lazy = SwConn::new(4, 1);
+        lazy.batch_insert(&[(0, 1)]);
+        QueryBatch::new().batch_tenant_connected(&lazy, &[(0, 0, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale cutoff")]
+    #[cfg(debug_assertions)]
+    fn stale_cutoff_fails_loudly() {
+        let mut lazy = SwConn::new(4, 1);
+        lazy.batch_insert(&[(0, 1), (1, 2)]);
+        lazy.expire_before(2);
+        // Cutoff 1 < window start 2: would silently read expired edges.
+        QueryBatch::new().batch_connected_at(&lazy, &[(0, 1)], &[1]);
     }
 }

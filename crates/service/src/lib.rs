@@ -84,7 +84,9 @@ use std::thread::JoinHandle;
 use bimst_graphgen::Op;
 use bimst_primitives::{VertexId, WKey};
 use bimst_query::WindowConnectivity;
-use bimst_sliding::{SlidingWrite, SwConn, SwConnEager, WindowCheckpoint};
+use bimst_sliding::{
+    SlidingWrite, SwConn, SwConnEager, TenantConfig, TenantSet, TenantSpec, WindowCheckpoint,
+};
 
 mod reader;
 mod shard;
@@ -159,6 +161,18 @@ pub enum QueryReq {
     PathMax(Vec<(VertexId, VertexId)>),
     /// Component size in the underlying MSF.
     ComponentSize(Vec<VertexId>),
+    /// Window connectivity *for one logical tenant* of a multi-tenant
+    /// service ([`Service::tenants`]): answered under the tenant's own
+    /// window length via its recency cutoff on the shared structure (or
+    /// its dedicated fallback structure). Answers arrive as
+    /// [`QueryResp::WindowConnected`]. Submitting this to a service whose
+    /// window serves no tenants fails stop.
+    TenantConnected {
+        /// The tenant the answers are scoped to.
+        tenant: u32,
+        /// Endpoint pairs, as in [`QueryReq::WindowConnected`].
+        pairs: Vec<(VertexId, VertexId)>,
+    },
 }
 
 impl QueryReq {
@@ -167,6 +181,7 @@ impl QueryReq {
         match self {
             QueryReq::WindowConnected(q) | QueryReq::PathMax(q) => q.len(),
             QueryReq::ComponentSize(q) => q.len(),
+            QueryReq::TenantConnected { pairs, .. } => pairs.len(),
         }
     }
 
@@ -403,6 +418,16 @@ impl ServiceHandle {
         }
     }
 
+    /// Admits a tenant-scoped connectivity batch
+    /// ([`QueryReq::TenantConnected`]) against a multi-tenant service.
+    pub fn query_tenant(
+        &self,
+        tenant: u32,
+        pairs: Vec<(VertexId, VertexId)>,
+    ) -> Result<QueryTicket, ServiceClosed> {
+        self.query(QueryReq::TenantConnected { tenant, pairs })
+    }
+
     /// Admits a write barrier: its ticket resolves (with the generation)
     /// once every write admitted before it has been applied.
     pub fn barrier(&self) -> Result<BarrierTicket, ServiceClosed> {
@@ -423,6 +448,9 @@ impl ServiceHandle {
             Op::ConnectedQueries(qs) => self.query(QueryReq::WindowConnected(qs)).map(Some),
             Op::PathMaxQueries(qs) => self.query(QueryReq::PathMax(qs)).map(Some),
             Op::ComponentSizeQueries(vs) => self.query(QueryReq::ComponentSize(vs)).map(Some),
+            Op::TenantConnectedQueries(tenant, qs) => self
+                .query(QueryReq::TenantConnected { tenant, pairs: qs })
+                .map(Some),
         }
     }
 }
@@ -472,6 +500,28 @@ impl Service {
     /// still contains expired edges).
     pub fn lazy(n: usize, seed: u64, cfg: ServiceConfig) -> Service {
         Service::start(SwConn::new(n, seed), cfg)
+    }
+
+    /// A service over a fresh multi-tenant window set ([`TenantSet`]): N
+    /// logical windows over one stream, served by a single shared lazy
+    /// structure sized to the longest window. A tenant's
+    /// [`QueryReq::TenantConnected`] batch is answered under its own
+    /// window length via a per-tenant recency cutoff (Lemma 5.1 applied
+    /// per tenant); tenants with windows below
+    /// `tcfg.dedicated_fraction × ℓ_max` get dedicated fallback
+    /// structures fed from the same admission log. Mixed-tenant batches
+    /// admitted in the same generation share one deduped query plan.
+    ///
+    /// In-memory only: the WAL codec carries the tenant op tag, but
+    /// durable recovery of a tenant registry is future work.
+    pub fn tenants(
+        n: usize,
+        seed: u64,
+        specs: &[TenantSpec],
+        tcfg: TenantConfig,
+        cfg: ServiceConfig,
+    ) -> Service {
+        Service::start(TenantSet::new(n, seed, specs, tcfg), cfg)
     }
 
     /// [`Service::eager`] with durability: admitted write ops are logged
@@ -791,6 +841,7 @@ mod tests {
             query_batch: 8,
             queries_per_insert: 3,
             window: 64,
+            tenants: 0,
         };
         let svc = Service::eager(64, 7, cfg(2));
         let mut tickets = Vec::new();
@@ -803,6 +854,110 @@ mod tests {
         for t in tickets {
             assert_eq!(t.wait().unwrap().resp.len(), 8);
         }
+    }
+
+    /// A multi-tenant service's answers must match the sequentially driven
+    /// `TenantSet`, across shared-routed and dedicated-routed tenants and
+    /// mixed-tenant batches admitted in the same generation.
+    #[test]
+    fn tenant_service_matches_sequential_tenant_set() {
+        let specs = [
+            TenantSpec { id: 0, window: 64 },
+            TenantSpec { id: 1, window: 8 },
+            TenantSpec { id: 2, window: 2 }, // dedicated under fraction 1/8
+        ];
+        let tcfg = TenantConfig {
+            dedicated_fraction: 1.0 / 8.0,
+        };
+        for readers in [1, 3] {
+            let svc = Service::tenants(32, 7, &specs, tcfg, cfg(readers));
+            let mut seq = bimst_sliding::TenantSet::new(32, 7, &specs, tcfg);
+            let mut x = 11u64;
+            let mut hash2 = |m: u64| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((x >> 33) % m) as u32
+            };
+            for round in 0..10 {
+                let edges: Vec<(u32, u32)> = (0..5).map(|_| (hash2(32), hash2(32))).collect();
+                svc.insert(edges.clone()).unwrap();
+                seq.batch_insert(&edges);
+                if round % 3 == 2 {
+                    svc.expire(4).unwrap();
+                    seq.batch_expire(4);
+                }
+                // One batch per tenant, all admitted in the same
+                // generation, so they coalesce into one shared plan plus
+                // the dedicated tenant's own plan.
+                let pairs: Vec<(u32, u32)> = (0..6).map(|_| (hash2(32), hash2(32))).collect();
+                let tickets: Vec<(u32, QueryTicket)> = specs
+                    .iter()
+                    .map(|s| (s.id, svc.query_tenant(s.id, pairs.clone()).unwrap()))
+                    .collect();
+                for (id, t) in tickets {
+                    let got = t.wait().unwrap().resp.into_window_connected().unwrap();
+                    let want: Vec<bool> = pairs
+                        .iter()
+                        .map(|&(u, v)| seq.is_connected(id, u, v))
+                        .collect();
+                    assert_eq!(got, want, "tenant {id} round {round}");
+                }
+            }
+            svc.shutdown();
+        }
+    }
+
+    /// A tenant query against a single-window service has no route — it
+    /// must fail stop (ticket errors, service dead), not silently answer
+    /// from the wrong window.
+    #[test]
+    fn tenant_query_on_single_window_service_fails_stop() {
+        let svc = Service::eager(8, 3, cfg(1));
+        svc.insert(vec![(0, 1)]).unwrap();
+        let t = svc.query_tenant(0, vec![(0, 1)]).unwrap();
+        assert!(t.wait().is_err(), "routeless tenant query must fail stop");
+    }
+
+    /// Tenant-tagged `MixedStream` ops drive a multi-tenant service end to
+    /// end through `submit_op`.
+    #[test]
+    fn tenant_tagged_mixed_stream_drives_the_service() {
+        use bimst_graphgen::{MixedConfig, MixedStream};
+        let cfg_stream = MixedConfig {
+            tenants: 2,
+            ..MixedConfig::serving(64)
+        };
+        let specs = [
+            TenantSpec { id: 0, window: 64 },
+            TenantSpec { id: 1, window: 4 },
+        ];
+        let svc = Service::tenants(
+            64,
+            7,
+            &specs,
+            TenantConfig {
+                dedicated_fraction: 1.0 / 8.0,
+            },
+            cfg(2),
+        );
+        let mut tickets = Vec::new();
+        for op in MixedStream::new(cfg_stream, 11).take(30) {
+            if let Some(t) = svc.submit_op(op).unwrap() {
+                tickets.push(t);
+            }
+        }
+        svc.shutdown();
+        assert!(!tickets.is_empty());
+        // Every connectivity batch in the stream is tenant-tagged
+        // (tenants > 0), so at least one ticket exercised the tenant path.
+        let mut tenant_answers = 0;
+        for t in tickets {
+            if t.wait().unwrap().resp.into_window_connected().is_some() {
+                tenant_answers += 1;
+            }
+        }
+        assert!(tenant_answers > 0);
     }
 
     fn tmpdir(tag: &str) -> std::path::PathBuf {

@@ -32,7 +32,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use bimst_primitives::{VertexId, WKey};
-use bimst_query::{QueryBatch, ReadHandle, WindowConnectivity};
+use bimst_query::{QueryBatch, ReadHandle, TenantRoute, WindowConnectivity};
 
 use crate::ServeWindow;
 
@@ -82,6 +82,27 @@ pub(crate) enum Work {
     PathMax(Arc<Vec<(VertexId, VertexId)>>),
     /// MSF component sizes over vertices.
     ComponentSize(Arc<Vec<VertexId>>),
+    /// Tenant connectivity routed to the *shared* structure: the merged
+    /// mixed-tenant pairs with one cutoff per query — one shared path-max
+    /// plan across every shared-routed tenant in the run.
+    TenantShared {
+        /// Merged endpoint pairs, all shared-routed tenants concatenated.
+        pairs: Arc<Vec<(VertexId, VertexId)>>,
+        /// Per-query tenant cutoffs, parallel to `pairs`.
+        cutoffs: Arc<Vec<u64>>,
+    },
+    /// Tenant connectivity routed to one tenant's dedicated
+    /// divergence-fallback structure.
+    TenantDedicated {
+        /// The tenant whose dedicated structure answers this plan.
+        tenant: u32,
+        /// The request's endpoint pairs.
+        pairs: Arc<Vec<(VertexId, VertexId)>>,
+        /// Offset of this plan's answers within the writer's concatenated
+        /// dedicated-answer buffer (several dedicated plans can be in
+        /// flight in one generation; `base` keeps their splices disjoint).
+        base: usize,
+    },
 }
 
 /// A range of one plan, assigned to one reader.
@@ -99,7 +120,8 @@ pub(crate) struct ServeTask<W> {
 
 /// Partial answers for one [`ServeTask`]'s range.
 pub(crate) struct Partial {
-    /// Start of the range within the merged input (where to splice).
+    /// Splice offset within the plan's answer buffer (the task range's
+    /// start; dedicated-tenant plans add their plan `base`).
     pub start: usize,
     /// The answers, kind-tagged like [`Work`].
     pub resp: PartialResp,
@@ -113,6 +135,10 @@ pub(crate) enum PartialResp {
     Keys(Vec<Option<WKey>>),
     /// Component sizes.
     Sizes(Vec<usize>),
+    /// Shared-routed tenant connectivity answers.
+    TenantBools(Vec<bool>),
+    /// Dedicated-routed tenant connectivity answers.
+    DedBools(Vec<bool>),
     /// The reader panicked executing this range (e.g. an out-of-range
     /// vertex id). Sent so the writer fails stop instead of waiting
     /// forever at the join barrier for an answer that cannot come.
@@ -228,20 +254,42 @@ fn reader_main<W: ServeWindow>(rx: Receiver<Task<W>>) {
                 );
                 PartialResp::Sizes(out)
             }
+            Work::TenantShared { pairs, cutoffs } => {
+                let mut out = Vec::new();
+                q.batch_connected_at_into(
+                    w,
+                    &pairs[range.clone()],
+                    &cutoffs[range.clone()],
+                    &mut out,
+                );
+                PartialResp::TenantBools(out)
+            }
+            Work::TenantDedicated { tenant, pairs, .. } => {
+                // The writer resolved the route at merge time and has not
+                // touched the structure since (publish→retire), so the
+                // dedicated structure must still be there.
+                let Some(TenantRoute::Dedicated(d)) = w.tenant_route(*tenant) else {
+                    panic!("bimst-service: tenant {tenant} route changed mid-generation");
+                };
+                let mut out = Vec::new();
+                q.batch_window_connected_into(d, &pairs[range.clone()], &mut out);
+                PartialResp::DedBools(out)
+            }
         }));
         let resp = result.unwrap_or_else(|_| {
             q = QueryBatch::new(); // scratch may be torn mid-update
             PartialResp::Panicked
         });
+        let start = match &work {
+            Work::TenantDedicated { base, .. } => base + range.start,
+            _ => range.start,
+        };
         // Release the plan's `Arc` *before* signalling completion: once
         // the writer has collected every `Partial`, no reader holds a
         // reference, so the writer can deterministically reclaim the
         // merged-plan buffer (`Arc::try_unwrap`) for the next generation
         // instead of reallocating per dispatch.
         drop(work);
-        let _ = done.send(Partial {
-            start: range.start,
-            resp,
-        });
+        let _ = done.send(Partial { start, resp });
     }
 }

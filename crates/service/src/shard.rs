@@ -16,10 +16,15 @@ use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
 use bimst_primitives::{VertexId, WKey};
+use bimst_query::TenantRoute;
 use bimst_wal::{Checkpoint, Store, SyncPolicy};
 
 use crate::reader::{Partial, PartialResp, ReaderPool, ServeTask, Snapshot, Work};
 use crate::{Answered, QueryReq, QueryResp, ServeWindow, ServiceConfig};
+
+/// One dedicated-routed tenant plan: `(tenant, pairs, base)` where `base`
+/// is the plan's offset in the concatenated dedicated answer buffer.
+type DedPlan = (u32, Arc<Vec<(VertexId, VertexId)>>, usize);
 
 /// An admitted operation (see `ServiceHandle` for the client-side view).
 pub(crate) enum Req {
@@ -144,9 +149,17 @@ pub(crate) struct ServeScratch {
     conn: Vec<(VertexId, VertexId)>,
     pm: Vec<(VertexId, VertexId)>,
     cs: Vec<VertexId>,
+    /// Shared-routed tenant pairs, all tenants merged into one plan.
+    tconn: Vec<(VertexId, VertexId)>,
+    /// Per-query tenant cutoffs, parallel to `tconn`.
+    tcut: Vec<u64>,
     conn_out: Vec<bool>,
     pm_out: Vec<Option<WKey>>,
     cs_out: Vec<usize>,
+    tconn_out: Vec<bool>,
+    /// Concatenated answers of every dedicated-routed tenant plan in the
+    /// run (each plan splices at its own base offset).
+    tded_out: Vec<bool>,
 }
 
 impl ServeScratch {
@@ -157,9 +170,13 @@ impl ServeScratch {
         self.conn.capacity()
             + self.pm.capacity()
             + self.cs.capacity()
+            + self.tconn.capacity()
+            + self.tcut.capacity()
             + self.conn_out.capacity()
             + self.pm_out.capacity()
             + self.cs_out.capacity()
+            + self.tconn_out.capacity()
+            + self.tded_out.capacity()
     }
 
     /// Reclaims a merged-plan buffer from its post-join `Arc` (see the
@@ -342,11 +359,34 @@ fn serve<W: ServeWindow>(
     // back without bookkeeping). The buffers arrive cleared from the
     // previous generation's reclaim.
     debug_assert!(ws.conn.is_empty() && ws.pm.is_empty() && ws.cs.is_empty());
+    debug_assert!(ws.tconn.is_empty() && ws.tcut.is_empty());
+    let mut ded_plans: Vec<DedPlan> = Vec::new();
+    let mut ded_total = 0usize;
     for (req, _) in run.iter() {
         match req {
             QueryReq::WindowConnected(qs) => ws.conn.extend_from_slice(qs),
             QueryReq::PathMax(qs) => ws.pm.extend_from_slice(qs),
             QueryReq::ComponentSize(vs) => ws.cs.extend_from_slice(vs),
+            QueryReq::TenantConnected { tenant, pairs } => match w.tenant_route(*tenant) {
+                // Shared-routed tenants merge into one plan: pairs
+                // concatenate, the tenant's cutoff repeats per query.
+                Some(TenantRoute::Shared { cutoff }) => {
+                    ws.tconn.extend_from_slice(pairs);
+                    ws.tcut.resize(ws.tconn.len(), cutoff);
+                }
+                Some(TenantRoute::Dedicated(_)) => {
+                    ded_plans.push((*tenant, Arc::new(pairs.clone()), ded_total));
+                    ded_total += pairs.len();
+                }
+                // Fail stop: a tenant query against a window that serves
+                // no tenants (or an unknown id) must not be silently
+                // answered from the wrong window. Unwinding here (before
+                // any fan-out) resolves every pending ticket as closed.
+                None => panic!(
+                    "bimst-service: no tenant route for id {tenant} \
+                     (tenant query on a non-tenant service?)"
+                ),
+            },
         }
     }
 
@@ -373,6 +413,31 @@ fn serve<W: ServeWindow>(
         cs.len(),
         done_tx,
     );
+    let tconn = Arc::new(std::mem::take(&mut ws.tconn));
+    let tcut = Arc::new(std::mem::take(&mut ws.tcut));
+    expected += fan_out(
+        pool,
+        snap,
+        Work::TenantShared {
+            pairs: tconn.clone(),
+            cutoffs: tcut.clone(),
+        },
+        tconn.len(),
+        done_tx,
+    );
+    for (tenant, pairs, base) in &ded_plans {
+        expected += fan_out(
+            pool,
+            snap,
+            Work::TenantDedicated {
+                tenant: *tenant,
+                pairs: pairs.clone(),
+                base: *base,
+            },
+            pairs.len(),
+            done_tx,
+        );
+    }
 
     // Join barrier (protocol step 3): collect every partial before
     // touching the structure again. Plans of different kinds are in flight
@@ -383,6 +448,10 @@ fn serve<W: ServeWindow>(
     ws.pm_out.resize(pm.len(), None);
     ws.cs_out.clear();
     ws.cs_out.resize(cs.len(), 0);
+    ws.tconn_out.clear();
+    ws.tconn_out.resize(tconn.len(), false);
+    ws.tded_out.clear();
+    ws.tded_out.resize(ded_total, false);
     let mut poisoned = false;
     for _ in 0..expected {
         let p = done_rx.recv().expect("bimst-service reader pool alive");
@@ -390,6 +459,10 @@ fn serve<W: ServeWindow>(
             PartialResp::Bools(b) => ws.conn_out[p.start..p.start + b.len()].copy_from_slice(&b),
             PartialResp::Keys(k) => ws.pm_out[p.start..p.start + k.len()].copy_from_slice(&k),
             PartialResp::Sizes(s) => ws.cs_out[p.start..p.start + s.len()].copy_from_slice(&s),
+            PartialResp::TenantBools(b) => {
+                ws.tconn_out[p.start..p.start + b.len()].copy_from_slice(&b)
+            }
+            PartialResp::DedBools(b) => ws.tded_out[p.start..p.start + b.len()].copy_from_slice(&b),
             PartialResp::Panicked => poisoned = true,
         }
     }
@@ -399,6 +472,8 @@ fn serve<W: ServeWindow>(
     ServeScratch::reclaim(&mut ws.conn, conn);
     ServeScratch::reclaim(&mut ws.pm, pm);
     ServeScratch::reclaim(&mut ws.cs, cs);
+    ServeScratch::reclaim(&mut ws.tconn, tconn);
+    ServeScratch::reclaim(&mut ws.tcut, tcut);
     // Fail stop, but only after the join barrier: every reader is parked
     // again, so unwinding the writer (dropping the structure) is safe, and
     // pending tickets resolve with `ServiceClosed` instead of hanging.
@@ -411,6 +486,7 @@ fn serve<W: ServeWindow>(
     // Split the merged answers back per request, in run order. A client
     // that dropped its ticket makes the send fail; that is its business.
     let (mut ci, mut pi, mut si) = (0usize, 0usize, 0usize);
+    let (mut ti, mut di) = (0usize, 0usize);
     for (req, resp) in run.drain(..) {
         let answers = match &req {
             QueryReq::WindowConnected(qs) => {
@@ -427,6 +503,24 @@ fn serve<W: ServeWindow>(
                 let out = ws.cs_out[si..si + vs.len()].to_vec();
                 si += vs.len();
                 QueryResp::ComponentSize(out)
+            }
+            QueryReq::TenantConnected { tenant, pairs } => {
+                // Re-resolving the route is deterministic: `w` has not
+                // changed since the merge pass (publish→retire), so each
+                // request consumes the same cursor it fed.
+                let out = match w.tenant_route(*tenant) {
+                    Some(TenantRoute::Dedicated(_)) => {
+                        let out = ws.tded_out[di..di + pairs.len()].to_vec();
+                        di += pairs.len();
+                        out
+                    }
+                    _ => {
+                        let out = ws.tconn_out[ti..ti + pairs.len()].to_vec();
+                        ti += pairs.len();
+                        out
+                    }
+                };
+                QueryResp::WindowConnected(out)
             }
         };
         let _ = resp.send(Answered {
@@ -544,6 +638,71 @@ mod tests {
         let got = rx.recv().unwrap().resp.into_window_connected().unwrap();
         let want: Vec<bool> = pairs.iter().map(|&(u, v)| w.is_connected(u, v)).collect();
         assert_eq!(got, want);
+        pool.shutdown();
+    }
+
+    /// The serve path over a `TenantSet`, driven directly with a run that
+    /// mixes shared-routed and dedicated-routed tenant batches with plain
+    /// window queries: every split answer must match the sequentially
+    /// queried structure.
+    #[test]
+    fn serve_splits_mixed_tenant_runs() {
+        use bimst_sliding::{TenantConfig, TenantSet, TenantSpec};
+        let specs = [
+            TenantSpec { id: 3, window: 32 },
+            TenantSpec { id: 7, window: 6 },
+            TenantSpec { id: 9, window: 2 }, // dedicated under fraction 1/4
+        ];
+        let mut w = TenantSet::new(
+            12,
+            5,
+            &specs,
+            TenantConfig {
+                dedicated_fraction: 1.0 / 4.0,
+            },
+        );
+        w.batch_insert(&[(0, 1), (1, 2), (4, 5), (5, 6), (2, 3)]);
+        w.batch_expire(2);
+
+        let pairs: Vec<(u32, u32)> = vec![(0, 2), (0, 3), (4, 6), (1, 3), (5, 5)];
+        let mut pool: ReaderPool<TenantSet> = ReaderPool::spawn(2);
+        let (done_tx, done_rx) = channel();
+        let mut rxs = Vec::new();
+        let mut run = Vec::new();
+        let mut reqs: Vec<QueryReq> = specs
+            .iter()
+            .map(|s| QueryReq::TenantConnected {
+                tenant: s.id,
+                pairs: pairs.clone(),
+            })
+            .collect();
+        reqs.push(QueryReq::WindowConnected(pairs.clone()));
+        for req in &reqs {
+            let (tx, rx) = channel();
+            run.push((req.clone(), tx));
+            rxs.push(rx);
+        }
+        let mut ws = ServeScratch::default();
+        serve(&w, 4, &mut pool, &done_tx, &done_rx, &mut run, &mut ws);
+
+        let answers: Vec<Answered> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
+        for (i, s) in specs.iter().enumerate() {
+            let want: Vec<bool> = pairs
+                .iter()
+                .map(|&(u, v)| w.is_connected(s.id, u, v))
+                .collect();
+            assert_eq!(
+                answers[i].resp,
+                QueryResp::WindowConnected(want),
+                "tenant {}",
+                s.id
+            );
+        }
+        let want: Vec<bool> = pairs
+            .iter()
+            .map(|&(u, v)| w.shared().is_connected(u, v))
+            .collect();
+        assert_eq!(answers[3].resp, QueryResp::WindowConnected(want));
         pool.shutdown();
     }
 

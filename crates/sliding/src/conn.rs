@@ -203,6 +203,15 @@ impl SwConn {
         (self.tw, self.t)
     }
 
+    /// The window's left endpoint τ — the floor every caller-supplied
+    /// recency cutoff must satisfy. Query layers that accept external
+    /// cutoffs (multi-tenant serving) debug-assert `cutoff ≥
+    /// window_start_tau()`: a stale tenant cutoff below this would silently
+    /// answer from expired edges, so it must fail loudly instead.
+    pub fn window_start_tau(&self) -> u64 {
+        self.tw
+    }
+
     /// Appends a batch on the new side; positions are assigned
     /// consecutively. Returns the τ of the first edge.
     pub fn batch_insert(&mut self, edges: &[(VertexId, VertexId)]) -> u64 {
@@ -304,6 +313,11 @@ impl SwConnEager {
     /// Current window: `[tw, t)`.
     pub fn window(&self) -> (u64, u64) {
         (self.tw, self.t)
+    }
+
+    /// The window's left endpoint τ (see [`SwConn::window_start_tau`]).
+    pub fn window_start_tau(&self) -> u64 {
+        self.tw
     }
 
     /// Appends a batch on the new side. Returns the τ of the first edge.

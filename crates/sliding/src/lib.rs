@@ -22,6 +22,7 @@
 //! | [`CycleFree`] | cycle detection | Thm 5.6 |
 //! | [`Sparsifier`] | ε-cut sparsification | Thm 5.8 |
 //! | [`inc::IncConn`] | incremental-only connectivity via union-find | §5.7 |
+//! | [`TenantSet`] | N nested tenant windows over one shared structure | Lemma 5.1, applied per tenant |
 //!
 //! The incremental (insert-only) setting of Table 1 is the special case of
 //! never expiring; [`inc`] additionally provides the `α(n)`-work union-find
@@ -35,6 +36,7 @@ pub mod inc;
 pub mod kcert;
 pub mod mincut;
 pub mod sparsify;
+pub mod tenant;
 
 pub use approx_msf::ApproxMsfWeight;
 pub use bipartite::SwBipartite;
@@ -43,3 +45,4 @@ pub use cyclefree::CycleFree;
 pub use kcert::KCertificate;
 pub use mincut::global_min_cut;
 pub use sparsify::{Sparsifier, SparsifierConfig};
+pub use tenant::{TenantConfig, TenantSet, TenantSpec};

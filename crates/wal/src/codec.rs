@@ -17,6 +17,7 @@
 //! | 2 | `ConnectedQueries` | as `Insert` |
 //! | 3 | `PathMaxQueries` | as `Insert` |
 //! | 4 | `ComponentSizeQueries` | `count: u32`, then `count × (v: u32)` |
+//! | 5 | `TenantConnectedQueries` | `tenant: u32`, then as `Insert` |
 
 use bimst_graphgen::Op;
 
@@ -48,6 +49,7 @@ const TAG_EXPIRE: u8 = 1;
 const TAG_CONNECTED: u8 = 2;
 const TAG_PATH_MAX: u8 = 3;
 const TAG_COMPONENT_SIZE: u8 = 4;
+const TAG_TENANT_CONNECTED: u8 = 5;
 
 /// Appends the encoding of `op` to `out`.
 pub fn encode_op(op: &Op, out: &mut Vec<u8>) {
@@ -68,6 +70,11 @@ pub fn encode_op(op: &Op, out: &mut Vec<u8>) {
             for &v in vs {
                 out.extend_from_slice(&v.to_le_bytes());
             }
+        }
+        Op::TenantConnectedQueries(tenant, qs) => {
+            out.push(TAG_TENANT_CONNECTED);
+            out.extend_from_slice(&tenant.to_le_bytes());
+            encode_pairs(qs, out);
         }
     }
 }
@@ -162,6 +169,7 @@ pub fn decode_op(buf: &[u8]) -> Result<Op, DecodeError> {
         TAG_CONNECTED => Op::ConnectedQueries(r.pairs()?),
         TAG_PATH_MAX => Op::PathMaxQueries(r.pairs()?),
         TAG_COMPONENT_SIZE => Op::ComponentSizeQueries(r.u32s()?),
+        TAG_TENANT_CONNECTED => Op::TenantConnectedQueries(r.u32()?, r.pairs()?),
         t => return Err(DecodeError::UnknownTag(t)),
     };
     if r.pos != buf.len() {
@@ -177,6 +185,7 @@ pub fn encoded_len(op: &Op) -> usize {
         Op::Insert(v) | Op::ConnectedQueries(v) | Op::PathMaxQueries(v) => 5 + 8 * v.len(),
         Op::Expire(_) => 9,
         Op::ComponentSizeQueries(v) => 5 + 4 * v.len(),
+        Op::TenantConnectedQueries(_, v) => 9 + 8 * v.len(),
     }
 }
 
@@ -194,6 +203,8 @@ mod tests {
             Op::PathMaxQueries(vec![(1, 2), (2, 1), (9, 9)]),
             Op::ComponentSizeQueries(vec![0, u32::MAX, 17]),
             Op::ComponentSizeQueries(vec![]),
+            Op::TenantConnectedQueries(0, vec![(1, 2)]),
+            Op::TenantConnectedQueries(u32::MAX, vec![]),
         ]
     }
 
@@ -212,6 +223,8 @@ mod tests {
     fn rejects_malformed_payloads() {
         assert_eq!(decode_op(&[]), Err(DecodeError::Truncated));
         assert_eq!(decode_op(&[9]), Err(DecodeError::UnknownTag(9)));
+        // Tenant tag with a truncated tenant id.
+        assert_eq!(decode_op(&[5, 1, 0]), Err(DecodeError::Truncated));
         // Count promises more pairs than the bytes hold.
         let mut buf = Vec::new();
         encode_op(&Op::Insert(vec![(1, 2), (3, 4)]), &mut buf);

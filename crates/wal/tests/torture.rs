@@ -55,6 +55,7 @@ fn script(n: u32, ops: usize, seed: u64) -> Vec<Op> {
         query_batch: 1,
         queries_per_insert: 0,
         window: 8,
+        tenants: 0,
     };
     MixedStream::new(cfg, seed)
         .filter(|op| matches!(op, Op::Insert(_) | Op::Expire(_)))

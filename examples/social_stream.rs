@@ -31,6 +31,7 @@
 
 use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
 use bimst_service::{QueryReq, QueryResp, Service, ServiceConfig};
+use bimst_sliding::{TenantConfig, TenantSpec};
 
 fn main() {
     let n = 2_000u32;
@@ -42,6 +43,7 @@ fn main() {
         query_batch: 512,
         queries_per_insert: 3, // one batch each: connected / path-max / size
         window: 6_000,         // keep the last 6k interactions
+        tenants: 0,            // the durable phase serves one window
     };
     let svc_cfg = ServiceConfig {
         readers: 2,
@@ -152,4 +154,63 @@ fn main() {
     );
     svc.shutdown();
     std::fs::remove_dir_all(&dir).expect("clean up the demo log");
+
+    // --- Multi-tenant serving: two logical windows over one stream ---
+    //
+    // Two products watch the same interaction firehose with very different
+    // retention: the feed ranker wants the full 6k-interaction window, the
+    // abuse detector only the freshest 256. One shared structure serves
+    // the ranker through its per-tenant cutoff; the detector's window is
+    // short enough (below the divergence fraction) that it gets a
+    // dedicated small structure fed from the same admission log — both
+    // behind the same service, with the stream's tenant-tagged query
+    // batches routed by `submit_op`.
+    println!("\nmulti-tenant phase: feed window 6000 vs abuse window 256, one stream:");
+    let specs = [
+        TenantSpec {
+            id: 0,
+            window: 6_000,
+        }, // feed ranker (shared route)
+        TenantSpec { id: 1, window: 256 }, // abuse detector (dedicated)
+    ];
+    let tsvc = Service::tenants(
+        n as usize,
+        seed,
+        &specs,
+        TenantConfig::default(), // dedicated below ℓ_max/64; 256 < 6000/64·64
+        svc_cfg,
+    );
+    let tcfg_stream = MixedConfig {
+        queries_per_insert: 2, // connectivity batches rotate tenants 0, 1
+        tenants: 2,
+        ..cfg
+    };
+    let mut per_tenant_hits = [0usize; 2];
+    let mut per_tenant_total = [0usize; 2];
+    for op in MixedStream::new(tcfg_stream, 7).take(60) {
+        let tenant = match &op {
+            Op::TenantConnectedQueries(t, _) => Some(*t),
+            _ => None,
+        };
+        if let Some(t) = tsvc.submit_op(op).expect("service alive") {
+            let answered = t.wait().expect("admitted queries are answered");
+            if let (Some(tenant), QueryResp::WindowConnected(hits)) = (tenant, answered.resp) {
+                per_tenant_hits[tenant as usize] += hits.iter().filter(|&&c| c).count();
+                per_tenant_total[tenant as usize] += hits.len();
+            }
+        }
+    }
+    for (t, label) in [(0usize, "feed (ℓ=6000)"), (1, "abuse (ℓ=256)")] {
+        println!(
+            "  tenant {t} {label:>14}: {:>5.1}% of sampled pairs connected",
+            100.0 * per_tenant_hits[t] as f64 / per_tenant_total[t].max(1) as f64
+        );
+    }
+    // The shorter window can only see a subset of the longer one's edges
+    // (nested suffixes), so its hit rate cannot exceed the feed's.
+    assert!(
+        per_tenant_hits[1] * per_tenant_total[0] <= per_tenant_hits[0] * per_tenant_total[1],
+        "a nested shorter window cannot be better-connected than the full one"
+    );
+    tsvc.shutdown();
 }

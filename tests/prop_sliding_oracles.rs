@@ -56,6 +56,7 @@ fn stream_cfg(n: u32) -> impl Strategy<Value = (MixedConfig, u64)> {
                     query_batch: 1,
                     queries_per_insert: 1,
                     window,
+                    tenants: 0,
                 },
                 seed,
             )

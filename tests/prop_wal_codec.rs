@@ -9,7 +9,7 @@ use bimst_repro::graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
 use bimst_repro::wal::{decode_op, encode_op, encoded_len};
 use proptest::prelude::*;
 
-/// A deterministic op mix covering all five variants, with empty query
+/// A deterministic op mix covering all six variants, with empty query
 /// batches (`query_batch == 0`) and insert-only streams (`window == 0`)
 /// reachable shapes.
 fn ops(seed: u64, shape: usize, count: usize) -> Vec<Op> {
@@ -25,6 +25,7 @@ fn ops(seed: u64, shape: usize, count: usize) -> Vec<Op> {
         query_batch: shape % 4, // 0: empty query batches are legal records
         queries_per_insert: shape % 3,
         window: [0, 6, 64][shape % 3], // 0: no Expire ever
+        tenants: (shape % 3) as u32,   // 0: untagged; >0: tenant-tagged batches
     };
     MixedStream::new(cfg, seed).take(count).collect()
 }

@@ -37,6 +37,7 @@ fn script(n: u32, seed: u64, len: usize) -> Vec<Op> {
         query_batch: 1,
         queries_per_insert: 0,
         window: 12,
+        tenants: 0,
     };
     MixedStream::new(cfg, seed)
         .filter(|op| matches!(op, Op::Insert(_) | Op::Expire(_)))
