@@ -21,7 +21,9 @@
 //!   doubling the chunked arenas replaced used to show up as ~7× max/median
 //!   spikes at ℓ=4096) are invisible in the mean but glaring in `batch_max`.
 //!
-//! Scale knobs (positional): `bench_json [n] [edges_large]`. The edge budget
+//! Scale knobs (positional): `bench_json [n] [edges_large]`; pass
+//! `--stage-breakdown` to embed the engine-level `bimst-obs` columns
+//! (round count, frontier tail) in the emitted JSON. The edge budget
 //! per batch size is scaled down for tiny ℓ so the run stays under a couple
 //! of minutes; throughput is per-edge so the numbers are comparable.
 
@@ -96,7 +98,9 @@ fn measure(n: usize, l: usize, m: usize, reps: usize) -> Stats {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let raw: Vec<String> = std::env::args().collect();
+    let breakdown_wanted = raw.iter().any(|a| a == "--stage-breakdown");
+    let args: Vec<&String> = raw.iter().filter(|a| !a.starts_with("--")).collect();
     let n: usize = args
         .get(1)
         .and_then(|s| s.parse().ok())
@@ -155,6 +159,22 @@ fn main() {
     let _ = writeln!(json, "  \"n\": {n},");
     let _ = writeln!(json, "  \"host_threads\": {all},");
     let _ = writeln!(json, "  \"unit\": \"ns_per_edge\",");
+    // `--stage-breakdown`: the engine-level obs columns for this run,
+    // from the process-global recorder the contraction loop records on.
+    if breakdown_wanted {
+        let snap = bimst_obs::global().snapshot();
+        let hist = |name: &str| snap.histogram(name).unwrap_or_default();
+        let frontier = hist("engine_frontier");
+        let prop = hist("engine_propagate_ns");
+        let _ = writeln!(
+            json,
+            "  \"stage_breakdown\": {{\"engine_rounds\": {}, \"engine_frontier_p99\": {}, \"engine_frontier_max\": {}, \"engine_propagate_p99_ns\": {}}},",
+            snap.counter("engine_rounds").unwrap_or(0),
+            frontier.p99,
+            frontier.max,
+            prop.p99,
+        );
+    }
     json.push_str("  \"measurements\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };

@@ -37,9 +37,17 @@
 //! inline engine (same seeds ⇒ same state ⇒ answers must be identical), so
 //! a run doubles as an end-to-end protocol check at full scale.
 //!
+//! Two more paired families ride along: `kind: "wal_insert"` rows price
+//! the durability admission path per sync policy against an in-memory
+//! twin, and `kind: "obs_insert"` / `"obs_query"` rows price the
+//! compiled-in `bimst-obs` instrumentation against a twin running with
+//! the process-wide kill switch off (`obs: "on"/"off"`, `pair: "obs"`).
+//!
 //! Scale knobs (positional): `bench_serve [n] [window] [rounds] [readers]`.
-//! CI runs a tiny instance as a smoke test; committed numbers use the
-//! defaults.
+//! `--stage-breakdown` additionally embeds a `stage_breakdown` object
+//! (fsync p99, merge width, queue depth max, …) snapshot from the WAL
+//! service's recorder. CI runs a tiny instance as a smoke test; committed
+//! numbers use the defaults.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -308,7 +316,8 @@ fn run_wal_config(
     rounds: usize,
     readers: usize,
     sync: SyncPolicy,
-) -> Vec<String> {
+    capture_breakdown: bool,
+) -> (Vec<String>, Option<String>) {
     let tag = match sync {
         SyncPolicy::Always => "always",
         SyncPolicy::GroupCommit => "group_commit",
@@ -361,6 +370,11 @@ fn run_wal_config(
             }
         }
     }
+    // `--stage-breakdown`: snapshot the WAL service's recorder before it
+    // drains, so the emitted JSON carries the stage-level obs columns for
+    // exactly the run that produced the rows.
+    let breakdown =
+        capture_breakdown.then(|| breakdown_block(&wal.metrics_snapshot().expect("service alive")));
     wal.shutdown();
     off.shutdown();
     std::fs::remove_dir_all(&dir).expect("clean bench WAL store");
@@ -388,11 +402,152 @@ fn run_wal_config(
     for r in &rows {
         eprintln!("wal sync={tag}: {r}");
     }
+    (rows, breakdown)
+}
+
+/// Formats the `--stage-breakdown` JSON object from a service snapshot:
+/// the stage-level obs columns (fsync tail, merge width, queue depth)
+/// that `bench_schema` validates when the block is present. Missing
+/// metrics (e.g. an `obs`-off build) render as zeros, keeping the block
+/// shape stable.
+fn breakdown_block(snap: &bimst_obs::Snapshot) -> String {
+    let hist = |name: &str| snap.histogram(name).unwrap_or_default();
+    let ctr = |name: &str| snap.counter(name).unwrap_or(0);
+    let fsync = hist("wal_fsync_ns");
+    let merge = hist("service_merge_width_ops");
+    let depth = hist("service_queue_depth");
+    let serve = hist("service_serve_ns");
+    format!(
+        "{{\"wal_fsync_p99_ns\": {}, \"wal_fsync_count\": {}, \
+          \"wal_records\": {}, \"wal_bytes\": {}, \
+          \"merge_width_p50\": {}, \"merge_width_max\": {}, \
+          \"queue_depth_max\": {}, \"serve_p99_ns\": {}}}",
+        fsync.p99,
+        fsync.count,
+        ctr("wal_records_appended"),
+        ctr("wal_bytes_appended"),
+        merge.p50,
+        merge.max,
+        depth.max,
+        serve.p99,
+    )
+}
+
+/// The observability tax (`kind: "obs_insert"` / `"obs_query"` rows): two
+/// in-memory services drive identical streams interleaved
+/// round-for-round, one recording and one with the process-wide kill
+/// switch off (`bimst_obs::set_enabled(false)`) — the compiled-in
+/// instrumentation priced by the standing paired same-run protocol. Rows
+/// carry `obs: "on"/"off"` and `pair: "obs"`; the schema gate requires
+/// the pair and reviews hold the batch_median delta within the noise
+/// band (±5%), which is what "metrics are observe-only" means in
+/// numbers.
+fn run_obs_config(n: usize, window: u64, rounds: usize, readers: usize) -> Vec<String> {
+    const QBATCH: usize = 64;
+    let svc_cfg = ServiceConfig {
+        readers,
+        queue_cap: 64,
+        write_budget: INSERT_BATCH,
+        coalesce: true,
+        ..ServiceConfig::default()
+    };
+    let on = Service::start(structure(n, window), svc_cfg);
+    let off = Service::start(structure(n, window), svc_cfg);
+    let mut on_stream = stream(n, window, QBATCH);
+    let mut off_stream = stream(n, window, QBATCH);
+
+    let mut on_ins = Samples::default();
+    let mut off_ins = Samples::default();
+    let mut on_q = Samples::default();
+    let mut off_q = Samples::default();
+
+    let ops_per_round = 2 + QUERIES_PER_INSERT;
+    let warm = (window / INSERT_BATCH as u64 + 2) as usize;
+    for round in 0..warm + rounds {
+        for (svc, s, enabled, ins, qcell) in [
+            (&on, &mut on_stream, true, &mut on_ins, &mut on_q),
+            (&off, &mut off_stream, false, &mut off_ins, &mut off_q),
+        ] {
+            // The switch is process-wide; every submission below is
+            // awaited (barrier / ticket), so the writer processes it
+            // while the switch still holds this engine's state.
+            bimst_obs::set_enabled(enabled);
+            for _ in 0..ops_per_round {
+                match s.next_op() {
+                    Op::Insert(b) => {
+                        let len = b.len();
+                        let t0 = Instant::now();
+                        svc.insert(b).expect("service alive");
+                        svc.barrier()
+                            .expect("service alive")
+                            .wait()
+                            .expect("barrier resolves");
+                        if round >= warm {
+                            ins.record(t0.elapsed().as_secs_f64(), len);
+                        }
+                    }
+                    Op::Expire(d) => svc.expire(d).expect("service alive"),
+                    q => {
+                        let len = op_len(&q);
+                        let t0 = Instant::now();
+                        let ticket = svc.submit_op(q).expect("service alive").unwrap();
+                        black_box(ticket.wait().expect("service answers"));
+                        if round >= warm {
+                            qcell.record(t0.elapsed().as_secs_f64(), len);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    bimst_obs::set_enabled(true);
+    on.shutdown();
+    off.shutdown();
+
+    let rows = vec![
+        on_ins.row_with(
+            "obs_insert",
+            "service",
+            QBATCH,
+            "edges",
+            "ns_per_edge",
+            "\"obs\": \"on\", \"pair\": \"obs\"",
+        ),
+        off_ins.row_with(
+            "obs_insert",
+            "service",
+            QBATCH,
+            "edges",
+            "ns_per_edge",
+            "\"obs\": \"off\", \"pair\": \"obs\"",
+        ),
+        on_q.row_with(
+            "obs_query",
+            "service",
+            QBATCH,
+            "queries",
+            "ns_per_query",
+            "\"obs\": \"on\", \"pair\": \"obs\"",
+        ),
+        off_q.row_with(
+            "obs_query",
+            "service",
+            QBATCH,
+            "queries",
+            "ns_per_query",
+            "\"obs\": \"off\", \"pair\": \"obs\"",
+        ),
+    ];
+    for r in &rows {
+        eprintln!("obs pair: {r}");
+    }
     rows
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let raw: Vec<String> = std::env::args().collect();
+    let breakdown_wanted = raw.iter().any(|a| a == "--stage-breakdown");
+    let args: Vec<&String> = raw.iter().filter(|a| !a.starts_with("--")).collect();
     let n: usize = args
         .get(1)
         .and_then(|s| s.parse().ok())
@@ -418,13 +573,22 @@ fn main() {
     // 6× rounds: these rows gate on batch_p99, and with fewer samples the
     // ceiling-index percentile degenerates to batch_max — a single
     // scheduler spike on a 1-CPU host would decide the gate.
+    let mut breakdown: Option<String> = None;
     for sync in [
         SyncPolicy::Always,
         SyncPolicy::GroupCommit,
         SyncPolicy::None,
     ] {
-        rows.extend(run_wal_config(n, window, rounds * 6, readers, sync));
+        // The breakdown block comes from the GroupCommit run: it is the
+        // default policy, and its snapshot exercises every stage column.
+        let capture = breakdown_wanted && matches!(sync, SyncPolicy::GroupCommit);
+        let (r, b) = run_wal_config(n, window, rounds * 6, readers, sync, capture);
+        rows.extend(r);
+        breakdown = breakdown.or(b);
     }
+    // Observability pricing: recording on vs the kill switch off, same
+    // paired protocol (6× rounds, same percentile reasoning as above).
+    rows.extend(run_obs_config(n, window, rounds * 6, readers));
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -442,6 +606,9 @@ fn main() {
         json,
         "  \"baseline\": \"engine=inline rows drive the identical op stream (same structure and stream seeds) on the caller thread — one SwConnEager + one QueryBatch, no channels — interleaved round-for-round with the service in the same run (paired same-day); latency-mode answers are asserted bit-identical across engines. kind=wal_insert rows price the durability admission path: for each sync policy (sync=always/group_commit/none) a WAL-backed service is interleaved round-for-round with an in-memory twin (sync=off) tagged pair=<policy> in the same run\","
     );
+    if let Some(b) = &breakdown {
+        let _ = writeln!(json, "  \"stage_breakdown\": {b},");
+    }
     json.push_str("  \"measurements\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

@@ -69,4 +69,28 @@ fn main() {
     }
     println!("\n|V(CPT)| ≤ 2ℓ asserted for every row (Lemma 3.2);");
     println!("µs/mark tracks lg(1+n/ℓ) (Theorem 3.2)");
+
+    // The recorder-backed view of the same run: the tree build above went
+    // through the contraction engine, whose structured `engine_*` metrics
+    // replace eyeballing the `BIMST_PROP_STATS` eprintln stream (that env
+    // var still switches on the per-round human dump).
+    let snap = bimst_obs::global().snapshot();
+    if let Some(rounds) = snap.counter("engine_rounds") {
+        println!("\nengine metrics (bimst-obs global recorder):");
+        println!("  engine_rounds             {rounds}");
+        if let Some(h) = snap.histogram("engine_frontier") {
+            println!(
+                "  engine_frontier           p50 ≤ {}  p99 ≤ {}  max {}",
+                h.p50, h.p99, h.max
+            );
+        }
+        if let Some(h) = snap.histogram("engine_propagate_ns") {
+            println!(
+                "  engine_propagate_ns       count {}  mean {:.0}  max {}",
+                h.count,
+                h.mean(),
+                h.max
+            );
+        }
+    }
 }

@@ -17,6 +17,9 @@
 //! * every file carries its paired baseline: either ≥ 2 distinct `engine`
 //!   values among the rows (`batch` vs `seq`, `service` vs `inline`) or a
 //!   top-level `baseline*` block (the insert bench's PR-pinned re-runs);
+//! * `BENCH_serve.json` carries its WAL sync-policy pairs and its
+//!   observability on/off twin rows, and any `stage_breakdown` block
+//!   (the opt-in `--stage-breakdown` obs columns) is well-formed;
 //! * the four protocol files named by ROADMAP are actually present, so
 //!   deleting or renaming one fails loudly too.
 
@@ -107,6 +110,49 @@ fn has_wal_sync_rows(rows: &[Json]) -> bool {
     ["always", "group_commit", "none"]
         .iter()
         .all(|p| wal_row(p, p) && wal_row("off", p))
+}
+
+/// The serve bench's observability-tax requirement: the `bimst-obs`
+/// instrumentation is priced by interleaved twin rows — for each of
+/// `kind: "obs_insert"` and `kind: "obs_query"`, one row recorded with
+/// observability on and one with the process-wide kill switch off, both
+/// tagged `pair: "obs"` and measured in the same run. A refresh that
+/// drops either twin would disarm the "metrics are observe-only" gate
+/// (batch_median delta within the noise band). One predicate, used by
+/// the gate and its rejection fixtures.
+fn has_obs_pair_rows(rows: &[Json]) -> bool {
+    let obs_row = |kind: &str, obs: &str| {
+        rows.iter().any(|r| {
+            r.get("kind").and_then(Json::as_str) == Some(kind)
+                && r.get("obs").and_then(Json::as_str) == Some(obs)
+                && r.get("pair").and_then(Json::as_str) == Some("obs")
+        })
+    };
+    ["obs_insert", "obs_query"]
+        .iter()
+        .all(|k| obs_row(k, "on") && obs_row(k, "off"))
+}
+
+/// The optional `--stage-breakdown` block: when a bench artifact carries
+/// a top-level `stage_breakdown` object, it must be a non-empty object
+/// whose every value is a non-negative number — the obs snapshot columns
+/// (fsync p99, merge width, queue depth max, engine frontier tail) the
+/// runner embedded. Absent blocks pass: the flag is opt-in. One
+/// predicate, used by the gate and its accept/reject fixtures.
+fn stage_breakdown_ok(doc: &Json) -> bool {
+    match doc.get("stage_breakdown") {
+        None => true,
+        Some(block) => {
+            let keys: Vec<&str> = block.keys().collect();
+            !keys.is_empty()
+                && keys.iter().all(|k| {
+                    block
+                        .get(k)
+                        .and_then(Json::as_f64)
+                        .is_some_and(|v| v >= 0.0)
+                })
+        }
+    }
 }
 
 /// The tenants bench's pairing requirement: for every tenant count the
@@ -214,7 +260,21 @@ fn committed_bench_artifacts_match_the_gating_schema() {
                  rows for sync=always/group_commit/none, each with a paired \
                  sync=off row tagged pair=<policy>, measured in the same run)"
             );
+            assert!(
+                has_obs_pair_rows(rows),
+                "{name}: observability twin rows missing (need \
+                 kind=obs_insert and kind=obs_query rows for obs=on and \
+                 obs=off, tagged pair=obs, measured in the same run)"
+            );
         }
+
+        // The opt-in stage-breakdown block, when present, must carry only
+        // non-negative numeric columns (it feeds review tables directly).
+        assert!(
+            stage_breakdown_ok(&doc),
+            "{name}: malformed stage_breakdown block (must be a non-empty \
+             object of non-negative numbers)"
+        );
 
         // The tenants bench gates the shared-contraction win per tenant
         // count; a refresh that drops a count or its paired naive row
@@ -360,6 +420,71 @@ fn gate_rejects_rotten_artifacts() {
     .unwrap();
     assert!(has_wal_sync_rows(
         doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+
+    // The observability-pair predicate — through the gate's own function.
+    // An on row without its off twin must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "obs_insert", "obs": "on", "pair": "obs"},
+            {"kind": "obs_insert", "obs": "off", "pair": "obs"},
+            {"kind": "obs_query", "obs": "on", "pair": "obs"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_obs_pair_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …rows missing the pair tag must not satisfy it…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "obs_insert", "obs": "on"},
+            {"kind": "obs_insert", "obs": "off"},
+            {"kind": "obs_query", "obs": "on"},
+            {"kind": "obs_query", "obs": "off"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_obs_pair_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …and the complete four-row twin set passes.
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "obs_insert", "obs": "on", "pair": "obs"},
+            {"kind": "obs_insert", "obs": "off", "pair": "obs"},
+            {"kind": "obs_query", "obs": "on", "pair": "obs"},
+            {"kind": "obs_query", "obs": "off", "pair": "obs"}]}"#,
+    )
+    .unwrap();
+    assert!(has_obs_pair_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+
+    // The stage-breakdown predicate: absent passes (opt-in), a well-formed
+    // block passes, and the failure modes are rejected through the gate's
+    // own function.
+    assert!(stage_breakdown_ok(&parse(r#"{"bench": "x"}"#).unwrap()));
+    assert!(stage_breakdown_ok(
+        &parse(
+            r#"{"stage_breakdown": {"wal_fsync_p99_ns": 131071, "merge_width_p50": 3,
+            "queue_depth_max": 7}}"#
+        )
+        .unwrap()
+    ));
+    // Empty object: the flag emitted nothing.
+    assert!(!stage_breakdown_ok(
+        &parse(r#"{"stage_breakdown": {}}"#).unwrap()
+    ));
+    // Non-numeric column.
+    assert!(!stage_breakdown_ok(
+        &parse(r#"{"stage_breakdown": {"wal_fsync_p99_ns": "fast"}}"#).unwrap()
+    ));
+    // Negative column (a snapshot cannot go backwards).
+    assert!(!stage_breakdown_ok(
+        &parse(r#"{"stage_breakdown": {"queue_depth_max": -1}}"#).unwrap()
+    ));
+    // Not an object at all.
+    assert!(!stage_breakdown_ok(
+        &parse(r#"{"stage_breakdown": 42}"#).unwrap()
     ));
 
     // The tenant-sweep predicate — through the gate's own function. A

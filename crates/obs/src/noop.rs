@@ -1,0 +1,129 @@
+//! The compile-to-nothing implementation: the exact public surface of the
+//! live module, every body an empty `#[inline]`, every handle a zero-sized
+//! type. This module is **always compiled** (and unit-tested from the
+//! crate's test suite) regardless of the `obs` feature, so the off-build
+//! cannot drift from the API the instrumented crates call. When the
+//! workspace is built with `--no-default-features`, the crate root
+//! re-exports these names and instrumented call sites optimize away.
+
+use crate::Snapshot;
+
+/// No-op: recording is never enabled in this implementation.
+#[inline]
+pub fn set_enabled(_on: bool) {}
+
+/// Always `false` (a `const fn`, so `if enabled() { .. }` blocks are dead
+/// code in the off-build).
+#[inline]
+#[must_use]
+pub const fn enabled() -> bool {
+    false
+}
+
+/// Zero-sized counter: all operations are empty, `get` is always 0.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn add(&self, _v: u64) {}
+
+    /// Always 0.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized gauge: `set` is empty, `get` is always 0.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline]
+    pub fn set(&self, _v: u64) {}
+
+    /// Always 0.
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Zero-sized histogram: `record` is empty, `time` returns an inert guard.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// An inert guard — no clock is read, nothing recorded on drop.
+    #[inline]
+    #[must_use]
+    pub fn time(&self) -> SpanTimer<'_> {
+        SpanTimer(std::marker::PhantomData)
+    }
+}
+
+/// Inert span guard (the lifetime mirrors the live guard's borrow so the
+/// two implementations are drop-in interchangeable).
+pub struct SpanTimer<'a>(std::marker::PhantomData<&'a Histogram>);
+
+/// Zero-sized registry: hands out zero-sized handles, snapshots are empty.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Recorder;
+
+impl Recorder {
+    /// A fresh (zero-sized) recorder.
+    #[inline]
+    #[must_use]
+    pub fn new() -> Self {
+        Recorder
+    }
+
+    /// A zero-sized counter handle.
+    #[inline]
+    #[must_use]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// A zero-sized gauge handle.
+    #[inline]
+    #[must_use]
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A zero-sized histogram handle.
+    #[inline]
+    #[must_use]
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// Always the empty snapshot.
+    #[inline]
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}
+
+/// The process-wide recorder (zero-sized here).
+#[inline]
+#[must_use]
+pub fn global() -> &'static Recorder {
+    static GLOBAL: Recorder = Recorder;
+    &GLOBAL
+}

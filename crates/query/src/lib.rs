@@ -314,6 +314,35 @@ const GROUPED_MIN: usize = 32;
 /// identical answers; this only picks the cheapest way to compute them.
 const GROUPED_MIN_AVG_COMPONENT: usize = 8;
 
+/// Cached handles for the planner's process-wide metrics (on
+/// [`bimst_obs::global`]): which plan each batch took and how big the
+/// batches are. Observe-only — recorded once per *batch*, never per query,
+/// after the plan decision is already made.
+struct QueryObs {
+    /// `query_plan_grouped`: batches answered by the grouped root-walk plan.
+    grouped: bimst_obs::Counter,
+    /// `query_plan_direct`: batches answered by the direct per-query plan.
+    direct: bimst_obs::Counter,
+    /// `query_batch_size`: queries per batch, across all batch entry points.
+    batch_size: bimst_obs::Histogram,
+    /// `query_pathmax_chunks`: CPT chunks built by the path-max plan.
+    pathmax_chunks: bimst_obs::Counter,
+}
+
+/// The planner's metric handles, registered once on the global recorder.
+fn qobs() -> &'static QueryObs {
+    static OBS: std::sync::OnceLock<QueryObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let rec = bimst_obs::global();
+        QueryObs {
+            grouped: rec.counter("query_plan_grouped"),
+            direct: rec.counter("query_plan_direct"),
+            batch_size: rec.histogram("query_batch_size"),
+            pathmax_chunks: rec.counter("query_pathmax_chunks"),
+        }
+    })
+}
+
 /// Reusable batch-query executor.
 ///
 /// Owns the intermediates the batch plans reuse — the sorted
@@ -410,10 +439,14 @@ impl QueryBatch {
         out: &mut Vec<bool>,
     ) {
         let f = h.msf.forest();
+        let o = qobs();
+        o.batch_size.record(queries.len() as u64);
         if !Self::use_grouped(h, queries.len()) {
+            o.direct.inc();
             par::map_into(queries, out, |&(u, v)| f.connected(u, v));
             return;
         }
+        o.grouped.inc();
         self.verts.clear();
         self.verts.extend(queries.iter().flat_map(|&(u, v)| [u, v]));
         self.cache_roots(f);
@@ -440,10 +473,14 @@ impl QueryBatch {
         out: &mut Vec<usize>,
     ) {
         let f = h.msf.forest();
+        let o = qobs();
+        o.batch_size.record(vs.len() as u64);
         if !Self::use_grouped(h, vs.len()) {
+            o.direct.inc();
             par::map_into(vs, out, |&v| f.component_size(v));
             return;
         }
+        o.grouped.inc();
         self.verts.clear();
         self.verts.extend_from_slice(vs);
         self.cache_roots(f);
@@ -480,6 +517,9 @@ impl QueryBatch {
         out.clear();
         out.resize(queries.len(), None);
         let nchunks = queries.len().div_ceil(PATH_CHUNK);
+        let o = qobs();
+        o.batch_size.record(queries.len() as u64);
+        o.pathmax_chunks.add(nchunks as u64);
         if self.path_ws.len() < nchunks {
             self.path_ws.resize_with(nchunks, Default::default);
         }

@@ -157,10 +157,60 @@ const SORT_GRAIN: usize = 2048;
 const PACK_GRAIN: usize = 2048;
 
 /// Whether `BIMST_PROP_STATS=1` asks for per-round frontier statistics on
-/// stderr (a zero-dependency stand-in for a profiler in the build sandbox).
+/// stderr (the human-readable dump). The same numbers — and more — are
+/// always recorded on the process-wide `bimst_obs::global()` recorder as
+/// the `engine_*` metrics (see [`cobs`]); the env var only controls the
+/// eprintln rendering.
 fn prop_stats() -> bool {
     static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *ON.get_or_init(|| std::env::var_os("BIMST_PROP_STATS").is_some_and(|v| v == "1"))
+}
+
+/// Initial frontier size below which `propagate` skips its span timer:
+/// single-edge batches finish in about a microsecond, where even two
+/// monotonic clock reads would be measurable against the paired-baseline
+/// protocol. A pure function of the input size, so determinism holds.
+const OBS_SPAN_GRAIN: usize = 64;
+
+/// Cached handles for the engine's process-wide metrics. The contraction
+/// engine has no natural registry to thread through its deep call paths,
+/// so these live on [`bimst_obs::global`]: aggregates over *all* engines
+/// in the process (each sliding level, every test structure). Recording is
+/// observe-only — relaxed atomic adds that never branch the round loop.
+struct ContractObs {
+    /// `engine_propagate_ns`: one span per `propagate` call whose initial
+    /// frontier is at least [`OBS_SPAN_GRAIN`].
+    propagate_ns: bimst_obs::Histogram,
+    /// `engine_rounds`: one count per processed round.
+    rounds: bimst_obs::Counter,
+    /// `engine_frontier`: per-round frontier size `|A|` distribution.
+    frontier: bimst_obs::Histogram,
+    /// `engine_round_gather_ns`: P-build + pack-gather phase, recorded for
+    /// rounds with frontiers above [`SORT_GRAIN`] only (the clock reads
+    /// are free relative to such rounds; small rounds skip them).
+    round_gather_ns: bimst_obs::Histogram,
+    /// `engine_round_decide_ns`: phase-1 decide plan + serial commit
+    /// (same gating as `engine_round_gather_ns`).
+    round_decide_ns: bimst_obs::Histogram,
+    /// `engine_round_structure_ns`: Q-build + terminal/survive plan and
+    /// apply phases (same gating).
+    round_structure_ns: bimst_obs::Histogram,
+}
+
+/// The engine's metric handles, registered once on the global recorder.
+fn cobs() -> &'static ContractObs {
+    static OBS: std::sync::OnceLock<ContractObs> = std::sync::OnceLock::new();
+    OBS.get_or_init(|| {
+        let rec = bimst_obs::global();
+        ContractObs {
+            propagate_ns: rec.histogram("engine_propagate_ns"),
+            rounds: rec.counter("engine_rounds"),
+            frontier: rec.histogram("engine_frontier"),
+            round_gather_ns: rec.histogram("engine_round_gather_ns"),
+            round_decide_ns: rec.histogram("engine_round_decide_ns"),
+            round_structure_ns: rec.histogram("engine_round_structure_ns"),
+        }
+    })
 }
 
 /// What a vertex does at a given round.
@@ -742,6 +792,11 @@ impl Engine {
     /// engine-owned scratch, taken out for the duration of the rounds so the
     /// planning borrows stay disjoint from the applying ones.
     pub fn propagate(&mut self) {
+        // Span-time the whole propagation, but only when the batch is big
+        // enough that the two clock reads are noise (see OBS_SPAN_GRAIN).
+        let timed =
+            self.flagged0.len() + self.dirty.len() >= OBS_SPAN_GRAIN && bimst_obs::enabled();
+        let _span = timed.then(|| cobs().propagate_ns.time());
         let mut ws = std::mem::take(&mut self.scratch);
         // The round-0 frontier moves into the scratch; `flagged0` keeps the
         // (empty) previous buffer so both ratchet to their high-water marks.
@@ -780,6 +835,11 @@ impl Engine {
                 debug_assert!(self.dirty.is_empty(), "dirty nodes left unresolved");
                 break;
             }
+            // Structured round stats (always on; relaxed atomic adds)...
+            let o = cobs();
+            o.rounds.inc();
+            o.frontier.record(ws.set.len() as u64);
+            // ...and the opt-in human-readable rendering of the same.
             if prop_stats() {
                 eprintln!(
                     "round {r}: set={} dirty={} cur={}",
@@ -818,6 +878,12 @@ impl Engine {
         // gathered by an earlier packed round can never alias this one's
         // arena-fallback reads.
         let packed = r >= RESIDENT_ROUNDS && ws.set.len() > PACK_GRAIN;
+        // Phase timings for rounds whose frontier already warrants a sort:
+        // four clock reads against thousands of arena touches. Small rounds
+        // skip the clocks entirely (same pure-size gating discipline as the
+        // sort and pack cutoffs, so determinism is unaffected).
+        let timed = ws.set.len() > SORT_GRAIN && bimst_obs::enabled();
+        let t_begin = timed.then(std::time::Instant::now);
         if r >= RESIDENT_ROUNDS {
             ws.pack.begin(if packed { self.nodes.len() } else { 0 });
         }
@@ -866,6 +932,8 @@ impl Engine {
             }
         }
 
+        let t_gathered = timed.then(std::time::Instant::now);
+
         // Phase 1: recompute decisions for P (parallel plan, serial commit).
         // Track which decisions actually changed — only those vertices (and
         // the structurally-changed set `A`) can alter what their neighbors
@@ -890,6 +958,8 @@ impl Engine {
                 }
             }
         }
+
+        let t_decided = timed.then(std::time::Instant::now);
 
         // Q: the vertices whose phase-2 inputs may differ from their stored
         // state. A vertex contributes new inputs to its neighbors iff its
@@ -964,6 +1034,12 @@ impl Engine {
         // No refresh after 2b: nothing reads round-`r` rows again this
         // round, and the next round re-gathers from the (authoritative)
         // arena.
+        if let (Some(t0), Some(t1), Some(t2)) = (t_begin, t_gathered, t_decided) {
+            let o = cobs();
+            o.round_gather_ns.record((t1 - t0).as_nanos() as u64);
+            o.round_decide_ns.record((t2 - t1).as_nanos() as u64);
+            o.round_structure_ns.record(t2.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Children of the terminal cluster `v` forms when dying at round `r`:

@@ -357,14 +357,33 @@ impl BarrierTicket {
 #[derive(Clone)]
 pub struct ServiceHandle {
     tx: SyncSender<Req>,
+    /// `service_submitted_ops`: everything admitted through this service's
+    /// handles (writes, queries, barriers, metrics requests). The writer
+    /// pairs it with its own processed count to derive the queue depth.
+    submitted: bimst_obs::Counter,
+    /// `service_rejected_full`: non-blocking submissions bounced with
+    /// [`TrySubmitError::Full`] (backpressure events, never admitted).
+    rejected: bimst_obs::Counter,
 }
 
 impl ServiceHandle {
+    fn new(tx: SyncSender<Req>, rec: &bimst_obs::Recorder) -> ServiceHandle {
+        ServiceHandle {
+            tx,
+            submitted: rec.counter("service_submitted_ops"),
+            rejected: rec.counter("service_rejected_full"),
+        }
+    }
+
     /// Admits an insert batch (blocking under backpressure). The edges are
     /// appended on the new side of the window, positions assigned in
     /// admission order.
     pub fn insert(&self, edges: Vec<(VertexId, VertexId)>) -> Result<(), ServiceClosed> {
-        self.tx.send(Req::Insert(edges)).map_err(|_| ServiceClosed)
+        self.tx
+            .send(Req::Insert(edges))
+            .map_err(|_| ServiceClosed)?;
+        self.submitted.inc();
+        Ok(())
     }
 
     /// [`ServiceHandle::insert`] without blocking: under a full queue the
@@ -373,44 +392,71 @@ impl ServiceHandle {
         &self,
         edges: Vec<(VertexId, VertexId)>,
     ) -> Result<(), TrySubmitError<Vec<(VertexId, VertexId)>>> {
-        self.tx.try_send(Req::Insert(edges)).map_err(|e| match e {
-            TrySendError::Full(Req::Insert(v)) => TrySubmitError::Full(v),
-            TrySendError::Disconnected(Req::Insert(v)) => TrySubmitError::Closed(v),
-            _ => unreachable!("try_insert sent Req::Insert"),
-        })
+        match self.tx.try_send(Req::Insert(edges)) {
+            Ok(()) => {
+                self.submitted.inc();
+                Ok(())
+            }
+            Err(TrySendError::Full(Req::Insert(v))) => {
+                self.rejected.inc();
+                Err(TrySubmitError::Full(v))
+            }
+            Err(TrySendError::Disconnected(Req::Insert(v))) => Err(TrySubmitError::Closed(v)),
+            Err(_) => unreachable!("try_insert sent Req::Insert"),
+        }
     }
 
     /// Admits an expiration of the `delta` oldest stream positions
     /// (blocking under backpressure).
     pub fn expire(&self, delta: u64) -> Result<(), ServiceClosed> {
-        self.tx.send(Req::Expire(delta)).map_err(|_| ServiceClosed)
+        self.tx
+            .send(Req::Expire(delta))
+            .map_err(|_| ServiceClosed)?;
+        self.submitted.inc();
+        Ok(())
     }
 
     /// [`ServiceHandle::expire`] without blocking.
     pub fn try_expire(&self, delta: u64) -> Result<(), TrySubmitError<u64>> {
-        self.tx.try_send(Req::Expire(delta)).map_err(|e| match e {
-            TrySendError::Full(Req::Expire(d)) => TrySubmitError::Full(d),
-            TrySendError::Disconnected(Req::Expire(d)) => TrySubmitError::Closed(d),
-            _ => unreachable!("try_expire sent Req::Expire"),
-        })
+        match self.tx.try_send(Req::Expire(delta)) {
+            Ok(()) => {
+                self.submitted.inc();
+                Ok(())
+            }
+            Err(TrySendError::Full(Req::Expire(d))) => {
+                self.rejected.inc();
+                Err(TrySubmitError::Full(d))
+            }
+            Err(TrySendError::Disconnected(Req::Expire(d))) => Err(TrySubmitError::Closed(d)),
+            Err(_) => unreachable!("try_expire sent Req::Expire"),
+        }
     }
 
     /// Admits a query batch (blocking under backpressure); the ticket
     /// resolves with answers computed at the admission generation.
     pub fn query(&self, req: QueryReq) -> Result<QueryTicket, ServiceClosed> {
         let (resp, rx) = mpsc::channel();
+        let at = bimst_obs::enabled().then(std::time::Instant::now);
         self.tx
-            .send(Req::Query { req, resp })
+            .send(Req::Query { req, resp, at })
             .map_err(|_| ServiceClosed)?;
+        self.submitted.inc();
         Ok(QueryTicket { rx })
     }
 
     /// [`ServiceHandle::query`] without blocking.
     pub fn try_query(&self, req: QueryReq) -> Result<QueryTicket, TrySubmitError<QueryReq>> {
         let (resp, rx) = mpsc::channel();
-        match self.tx.try_send(Req::Query { req, resp }) {
-            Ok(()) => Ok(QueryTicket { rx }),
-            Err(TrySendError::Full(Req::Query { req, .. })) => Err(TrySubmitError::Full(req)),
+        let at = bimst_obs::enabled().then(std::time::Instant::now);
+        match self.tx.try_send(Req::Query { req, resp, at }) {
+            Ok(()) => {
+                self.submitted.inc();
+                Ok(QueryTicket { rx })
+            }
+            Err(TrySendError::Full(Req::Query { req, .. })) => {
+                self.rejected.inc();
+                Err(TrySubmitError::Full(req))
+            }
             Err(TrySendError::Disconnected(Req::Query { req, .. })) => {
                 Err(TrySubmitError::Closed(req))
             }
@@ -435,7 +481,28 @@ impl ServiceHandle {
         self.tx
             .send(Req::Barrier(resp))
             .map_err(|_| ServiceClosed)?;
+        self.submitted.inc();
         Ok(BarrierTicket { rx })
+    }
+
+    /// A generation-consistent metrics snapshot: the request rides the
+    /// admission queue, so the writer answers it after everything admitted
+    /// before it (FIFO) and the snapshot's counters cover exactly that
+    /// prefix. Folds the service's own registry with the window
+    /// structure's (tenant routing) and the process-global one (engine
+    /// rounds, query plans — aggregated across *all* services in the
+    /// process). Blocks under backpressure like any other submission.
+    ///
+    /// Export with [`bimst_obs::Snapshot::to_json`] or
+    /// [`bimst_obs::Snapshot::to_prometheus`]. With the `obs` feature off
+    /// the snapshot is empty.
+    pub fn metrics_snapshot(&self) -> Result<bimst_obs::Snapshot, ServiceClosed> {
+        let (resp, rx) = mpsc::channel();
+        self.tx
+            .send(Req::Metrics(resp))
+            .map_err(|_| ServiceClosed)?;
+        self.submitted.inc();
+        rx.recv().map_err(|_| ServiceClosed)
     }
 
     /// Adapter from a `bimst_graphgen` mixed-workload op
@@ -467,7 +534,7 @@ impl Service {
     /// Starts a service around an existing window structure (in-memory:
     /// no WAL; `cfg.sync` / `cfg.checkpoint_every` are ignored).
     pub fn start<W: ServeWindow>(w: W, cfg: ServiceConfig) -> Service {
-        Service::spawn(w, cfg, 0, None)
+        Service::spawn(w, cfg, 0, None, bimst_obs::Recorder::new())
     }
 
     fn spawn<W: ServeWindow>(
@@ -475,14 +542,19 @@ impl Service {
         cfg: ServiceConfig,
         generation: u64,
         dur: Option<DurCtl<W>>,
+        rec: bimst_obs::Recorder,
     ) -> Service {
         let (tx, rx) = mpsc::sync_channel(cfg.queue_cap.max(1));
+        // Handle counters register on the same per-service recorder the
+        // writer snapshots, so submitted/rejected show up in
+        // `metrics_snapshot()` without any cross-thread plumbing.
+        let handle = ServiceHandle::new(tx, &rec);
         let writer = std::thread::Builder::new()
             .name("bimst-serve-writer".into())
-            .spawn(move || shard::writer_main(w, cfg, rx, generation, dur))
+            .spawn(move || shard::writer_main(w, cfg, rx, generation, dur, rec))
             .expect("spawn bimst-service writer thread");
         Service {
-            handle: ServiceHandle { tx },
+            handle,
             writer: Some(writer),
         }
     }
@@ -609,10 +681,14 @@ impl Service {
 
     fn start_durable<W: ServeWindow + WindowCheckpoint>(
         w: W,
-        store: bimst_wal::Store,
+        mut store: bimst_wal::Store,
         generation: u64,
         cfg: ServiceConfig,
     ) -> Service {
+        let rec = bimst_obs::Recorder::new();
+        // WAL metrics (`wal_*`) land on the service recorder: the store is
+        // owned by this writer, so they are per-service too.
+        store.attach_obs(&rec);
         Service::spawn(
             w,
             cfg,
@@ -626,6 +702,7 @@ impl Service {
                     (tw, t, w.compact_edges())
                 },
             )),
+            rec,
         )
     }
 
@@ -792,8 +869,9 @@ mod tests {
     fn submitting_to_a_dead_writer_fails_cleanly() {
         let (tx, rx) = mpsc::sync_channel(4);
         drop(rx);
-        let h = ServiceHandle { tx };
+        let h = ServiceHandle::new(tx, &bimst_obs::Recorder::new());
         assert_eq!(h.insert(vec![(0, 1)]), Err(ServiceClosed));
+        assert!(h.metrics_snapshot().is_err());
         assert!(matches!(h.try_expire(1), Err(TrySubmitError::Closed(1))));
         assert!(matches!(
             h.try_insert(vec![(2, 3)]),

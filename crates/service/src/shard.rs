@@ -26,6 +26,10 @@ use crate::{Answered, QueryReq, QueryResp, ServeWindow, ServiceConfig};
 /// is the plan's offset in the concatenated dedicated answer buffer.
 type DedPlan = (u32, Arc<Vec<(VertexId, VertexId)>>, usize);
 
+/// One coalesced query: request, reply channel, admission timestamp
+/// (`None` when recording is off).
+type RunEntry = (QueryReq, Sender<Answered>, Option<std::time::Instant>);
+
 /// An admitted operation (see `ServiceHandle` for the client-side view).
 pub(crate) enum Req {
     /// Append edges on the new side of the window.
@@ -38,9 +42,82 @@ pub(crate) enum Req {
         req: QueryReq,
         /// Where the [`Answered`] goes.
         resp: Sender<Answered>,
+        /// Admission timestamp for the admission-to-answer histograms
+        /// (`None` when recording is off — no clock is read).
+        at: Option<std::time::Instant>,
     },
     /// Resolve with the generation once prior writes are applied.
     Barrier(Sender<u64>),
+    /// Resolve with a metrics snapshot covering everything admitted (and
+    /// therefore, by FIFO order, processed) before this request.
+    Metrics(Sender<bimst_obs::Snapshot>),
+}
+
+/// The writer's metric handles, registered once per service on its own
+/// [`bimst_obs::Recorder`] (per-instance, so parallel tests never mix
+/// services). All recording is observe-only: relaxed atomic adds and
+/// span timers that never branch the apply/serve paths.
+pub(crate) struct SvcObs {
+    /// The service's registry ([`ServiceHandle::metrics_snapshot`] serves
+    /// it, folded with the window's and the process-global recorders).
+    pub(crate) rec: bimst_obs::Recorder,
+    /// `service_queue_depth`: admission-queue depth sampled at each
+    /// dequeue (client-side submitted counter minus writer-side processed).
+    queue_depth: bimst_obs::Histogram,
+    /// `service_merge_width_ops`: ops merged into each group commit.
+    merge_width: bimst_obs::Histogram,
+    /// `service_serve_ns`: publish→serve→retire latency of each coalesced
+    /// query run (one span per `serve`).
+    serve_ns: bimst_obs::Histogram,
+    /// `service_generation`: the writer's current generation.
+    generation: bimst_obs::Gauge,
+    /// `service_write_groups`: applied write groups (== generation
+    /// increments == WAL records appended for a durable service).
+    groups: bimst_obs::Counter,
+    /// `service_ops_insert` / `service_ops_expire`: admitted write ops by
+    /// kind (a group of width k counts k).
+    ops_insert: bimst_obs::Counter,
+    ops_expire: bimst_obs::Counter,
+    /// `service_queries_*`: admitted queries by kind (a batch of q pairs
+    /// counts q).
+    q_conn: bimst_obs::Counter,
+    q_pm: bimst_obs::Counter,
+    q_cs: bimst_obs::Counter,
+    q_tenant: bimst_obs::Counter,
+    /// `service_answer_ns_*`: admission-to-answer latency by kind.
+    lat_conn: bimst_obs::Histogram,
+    lat_pm: bimst_obs::Histogram,
+    lat_cs: bimst_obs::Histogram,
+    lat_tenant: bimst_obs::Histogram,
+    /// `service_tenant_shared_queries` / `service_tenant_dedicated_queries`:
+    /// tenant queries by resolved route.
+    tenant_shared: bimst_obs::Counter,
+    tenant_dedicated: bimst_obs::Counter,
+}
+
+impl SvcObs {
+    pub(crate) fn new(rec: bimst_obs::Recorder) -> Self {
+        SvcObs {
+            queue_depth: rec.histogram("service_queue_depth"),
+            merge_width: rec.histogram("service_merge_width_ops"),
+            serve_ns: rec.histogram("service_serve_ns"),
+            generation: rec.gauge("service_generation"),
+            groups: rec.counter("service_write_groups"),
+            ops_insert: rec.counter("service_ops_insert"),
+            ops_expire: rec.counter("service_ops_expire"),
+            q_conn: rec.counter("service_queries_window_connected"),
+            q_pm: rec.counter("service_queries_path_max"),
+            q_cs: rec.counter("service_queries_component_size"),
+            q_tenant: rec.counter("service_queries_tenant_connected"),
+            lat_conn: rec.histogram("service_answer_ns_window_connected"),
+            lat_pm: rec.histogram("service_answer_ns_path_max"),
+            lat_cs: rec.histogram("service_answer_ns_component_size"),
+            lat_tenant: rec.histogram("service_answer_ns_tenant_connected"),
+            tenant_shared: rec.counter("service_tenant_shared_queries"),
+            tenant_dedicated: rec.counter("service_tenant_dedicated_queries"),
+            rec,
+        }
+    }
 }
 
 /// The writer thread's durability side-car: the WAL store plus the policy
@@ -208,7 +285,15 @@ pub(crate) fn writer_main<W: ServeWindow>(
     rx: Receiver<Req>,
     mut generation: u64,
     mut dur: Option<DurCtl<W>>,
+    rec: bimst_obs::Recorder,
 ) {
+    let obs = SvcObs::new(rec);
+    // Handle-side admission counter, paired with the writer-local
+    // `processed` count below to derive the queue depth at each dequeue.
+    let submitted = obs.rec.counter("service_submitted_ops");
+    let mut processed = 0u64;
+    // The recovered starting point is visible even before the first group.
+    obs.generation.set(generation);
     let mut pool: ReaderPool<W> = ReaderPool::spawn(cfg.readers);
     let (done_tx, done_rx) = channel::<Partial>();
     // Under `Always`, records must be per-op, so group-commit merging is off.
@@ -218,7 +303,7 @@ pub(crate) fn writer_main<W: ServeWindow>(
     // Group-commit buffer, reused across groups.
     let mut wbuf: Vec<(VertexId, VertexId)> = Vec::new();
     // The current coalescing run of query requests, reused across runs.
-    let mut run: Vec<(QueryReq, Sender<Answered>)> = Vec::new();
+    let mut run: Vec<RunEntry> = Vec::new();
     // Merged-plan/answer buffers, reused across generations.
     let mut scratch = ServeScratch::default();
 
@@ -226,7 +311,14 @@ pub(crate) fn writer_main<W: ServeWindow>(
         let first = match carry.take() {
             Some(r) => r,
             None => match rx.recv() {
-                Ok(r) => r,
+                Ok(r) => {
+                    processed += 1;
+                    if bimst_obs::enabled() {
+                        obs.queue_depth
+                            .record(submitted.get().saturating_sub(processed));
+                    }
+                    r
+                }
                 Err(_) => break, // all handles dropped and queue drained
             },
         };
@@ -242,10 +334,12 @@ pub(crate) fn writer_main<W: ServeWindow>(
                 while merge && wbuf.len() < cfg.write_budget.max(1) {
                     match rx.try_recv() {
                         Ok(Req::Insert(more)) => {
+                            processed += 1;
                             wbuf.extend_from_slice(&more);
                             ops += 1;
                         }
                         Ok(other) => {
+                            processed += 1;
                             carry = Some(other);
                             break;
                         }
@@ -257,6 +351,10 @@ pub(crate) fn writer_main<W: ServeWindow>(
                 }
                 w.batch_insert(&wbuf);
                 generation += 1;
+                obs.groups.inc();
+                obs.ops_insert.add(ops);
+                obs.merge_width.record(ops);
+                obs.generation.set(generation);
                 if let Some(d) = dur.as_mut() {
                     d.maybe_checkpoint(&w, generation);
                 }
@@ -271,10 +369,12 @@ pub(crate) fn writer_main<W: ServeWindow>(
                     loop {
                         match rx.try_recv() {
                             Ok(Req::Expire(more)) => {
+                                processed += 1;
                                 delta = delta.saturating_add(more);
                                 ops += 1;
                             }
                             Ok(other) => {
+                                processed += 1;
                                 carry = Some(other);
                                 break;
                             }
@@ -287,6 +387,10 @@ pub(crate) fn writer_main<W: ServeWindow>(
                 }
                 w.batch_expire(delta);
                 generation += 1;
+                obs.groups.inc();
+                obs.ops_expire.add(ops);
+                obs.merge_width.record(ops);
+                obs.generation.set(generation);
                 if let Some(d) = dur.as_mut() {
                     d.maybe_checkpoint(&w, generation);
                 }
@@ -294,21 +398,39 @@ pub(crate) fn writer_main<W: ServeWindow>(
             Req::Barrier(resp) => {
                 let _ = resp.send(generation);
             }
-            Req::Query { req, resp } => {
+            Req::Metrics(resp) => {
+                // The snapshot folds the service's own registry with the
+                // window structure's (tenant routing) and the process-wide
+                // one (engine rounds, query plans). FIFO admission makes
+                // it cover everything this service admitted — and hence
+                // processed — before the request.
+                let mut snap = obs.rec.snapshot();
+                if let Some(r) = w.obs_recorder() {
+                    snap.absorb(&r.snapshot());
+                }
+                snap.absorb(&bimst_obs::global().snapshot());
+                let _ = resp.send(snap);
+            }
+            Req::Query { req, resp, at } => {
                 // Coalesce the queued run of queries admitted at this
                 // generation into shared-work plans. Barriers inside the
                 // run are answered inline (queries do not advance the
                 // generation, so their promise already holds).
                 run.clear();
-                run.push((req, resp));
+                run.push((req, resp, at));
                 if cfg.coalesce {
                     loop {
                         match rx.try_recv() {
-                            Ok(Req::Query { req, resp }) => run.push((req, resp)),
+                            Ok(Req::Query { req, resp, at }) => {
+                                processed += 1;
+                                run.push((req, resp, at));
+                            }
                             Ok(Req::Barrier(resp)) => {
+                                processed += 1;
                                 let _ = resp.send(generation);
                             }
                             Ok(other) => {
+                                processed += 1;
                                 carry = Some(other);
                                 break;
                             }
@@ -324,6 +446,7 @@ pub(crate) fn writer_main<W: ServeWindow>(
                     &done_rx,
                     &mut run,
                     &mut scratch,
+                    &obs,
                 );
             }
         }
@@ -352,9 +475,12 @@ fn serve<W: ServeWindow>(
     pool: &mut ReaderPool<W>,
     done_tx: &Sender<Partial>,
     done_rx: &Receiver<Partial>,
-    run: &mut Vec<(QueryReq, Sender<Answered>)>,
+    run: &mut Vec<RunEntry>,
     ws: &mut ServeScratch,
+    obs: &SvcObs,
 ) {
+    // One span covers the whole publish→serve→retire protocol.
+    let _span = obs.serve_ns.time();
     // Merge per kind, in run order (so per-kind cursors can split answers
     // back without bookkeeping). The buffers arrive cleared from the
     // previous generation's reclaim.
@@ -362,19 +488,32 @@ fn serve<W: ServeWindow>(
     debug_assert!(ws.tconn.is_empty() && ws.tcut.is_empty());
     let mut ded_plans: Vec<DedPlan> = Vec::new();
     let mut ded_total = 0usize;
-    for (req, _) in run.iter() {
+    for (req, _, _) in run.iter() {
         match req {
-            QueryReq::WindowConnected(qs) => ws.conn.extend_from_slice(qs),
-            QueryReq::PathMax(qs) => ws.pm.extend_from_slice(qs),
-            QueryReq::ComponentSize(vs) => ws.cs.extend_from_slice(vs),
+            QueryReq::WindowConnected(qs) => {
+                obs.q_conn.add(qs.len() as u64);
+                ws.conn.extend_from_slice(qs);
+            }
+            QueryReq::PathMax(qs) => {
+                obs.q_pm.add(qs.len() as u64);
+                ws.pm.extend_from_slice(qs);
+            }
+            QueryReq::ComponentSize(vs) => {
+                obs.q_cs.add(vs.len() as u64);
+                ws.cs.extend_from_slice(vs);
+            }
             QueryReq::TenantConnected { tenant, pairs } => match w.tenant_route(*tenant) {
                 // Shared-routed tenants merge into one plan: pairs
                 // concatenate, the tenant's cutoff repeats per query.
                 Some(TenantRoute::Shared { cutoff }) => {
+                    obs.q_tenant.add(pairs.len() as u64);
+                    obs.tenant_shared.add(pairs.len() as u64);
                     ws.tconn.extend_from_slice(pairs);
                     ws.tcut.resize(ws.tconn.len(), cutoff);
                 }
                 Some(TenantRoute::Dedicated(_)) => {
+                    obs.q_tenant.add(pairs.len() as u64);
+                    obs.tenant_dedicated.add(pairs.len() as u64);
                     ded_plans.push((*tenant, Arc::new(pairs.clone()), ded_total));
                     ded_total += pairs.len();
                 }
@@ -487,7 +626,7 @@ fn serve<W: ServeWindow>(
     // that dropped its ticket makes the send fail; that is its business.
     let (mut ci, mut pi, mut si) = (0usize, 0usize, 0usize);
     let (mut ti, mut di) = (0usize, 0usize);
-    for (req, resp) in run.drain(..) {
+    for (req, resp, at) in run.drain(..) {
         let answers = match &req {
             QueryReq::WindowConnected(qs) => {
                 let out = ws.conn_out[ci..ci + qs.len()].to_vec();
@@ -523,6 +662,17 @@ fn serve<W: ServeWindow>(
                 QueryResp::WindowConnected(out)
             }
         };
+        // Admission-to-answer latency, per kind. `at` is stamped at
+        // submission iff recording was on, so the off twin reads no clock.
+        if let Some(at) = at {
+            let ns = at.elapsed().as_nanos() as u64;
+            match &req {
+                QueryReq::WindowConnected(_) => obs.lat_conn.record(ns),
+                QueryReq::PathMax(_) => obs.lat_pm.record(ns),
+                QueryReq::ComponentSize(_) => obs.lat_cs.record(ns),
+                QueryReq::TenantConnected { .. } => obs.lat_tenant.record(ns),
+            }
+        }
         let _ = resp.send(Answered {
             generation,
             resp: answers,
@@ -587,11 +737,14 @@ mod tests {
         ];
         for req in &reqs {
             let (tx, rx) = channel();
-            run.push((req.clone(), tx));
+            run.push((req.clone(), tx, None));
             rxs.push(rx);
         }
         let mut ws = ServeScratch::default();
-        serve(&w, 7, &mut pool, &done_tx, &done_rx, &mut run, &mut ws);
+        let obs = SvcObs::new(bimst_obs::Recorder::new());
+        serve(
+            &w, 7, &mut pool, &done_tx, &done_rx, &mut run, &mut ws, &obs,
+        );
         assert!(run.is_empty(), "serve consumes the run");
 
         let answers: Vec<Answered> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
@@ -632,9 +785,12 @@ mod tests {
         let mut pool: ReaderPool<SwConnEager> = ReaderPool::spawn(3);
         let (done_tx, done_rx) = channel();
         let (tx, rx) = channel();
-        let mut run = vec![(QueryReq::WindowConnected(pairs.clone()), tx)];
+        let mut run = vec![(QueryReq::WindowConnected(pairs.clone()), tx, None)];
         let mut ws = ServeScratch::default();
-        serve(&w, 1, &mut pool, &done_tx, &done_rx, &mut run, &mut ws);
+        let obs = SvcObs::new(bimst_obs::Recorder::new());
+        serve(
+            &w, 1, &mut pool, &done_tx, &done_rx, &mut run, &mut ws, &obs,
+        );
         let got = rx.recv().unwrap().resp.into_window_connected().unwrap();
         let want: Vec<bool> = pairs.iter().map(|&(u, v)| w.is_connected(u, v)).collect();
         assert_eq!(got, want);
@@ -679,11 +835,14 @@ mod tests {
         reqs.push(QueryReq::WindowConnected(pairs.clone()));
         for req in &reqs {
             let (tx, rx) = channel();
-            run.push((req.clone(), tx));
+            run.push((req.clone(), tx, None));
             rxs.push(rx);
         }
         let mut ws = ServeScratch::default();
-        serve(&w, 4, &mut pool, &done_tx, &done_rx, &mut run, &mut ws);
+        let obs = SvcObs::new(bimst_obs::Recorder::new());
+        serve(
+            &w, 4, &mut pool, &done_tx, &done_rx, &mut run, &mut ws, &obs,
+        );
 
         let answers: Vec<Answered> = rxs.into_iter().map(|rx| rx.recv().unwrap()).collect();
         for (i, s) in specs.iter().enumerate() {
@@ -722,6 +881,7 @@ mod tests {
         let mut pool: ReaderPool<SwConnEager> = ReaderPool::spawn(3);
         let (done_tx, done_rx) = channel();
         let mut ws = ServeScratch::default();
+        let obs = SvcObs::new(bimst_obs::Recorder::new());
         let pairs: Vec<(u32, u32)> = (0..400u32).map(|i| (i % 300, (i * 11 + 5) % 300)).collect();
         let verts: Vec<u32> = (0..250u32).map(|i| (i * 7) % 300).collect();
 
@@ -735,10 +895,10 @@ mod tests {
                 QueryReq::WindowConnected(pairs[..64].to_vec()),
             ] {
                 let (tx, rx) = channel();
-                run.push((req, tx));
+                run.push((req, tx, None));
                 rxs.push(rx);
             }
-            serve(&w, gen, &mut pool, &done_tx, &done_rx, &mut run, ws);
+            serve(&w, gen, &mut pool, &done_tx, &done_rx, &mut run, ws, &obs);
             for rx in rxs {
                 rx.recv().expect("answer delivered");
             }

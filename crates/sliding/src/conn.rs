@@ -38,6 +38,14 @@ pub trait SlidingWrite {
 
     /// Number of vertices.
     fn num_vertices(&self) -> usize;
+
+    /// The structure's own metrics registry, when it keeps one (the
+    /// multi-tenant [`TenantSet`](crate::TenantSet) records routing and
+    /// cutoff-lag metrics). Plain windows return `None`; a serving layer
+    /// folds whatever is returned into its snapshot.
+    fn obs_recorder(&self) -> Option<&bimst_obs::Recorder> {
+        None
+    }
 }
 
 /// The checkpoint/restore surface a durability layer (`bimst-wal`) drives:

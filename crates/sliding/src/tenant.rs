@@ -86,6 +86,37 @@ pub struct TenantSet {
     /// Explicitly expired stream prefix (from [`TenantSet::batch_expire`]);
     /// clamps every tenant's cutoff from below.
     floor: u64,
+    /// This set's own metrics registry (routing counts, cutoff lag); a
+    /// serving layer reaches it via [`SlidingWrite::obs_recorder`] and
+    /// folds it into its snapshot.
+    obs: TenantObs,
+}
+
+/// Metric handles for one tenant set, on its own [`bimst_obs::Recorder`]
+/// (per-instance, so parallel tests and co-resident sets never mix).
+struct TenantObs {
+    rec: bimst_obs::Recorder,
+    /// `tenant_queries_shared`: sequential-reference queries answered
+    /// through the shared structure + cutoff filter.
+    shared_queries: bimst_obs::Counter,
+    /// `tenant_queries_dedicated`: sequential-reference queries answered by
+    /// a dedicated fallback structure.
+    dedicated_queries: bimst_obs::Counter,
+    /// `tenant_cutoff_lag`: per tenant per write batch, how far its cutoff
+    /// `τᵢ` sits ahead of the shared structure's left endpoint.
+    cutoff_lag: bimst_obs::Histogram,
+}
+
+impl TenantObs {
+    fn new() -> Self {
+        let rec = bimst_obs::Recorder::new();
+        TenantObs {
+            shared_queries: rec.counter("tenant_queries_shared"),
+            dedicated_queries: rec.counter("tenant_queries_dedicated"),
+            cutoff_lag: rec.histogram("tenant_cutoff_lag"),
+            rec,
+        }
+    }
 }
 
 impl TenantSet {
@@ -123,7 +154,13 @@ impl TenantSet {
             max_window,
             tenants,
             floor: 0,
+            obs: TenantObs::new(),
         }
+    }
+
+    /// This set's metrics registry (`tenant_*` metrics).
+    pub fn obs(&self) -> &bimst_obs::Recorder {
+        &self.obs.rec
     }
 
     fn entry(&self, tenant: u32) -> Option<&TenantEntry> {
@@ -137,12 +174,17 @@ impl TenantSet {
     /// cutoff (windows are suffixes of the stream, so cutoffs only grow).
     fn advance(&mut self) {
         let t = self.shared.window().1;
-        self.shared
-            .expire_before(t.saturating_sub(self.max_window).max(self.floor));
+        let shared_start = t.saturating_sub(self.max_window).max(self.floor);
+        self.shared.expire_before(shared_start);
         for e in &mut self.tenants {
             if let Some(d) = &mut e.dedicated {
                 d.expire_before(t.saturating_sub(e.window).max(self.floor));
             }
+            // Cutoff lag: how far this tenant's visible suffix starts ahead
+            // of the shared structure's left endpoint (0 for the ℓ_max
+            // tenant; larger for shorter windows).
+            let tau = t.saturating_sub(e.window).max(self.floor);
+            self.obs.cutoff_lag.record(tau - shared_start);
         }
     }
 
@@ -238,8 +280,10 @@ impl TenantSet {
             .entry(tenant)
             .unwrap_or_else(|| panic!("bimst-sliding: unknown tenant id {tenant}"));
         if let Some(d) = &e.dedicated {
+            self.obs.dedicated_queries.inc();
             return d.is_connected(u, v);
         }
+        self.obs.shared_queries.inc();
         if u == v {
             return true;
         }
@@ -265,6 +309,9 @@ impl SlidingWrite for TenantSet {
     }
     fn num_vertices(&self) -> usize {
         TenantSet::num_vertices(self)
+    }
+    fn obs_recorder(&self) -> Option<&bimst_obs::Recorder> {
+        Some(&self.obs.rec)
     }
 }
 

@@ -356,6 +356,22 @@ pub fn recover_dir(dir: impl AsRef<Path>) -> io::Result<(Meta, Recovery)> {
     ))
 }
 
+/// Metric handles for the store's hot paths, cached at attach time so the
+/// append/sync paths never touch a registry. Observe-only: recording never
+/// changes what gets written or when.
+struct WalObs {
+    /// `wal_records_appended`: one per appended record (== one per applied
+    /// write group under the service's log-before-apply discipline).
+    records: bimst_obs::Counter,
+    /// `wal_bytes_appended`: framed bytes written to the segment.
+    bytes: bimst_obs::Counter,
+    /// `wal_fsync_ns`: latency of each [`Store::sync`].
+    fsync: bimst_obs::Histogram,
+    /// `wal_checkpoint_ns`: duration of each non-trivial checkpoint
+    /// (install + segment roll + retention).
+    checkpoint: bimst_obs::Histogram,
+}
+
 /// An open, appendable WAL store. One writer at a time (the service's
 /// writer thread); the file cursor is the append position.
 pub struct Store {
@@ -366,6 +382,8 @@ pub struct Store {
     /// Scratch for one record's payload / frame, reused across appends.
     payload: Vec<u8>,
     frame: Vec<u8>,
+    /// Metric handles, when a recorder has been attached.
+    obs: Option<WalObs>,
 }
 
 impl Store {
@@ -393,7 +411,20 @@ impl Store {
             seg_start: 0,
             payload: Vec::new(),
             frame: Vec::new(),
+            obs: None,
         })
+    }
+
+    /// Registers this store's metrics (`wal_records_appended`,
+    /// `wal_bytes_appended`, `wal_fsync_ns`, `wal_checkpoint_ns`) on
+    /// `rec` and starts recording into them. Call once, before serving.
+    pub fn attach_obs(&mut self, rec: &bimst_obs::Recorder) {
+        self.obs = Some(WalObs {
+            records: rec.counter("wal_records_appended"),
+            bytes: rec.counter("wal_bytes_appended"),
+            fsync: rec.histogram("wal_fsync_ns"),
+            checkpoint: rec.histogram("wal_checkpoint_ns"),
+        });
     }
 
     /// Recovers the store in `dir` and prepares it for appending: the torn
@@ -433,6 +464,7 @@ impl Store {
                 seg_start,
                 payload: Vec::new(),
                 frame: Vec::new(),
+                obs: None,
             },
             s.meta,
             Recovery {
@@ -467,11 +499,16 @@ impl Store {
     fn write_record(&mut self) -> io::Result<()> {
         self.frame.clear();
         write_frame(&mut self.frame, &self.payload);
+        if let Some(o) = &self.obs {
+            o.records.inc();
+            o.bytes.add(self.frame.len() as u64);
+        }
         self.seg.write_all(&self.frame)
     }
 
     /// Forces every appended record to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        let _span = self.obs.as_ref().map(|o| o.fsync.time());
         self.seg.sync_data()
     }
 
@@ -487,6 +524,8 @@ impl Store {
             // empty store) already covers this state.
             return Ok(());
         }
+        let ck_hist = self.obs.as_ref().map(|o| o.checkpoint.clone());
+        let _span = ck_hist.as_ref().map(bimst_obs::Histogram::time);
         self.sync()?;
         self.payload.clear();
         encode_ckpt(ck, &mut self.payload);

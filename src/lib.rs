@@ -91,3 +91,10 @@ pub use bimst_primitives as primitives;
 
 /// Workload generators (re-export of `bimst-graphgen`).
 pub use bimst_graphgen as graphgen;
+
+/// Metrics and tracing: recorders, counters, histograms, span timers,
+/// JSON / Prometheus snapshot export (re-export of `bimst-obs`). Every
+/// layer above records into this subsystem when the default `obs`
+/// feature is on; with `--no-default-features` the same API compiles to
+/// nothing.
+pub use bimst_obs as obs;
