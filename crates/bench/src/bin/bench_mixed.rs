@@ -33,8 +33,20 @@
 //! first. An `insert` row records write throughput during the mixed run so
 //! read-path PRs can't silently tax the write path.
 //!
+//! After the three kinds above are measured, a **post-pass** on the same
+//! sliding structure measures the monoid fold path (`path_fold_min` rows:
+//! `QueryBatch::batch_path_fold::<MinW>` vs the sequential
+//! `BatchMsf::path_fold::<MinW>` loop). It runs strictly after the main
+//! rows so the `path_max` / `window_connected` / `component_size` stream
+//! and measurements stay byte-identical to pre-refactor binaries — that is
+//! what makes a paired same-day baseline comparison valid.
+//!
 //! Scale knobs (positional): `bench_mixed [n] [window] [rounds]`. CI runs a
 //! tiny instance as a smoke test; committed numbers use the defaults.
+//! `--baseline-from <file>` embeds a prior run's rows (produced by the
+//! pre-refactor binary the same day) as a `baseline_prerefactor_same_day`
+//! block, which the schema gate compares `path_max` medians/p99s against
+//! (±5% blocker at committed scale).
 
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -42,6 +54,7 @@ use std::time::Instant;
 
 use bimst_bench::Samples;
 use bimst_graphgen::{MixedConfig, MixedStream, MixedTopology, Op};
+use bimst_primitives::MinW;
 use bimst_query::{QueryBatch, ReadHandle};
 use bimst_sliding::SwConnEager;
 
@@ -91,7 +104,7 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
             Op::ComponentSizeQueries(vs) => {
                 black_box(q.batch_component_size(ReadHandle::new(eager.msf()), &vs));
             }
-            Op::TenantConnectedQueries(..) => unreachable!("tenants: 0 stream"),
+            _ => unreachable!("tenants: 0, folds off"),
         }
     }
 
@@ -151,7 +164,39 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
                 let secs = t0.elapsed().as_secs_f64();
                 if cs_t { &mut cs_b } else { &mut cs_s }.record(secs, vs.len());
             }
-            Op::TenantConnectedQueries(..) => unreachable!("tenants: 0 stream"),
+            _ => unreachable!("tenants: 0, folds off"),
+        }
+    }
+
+    // Post-pass: the monoid fold path, measured after (never interleaved
+    // with) the rows above — see the module docs for why. The stream keeps
+    // running (inserts/expires still applied, so the window keeps sliding)
+    // and the pair-carrying query ops double as MinW fold batches,
+    // alternating engines exactly like the main loop.
+    let (mut pf_b, mut pf_s) = (Samples::default(), Samples::default());
+    let mut pf_t = false;
+    for _ in 0..rounds * ops_per_round {
+        match stream.next_op() {
+            Op::Insert(b) => {
+                eager.batch_insert(&b);
+            }
+            Op::Expire(d) => eager.batch_expire(d),
+            Op::ConnectedQueries(qs) | Op::PathMaxQueries(qs) => {
+                pf_t = !pf_t;
+                let msf = eager.msf();
+                let t0 = Instant::now();
+                if pf_t {
+                    black_box(q.batch_path_fold::<MinW>(ReadHandle::new(msf), &qs));
+                } else {
+                    for &(u, v) in &qs {
+                        black_box(msf.path_fold::<MinW>(u, v));
+                    }
+                }
+                let secs = t0.elapsed().as_secs_f64();
+                if pf_t { &mut pf_b } else { &mut pf_s }.record(secs, qs.len());
+            }
+            Op::ComponentSizeQueries(_) => {}
+            _ => unreachable!("tenants: 0, folds off"),
         }
     }
 
@@ -162,6 +207,8 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
         pm_s.row("path_max", "seq", qbatch),
         cs_b.row("component_size", "batch", qbatch),
         cs_s.row("component_size", "seq", qbatch),
+        pf_b.row("path_fold_min", "batch", qbatch),
+        pf_s.row("path_fold_min", "seq", qbatch),
         insert.row("insert", "write", 4096),
     ];
     for r in &rows {
@@ -170,8 +217,49 @@ fn run_config(n: usize, window: u64, rounds: usize, qbatch: usize) -> Vec<String
     rows
 }
 
+/// Pulls the `"measurements"` array lines (one row object per line, as
+/// this binary writes them) out of a previously emitted
+/// `BENCH_mixed_workload.json`, for re-embedding as the paired baseline.
+fn baseline_rows(path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--baseline-from: cannot read {path}: {e}"));
+    let mut rows = Vec::new();
+    let mut inside = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if t.starts_with("\"measurements\"") {
+            inside = true;
+            continue;
+        }
+        if inside {
+            if t.starts_with('{') {
+                rows.push(t.trim_end_matches(',').to_string());
+            } else if t.starts_with(']') {
+                break;
+            }
+        }
+    }
+    assert!(
+        !rows.is_empty(),
+        "--baseline-from: no measurement rows found in {path}"
+    );
+    rows
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    // `--baseline-from <file>`: rows of a same-day pre-refactor run, to be
+    // embedded verbatim for the schema gate's paired ±5% comparison.
+    let baseline = args
+        .iter()
+        .position(|a| a == "--baseline-from")
+        .map(|i| {
+            assert!(i + 1 < args.len(), "--baseline-from needs a file path");
+            let path = args[i + 1].clone();
+            args.drain(i..=i + 1);
+            path
+        })
+        .map(|path| baseline_rows(&path));
     let n: usize = args
         .get(1)
         .and_then(|s| s.parse().ok())
@@ -206,6 +294,19 @@ fn main() {
         json,
         "  \"baseline\": \"engine=seq rows are the sequential per-query loop over identically-distributed batches alternated with the batch engine in the same run (paired same-day)\","
     );
+    if let Some(rows) = &baseline {
+        json.push_str("  \"baseline_prerefactor_same_day\": {\n");
+        let _ = writeln!(
+            json,
+            "    \"note\": \"rows of the pre-refactor binary on the identical op stream, run interleaved the same day on this host\","
+        );
+        json.push_str("    \"measurements\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let comma = if i + 1 == rows.len() { "" } else { "," };
+            let _ = writeln!(json, "      {r}{comma}");
+        }
+        json.push_str("    ]\n  },\n");
+    }
     json.push_str("  \"measurements\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let comma = if i + 1 == rows.len() { "" } else { "," };

@@ -112,11 +112,12 @@ impl Cells {
 /// Number of queries in a query op (0 for writes).
 fn op_len(op: &Op) -> usize {
     match op {
-        Op::ConnectedQueries(q) | Op::PathMaxQueries(q) | Op::TenantConnectedQueries(_, q) => {
-            q.len()
-        }
+        Op::ConnectedQueries(q)
+        | Op::PathMaxQueries(q)
+        | Op::TenantConnectedQueries(_, q)
+        | Op::PathFoldQueries(_, q) => q.len(),
         Op::ComponentSizeQueries(q) => q.len(),
-        Op::Insert(_) | Op::Expire(_) => 0,
+        _ => 0,
     }
 }
 

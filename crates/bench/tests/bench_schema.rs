@@ -155,6 +155,89 @@ fn stage_breakdown_ok(doc: &Json) -> bool {
     }
 }
 
+/// The mixed bench's fold-generalization requirement (ISSUE 9): the
+/// artifact must price a non-max monoid through the generic fold path —
+/// `kind: "path_fold_min"` rows for both the batch plan and its paired
+/// sequential per-query loop, measured in the same run. A refresh from a
+/// binary that predates (or drops) `path_fold` would silently revert the
+/// serving surface to max-only; this makes that loud. One predicate,
+/// used by the gate and its rejection fixtures.
+fn has_path_fold_rows(rows: &[Json]) -> bool {
+    let fold_row = |engine: &str| {
+        rows.iter().any(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("path_fold_min")
+                && r.get("engine").and_then(Json::as_str) == Some(engine)
+        })
+    };
+    fold_row("batch") && fold_row("seq")
+}
+
+/// The refactor's perf blocker (ISSUE 9 acceptance): at protocol scale
+/// (n ≥ 1M) the mixed artifact must embed the pre-refactor binary's rows
+/// (`baseline_prerefactor_same_day`, produced by `--baseline-from` on an
+/// interleaved same-day run of the stashed pre binary) and no `path_max`
+/// batch row may be more than 5% *slower* than its pre-refactor pair on
+/// `batch_median` or `batch_p99`. One-sided on purpose: the repo's perf
+/// protocol gates regressions (ROADMAP: "tails gate regressions"), and
+/// `path_max` is now a wrapper over `path_fold::<MaxW>` — what this gate
+/// must catch is the wrapper costing something, which shows as a
+/// positive delta; a faster post row is never a blocker. Returns the
+/// first violation so the gate's panic names the row.
+fn path_max_within_prerefactor_band(doc: &Json) -> Result<(), String> {
+    let pre = doc
+        .get("baseline_prerefactor_same_day")
+        .and_then(|b| b.get("measurements"))
+        .and_then(Json::as_arr)
+        .ok_or("baseline_prerefactor_same_day block with measurements missing")?;
+    let rows = doc
+        .get("measurements")
+        .and_then(Json::as_arr)
+        .ok_or("measurements missing")?;
+    let mut compared = 0usize;
+    for row in rows {
+        if row.get("kind").and_then(Json::as_str) != Some("path_max")
+            || row.get("engine").and_then(Json::as_str) != Some("batch")
+        {
+            continue;
+        }
+        let qb = row
+            .get("qbatch")
+            .and_then(Json::as_f64)
+            .ok_or("path_max batch row without qbatch")?;
+        let pair = pre
+            .iter()
+            .find(|r| {
+                r.get("kind").and_then(Json::as_str) == Some("path_max")
+                    && r.get("engine").and_then(Json::as_str) == Some("batch")
+                    && r.get("qbatch").and_then(Json::as_f64) == Some(qb)
+            })
+            .ok_or_else(|| format!("no pre-refactor path_max batch row at qbatch {qb}"))?;
+        for col in ["batch_median", "batch_p99"] {
+            let post = row
+                .get(col)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("path_max row qbatch {qb}: {col} missing"))?;
+            let base = pair
+                .get(col)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("pre-refactor row qbatch {qb}: {col} missing"))?;
+            let delta = (post - base) / base;
+            if delta > 0.05 {
+                return Err(format!(
+                    "path_max qbatch {qb} {col}: {post} vs pre-refactor {base} \
+                     ({:+.1}% slower > 5% regression bound)",
+                    delta * 100.0
+                ));
+            }
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("no path_max batch rows to compare against the pre-refactor baseline".into());
+    }
+    Ok(())
+}
+
 /// The tenants bench's pairing requirement: for every tenant count the
 /// sweep commits to (1/4/16/64), the measurements carry a
 /// `kind: "tenants"` row for the shared deployment *and* its paired naive
@@ -286,6 +369,30 @@ fn committed_bench_artifacts_match_the_gating_schema() {
                  with engine=shared and engine=naive for every tenants value \
                  in 1/4/16/64, measured in the same run)"
             );
+        }
+
+        // The mixed bench prices the monoid-generic fold surface: a
+        // non-max fold must be measured (batch + paired seq loop), and at
+        // protocol scale the path_max rows may not regress more than 5%
+        // against the embedded pre-refactor binary's interleaved
+        // same-day rows.
+        if name == "BENCH_mixed_workload.json" {
+            assert!(
+                has_path_fold_rows(rows),
+                "{name}: path_fold_min rows missing (need kind=path_fold_min \
+                 rows for engine=batch and engine=seq, measured in the same run \
+                 — the generic-fold pricing the ISSUE 9 gate reads)"
+            );
+            let n = doc.get("n").and_then(Json::as_f64).unwrap_or(0.0);
+            if n >= 1_000_000.0 {
+                if let Err(why) = path_max_within_prerefactor_band(&doc) {
+                    panic!(
+                        "{name}: pre-refactor perf gate failed: {why} \
+                         (refresh with the stashed pre binary interleaved \
+                         same-day and --baseline-from its output)"
+                    );
+                }
+            }
         }
 
         if name == "BENCH_batch_insert.json" {
@@ -486,6 +593,117 @@ fn gate_rejects_rotten_artifacts() {
     assert!(!stage_breakdown_ok(
         &parse(r#"{"stage_breakdown": 42}"#).unwrap()
     ));
+
+    // The path_fold_min pricing predicate — through the gate's own
+    // function. A batch row without its paired seq loop must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_fold_min", "engine": "batch"},
+            {"kind": "path_max", "engine": "seq"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_path_fold_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …max-only artifacts (a pre-refactor binary's output) must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch"},
+            {"kind": "path_max", "engine": "seq"}]}"#,
+    )
+    .unwrap();
+    assert!(!has_path_fold_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …and the paired batch/seq fold rows pass.
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_fold_min", "engine": "batch"},
+            {"kind": "path_fold_min", "engine": "seq"}]}"#,
+    )
+    .unwrap();
+    assert!(has_path_fold_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+
+    // The pre-refactor ±5% band — through the gate's own function. No
+    // baseline block at all must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}"#,
+    )
+    .unwrap();
+    assert!(path_max_within_prerefactor_band(&doc).is_err());
+    // …a median regression beyond 5% must fail (naming the column)…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 110.0, "batch_p99": 200.0}],
+            "baseline_prerefactor_same_day": {"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}}"#,
+    )
+    .unwrap();
+    let why = path_max_within_prerefactor_band(&doc).unwrap_err();
+    assert!(why.contains("batch_median"), "got: {why}");
+    // …a p99 regression beyond 5% must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 250.0}],
+            "baseline_prerefactor_same_day": {"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}}"#,
+    )
+    .unwrap();
+    assert!(path_max_within_prerefactor_band(&doc).is_err());
+    // …a main qbatch with no pre-refactor pair must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 4096,
+             "batch_median": 100.0, "batch_p99": 200.0}],
+            "baseline_prerefactor_same_day": {"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}}"#,
+    )
+    .unwrap();
+    assert!(path_max_within_prerefactor_band(&doc).is_err());
+    // …a baseline with no comparable rows must fail (vacuous pass would
+    // disarm the gate)…
+    let doc = parse(
+        r#"{"measurements": [{"kind": "insert", "engine": "write"}],
+            "baseline_prerefactor_same_day": {"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}}"#,
+    )
+    .unwrap();
+    assert!(path_max_within_prerefactor_band(&doc).is_err());
+    // …rows within the bound on both columns pass…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 104.0, "batch_p99": 192.0},
+            {"kind": "path_max", "engine": "seq", "qbatch": 64,
+             "batch_median": 500.0, "batch_p99": 900.0}],
+            "baseline_prerefactor_same_day": {"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}}"#,
+    )
+    .unwrap();
+    assert!(path_max_within_prerefactor_band(&doc).is_ok());
+    // …and a post row much *faster* than pre passes too — the bound is
+    // one-sided (regressions block, improvements don't).
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 50.0, "batch_p99": 90.0}],
+            "baseline_prerefactor_same_day": {"measurements": [
+            {"kind": "path_max", "engine": "batch", "qbatch": 64,
+             "batch_median": 100.0, "batch_p99": 200.0}]}}"#,
+    )
+    .unwrap();
+    assert!(path_max_within_prerefactor_band(&doc).is_ok());
 
     // The tenant-sweep predicate — through the gate's own function. A
     // shared row without its paired naive baseline at the same count must

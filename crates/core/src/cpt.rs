@@ -21,6 +21,7 @@
 //! Phantom Steiner nodes have degree ≥ 3 in the raw tree, so the collapsed
 //! owner keeps degree ≥ 3 and no re-pruning is needed (see `DESIGN.md`).
 
+use bimst_primitives::monoid::{MaxW, PathMonoid};
 use bimst_primitives::soa::EpochSlotMap;
 use bimst_primitives::{AVec, FxHashMap, FxHashSet, VertexId, WKey};
 use bimst_rctree::cluster::{NodeId, MAX_CHILDREN};
@@ -195,7 +196,12 @@ impl ExpGraph {
     }
 
     /// Splices out the (unmarked, degree-2) vertex `v`, merging its two
-    /// incident edges under the heavier key.
+    /// incident edges under the summary monoid ([`MaxW`]): the merged edge
+    /// stands for the concatenated path, so it carries the fold of the two
+    /// segment summaries — the heavier key. This is the same aggregation
+    /// the cluster bodies store (`ClusterKind::Binary`), which is why any
+    /// `MAX_SUMMARY` path fold can be answered from a CPT and other folds
+    /// cannot (see `bimst_primitives::monoid`).
     fn splice_out(&mut self, v: NodeId) {
         let i = self.idx(v).expect("splice of absent vertex");
         debug_assert_eq!(self.adj[i].len(), 2);
@@ -204,7 +210,7 @@ impl ExpGraph {
         self.remove_edge(v, x);
         self.remove_edge(v, y);
         self.remove_vertex(v);
-        self.add_edge(x, y, kx.max(ky));
+        self.add_edge(x, y, MaxW::combine(kx, ky));
     }
 
     /// The `Prune` primitive of Algorithm 1, applied to a representative.

@@ -21,6 +21,7 @@
 //!
 //! All generators are deterministic given their seed (ChaCha8).
 
+use bimst_primitives::monoid::FoldKind;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -199,7 +200,12 @@ impl EdgeStream {
 /// Insert/expire operations target a sliding-window structure (which
 /// assigns stream positions and recency weights itself); query operations
 /// are batches for the `bimst-query` executor.
+///
+/// Non-exhaustive: op streams grow kinds over time (most recently
+/// [`Op::PathFoldQueries`]); downstream matches must carry a wildcard arm
+/// and decide locally whether an unknown kind is skippable or fatal.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Op {
     /// Append these edges on the new side of the window.
     Insert(Vec<(u32, u32)>),
@@ -214,6 +220,9 @@ pub enum Op {
     /// Batch of window-connectivity queries tagged with the tenant id
     /// whose window they are asked against (multi-tenant serving).
     TenantConnectedQueries(u32, Vec<(u32, u32)>),
+    /// Batch of window path-fold queries of the given kind (emitted only
+    /// by fold-enabled streams, [`MixedStream::with_folds`]).
+    PathFoldQueries(FoldKind, Vec<(u32, u32)>),
 }
 
 /// Topology the endpoints of a [`MixedStream`] are drawn from.
@@ -271,7 +280,9 @@ impl MixedConfig {
 /// A deterministic mixed read/write operation stream.
 ///
 /// Each round emits one [`Op::Insert`], then `queries_per_insert` query
-/// batches rotating through the three query kinds, then (in sliding mode)
+/// batches rotating through the query kinds (three by default, plus
+/// [`Op::PathFoldQueries`] for [`MixedStream::with_folds`] streams), then
+/// (in sliding mode)
 /// one [`Op::Expire`] sized to hold the window at `cfg.window`. Query
 /// endpoints are a half/half mix of uniform vertices and endpoints of
 /// recently inserted edges, so query batches hit warm components the way a
@@ -294,6 +305,13 @@ pub struct MixedStream {
     qkind: usize,
     /// Rotation of tenant ids across tagged connectivity batches.
     tenant: u32,
+    /// Whether the kind rotation includes [`Op::PathFoldQueries`]
+    /// (constructor-gated, not a [`MixedConfig`] field: plain `(cfg, seed)`
+    /// streams must stay bit-identical across releases for the paired
+    /// benchmark protocol).
+    folds: bool,
+    /// Rotation of fold kinds across fold batches.
+    fold_rot: usize,
 }
 
 impl MixedStream {
@@ -328,7 +346,21 @@ impl MixedStream {
             phase: 0,
             qkind: 0,
             tenant: 0,
+            folds: false,
+            fold_rot: 0,
         }
+    }
+
+    /// A stream whose query-kind rotation also emits
+    /// [`Op::PathFoldQueries`] batches, cycling the fold kind through
+    /// [`FoldKind::ALL`]. A separate constructor rather than a
+    /// [`MixedConfig`] field so that every existing `(cfg, seed)` stream
+    /// keeps its exact historical op sequence (the paired pre/post
+    /// benchmark protocol depends on that bit-stability).
+    pub fn with_folds(cfg: MixedConfig, seed: u64) -> Self {
+        let mut s = Self::new(cfg, seed);
+        s.folds = true;
+        s
     }
 
     /// The configuration this stream was built with.
@@ -396,7 +428,17 @@ impl MixedStream {
         }
         let len = self.cfg.query_batch;
         let kind = self.qkind;
-        self.qkind = (self.qkind + 1) % 3;
+        self.qkind = (self.qkind + 1) % if self.folds { 4 } else { 3 };
+        if kind == 3 {
+            let fk = FoldKind::ALL[self.fold_rot];
+            self.fold_rot = (self.fold_rot + 1) % FoldKind::ALL.len();
+            return Op::PathFoldQueries(
+                fk,
+                (0..len)
+                    .map(|_| (self.query_vertex(), self.query_vertex()))
+                    .collect(),
+            );
+        }
         match kind {
             0 => {
                 let qs: Vec<(u32, u32)> = (0..len)
@@ -576,9 +618,8 @@ mod tests {
                         Op::Insert(b) => b.iter().all(|&(u, v)| u < n && v < n && u != v),
                         Op::ConnectedQueries(q)
                         | Op::PathMaxQueries(q)
-                        | Op::TenantConnectedQueries(_, q) => {
-                            q.iter().all(|&(u, v)| u < n && v < n)
-                        }
+                        | Op::TenantConnectedQueries(_, q)
+                        | Op::PathFoldQueries(_, q) => q.iter().all(|&(u, v)| u < n && v < n),
                         Op::ComponentSizeQueries(q) => q.iter().all(|&v| v < n),
                         Op::Expire(_) => true,
                     };
@@ -616,6 +657,39 @@ mod tests {
         assert!(untagged
             .iter()
             .all(|op| !matches!(op, Op::TenantConnectedQueries(..))));
+    }
+
+    #[test]
+    fn mixed_stream_with_folds_rotates_kinds() {
+        let cfg = MixedConfig {
+            queries_per_insert: 8,
+            ..MixedConfig::serving(50)
+        };
+        let ops = MixedStream::with_folds(cfg, 7).take_ops(80);
+        // Fold batches appear, cycling FoldKind::ALL in order, full-sized.
+        let kinds: Vec<FoldKind> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::PathFoldQueries(k, q) => {
+                    assert_eq!(q.len(), cfg.query_batch);
+                    Some(*k)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(kinds.len() >= 4, "expected several fold batches");
+        for (i, k) in kinds.iter().enumerate() {
+            assert_eq!(*k, FoldKind::ALL[i % 4]);
+        }
+        // The other kinds still appear.
+        assert!(ops.iter().any(|op| matches!(op, Op::ConnectedQueries(_))));
+        assert!(ops.iter().any(|op| matches!(op, Op::PathMaxQueries(_))));
+        // Deterministic, and the plain constructor never emits folds.
+        assert_eq!(MixedStream::with_folds(cfg, 7).take_ops(80), ops);
+        assert!(MixedStream::new(cfg, 7)
+            .take_ops(80)
+            .iter()
+            .all(|op| !matches!(op, Op::PathFoldQueries(..))));
     }
 
     #[test]

@@ -19,9 +19,11 @@
 //! All functions return the **indices** into the input edge slice that form
 //! the (unique, by [`WKey`] tie-breaking) minimum spanning forest.
 //!
-//! [`verify::ForestPathMax`] supports F-light/F-heavy filtering (the KKT
-//! verification step) and doubles as an `O(lg n)` path-max oracle used by
-//! the test suites.
+//! [`verify::ForestPathFold`] supports F-light/F-heavy filtering (the KKT
+//! verification step, via its [`verify::ForestPathMax`] instantiation) and
+//! doubles as the `O(lg n)` static path-fold oracle the query engine and
+//! test suites use for arbitrary [`bimst_primitives::monoid::PathMonoid`]
+//! statistics.
 
 pub mod boruvka;
 pub mod kkt;
@@ -31,7 +33,7 @@ pub mod verify;
 pub use boruvka::{boruvka, boruvka_with, BoruvkaScratch};
 pub use kkt::kkt_msf;
 pub use kruskal::{kruskal, kruskal_with};
-pub use verify::ForestPathMax;
+pub use verify::{ForestPathFold, ForestPathMax};
 
 use bimst_primitives::WKey;
 use bimst_unionfind::UnionFind;

@@ -18,6 +18,10 @@
 //!   lists and constant-fan-in cluster children of the ternarized substrate.
 //! * [`fxmap`] — a fast non-cryptographic hasher for the integer-id maps on
 //!   hot paths.
+//! * [`monoid`] — the path-aggregation algebra: a [`PathMonoid`] trait
+//!   (identity, associative combine, per-edge lift) with max/min/sum/hops
+//!   instances and a tuple composer, so path statistics beyond the MSF's
+//!   hardwired max are one trait instance, not another hand-rolled walk.
 //! * [`soa`] — cache-conscious storage: chunked arenas whose growth never
 //!   relocates (no doubling-copy latency spikes) and epoch-stamped dense
 //!   slot tables with O(1) reset (the hash-free transient sets/maps the
@@ -27,6 +31,7 @@
 pub mod avec;
 pub mod fxmap;
 pub mod hash;
+pub mod monoid;
 pub mod par;
 pub mod soa;
 pub mod weight;
@@ -34,6 +39,7 @@ pub mod weight;
 pub use avec::AVec;
 pub use fxmap::{FxHashMap, FxHashSet};
 pub use hash::{coin, hash2, hash3, mix64};
+pub use monoid::{FoldKind, FoldValue, Hops, MaxW, MinW, Pair, PathMonoid, SumW};
 pub use soa::{ChunkedArena, EpochSet, EpochSlotMap, PackedRounds};
 pub use weight::{EdgeId, WKey, Weight, NEG_INF};
 

@@ -21,7 +21,11 @@
 //!   (Theorem 3.1), so a single `O(ℓ lg(1 + n/ℓ))` expansion plus a static
 //!   [`ForestPathMax`] oracle replaces `ℓ` independent 2-mark CPT walks.
 //!   This is the paper's own structure doing double duty as a query
-//!   accelerator.
+//!   accelerator. The same chunking serves arbitrary
+//!   [`PathMonoid`] folds ([`QueryBatch::batch_path_fold`]): the CPT also
+//!   preserves the path *decomposition*, so non-max monoids fold each
+//!   compressed segment once and combine segments with a generic
+//!   [`ForestPathFold`] oracle.
 //! * **Snapshot consistency without cloning.** [`ReadHandle`] is a shared
 //!   borrow of the structure: while any handle is live the borrow checker
 //!   rules out `batch_insert`, so every query in a batch — across all
@@ -60,7 +64,8 @@
 
 use bimst_core::cpt::{compressed_path_tree_with, CptScratch};
 use bimst_core::{BatchMsf, Cpt};
-use bimst_msf::ForestPathMax;
+use bimst_msf::{ForestPathFold, ForestPathMax};
+use bimst_primitives::monoid::{MaxW, Pair, PathMonoid};
 use bimst_primitives::{par, FxHashMap, VertexId, WKey, GRAIN};
 use bimst_rctree::{ClusterId, RcForest};
 use bimst_sliding::{SwConn, SwConnEager, TenantSet};
@@ -97,6 +102,11 @@ impl<'a> ReadHandle<'a> {
     /// Single-query convenience: [`BatchMsf::path_max`].
     pub fn path_max(&self, u: VertexId, v: VertexId) -> Option<WKey> {
         self.msf.path_max(u, v)
+    }
+
+    /// Single-query convenience: [`BatchMsf::path_fold`].
+    pub fn path_fold<M: PathMonoid>(&self, u: VertexId, v: VertexId) -> Option<M::Value> {
+        self.msf.path_fold::<M>(u, v)
     }
 
     /// Single-query convenience: [`BatchMsf::component_size`].
@@ -197,6 +207,33 @@ impl WindowConnectivity for TenantSet {
     }
 }
 
+/// The canonical cutoff argument of the batch cores. Every public path /
+/// fold / window variant is a thin wrapper that picks one of these and
+/// delegates; the cores apply `get(i)` as the recent-edge threshold of
+/// query `i`. `None` compares ids against 0, which every edge passes, so
+/// the unfiltered plans share the filtered code path with no extra branch.
+#[derive(Clone, Copy)]
+enum Cutoffs<'c> {
+    /// No recency filter (plain structure queries).
+    None,
+    /// One threshold for the whole batch (a window's own start).
+    Uniform(u64),
+    /// Per-query thresholds (mixed multi-tenant batches).
+    Per(&'c [u64]),
+}
+
+impl Cutoffs<'_> {
+    /// The threshold applied to query `i`.
+    #[inline]
+    fn get(&self, i: usize) -> u64 {
+        match self {
+            Cutoffs::None => 0,
+            Cutoffs::Uniform(c) => *c,
+            Cutoffs::Per(cs) => cs[i],
+        }
+    }
+}
+
 /// Queries per chunk of [`QueryBatch::batch_path_max`]: each chunk is
 /// answered from one shared CPT over its distinct endpoints. Fixed (not a
 /// function of thread count) so the work partition — and therefore every
@@ -205,6 +242,16 @@ impl WindowConnectivity for TenantSet {
 /// cache-resident while leaving enough chunks to parallelize over on
 /// realistic batch sizes.
 const PATH_CHUNK: usize = 512;
+
+/// One chunk's unit of work in the chunked fold plan: its scratch, its
+/// window of the output buffer, its slice of the query batch, and its
+/// cutoffs slice — what `par_each` hands each worker.
+type FoldChunk<'a, 'c, V> = (
+    &'a mut PathChunkScratch,
+    &'a mut [Option<V>],
+    &'a [(VertexId, VertexId)],
+    Cutoffs<'c>,
+);
 
 /// Per-chunk scratch for the path-max plan: a CPT workspace plus the
 /// relabeling and edge buffers feeding the static oracle. Lives in
@@ -277,6 +324,75 @@ impl PathChunkScratch {
                 None
             } else {
                 pm.query(self.label[&u], self.label[&v])
+            };
+        }
+    }
+
+    /// Answers a *non-max* fold chunk, cutoff-filtered: `out[i]` is the
+    /// fold of `M` over `queries[i]`'s path if its heaviest edge passes
+    /// `cut.get(i)`, else `None`.
+    ///
+    /// The CPT stores only the max summary, so the fold cannot be read off
+    /// the compressed keys — but the CPT still preserves the path
+    /// *decomposition* (a marks-to-marks path is the concatenation of its
+    /// CPT edges' underlying segments). So: build the same shared CPT,
+    /// fold each compressed edge's segment **once** with the engine peel
+    /// ([`BatchMsf::path_fold`]), and combine segments per query with a
+    /// [`ForestPathFold::from_values`] oracle carrying
+    /// `Pair<MaxW, M>` values — the max component is the Lemma 5.1 recency
+    /// witness, the `M` component the answer. Segments shared by many
+    /// queries are peeled once per chunk, not once per query. Chunks below
+    /// [`SHARED_CPT_MIN`] peel each query directly.
+    fn run_fold<M: PathMonoid>(
+        &mut self,
+        msf: &BatchMsf,
+        queries: &[(VertexId, VertexId)],
+        cut: Cutoffs<'_>,
+        out: &mut [Option<M::Value>],
+    ) {
+        if queries.len() < SHARED_CPT_MIN {
+            for (i, (slot, &(u, v))) in out.iter_mut().zip(queries).enumerate() {
+                *slot = msf
+                    .path_fold::<Pair<MaxW, M>>(u, v)
+                    .and_then(|(mk, val)| (mk.id >= cut.get(i)).then_some(val));
+            }
+            return;
+        }
+        self.marks.clear();
+        for &(u, v) in queries {
+            if u != v {
+                self.marks.push(u);
+                self.marks.push(v);
+            }
+        }
+        if self.marks.is_empty() {
+            out.fill(None);
+            return;
+        }
+        self.marks.sort_unstable();
+        self.marks.dedup();
+        compressed_path_tree_with(msf.forest(), &self.marks, &mut self.cpt_ws, &mut self.cpt);
+        self.label.clear();
+        for (i, &v) in self.cpt.vertices.iter().enumerate() {
+            self.label.insert(v, i as u32);
+        }
+        // Fold every compressed edge's segment once. The value buffer is
+        // `M`-typed and so cannot live in the (untyped) scratch; per-chunk
+        // allocation here mirrors the per-chunk oracle build in `run`.
+        let mut edges: Vec<(u32, u32, (WKey, M::Value))> = Vec::with_capacity(self.cpt.edges.len());
+        for e in &self.cpt.edges {
+            let seg = msf
+                .path_fold::<M>(e.u, e.v)
+                .expect("CPT edge spans a non-empty forest path");
+            edges.push((self.label[&e.u], self.label[&e.v], (e.key, seg)));
+        }
+        let pf = ForestPathFold::<Pair<MaxW, M>>::from_values(self.cpt.vertices.len(), &edges);
+        for (i, (slot, &(u, v))) in out.iter_mut().zip(queries).enumerate() {
+            *slot = if u == v {
+                None
+            } else {
+                pf.query(self.label[&u], self.label[&v])
+                    .and_then(|(mk, val)| (mk.id >= cut.get(i)).then_some(val))
             };
         }
     }
@@ -364,8 +480,9 @@ pub struct QueryBatch {
     roots: Vec<ClusterId>,
     /// Per-chunk scratch for the path-max / lazy-window plans.
     path_ws: Vec<PathChunkScratch>,
-    /// Path-max answers reused by the lazy window plan (`*_into` variants
-    /// stay allocation-free at steady state).
+    /// Path-max answers reused by the windowed-connectivity and
+    /// max-summary fold cores (`*_into` variants stay allocation-free at
+    /// steady state).
     pm_buf: Vec<Option<WKey>>,
 }
 
@@ -513,6 +630,18 @@ impl QueryBatch {
         queries: &[(VertexId, VertexId)],
         out: &mut Vec<Option<WKey>>,
     ) {
+        self.fold_core::<MaxW>(h, queries, Cutoffs::None, out);
+    }
+
+    /// The shared-CPT path-max plan (chunked, parallel, scratch-reusing):
+    /// the raw heaviest-key computation every max-summary fold and every
+    /// windowed-connectivity core builds on.
+    fn path_max_plan_into(
+        &mut self,
+        h: ReadHandle<'_>,
+        queries: &[(VertexId, VertexId)],
+        out: &mut Vec<Option<WKey>>,
+    ) {
         let f = h.msf.forest();
         out.clear();
         out.resize(queries.len(), None);
@@ -536,6 +665,158 @@ impl QueryBatch {
             .map(|((ws, o), q)| (ws, o, q))
             .collect();
         par_each(&mut items, &|(ws, o, q)| ws.run(f, q, o));
+    }
+
+    /// The canonical fold core: `out[i]` is the fold of `M` over
+    /// `queries[i]`'s MSF path, filtered by the recent-edge test at
+    /// `cutoffs.get(i)` ([`Cutoffs::None`] disables the filter). Every
+    /// public path-fold and path-max variant delegates here.
+    ///
+    /// Max-summary monoids ([`PathMonoid::MAX_SUMMARY`]) are answered by
+    /// the shared-CPT path-max plan plus [`PathMonoid::summarize`] — for
+    /// [`MaxW`] that monomorphizes to exactly the historical path-max
+    /// plan. Other monoids run the same chunking through
+    /// [`PathChunkScratch::run_fold`], which peels each CPT segment once
+    /// and combines per query with a `Pair<MaxW, M>` oracle.
+    fn fold_core<M: PathMonoid>(
+        &mut self,
+        h: ReadHandle<'_>,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: Cutoffs<'_>,
+        out: &mut Vec<Option<M::Value>>,
+    ) {
+        if M::MAX_SUMMARY {
+            let mut pm = std::mem::take(&mut self.pm_buf);
+            self.path_max_plan_into(h, queries, &mut pm);
+            out.clear();
+            out.extend(
+                pm.iter()
+                    .enumerate()
+                    .map(|(i, k)| k.filter(|k| k.id >= cutoffs.get(i)).map(M::summarize)),
+            );
+            self.pm_buf = pm;
+            return;
+        }
+        out.clear();
+        out.resize(queries.len(), None);
+        let nchunks = queries.len().div_ceil(PATH_CHUNK);
+        let o = qobs();
+        o.batch_size.record(queries.len() as u64);
+        o.pathmax_chunks.add(nchunks as u64);
+        if self.path_ws.len() < nchunks {
+            self.path_ws.resize_with(nchunks, Default::default);
+        }
+        let cut_chunks: Vec<Cutoffs<'_>> = match cutoffs {
+            Cutoffs::Per(cs) => cs.chunks(PATH_CHUNK).map(Cutoffs::Per).collect(),
+            other => vec![other; nchunks],
+        };
+        let msf = h.msf;
+        let mut items: Vec<FoldChunk<'_, '_, M::Value>> = self.path_ws[..nchunks]
+            .iter_mut()
+            .zip(out.chunks_mut(PATH_CHUNK))
+            .zip(queries.chunks(PATH_CHUNK))
+            .zip(cut_chunks)
+            .map(|(((ws, o), q), c)| (ws, o, q, c))
+            .collect();
+        par_each(&mut items, &|(ws, o, q, c)| ws.run_fold::<M>(msf, q, *c, o));
+    }
+
+    /// Batched [`BatchMsf::path_fold`]: `out[i]` is the fold of `M` over
+    /// the MSF path of `queries[i]` (`None` when disconnected or `u == v`).
+    ///
+    /// `batch_path_fold::<MaxW>` is bit-identical to
+    /// [`QueryBatch::batch_path_max`]; see [`QueryBatch::fold_core`] for
+    /// how non-max monoids share the chunked CPT plan. Caveat for
+    /// [`bimst_primitives::monoid::SumW`]: the batch plan associates `f64`
+    /// addition segment-wise, the per-query peel edge-wise, so the two can
+    /// differ by rounding unless weights are integer-valued (as all
+    /// committed oracles arrange).
+    pub fn batch_path_fold<M: PathMonoid>(
+        &mut self,
+        h: ReadHandle<'_>,
+        queries: &[(VertexId, VertexId)],
+    ) -> Vec<Option<M::Value>> {
+        let mut out = Vec::new();
+        self.batch_path_fold_into::<M>(h, queries, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_path_fold`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_path_fold_into<M: PathMonoid>(
+        &mut self,
+        h: ReadHandle<'_>,
+        queries: &[(VertexId, VertexId)],
+        out: &mut Vec<Option<M::Value>>,
+    ) {
+        self.fold_core::<M>(h, queries, Cutoffs::None, out);
+    }
+
+    /// Batched fold over the structure's *current window*: `out[i]` folds
+    /// `M` over `queries[i]`'s path in the window MSF, `None` if the pair
+    /// is window-disconnected (or `u == v`). The fold analogue of
+    /// [`QueryBatch::batch_window_connected`]: under lazy expiry the
+    /// retained path is the window path exactly when its heaviest (=
+    /// oldest) edge is unexpired (Lemma 5.1), so one filtered fold answers
+    /// both existence and value; eager windows hold the window MSF and fold
+    /// unfiltered.
+    pub fn batch_window_path_fold<M: PathMonoid, W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+    ) -> Vec<Option<M::Value>> {
+        let mut out = Vec::new();
+        self.batch_window_path_fold_into::<M, W>(w, queries, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_window_path_fold`] into a caller-provided
+    /// buffer (cleared and refilled).
+    pub fn batch_window_path_fold_into<M: PathMonoid, W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        out: &mut Vec<Option<M::Value>>,
+    ) {
+        let h = ReadHandle::new(WindowConnectivity::msf(w));
+        let cut = if w.lazy_expiry() {
+            Cutoffs::Uniform(w.window_start())
+        } else {
+            Cutoffs::None
+        };
+        self.fold_core::<M>(h, queries, cut, out);
+    }
+
+    /// Batched fold restricted to per-query window suffixes: `out[i]`
+    /// folds `M` over `queries[i]`'s path in the window starting at
+    /// `cutoffs[i]`, `None` if disconnected there. The fold analogue of
+    /// [`QueryBatch::batch_connected_at`] (and the multi-tenant fold
+    /// primitive): one shared plan, per-tenant cutoffs applied as the
+    /// final O(1) filter on the heaviest-key witness.
+    pub fn batch_path_fold_at<M: PathMonoid, W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: &[u64],
+    ) -> Vec<Option<M::Value>> {
+        let mut out = Vec::new();
+        self.batch_path_fold_at_into::<M, W>(w, queries, cutoffs, &mut out);
+        out
+    }
+
+    /// [`QueryBatch::batch_path_fold_at`] into a caller-provided buffer
+    /// (cleared and refilled).
+    pub fn batch_path_fold_at_into<M: PathMonoid, W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: &[u64],
+        out: &mut Vec<Option<M::Value>>,
+    ) {
+        assert_eq!(queries.len(), cutoffs.len(), "one cutoff per query");
+        Self::assert_cutoffs_fresh(w, cutoffs);
+        let h = ReadHandle::new(WindowConnectivity::msf(w));
+        self.fold_core::<M>(h, queries, Cutoffs::Per(cutoffs), out);
     }
 
     /// Batched window connectivity (`SwConn::is_connected` /
@@ -563,24 +844,40 @@ impl QueryBatch {
         queries: &[(VertexId, VertexId)],
         out: &mut Vec<bool>,
     ) {
-        let h = ReadHandle::new(WindowConnectivity::msf(w));
         if w.lazy_expiry() {
-            let tw = w.window_start();
-            let mut pm = std::mem::take(&mut self.pm_buf);
-            self.batch_path_max_into(h, queries, &mut pm);
-            out.clear();
-            out.extend(
-                queries
-                    .iter()
-                    .zip(&pm)
-                    .map(|(&(u, v), k)| u == v || k.is_some_and(|k| k.id >= tw)),
-            );
-            self.pm_buf = pm;
+            self.window_filtered_core(w, queries, Cutoffs::Uniform(w.window_start()), out);
         } else {
             // `batch_connected` already answers `u == v` as true (equal
             // roots), exactly like the eager structure's root comparison.
+            let h = ReadHandle::new(WindowConnectivity::msf(w));
             self.batch_connected_into(h, queries, out);
         }
+    }
+
+    /// The canonical windowed-connectivity core: the shared-CPT path-max
+    /// plan plus the recent-edge test at `cutoffs.get(i)`; `u == v`
+    /// answers `true` (a vertex is connected to itself in any window).
+    /// [`QueryBatch::batch_window_connected_into`] (lazy side) and
+    /// [`QueryBatch::batch_connected_at_into`] are thin wrappers.
+    fn window_filtered_core<W: WindowConnectivity>(
+        &mut self,
+        w: &W,
+        queries: &[(VertexId, VertexId)],
+        cutoffs: Cutoffs<'_>,
+        out: &mut Vec<bool>,
+    ) {
+        let h = ReadHandle::new(WindowConnectivity::msf(w));
+        let mut pm = std::mem::take(&mut self.pm_buf);
+        self.path_max_plan_into(h, queries, &mut pm);
+        out.clear();
+        out.extend(
+            queries
+                .iter()
+                .zip(&pm)
+                .enumerate()
+                .map(|(i, (&(u, v), k))| u == v || k.is_some_and(|k| k.id >= cutoffs.get(i))),
+        );
+        self.pm_buf = pm;
     }
 
     /// Debug-asserts every caller-supplied cutoff is at or above the
@@ -627,18 +924,7 @@ impl QueryBatch {
     ) {
         assert_eq!(queries.len(), cutoffs.len(), "one cutoff per query");
         Self::assert_cutoffs_fresh(w, cutoffs);
-        let h = ReadHandle::new(WindowConnectivity::msf(w));
-        let mut pm = std::mem::take(&mut self.pm_buf);
-        self.batch_path_max_into(h, queries, &mut pm);
-        out.clear();
-        out.extend(
-            queries
-                .iter()
-                .zip(&pm)
-                .zip(cutoffs)
-                .map(|((&(u, v), k), &c)| u == v || k.is_some_and(|k| k.id >= c)),
-        );
-        self.pm_buf = pm;
+        self.window_filtered_core(w, queries, Cutoffs::Per(cutoffs), out);
     }
 
     /// Batched path-max restricted to per-query window suffixes: `out[i]`
@@ -666,13 +952,7 @@ impl QueryBatch {
         cutoffs: &[u64],
         out: &mut Vec<Option<WKey>>,
     ) {
-        assert_eq!(queries.len(), cutoffs.len(), "one cutoff per query");
-        Self::assert_cutoffs_fresh(w, cutoffs);
-        let h = ReadHandle::new(WindowConnectivity::msf(w));
-        self.batch_path_max_into(h, queries, out);
-        for (slot, &c) in out.iter_mut().zip(cutoffs) {
-            *slot = slot.filter(|k| k.id >= c);
-        }
+        self.batch_path_fold_at_into::<MaxW, W>(w, queries, cutoffs, out);
     }
 
     /// A mixed multi-tenant connectivity batch: `queries[i]` is
@@ -805,6 +1085,102 @@ mod tests {
         let cap = (q.verts.capacity(), q.roots.capacity());
         q.batch_connected(h, &pairs);
         assert_eq!((q.verts.capacity(), q.roots.capacity()), cap);
+    }
+
+    #[test]
+    fn batch_path_fold_matches_engine_folds() {
+        use bimst_primitives::monoid::{Hops, MinW, SumW};
+        let msf = sample_msf();
+        let h = ReadHandle::new(&msf);
+        let mut q = QueryBatch::new();
+        // 64 queries: one chunk over the shared-CPT fold plan.
+        let pairs: Vec<(u32, u32)> = (0..8u32)
+            .flat_map(|u| (0..8u32).map(move |v| (u, v)))
+            .collect();
+        assert_eq!(
+            q.batch_path_fold::<MaxW>(h, &pairs),
+            q.batch_path_max(h, &pairs)
+        );
+        assert_eq!(
+            q.batch_path_fold::<MinW>(h, &pairs),
+            pairs
+                .iter()
+                .map(|&(u, v)| msf.path_fold::<MinW>(u, v))
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(
+            q.batch_path_fold::<Hops>(h, &pairs),
+            pairs
+                .iter()
+                .map(|&(u, v)| msf.path_fold::<Hops>(u, v))
+                .collect::<Vec<_>>()
+        );
+        // Integer weights: segment-wise and edge-wise sums are bit-equal.
+        assert_eq!(
+            q.batch_path_fold::<SumW>(h, &pairs),
+            pairs
+                .iter()
+                .map(|&(u, v)| msf.path_fold::<SumW>(u, v))
+                .collect::<Vec<_>>()
+        );
+        // Pair composes componentwise through the batch plan too.
+        let pr = q.batch_path_fold::<Pair<MinW, Hops>>(h, &pairs);
+        let mn = q.batch_path_fold::<MinW>(h, &pairs);
+        let hp = q.batch_path_fold::<Hops>(h, &pairs);
+        for ((p, m), hh) in pr.iter().zip(&mn).zip(&hp) {
+            assert_eq!(p.map(|x| x.0), *m);
+            assert_eq!(p.map(|x| x.1), *hh);
+        }
+    }
+
+    #[test]
+    fn fold_small_batches_take_the_peel_plan() {
+        use bimst_primitives::monoid::Hops;
+        let msf = sample_msf();
+        let h = ReadHandle::new(&msf);
+        let mut q = QueryBatch::new();
+        // Below SHARED_CPT_MIN: exercises the direct per-query peel.
+        let pairs = [(0u32, 3u32), (4, 6), (2, 2), (0, 4), (6, 4)];
+        assert_eq!(
+            q.batch_path_fold::<Hops>(h, &pairs),
+            pairs
+                .iter()
+                .map(|&(u, v)| msf.path_fold::<Hops>(u, v))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fold_cutoff_and_window_plans_agree_with_connectivity() {
+        use bimst_primitives::monoid::Hops;
+        let mut lazy = SwConn::new(6, 3);
+        lazy.batch_insert(&[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let queries: Vec<(u32, u32)> = (0..6u32)
+            .flat_map(|u| (0..6u32).map(move |v| (u, v)))
+            .collect();
+        let mut q = QueryBatch::new();
+        // Window fold: present exactly when window-connected and u != v.
+        let wf = q.batch_window_path_fold::<Hops, _>(&lazy, &queries);
+        let wc = q.batch_window_connected(&lazy, &queries);
+        for ((&(u, v), f), &c) in queries.iter().zip(&wf).zip(&wc) {
+            assert_eq!(f.is_some(), c && u != v, "({u},{v})");
+        }
+        // Cutoff folds: present exactly when connected at the cutoff, and
+        // the hop count is the full path length (the retained path *is*
+        // the window path whenever its oldest edge is unexpired).
+        for cut in 0..=4u64 {
+            let cutoffs = vec![cut; queries.len()];
+            let fl = q.batch_path_fold_at::<Hops, _>(&lazy, &queries, &cutoffs);
+            let conn = q.batch_connected_at(&lazy, &queries, &cutoffs);
+            let pm = q.batch_path_max_at(&lazy, &queries, &cutoffs);
+            for (((&(u, v), f), &c), k) in queries.iter().zip(&fl).zip(&conn).zip(&pm) {
+                assert_eq!(f.is_some(), c && u != v, "cutoff {cut} ({u},{v})");
+                assert_eq!(f.is_some(), k.is_some(), "cutoff {cut} ({u},{v})");
+                if let Some(hops) = f {
+                    assert_eq!(*hops, u.abs_diff(v) as u64, "chain distance");
+                }
+            }
+        }
     }
 
     #[test]

@@ -133,6 +133,7 @@
 //! capacity so tests can pin the steady state.
 
 use bimst_primitives::hash::{coin, priority};
+use bimst_primitives::monoid::{MaxW, PathMonoid};
 use bimst_primitives::par::map_into;
 use bimst_primitives::{AVec, ChunkedArena, FxHashSet, PackedRounds, WKey};
 
@@ -1076,10 +1077,14 @@ impl Engine {
                 let k1 = self.clusters.kind(c1).edge_key().expect("edge role");
                 let k2 = self.clusters.kind(c2).edge_key().expect("edge role");
                 let bound = if u < w { (u, w) } else { (w, u) };
+                // The cluster aggregate is the summary monoid's fold
+                // (`MaxW`: heaviest key on the boundary-to-boundary path);
+                // `bimst_primitives::monoid` names the algebra, and the CPT
+                // layer can recover any `MAX_SUMMARY` fold from it.
                 ClusterKind::Binary {
                     rep: v,
                     bound,
-                    key: k1.max(k2),
+                    key: MaxW::combine(k1, k2),
                 }
             }
             Decision::Finalize => ClusterKind::Root { rep: v },

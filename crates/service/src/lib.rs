@@ -82,7 +82,7 @@ use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
 use bimst_graphgen::Op;
-use bimst_primitives::{VertexId, WKey};
+use bimst_primitives::{FoldKind, FoldValue, VertexId, WKey};
 use bimst_query::WindowConnectivity;
 use bimst_sliding::{
     SlidingWrite, SwConn, SwConnEager, TenantConfig, TenantSet, TenantSpec, WindowCheckpoint,
@@ -152,13 +152,31 @@ impl Default for ServiceConfig {
 }
 
 /// One query batch, as submitted by a client.
+///
+/// Non-exhaustive: serving kinds are added as the query engine grows
+/// (`PathFold` arrived after `PathMax`), so foreign matches need a
+/// wildcard arm. Every variant stays constructible.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum QueryReq {
     /// Window connectivity (`is_connected` on the served structure).
     WindowConnected(Vec<(VertexId, VertexId)>),
     /// Path-max over the underlying MSF (`None` when disconnected or
-    /// `u == v`).
+    /// `u == v`). Equivalent to [`QueryReq::PathFold`] with
+    /// [`FoldKind::Max`]; kept as its own kind for the common case.
     PathMax(Vec<(VertexId, VertexId)>),
+    /// Monoid path aggregation over the window MSF
+    /// (`bimst_query::QueryBatch::batch_window_path_fold`): `kind` picks
+    /// the monoid, each answer folds it along the pair's window tree path
+    /// (`None` when window-disconnected or `u == v`). Answers arrive as
+    /// [`QueryResp::PathFold`] with the [`FoldValue`] arm matching the
+    /// kind.
+    PathFold {
+        /// Which monoid to fold (max, min, sum, or hop count).
+        kind: FoldKind,
+        /// Endpoint pairs, as in [`QueryReq::PathMax`].
+        pairs: Vec<(VertexId, VertexId)>,
+    },
     /// Component size in the underlying MSF.
     ComponentSize(Vec<VertexId>),
     /// Window connectivity *for one logical tenant* of a multi-tenant
@@ -181,7 +199,9 @@ impl QueryReq {
         match self {
             QueryReq::WindowConnected(q) | QueryReq::PathMax(q) => q.len(),
             QueryReq::ComponentSize(q) => q.len(),
-            QueryReq::TenantConnected { pairs, .. } => pairs.len(),
+            QueryReq::TenantConnected { pairs, .. } | QueryReq::PathFold { pairs, .. } => {
+                pairs.len()
+            }
         }
     }
 
@@ -200,6 +220,9 @@ pub enum QueryResp {
     PathMax(Vec<Option<WKey>>),
     /// See [`QueryReq::ComponentSize`].
     ComponentSize(Vec<usize>),
+    /// See [`QueryReq::PathFold`]. Every answer in a batch carries the
+    /// same [`FoldValue`] arm (determined by the request's [`FoldKind`]).
+    PathFold(Vec<Option<FoldValue>>),
 }
 
 impl QueryResp {
@@ -209,6 +232,7 @@ impl QueryResp {
             QueryResp::WindowConnected(a) => a.len(),
             QueryResp::PathMax(a) => a.len(),
             QueryResp::ComponentSize(a) => a.len(),
+            QueryResp::PathFold(a) => a.len(),
         }
     }
 
@@ -237,6 +261,14 @@ impl QueryResp {
     pub fn into_component_size(self) -> Option<Vec<usize>> {
         match self {
             QueryResp::ComponentSize(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The fold answers, if this was a path-fold batch.
+    pub fn into_path_fold(self) -> Option<Vec<Option<FoldValue>>> {
+        match self {
+            QueryResp::PathFold(a) => Some(a),
             _ => None,
         }
     }
@@ -474,6 +506,16 @@ impl ServiceHandle {
         self.query(QueryReq::TenantConnected { tenant, pairs })
     }
 
+    /// Admits a monoid path-aggregation batch ([`QueryReq::PathFold`]):
+    /// `kind` picks the fold, answers arrive as [`QueryResp::PathFold`].
+    pub fn query_fold(
+        &self,
+        kind: FoldKind,
+        pairs: Vec<(VertexId, VertexId)>,
+    ) -> Result<QueryTicket, ServiceClosed> {
+        self.query(QueryReq::PathFold { kind, pairs })
+    }
+
     /// Admits a write barrier: its ticket resolves (with the generation)
     /// once every write admitted before it has been applied.
     pub fn barrier(&self) -> Result<BarrierTicket, ServiceClosed> {
@@ -508,6 +550,12 @@ impl ServiceHandle {
     /// Adapter from a `bimst_graphgen` mixed-workload op
     /// ([`bimst_graphgen::MixedStream`] is an iterator of these): writes
     /// are admitted fire-and-forget, query ops return a ticket.
+    ///
+    /// # Panics
+    ///
+    /// On an op variant this build has no serving path for (`Op` is
+    /// non-exhaustive): silently dropping an op would skew any workload
+    /// driven through this adapter, so it fails stop instead.
     pub fn submit_op(&self, op: Op) -> Result<Option<QueryTicket>, ServiceClosed> {
         match op {
             Op::Insert(edges) => self.insert(edges).map(|()| None),
@@ -518,6 +566,10 @@ impl ServiceHandle {
             Op::TenantConnectedQueries(tenant, qs) => self
                 .query(QueryReq::TenantConnected { tenant, pairs: qs })
                 .map(Some),
+            Op::PathFoldQueries(kind, qs) => {
+                self.query(QueryReq::PathFold { kind, pairs: qs }).map(Some)
+            }
+            op => panic!("bimst-service: no serving path for op variant {op:?}"),
         }
     }
 }
@@ -907,6 +959,103 @@ mod tests {
             .unwrap();
         assert!(a.resp.is_empty());
         svc.shutdown();
+    }
+
+    /// Monoid fold batches served end to end must match the engine folds
+    /// on a sequentially driven twin — every wire kind, both expiry
+    /// disciplines, and a run mixing kinds in one generation (so the
+    /// merged plan's same-kind span dispatch and the split-back cursor
+    /// are both exercised).
+    #[test]
+    fn path_fold_serves_every_kind_like_the_engine() {
+        use bimst_primitives::{Hops, MinW, SumW};
+        let edges: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 3), (5, 6), (6, 7)];
+        let pairs: Vec<(u32, u32)> = vec![(0, 3), (1, 3), (5, 7), (0, 5), (2, 2)];
+        for lazy in [false, true] {
+            let svc = if lazy {
+                Service::lazy(10, 3, cfg(2))
+            } else {
+                Service::eager(10, 3, cfg(2))
+            };
+            let mut seq = SwConnEager::new(10, 3);
+            svc.insert(edges.clone()).unwrap();
+            seq.batch_insert(&edges);
+            svc.expire(1).unwrap();
+            seq.batch_expire(1);
+            // One batch per kind, admitted back to back so coalescing can
+            // merge them into one multi-kind plan.
+            let tickets: Vec<QueryTicket> = FoldKind::ALL
+                .iter()
+                .map(|&k| svc.query_fold(k, pairs.clone()).unwrap())
+                .collect();
+            let answers: Vec<Vec<Option<FoldValue>>> = tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap().resp.into_path_fold().unwrap())
+                .collect();
+            // Oracle: fold each pair on the eager twin's window MSF. The
+            // lazy window retains the same unexpired paths here (the
+            // expired edge (0,1) disconnects 0 from 3 either way via the
+            // heaviest-edge test), so presence must agree with the eager
+            // window's connectivity.
+            for (ki, &kind) in FoldKind::ALL.iter().enumerate() {
+                for (qi, &(u, v)) in pairs.iter().enumerate() {
+                    let want = match kind {
+                        FoldKind::Max => seq
+                            .msf()
+                            .path_fold::<bimst_primitives::MaxW>(u, v)
+                            .map(FoldValue::Key),
+                        FoldKind::Min => seq.msf().path_fold::<MinW>(u, v).map(FoldValue::Key),
+                        FoldKind::Sum => seq.msf().path_fold::<SumW>(u, v).map(FoldValue::Sum),
+                        FoldKind::Hops => seq.msf().path_fold::<Hops>(u, v).map(FoldValue::Hops),
+                    };
+                    assert_eq!(
+                        answers[ki][qi], want,
+                        "kind {kind:?} pair ({u},{v}) lazy={lazy}"
+                    );
+                }
+            }
+            svc.shutdown();
+        }
+    }
+
+    /// Fold-tagged `MixedStream` ops drive the service end to end through
+    /// `submit_op`, and every fold answer carries the arm its kind
+    /// promises.
+    #[test]
+    fn fold_tagged_mixed_stream_drives_the_service() {
+        use bimst_graphgen::{MixedConfig, MixedStream};
+        let cfg_stream = MixedConfig {
+            query_batch: 6,
+            ..MixedConfig::serving(64)
+        };
+        let svc = Service::eager(64, 7, cfg(2));
+        let mut tickets = Vec::new();
+        for op in MixedStream::with_folds(cfg_stream, 11).take(60) {
+            let kind = match &op {
+                Op::PathFoldQueries(k, _) => Some(*k),
+                _ => None,
+            };
+            if let Some(t) = svc.submit_op(op).unwrap() {
+                tickets.push((kind, t));
+            }
+        }
+        svc.shutdown();
+        let mut folds = 0;
+        for (kind, t) in tickets {
+            let resp = t.wait().unwrap().resp;
+            let Some(kind) = kind else { continue };
+            folds += 1;
+            for a in resp.into_path_fold().unwrap().into_iter().flatten() {
+                let arm_matches = matches!(
+                    (kind, a),
+                    (FoldKind::Max | FoldKind::Min, FoldValue::Key(_))
+                        | (FoldKind::Sum, FoldValue::Sum(_))
+                        | (FoldKind::Hops, FoldValue::Hops(_))
+                );
+                assert!(arm_matches, "kind {kind:?} answered with {a:?}");
+            }
+        }
+        assert!(folds > 0, "stream with folds on must emit fold batches");
     }
 
     #[test]

@@ -31,7 +31,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use bimst_primitives::{VertexId, WKey};
+use bimst_primitives::{FoldKind, FoldValue, Hops, MaxW, MinW, SumW, VertexId, WKey};
 use bimst_query::{QueryBatch, ReadHandle, TenantRoute, WindowConnectivity};
 
 use crate::ServeWindow;
@@ -82,6 +82,17 @@ pub(crate) enum Work {
     PathMax(Arc<Vec<(VertexId, VertexId)>>),
     /// MSF component sizes over vertices.
     ComponentSize(Arc<Vec<VertexId>>),
+    /// Monoid path folds over endpoint pairs, all kinds merged into one
+    /// plan in run order. The reader cuts its range into maximal
+    /// same-kind spans and serves each through the monomorphized
+    /// `batch_window_path_fold` — so a run of one kind (the common case)
+    /// is one generic plan, never a per-query dispatch.
+    PathFold {
+        /// Merged endpoint pairs, every fold request concatenated.
+        pairs: Arc<Vec<(VertexId, VertexId)>>,
+        /// Per-query fold kinds, parallel to `pairs`.
+        kinds: Arc<Vec<FoldKind>>,
+    },
     /// Tenant connectivity routed to the *shared* structure: the merged
     /// mixed-tenant pairs with one cutoff per query — one shared path-max
     /// plan across every shared-routed tenant in the run.
@@ -139,6 +150,8 @@ pub(crate) enum PartialResp {
     TenantBools(Vec<bool>),
     /// Dedicated-routed tenant connectivity answers.
     DedBools(Vec<bool>),
+    /// Path-fold answers, value arm per the query's [`FoldKind`].
+    Folds(Vec<Option<FoldValue>>),
     /// The reader panicked executing this range (e.g. an out-of-range
     /// vertex id). Sent so the writer fails stop instead of waiting
     /// forever at the join barrier for an answer that cannot come.
@@ -254,6 +267,20 @@ fn reader_main<W: ServeWindow>(rx: Receiver<Task<W>>) {
                 );
                 PartialResp::Sizes(out)
             }
+            Work::PathFold { pairs, kinds } => {
+                let mut out = Vec::with_capacity(range.len());
+                let mut lo = range.start;
+                while lo < range.end {
+                    let kind = kinds[lo];
+                    let mut hi = lo + 1;
+                    while hi < range.end && kinds[hi] == kind {
+                        hi += 1;
+                    }
+                    fold_span(&mut q, w, kind, &pairs[lo..hi], &mut out);
+                    lo = hi;
+                }
+                PartialResp::Folds(out)
+            }
             Work::TenantShared { pairs, cutoffs } => {
                 let mut out = Vec::new();
                 q.batch_connected_at_into(
@@ -291,5 +318,40 @@ fn reader_main<W: ServeWindow>(rx: Receiver<Task<W>>) {
         // instead of reallocating per dispatch.
         drop(work);
         let _ = done.send(Partial { start, resp });
+    }
+}
+
+/// Serves one same-kind span of a merged path-fold plan: dispatches the
+/// wire-level [`FoldKind`] to the monomorphized monoid fold (answered at
+/// the structure's current window, like every other served query) and
+/// tags the answers with the matching [`FoldValue`] arm.
+fn fold_span<W: ServeWindow>(
+    q: &mut QueryBatch,
+    w: &W,
+    kind: FoldKind,
+    pairs: &[(VertexId, VertexId)],
+    out: &mut Vec<Option<FoldValue>>,
+) {
+    match kind {
+        FoldKind::Max => out.extend(
+            q.batch_window_path_fold::<MaxW, W>(w, pairs)
+                .into_iter()
+                .map(|k| k.map(FoldValue::Key)),
+        ),
+        FoldKind::Min => out.extend(
+            q.batch_window_path_fold::<MinW, W>(w, pairs)
+                .into_iter()
+                .map(|k| k.map(FoldValue::Key)),
+        ),
+        FoldKind::Sum => out.extend(
+            q.batch_window_path_fold::<SumW, W>(w, pairs)
+                .into_iter()
+                .map(|s| s.map(FoldValue::Sum)),
+        ),
+        FoldKind::Hops => out.extend(
+            q.batch_window_path_fold::<Hops, W>(w, pairs)
+                .into_iter()
+                .map(|h| h.map(FoldValue::Hops)),
+        ),
     }
 }

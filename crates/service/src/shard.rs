@@ -15,7 +15,7 @@
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
 use std::sync::Arc;
 
-use bimst_primitives::{VertexId, WKey};
+use bimst_primitives::{FoldKind, FoldValue, VertexId, WKey};
 use bimst_query::TenantRoute;
 use bimst_wal::{Checkpoint, Store, SyncPolicy};
 
@@ -84,11 +84,13 @@ pub(crate) struct SvcObs {
     q_pm: bimst_obs::Counter,
     q_cs: bimst_obs::Counter,
     q_tenant: bimst_obs::Counter,
+    q_pf: bimst_obs::Counter,
     /// `service_answer_ns_*`: admission-to-answer latency by kind.
     lat_conn: bimst_obs::Histogram,
     lat_pm: bimst_obs::Histogram,
     lat_cs: bimst_obs::Histogram,
     lat_tenant: bimst_obs::Histogram,
+    lat_pf: bimst_obs::Histogram,
     /// `service_tenant_shared_queries` / `service_tenant_dedicated_queries`:
     /// tenant queries by resolved route.
     tenant_shared: bimst_obs::Counter,
@@ -109,10 +111,12 @@ impl SvcObs {
             q_pm: rec.counter("service_queries_path_max"),
             q_cs: rec.counter("service_queries_component_size"),
             q_tenant: rec.counter("service_queries_tenant_connected"),
+            q_pf: rec.counter("service_queries_path_fold"),
             lat_conn: rec.histogram("service_answer_ns_window_connected"),
             lat_pm: rec.histogram("service_answer_ns_path_max"),
             lat_cs: rec.histogram("service_answer_ns_component_size"),
             lat_tenant: rec.histogram("service_answer_ns_tenant_connected"),
+            lat_pf: rec.histogram("service_answer_ns_path_fold"),
             tenant_shared: rec.counter("service_tenant_shared_queries"),
             tenant_dedicated: rec.counter("service_tenant_dedicated_queries"),
             rec,
@@ -230,10 +234,16 @@ pub(crate) struct ServeScratch {
     tconn: Vec<(VertexId, VertexId)>,
     /// Per-query tenant cutoffs, parallel to `tconn`.
     tcut: Vec<u64>,
+    /// Path-fold pairs, all kinds merged into one plan in run order.
+    pf: Vec<(VertexId, VertexId)>,
+    /// Per-query fold kinds, parallel to `pf` (readers dispatch maximal
+    /// same-kind spans to the monomorphized fold).
+    pfk: Vec<FoldKind>,
     conn_out: Vec<bool>,
     pm_out: Vec<Option<WKey>>,
     cs_out: Vec<usize>,
     tconn_out: Vec<bool>,
+    pf_out: Vec<Option<FoldValue>>,
     /// Concatenated answers of every dedicated-routed tenant plan in the
     /// run (each plan splices at its own base offset).
     tded_out: Vec<bool>,
@@ -249,11 +259,14 @@ impl ServeScratch {
             + self.cs.capacity()
             + self.tconn.capacity()
             + self.tcut.capacity()
+            + self.pf.capacity()
+            + self.pfk.capacity()
             + self.conn_out.capacity()
             + self.pm_out.capacity()
             + self.cs_out.capacity()
             + self.tconn_out.capacity()
             + self.tded_out.capacity()
+            + self.pf_out.capacity()
     }
 
     /// Reclaims a merged-plan buffer from its post-join `Arc` (see the
@@ -486,6 +499,7 @@ fn serve<W: ServeWindow>(
     // previous generation's reclaim.
     debug_assert!(ws.conn.is_empty() && ws.pm.is_empty() && ws.cs.is_empty());
     debug_assert!(ws.tconn.is_empty() && ws.tcut.is_empty());
+    debug_assert!(ws.pf.is_empty() && ws.pfk.is_empty());
     let mut ded_plans: Vec<DedPlan> = Vec::new();
     let mut ded_total = 0usize;
     for (req, _, _) in run.iter() {
@@ -501,6 +515,16 @@ fn serve<W: ServeWindow>(
             QueryReq::ComponentSize(vs) => {
                 obs.q_cs.add(vs.len() as u64);
                 ws.cs.extend_from_slice(vs);
+            }
+            // Folds of every kind merge into one plan: pairs concatenate
+            // in run order, the request's kind repeats per query (same
+            // trick as the tenant cutoffs). Readers re-split into maximal
+            // same-kind spans, so batches of one kind still share the
+            // monomorphized plan.
+            QueryReq::PathFold { kind, pairs } => {
+                obs.q_pf.add(pairs.len() as u64);
+                ws.pf.extend_from_slice(pairs);
+                ws.pfk.resize(ws.pf.len(), *kind);
             }
             QueryReq::TenantConnected { tenant, pairs } => match w.tenant_route(*tenant) {
                 // Shared-routed tenants merge into one plan: pairs
@@ -564,6 +588,18 @@ fn serve<W: ServeWindow>(
         tconn.len(),
         done_tx,
     );
+    let pf = Arc::new(std::mem::take(&mut ws.pf));
+    let pfk = Arc::new(std::mem::take(&mut ws.pfk));
+    expected += fan_out(
+        pool,
+        snap,
+        Work::PathFold {
+            pairs: pf.clone(),
+            kinds: pfk.clone(),
+        },
+        pf.len(),
+        done_tx,
+    );
     for (tenant, pairs, base) in &ded_plans {
         expected += fan_out(
             pool,
@@ -591,6 +627,8 @@ fn serve<W: ServeWindow>(
     ws.tconn_out.resize(tconn.len(), false);
     ws.tded_out.clear();
     ws.tded_out.resize(ded_total, false);
+    ws.pf_out.clear();
+    ws.pf_out.resize(pf.len(), None);
     let mut poisoned = false;
     for _ in 0..expected {
         let p = done_rx.recv().expect("bimst-service reader pool alive");
@@ -602,6 +640,7 @@ fn serve<W: ServeWindow>(
                 ws.tconn_out[p.start..p.start + b.len()].copy_from_slice(&b)
             }
             PartialResp::DedBools(b) => ws.tded_out[p.start..p.start + b.len()].copy_from_slice(&b),
+            PartialResp::Folds(f) => ws.pf_out[p.start..p.start + f.len()].copy_from_slice(&f),
             PartialResp::Panicked => poisoned = true,
         }
     }
@@ -613,6 +652,8 @@ fn serve<W: ServeWindow>(
     ServeScratch::reclaim(&mut ws.cs, cs);
     ServeScratch::reclaim(&mut ws.tconn, tconn);
     ServeScratch::reclaim(&mut ws.tcut, tcut);
+    ServeScratch::reclaim(&mut ws.pf, pf);
+    ServeScratch::reclaim(&mut ws.pfk, pfk);
     // Fail stop, but only after the join barrier: every reader is parked
     // again, so unwinding the writer (dropping the structure) is safe, and
     // pending tickets resolve with `ServiceClosed` instead of hanging.
@@ -625,7 +666,7 @@ fn serve<W: ServeWindow>(
     // Split the merged answers back per request, in run order. A client
     // that dropped its ticket makes the send fail; that is its business.
     let (mut ci, mut pi, mut si) = (0usize, 0usize, 0usize);
-    let (mut ti, mut di) = (0usize, 0usize);
+    let (mut ti, mut di, mut fi) = (0usize, 0usize, 0usize);
     for (req, resp, at) in run.drain(..) {
         let answers = match &req {
             QueryReq::WindowConnected(qs) => {
@@ -642,6 +683,11 @@ fn serve<W: ServeWindow>(
                 let out = ws.cs_out[si..si + vs.len()].to_vec();
                 si += vs.len();
                 QueryResp::ComponentSize(out)
+            }
+            QueryReq::PathFold { pairs, .. } => {
+                let out = ws.pf_out[fi..fi + pairs.len()].to_vec();
+                fi += pairs.len();
+                QueryResp::PathFold(out)
             }
             QueryReq::TenantConnected { tenant, pairs } => {
                 // Re-resolving the route is deterministic: `w` has not
@@ -671,6 +717,7 @@ fn serve<W: ServeWindow>(
                 QueryReq::PathMax(_) => obs.lat_pm.record(ns),
                 QueryReq::ComponentSize(_) => obs.lat_cs.record(ns),
                 QueryReq::TenantConnected { .. } => obs.lat_tenant.record(ns),
+                QueryReq::PathFold { .. } => obs.lat_pf.record(ns),
             }
         }
         let _ = resp.send(Answered {
@@ -734,6 +781,16 @@ mod tests {
             QueryReq::WindowConnected(vec![(4, 5)]),
             QueryReq::PathMax(vec![(1, 2), (0, 2)]),
             QueryReq::ComponentSize(vec![2]),
+            // Two fold kinds in one run: the merged plan carries a kind
+            // per query and the reader re-splits it into same-kind spans.
+            QueryReq::PathFold {
+                kind: FoldKind::Hops,
+                pairs: vec![(0, 2), (4, 5)],
+            },
+            QueryReq::PathFold {
+                kind: FoldKind::Min,
+                pairs: vec![(1, 2)],
+            },
         ];
         for req in &reqs {
             let (tx, rx) = channel();
@@ -768,6 +825,24 @@ mod tests {
         assert_eq!(
             answers[4].resp,
             QueryResp::ComponentSize(vec![w.msf().component_size(2)])
+        );
+        assert_eq!(
+            answers[5].resp,
+            QueryResp::PathFold(vec![
+                w.msf()
+                    .path_fold::<bimst_primitives::Hops>(0, 2)
+                    .map(FoldValue::Hops),
+                w.msf()
+                    .path_fold::<bimst_primitives::Hops>(4, 5)
+                    .map(FoldValue::Hops),
+            ])
+        );
+        assert_eq!(
+            answers[6].resp,
+            QueryResp::PathFold(vec![w
+                .msf()
+                .path_fold::<bimst_primitives::MinW>(1, 2)
+                .map(FoldValue::Key)])
         );
         pool.shutdown();
     }

@@ -2,6 +2,7 @@
 
 use bimst_core::BatchMsf;
 use bimst_ordset::OrdSet;
+use bimst_primitives::monoid::MaxW;
 use bimst_primitives::VertexId;
 
 /// Recency weight of stream position `τ`: older ⇒ heavier.
@@ -266,9 +267,20 @@ impl SwConn {
         if u == v {
             return true;
         }
-        match self.msf.path_max(u, v) {
+        // The cutoff convention of the tenant module: fold the max monoid
+        // (heaviest = oldest edge on the path, under recency weights) and
+        // compare its id against the window start, failing loudly in debug
+        // builds if the cutoff ever drifts from `window_start_tau()`.
+        let cutoff = self.tw;
+        debug_assert_eq!(
+            cutoff,
+            self.window_start_tau(),
+            "stale recent-edge cutoff: {cutoff} vs window start {}",
+            self.window_start_tau()
+        );
+        match self.msf.path_fold::<MaxW>(u, v) {
             // Heaviest = oldest edge on the path; connected iff unexpired.
-            Some(k) => k.id >= self.tw,
+            Some(k) => k.id >= cutoff,
             None => false,
         }
     }

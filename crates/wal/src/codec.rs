@@ -18,8 +18,10 @@
 //! | 3 | `PathMaxQueries` | as `Insert` |
 //! | 4 | `ComponentSizeQueries` | `count: u32`, then `count × (v: u32)` |
 //! | 5 | `TenantConnectedQueries` | `tenant: u32`, then as `Insert` |
+//! | 6 | `PathFoldQueries` | `kind: u8` ([`FoldKind::index`]), then as `Insert` |
 
 use bimst_graphgen::Op;
+use bimst_primitives::monoid::FoldKind;
 
 /// Why a payload failed to decode as an [`Op`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +32,9 @@ pub enum DecodeError {
     TrailingBytes,
     /// The leading byte is not a known op tag.
     UnknownTag(u8),
+    /// A `PathFoldQueries` payload names a fold kind this build does not
+    /// know.
+    UnknownFoldKind(u8),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -38,6 +43,7 @@ impl std::fmt::Display for DecodeError {
             DecodeError::Truncated => f.write_str("bimst-wal: op payload truncated"),
             DecodeError::TrailingBytes => f.write_str("bimst-wal: trailing bytes after op"),
             DecodeError::UnknownTag(t) => write!(f, "bimst-wal: unknown op tag {t}"),
+            DecodeError::UnknownFoldKind(k) => write!(f, "bimst-wal: unknown fold kind {k}"),
         }
     }
 }
@@ -50,8 +56,15 @@ const TAG_CONNECTED: u8 = 2;
 const TAG_PATH_MAX: u8 = 3;
 const TAG_COMPONENT_SIZE: u8 = 4;
 const TAG_TENANT_CONNECTED: u8 = 5;
+const TAG_PATH_FOLD: u8 = 6;
 
 /// Appends the encoding of `op` to `out`.
+///
+/// # Panics
+///
+/// On an op variant this build has no encoding for (`Op` is
+/// non-exhaustive): persisting a record that recovery could not replay
+/// would be silent data loss, so the writer fails stop instead.
 pub fn encode_op(op: &Op, out: &mut Vec<u8>) {
     match op {
         Op::Insert(edges) => encode_insert(edges, out),
@@ -76,6 +89,12 @@ pub fn encode_op(op: &Op, out: &mut Vec<u8>) {
             out.extend_from_slice(&tenant.to_le_bytes());
             encode_pairs(qs, out);
         }
+        Op::PathFoldQueries(kind, qs) => {
+            out.push(TAG_PATH_FOLD);
+            out.push(kind.index() as u8);
+            encode_pairs(qs, out);
+        }
+        op => unreachable!("bimst-wal: no encoding for op variant {op:?}"),
     }
 }
 
@@ -170,6 +189,11 @@ pub fn decode_op(buf: &[u8]) -> Result<Op, DecodeError> {
         TAG_PATH_MAX => Op::PathMaxQueries(r.pairs()?),
         TAG_COMPONENT_SIZE => Op::ComponentSizeQueries(r.u32s()?),
         TAG_TENANT_CONNECTED => Op::TenantConnectedQueries(r.u32()?, r.pairs()?),
+        TAG_PATH_FOLD => {
+            let k = r.u8()?;
+            let kind = FoldKind::from_index(k as usize).ok_or(DecodeError::UnknownFoldKind(k))?;
+            Op::PathFoldQueries(kind, r.pairs()?)
+        }
         t => return Err(DecodeError::UnknownTag(t)),
     };
     if r.pos != buf.len() {
@@ -186,6 +210,8 @@ pub fn encoded_len(op: &Op) -> usize {
         Op::Expire(_) => 9,
         Op::ComponentSizeQueries(v) => 5 + 4 * v.len(),
         Op::TenantConnectedQueries(_, v) => 9 + 8 * v.len(),
+        Op::PathFoldQueries(_, v) => 6 + 8 * v.len(),
+        op => unreachable!("bimst-wal: no encoding for op variant {op:?}"),
     }
 }
 
@@ -205,6 +231,10 @@ mod tests {
             Op::ComponentSizeQueries(vec![]),
             Op::TenantConnectedQueries(0, vec![(1, 2)]),
             Op::TenantConnectedQueries(u32::MAX, vec![]),
+            Op::PathFoldQueries(FoldKind::Min, vec![(1, 2), (3, 4)]),
+            Op::PathFoldQueries(FoldKind::Hops, vec![]),
+            Op::PathFoldQueries(FoldKind::Max, vec![(0, u32::MAX)]),
+            Op::PathFoldQueries(FoldKind::Sum, vec![(5, 6)]),
         ]
     }
 
@@ -232,6 +262,11 @@ mod tests {
             decode_op(&buf[..buf.len() - 1]),
             Err(DecodeError::Truncated)
         );
+        // Fold tag with a fold kind this build does not know.
+        assert_eq!(decode_op(&[6]), Err(DecodeError::Truncated));
+        let mut fold = vec![6u8, 9]; // kind 9 does not exist
+        fold.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_op(&fold), Err(DecodeError::UnknownFoldKind(9)));
         // Oversized count must fail before allocating.
         let mut huge = vec![0u8]; // Insert tag
         huge.extend_from_slice(&u32::MAX.to_le_bytes());

@@ -143,6 +143,8 @@ fn main() {
                     // oldest link on the connecting path: a staleness probe.
                     oldest = keys.into_iter().flatten().map(|k| k.id).min();
                 }
+                // This stream is built without fold ops (`MixedStream::new`).
+                _ => {}
             }
         }
         if is_expire {

@@ -23,6 +23,13 @@
 //! assert_eq!(q.batch_component_size(h, &[0, 3]), vec![3, 1]);
 //! assert_eq!(q.batch_path_max(h, &[(0, 2)])[0].unwrap().w, 2.0);
 //!
+//! // Path aggregation is monoid-generic: `batch_path_max` is the `MaxW`
+//! // instance of `batch_path_fold`, and other monoids fold over the same
+//! // shared-CPT plan (min = bottleneck, sum = cost, hops = length).
+//! use bimst_repro::monoid::{Hops, MinW};
+//! assert_eq!(q.batch_path_fold::<Hops>(h, &[(0, 2), (0, 3)]), vec![Some(2), None]);
+//! assert_eq!(q.batch_path_fold::<MinW>(h, &[(0, 2)])[0].unwrap().w, 1.0);
+//!
 //! let mut win = SwConnEager::new(8, 2);
 //! win.batch_insert(&[(0, 1), (1, 2)]);
 //! win.batch_expire(1);
@@ -88,6 +95,15 @@ pub use bimst_ordset as ordset;
 
 /// Shared primitives (re-export of `bimst-primitives`).
 pub use bimst_primitives as primitives;
+
+/// Path-aggregation monoids (re-export of [`primitives::monoid`]): the
+/// [`PathMonoid`](primitives::monoid::PathMonoid) trait, its instances
+/// (`MaxW`, `MinW`, `SumW`, `Hops`, and the componentwise `Pair`), and
+/// the wire-level `FoldKind`/`FoldValue`. Surfaced at the root because
+/// every layer's fold API is parameterized by them:
+/// `core::BatchMsf::path_fold`, `query::QueryBatch::batch_path_fold`,
+/// and `service::QueryReq::PathFold`.
+pub use bimst_primitives::monoid;
 
 /// Workload generators (re-export of `bimst-graphgen`).
 pub use bimst_graphgen as graphgen;

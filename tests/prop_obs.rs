@@ -52,6 +52,7 @@ struct Oracle {
     pm: u64,
     cs: u64,
     tenant: u64,
+    pf: u64,
 }
 
 impl Oracle {
@@ -63,6 +64,8 @@ impl Oracle {
             Op::PathMaxQueries(qs) => self.pm += qs.len() as u64,
             Op::ComponentSizeQueries(vs) => self.cs += vs.len() as u64,
             Op::TenantConnectedQueries(_, qs) => self.tenant += qs.len() as u64,
+            Op::PathFoldQueries(_, qs) => self.pf += qs.len() as u64,
+            op => panic!("oracle has no count for op variant {op:?}"),
         }
         svc.submit_op(op).expect("service alive")
     }
@@ -127,7 +130,8 @@ proptest! {
             .expect("create WAL store");
         let mut oracle = Oracle::default();
         let mut tickets = Vec::new();
-        for op in MixedStream::new(cfg, seed).take_ops(40) {
+        // Folds on: the fold-kind admission counter is part of the oracle.
+        for op in MixedStream::with_folds(cfg, seed).take_ops(40) {
             if let Some(t) = oracle.submit(&svc, op) {
                 tickets.push(t);
             }
@@ -158,6 +162,7 @@ proptest! {
             snap.counter("service_queries_component_size"),
             Some(oracle.cs)
         );
+        prop_assert_eq!(snap.counter("service_queries_path_fold"), Some(oracle.pf));
         svc.shutdown();
         std::fs::remove_dir_all(&dir).expect("clean WAL store");
     }
