@@ -1,0 +1,248 @@
+//! Machine-readable perf trajectory for the replicated read-scaling tier.
+//!
+//! Emits `BENCH_replicas.json` (in the current directory): what fanning
+//! one admission log out to k independent [`ReplicaSet`] replicas — each
+//! with its own writer thread and reader pool — buys on the read side
+//! over the single-window [`Service`] deployment. Every PR that touches
+//! the replica tier, the op bus, or the serve protocol should re-run
+//! this and commit the refreshed file:
+//!
+//! ```sh
+//! cargo run --release -p bimst-bench --bin bench_replicas
+//! ```
+//!
+//! Shape: for each replica count k ∈ {1, 2, 4}, both deployments apply
+//! the identical insert batch and expiry per round, barrier, then answer
+//! the identical window-connectivity query batches — the replicated side
+//! issuing every batch through `serve_at(g, ..)` (read-your-writes
+//! routing spreads them round-robin over the k replicas, all in flight
+//! at once), the single side through one `ServiceHandle`. Rounds
+//! interleave replicated/single so host noise hits both alike (the
+//! paired same-run protocol of `BENCH_serve.json`), and every answer is
+//! asserted bit-identical across deployments — at the barrier generation
+//! both serve exactly the same logical state, so a run doubles as a
+//! correctness check at bench scale.
+//!
+//! The `kind: "replicas"` rows carry aggregate ns per op (insert edges +
+//! every query in the round's batches). On a multi-core host aggregate
+//! read ops/sec grows with k (the review gate's scaling row); on a
+//! single-CPU host the k replicas time-slice one core, so the paired
+//! rows bound the *protocol cost* of replication instead — bit-identity
+//! and the cost rows gate, scaling is nominal.
+//!
+//! Scale knobs (positional):
+//! `bench_replicas [n] [window] [rounds] [qper] [qruns]`.
+//! CI runs a tiny instance as a smoke test; committed numbers use the
+//! defaults.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use bimst_bench::Samples;
+use bimst_primitives::hash::hash2;
+use bimst_service::{QueryReq, QueryTicket, ReplicaSet, ReplicaSetConfig, Service, ServiceConfig};
+
+const REPLICA_COUNTS: [usize; 3] = [1, 2, 4];
+const EDGE_SEED: u64 = 29;
+const QUERY_SEED: u64 = 31;
+const SEED: u64 = 7;
+
+fn edge_batch(n: u32, round: u64, len: usize) -> Vec<(u32, u32)> {
+    (0..len as u64)
+        .map(|i| {
+            (
+                (hash2(EDGE_SEED, round * 1_000_003 + 2 * i) % u64::from(n)) as u32,
+                (hash2(EDGE_SEED, round * 1_000_003 + 2 * i + 1) % u64::from(n)) as u32,
+            )
+        })
+        .collect()
+}
+
+fn query_batch(n: u32, round: u64, run: u64, len: usize) -> Vec<(u32, u32)> {
+    (0..len as u64)
+        .map(|i| {
+            let k = (round << 24) ^ (run << 44) ^ i;
+            (
+                (hash2(QUERY_SEED, 2 * k) % u64::from(n)) as u32,
+                (hash2(QUERY_SEED, 2 * k + 1) % u64::from(n)) as u32,
+            )
+        })
+        .collect()
+}
+
+/// Drives one replica count end to end and returns its two paired rows.
+fn run_config(
+    n: usize,
+    window: u64,
+    rounds: usize,
+    qper: usize,
+    qruns: usize,
+    k: usize,
+) -> Vec<String> {
+    let insert_batch = (window / 8).max(1) as usize;
+    let set = ReplicaSet::eager(
+        n,
+        SEED,
+        ReplicaSetConfig {
+            replicas: k,
+            readers: 1,
+            ..ReplicaSetConfig::default()
+        },
+    );
+    let single = Service::eager(
+        n,
+        SEED,
+        ServiceConfig {
+            readers: 1,
+            ..ServiceConfig::default()
+        },
+    );
+
+    let round_items = insert_batch + qruns * qper;
+    let warm_rounds = (window / insert_batch as u64 + 2) as usize;
+    let mut rep_cell = Samples::default();
+    let mut single_cell = Samples::default();
+
+    for round in 0..warm_rounds + rounds {
+        let r = round as u64;
+        let edges = edge_batch(n as u32, r, insert_batch);
+        let slide = round >= warm_rounds; // hold the window open, then slide
+        let queries: Vec<Vec<(u32, u32)>> = (0..qruns)
+            .map(|run| query_batch(n as u32, r, run as u64, qper))
+            .collect();
+
+        // --- replicated round: one log, k replicas answering in flight ---
+        let t0 = Instant::now();
+        set.insert(edges.clone()).expect("set alive");
+        if slide {
+            set.expire(insert_batch as u64).expect("set alive");
+        }
+        let g = set.barrier().expect("set alive").wait().expect("set alive");
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .map(|qs| {
+                set.serve_at(g, QueryReq::WindowConnected(qs.clone()))
+                    .expect("set alive")
+            })
+            .collect();
+        let rep_answers: Vec<Vec<bool>> = tickets
+            .into_iter()
+            .map(|t| {
+                t.wait()
+                    .expect("admitted ⇒ answered")
+                    .resp
+                    .into_window_connected()
+                    .expect("connectivity answers")
+            })
+            .collect();
+        if slide {
+            rep_cell.record(t0.elapsed().as_secs_f64(), round_items);
+        }
+
+        // --- single round: the one-window baseline on the same ops ---
+        let t0 = Instant::now();
+        single.insert(edges.clone()).expect("service alive");
+        if slide {
+            single.expire(insert_batch as u64).expect("service alive");
+        }
+        single
+            .barrier()
+            .expect("service alive")
+            .wait()
+            .expect("service alive");
+        let tickets: Vec<QueryTicket> = queries
+            .iter()
+            .map(|qs| {
+                single
+                    .query(QueryReq::WindowConnected(qs.clone()))
+                    .expect("service alive")
+            })
+            .collect();
+        let single_answers: Vec<Vec<bool>> = tickets
+            .into_iter()
+            .map(|t| {
+                t.wait()
+                    .expect("admitted ⇒ answered")
+                    .resp
+                    .into_window_connected()
+                    .expect("connectivity answers")
+            })
+            .collect();
+        if slide {
+            single_cell.record(t0.elapsed().as_secs_f64(), round_items);
+        }
+
+        // Same ops, same barriered state: answers must be bit-identical
+        // whatever replica each batch landed on.
+        assert_eq!(
+            rep_answers, single_answers,
+            "replicated deployment diverged from the single-window baseline \
+             (replicas={k}, round={round})"
+        );
+    }
+    set.shutdown();
+    single.shutdown();
+
+    let extra = format!("\"replicas\": {k}");
+    let rows = vec![
+        rep_cell.row_with("replicas", "replicated", qper, "ops", "ns_per_op", &extra),
+        single_cell.row_with("replicas", "single", qper, "ops", "ns_per_op", &extra),
+    ];
+    for r in &rows {
+        eprintln!("replicas={k}: {r}");
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
+    let window: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1 << 14);
+    let rounds: usize = args
+        .get(3)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12)
+        .max(1);
+    let qper: usize = args
+        .get(4)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+        .max(1);
+    let qruns: usize = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(8).max(1);
+    let all = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // Process-level warmup, as in bench_serve.
+    eprintln!("warmup...");
+    run_config(n, window, 1, qper, qruns, 2);
+
+    let mut rows: Vec<String> = Vec::new();
+    for k in REPLICA_COUNTS {
+        rows.extend(run_config(n, window, rounds, qper, qruns, k));
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"replicas\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"window\": {window},");
+    let _ = writeln!(json, "  \"queries_per_batch\": {qper},");
+    let _ = writeln!(json, "  \"query_batches_per_round\": {qruns},");
+    let _ = writeln!(json, "  \"host_threads\": {all},");
+    let _ = writeln!(
+        json,
+        "  \"unit\": \"ns_per_op aggregate over one round (insert edges + every query in the round's batches), per replica count\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"baseline\": \"engine=single rows run the one-window Service on the identical op stream, interleaved round-for-round with the k-replica ReplicaSet in the same run (paired same-run); every query batch is issued at the barrier generation on both sides and every answer is asserted bit-identical. On multi-core hosts the review gate compares replicated vs single read ops/sec per k (aggregate grows with k); on a single-CPU host the paired rows bound the replication protocol cost and scaling is nominal\","
+    );
+    json.push_str("  \"measurements\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        let _ = writeln!(json, "    {r}{comma}");
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_replicas.json", &json).expect("write BENCH_replicas.json");
+    println!("{json}");
+}

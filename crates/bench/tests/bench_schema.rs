@@ -56,6 +56,7 @@ fn bench_files() -> Vec<PathBuf> {
 const REQUIRED: &[&str] = &[
     "BENCH_batch_insert.json",
     "BENCH_mixed_workload.json",
+    "BENCH_replicas.json",
     "BENCH_serve.json",
     "BENCH_tenants.json",
 ];
@@ -257,6 +258,27 @@ fn has_tenant_sweep_rows(rows: &[Json]) -> bool {
         .all(|&c| tenant_row("shared", c) && tenant_row("naive", c))
 }
 
+/// The replica bench's pairing requirement: for every replica count the
+/// sweep commits to (1/2/4), the measurements carry a `kind: "replicas"`
+/// row for the replicated deployment *and* its paired single-window
+/// baseline row with the same `replicas` value, measured in the same run
+/// — the rows the read-scaling / protocol-cost comparison reads (and the
+/// run itself asserts the two deployments' answers bit-identical, so a
+/// present pair certifies that check ran). One predicate, used by the
+/// gate and its rejection fixtures.
+fn has_replica_sweep_rows(rows: &[Json]) -> bool {
+    let replica_row = |engine: &str, count: f64| {
+        rows.iter().any(|r| {
+            r.get("kind").and_then(Json::as_str) == Some("replicas")
+                && r.get("engine").and_then(Json::as_str) == Some(engine)
+                && r.get("replicas").and_then(Json::as_f64) == Some(count)
+        })
+    };
+    [1.0, 2.0, 4.0]
+        .iter()
+        .all(|&c| replica_row("replicated", c) && replica_row("single", c))
+}
+
 #[test]
 fn committed_bench_artifacts_match_the_gating_schema() {
     let files = bench_files();
@@ -393,6 +415,19 @@ fn committed_bench_artifacts_match_the_gating_schema() {
                     );
                 }
             }
+        }
+
+        // The replica bench gates the replicated tier against its
+        // single-window baseline per replica count; a refresh that drops
+        // a count or either side of a pair would disarm the read-scaling
+        // comparison (and the in-run bit-identity check it certifies).
+        if name == "BENCH_replicas.json" {
+            assert!(
+                has_replica_sweep_rows(rows),
+                "{name}: replica sweep rows missing (need kind=replicas rows \
+                 with engine=replicated and engine=single for every replicas \
+                 value in 1/2/4, measured in the same run)"
+            );
         }
 
         if name == "BENCH_batch_insert.json" {
@@ -762,6 +797,62 @@ fn gate_rejects_rotten_artifacts() {
     )
     .unwrap();
     assert!(has_tenant_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+
+    // The replica-sweep predicate — through the gate's own function. A
+    // replicated row without its paired single-window baseline at the
+    // same count must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "replicas", "engine": "replicated", "replicas": 1},
+            {"kind": "replicas", "engine": "single", "replicas": 1},
+            {"kind": "replicas", "engine": "replicated", "replicas": 2},
+            {"kind": "replicas", "engine": "single", "replicas": 2},
+            {"kind": "replicas", "engine": "replicated", "replicas": 4}]}"#,
+    )
+    .unwrap();
+    assert!(!has_replica_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …a missing replica count must fail…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "replicas", "engine": "replicated", "replicas": 1},
+            {"kind": "replicas", "engine": "single", "replicas": 1},
+            {"kind": "replicas", "engine": "replicated", "replicas": 2},
+            {"kind": "replicas", "engine": "single", "replicas": 2}]}"#,
+    )
+    .unwrap();
+    assert!(!has_replica_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …rows of the wrong kind must not satisfy it…
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "serve", "engine": "replicated", "replicas": 1},
+            {"kind": "serve", "engine": "single", "replicas": 1},
+            {"kind": "serve", "engine": "replicated", "replicas": 2},
+            {"kind": "serve", "engine": "single", "replicas": 2},
+            {"kind": "serve", "engine": "replicated", "replicas": 4},
+            {"kind": "serve", "engine": "single", "replicas": 4}]}"#,
+    )
+    .unwrap();
+    assert!(!has_replica_sweep_rows(
+        doc.get("measurements").unwrap().as_arr().unwrap()
+    ));
+    // …and the complete paired sweep passes.
+    let doc = parse(
+        r#"{"measurements": [
+            {"kind": "replicas", "engine": "replicated", "replicas": 1},
+            {"kind": "replicas", "engine": "single", "replicas": 1},
+            {"kind": "replicas", "engine": "replicated", "replicas": 2},
+            {"kind": "replicas", "engine": "single", "replicas": 2},
+            {"kind": "replicas", "engine": "replicated", "replicas": 4},
+            {"kind": "replicas", "engine": "single", "replicas": 4}]}"#,
+    )
+    .unwrap();
+    assert!(has_replica_sweep_rows(
         doc.get("measurements").unwrap().as_arr().unwrap()
     ));
 }

@@ -256,6 +256,19 @@ impl Snapshot {
         self.hists.get(name).map(HistSnap::stats)
     }
 
+    /// All gauges whose name starts with `prefix`, in sorted name order.
+    /// For indexed metric families — e.g. the replica tier's per-replica
+    /// staleness gauges `replica_<i>_lag`, which a dashboard wants as one
+    /// sweep rather than k point lookups.
+    #[must_use]
+    pub fn gauges_with_prefix<'a>(&'a self, prefix: &'a str) -> Vec<(&'a str, u64)> {
+        self.gauges
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.as_str(), *v))
+            .collect()
+    }
+
     /// True when nothing has been recorded (always true for no-op builds).
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -451,6 +464,30 @@ mod tests {
         assert_eq!(a.gauge("g"), Some(9));
         assert_eq!(a.histogram("lat").unwrap().count, 1);
         assert!(!a.is_empty());
+    }
+
+    /// Prefix sweeps return exactly the matching gauge family, sorted —
+    /// and nothing from lexicographic neighbors of the prefix range.
+    #[test]
+    fn gauges_with_prefix_sweeps_a_family() {
+        let mut s = Snapshot::default();
+        s.put_gauge("replica_0_lag", 3);
+        s.put_gauge("replica_10_lag", 7);
+        s.put_gauge("replica_2_lag", 0);
+        s.put_gauge("replicz", 99); // past the prefix range
+        s.put_gauge("repl", 98); // before it
+        s.put_gauge("service_generation", 42);
+        assert_eq!(
+            s.gauges_with_prefix("replica_"),
+            vec![
+                ("replica_0_lag", 3),
+                ("replica_10_lag", 7),
+                ("replica_2_lag", 0),
+            ]
+        );
+        assert!(s.gauges_with_prefix("nope_").is_empty());
+        // The empty prefix is the whole gauge table.
+        assert_eq!(s.gauges_with_prefix("").len(), 6);
     }
 
     /// The always-compiled no-op surface accepts the full API and records

@@ -201,7 +201,7 @@ impl<A: PathMonoid, B: PathMonoid> PathMonoid for Pair<A, B> {
     }
 }
 
-/// Wire-level name of a servable fold, for op streams ([`bimst_graphgen`]'s
+/// Wire-level name of a servable fold, for op streams (`bimst_graphgen`'s
 /// `Op::PathFoldQueries`), the WAL codec, and `QueryReq::PathFold` — the
 /// layers that cannot be generic over a type parameter. The serving runtime
 /// dispatches each kind to its monomorphized `batch_path_fold::<M>` call.

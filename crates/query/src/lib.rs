@@ -725,7 +725,7 @@ impl QueryBatch {
     /// the MSF path of `queries[i]` (`None` when disconnected or `u == v`).
     ///
     /// `batch_path_fold::<MaxW>` is bit-identical to
-    /// [`QueryBatch::batch_path_max`]; see [`QueryBatch::fold_core`] for
+    /// [`QueryBatch::batch_path_max`]; see the private `fold_core` for
     /// how non-max monoids share the chunked CPT plan. Caveat for
     /// [`bimst_primitives::monoid::SumW`]: the batch plan associates `f64`
     /// addition segment-wise, the per-query peel edge-wise, so the two can

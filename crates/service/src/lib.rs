@@ -89,11 +89,13 @@ use bimst_sliding::{
 };
 
 mod reader;
+mod replica;
 mod shard;
 
 use shard::{DurCtl, Req};
 
 pub use bimst_wal::SyncPolicy;
+pub use replica::{ReplicaSet, ReplicaSetConfig};
 
 /// What a window structure must provide to be served: the write surface
 /// (`bimst_sliding::SlidingWrite`, driven by the writer thread) and the
@@ -637,7 +639,12 @@ impl Service {
     /// admitted in the same generation share one deduped query plan.
     ///
     /// In-memory only: the WAL codec carries the tenant op tag, but
-    /// durable recovery of a tenant registry is future work.
+    /// durable recovery of a tenant registry is future work, and this
+    /// constructor takes no store path so nothing about it *looks*
+    /// durable. `cfg.sync` / `cfg.checkpoint_every` are ignored exactly
+    /// as by [`Service::start`]. A caller that needs the durable
+    /// combination must go through [`Service::tenants_durable`], which
+    /// fails loudly instead of silently skipping the log.
     pub fn tenants(
         n: usize,
         seed: u64,
@@ -646,6 +653,42 @@ impl Service {
         cfg: ServiceConfig,
     ) -> Service {
         Service::start(TenantSet::new(n, seed, specs, tcfg), cfg)
+    }
+
+    /// The durable counterpart [`Service::tenants`] deliberately does not
+    /// have: durable recovery of a tenant registry (per-tenant cutoffs,
+    /// dedicated fallback structures) is **not implemented**, and before
+    /// this constructor existed a caller could hand a durable-looking
+    /// `ServiceConfig` to [`Service::tenants`] and believe its ops were
+    /// logged. This always returns [`io::ErrorKind::Unsupported`] — the
+    /// WAL layer refuses to create (or ever open) a tenant-tagged store,
+    /// so the combination cannot silently lose durability. No file is
+    /// created.
+    pub fn tenants_durable(
+        path: impl AsRef<Path>,
+        n: usize,
+        seed: u64,
+        specs: &[TenantSpec],
+        tcfg: TenantConfig,
+        cfg: ServiceConfig,
+    ) -> io::Result<Service> {
+        let _ = (specs, tcfg, cfg);
+        let meta = bimst_wal::Meta {
+            n: n as u64,
+            seed,
+            eager: false,
+            tenants: true,
+        };
+        match bimst_wal::Store::create(path, &meta) {
+            Err(e) => Err(e),
+            // Unreachable today; if the WAL ever learns to log a tenant
+            // registry this constructor must grow a real serving path
+            // rather than quietly dropping the store.
+            Ok(_) => Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "bimst-service: durable tenant serving is not implemented",
+            )),
+        }
     }
 
     /// [`Service::eager`] with durability: admitted write ops are logged
@@ -663,6 +706,7 @@ impl Service {
             n: n as u64,
             seed,
             eager: true,
+            tenants: false,
         };
         let store = bimst_wal::Store::create(path, &meta)?;
         Ok(Service::start_durable(
@@ -684,6 +728,7 @@ impl Service {
             n: n as u64,
             seed,
             eager: false,
+            tenants: false,
         };
         let store = bimst_wal::Store::create(path, &meta)?;
         Ok(Service::start_durable(SwConn::new(n, seed), store, 0, cfg))
@@ -702,15 +747,48 @@ impl Service {
     /// `crates/wal/tests/`).
     pub fn recover(path: impl AsRef<Path>, cfg: ServiceConfig) -> io::Result<Service> {
         let (store, meta, rec) = bimst_wal::Store::open(path)?;
+        Ok(Service::resume(store, meta, rec, cfg))
+    }
+
+    /// [`Service::recover`], but the caller states the identity it
+    /// expects the store to have: `n`, `seed`, and the expiry discipline
+    /// must match the stored meta exactly, otherwise recovery fails with
+    /// [`io::ErrorKind::InvalidInput`] naming every disagreeing field —
+    /// before any file is touched — instead of trusting the store and
+    /// silently rebuilding a structure the caller's config does not
+    /// describe (e.g. a recover pointed at the wrong directory).
+    pub fn recover_expecting(
+        path: impl AsRef<Path>,
+        n: usize,
+        seed: u64,
+        eager: bool,
+        cfg: ServiceConfig,
+    ) -> io::Result<Service> {
+        let expect = bimst_wal::Meta {
+            n: n as u64,
+            seed,
+            eager,
+            tenants: false,
+        };
+        let (store, meta, rec) = bimst_wal::Store::open_expecting(path, &expect)?;
+        Ok(Service::resume(store, meta, rec, cfg))
+    }
+
+    fn resume(
+        store: bimst_wal::Store,
+        meta: bimst_wal::Meta,
+        rec: bimst_wal::Recovery,
+        cfg: ServiceConfig,
+    ) -> Service {
         let n = meta.n as usize;
         if meta.eager {
             let mut w = SwConnEager::new(n, meta.seed);
             Service::rebuild(&mut w, &rec);
-            Ok(Service::start_durable(w, store, rec.generation, cfg))
+            Service::start_durable(w, store, rec.generation, cfg)
         } else {
             let mut w = SwConn::new(n, meta.seed);
             Service::rebuild(&mut w, &rec);
-            Ok(Service::start_durable(w, store, rec.generation, cfg))
+            Service::start_durable(w, store, rec.generation, cfg)
         }
     }
 

@@ -200,13 +200,29 @@ impl<W: ServeWindow> ReaderPool<W> {
         self.txs.len()
     }
 
-    /// Hands a task to the next worker (round-robin).
-    pub(crate) fn dispatch(&mut self, task: ServeTask<W>) {
+    /// Hands a task to the next worker (round-robin). Returns whether the
+    /// worker accepted it: `false` means that reader thread is gone (its
+    /// channel disconnected), so no [`Partial`] will ever arrive for the
+    /// task. The caller must fold that into the poisoned-barrier
+    /// fail-stop path — count only accepted tasks toward the join
+    /// barrier, drain them, and *then* fail stop — never panic mid-fan-out
+    /// while other readers may still hold the published snapshot.
+    #[must_use]
+    pub(crate) fn dispatch(&mut self, task: ServeTask<W>) -> bool {
         let i = self.next;
         self.next = (self.next + 1) % self.txs.len();
-        self.txs[i]
-            .send(Task::Serve(task))
-            .expect("bimst-service reader worker alive");
+        self.txs[i].send(Task::Serve(task)).is_ok()
+    }
+
+    /// Test-only: stops worker `i` and joins it, simulating a reader
+    /// thread that died outside the serve path. Joining (not just
+    /// signalling) guarantees the receiver is dropped, so the next
+    /// [`ReaderPool::dispatch`] aimed at the slot reports `false` rather
+    /// than queueing a task no one will serve.
+    #[cfg(test)]
+    pub(crate) fn kill_worker(&mut self, i: usize) {
+        let _ = self.txs[i].send(Task::Stop);
+        let _ = self.threads.remove(i).join();
     }
 
     /// Retires the pool: readers finish queued tasks, then exit and join.

@@ -1,0 +1,1261 @@
+//! Replicated read-scaling tier: one group-committed admission log fanned
+//! out to `k` independent replicas of the window structure, each owned by
+//! its own writer thread with its own reader shards.
+//!
+//! A single [`crate::Service`] tops out when one reader pool saturates —
+//! every query batch, no matter how many clients submit, funnels through
+//! one writer's publish→serve→retire cycle. The replica tier multiplies
+//! the read side without touching write semantics:
+//!
+//! ```text
+//!   clients ──► admission thread ──► OpLog (WAL-framed, in memory)
+//!    insert /      (group commit,      │ │ │
+//!    expire         log-before-bus     │ │ └─► feeder 2 ─► replica 2
+//!    barrier        when durable)      │ └───► feeder 1 ─► replica 1
+//!                                      └─────► feeder 0 ─► replica 0
+//!   clients ──► serve_at(g, query) ── routed to any replica with fed ≥ g
+//! ```
+//!
+//! * **One log, one order.** Every write is admitted exactly once, by a
+//!   single admission thread that merges consecutive ops exactly like the
+//!   single-service writer (positions concatenate, deltas add) and appends
+//!   one record per merged group to the [`OpLog`]. The record index *is*
+//!   the generation — the same numbering the WAL store and the
+//!   single-service writer use, which is what makes replicated answers
+//!   comparable (and bit-identical) to a sequential replay.
+//! * **The bus is the WAL format.** OpLog records are framed and encoded
+//!   with `bimst_wal`'s `[len][crc32][payload]` frames and op codec, so a
+//!   durable replica set appends the *same bytes* to disk (before the bus
+//!   — log-before-publish) and a rejoining replica can switch seamlessly
+//!   from disk replay ([`bimst_wal::ReplayCursor`]) to bus tailing at any
+//!   record boundary.
+//! * **Deterministic replicas.** Each replica applies the same record
+//!   sequence to an identically-seeded structure, so at equal generation
+//!   every replica is answer-identical — not merely converged. Queries
+//!   are coalesced and served per replica by the same
+//!   publish→serve→retire protocol as the single service (shared
+//!   `shard::serve`), so sharding is invisible here too.
+//! * **Bounded-staleness routing.** [`ReplicaSet::serve_at`] routes a
+//!   query to a replica whose *fed* watermark (records enqueued on its
+//!   apply channel) has reached the caller's minimum generation. FIFO
+//!   channel order then guarantees the query is answered at a generation
+//!   ≥ the watermark: the feeder enqueues apply messages *before* it
+//!   publishes the watermark, and the router enqueues the query *after*
+//!   reading it. `serve_at(barrier().wait()?, ..)` is read-your-writes;
+//!   `query` (min 0) is serve-anywhere.
+//! * **Fail-stop per replica, not per set.** A killed replica stops
+//!   serving; the router skips it. [`ReplicaSet::restart`] rebuilds it
+//!   from the newest checkpoint — in-memory (installed by replica 0) or,
+//!   for a durable set, replayed from the on-disk log — and its feeder
+//!   catches up in [`ReplicaSetConfig::catchup_batch`]-sized batches
+//!   until it rejoins the live bus. Checkpoint + replay is the same
+//!   prefix-equivalence contract recovery pins, so a rejoined replica is
+//!   again bit-identical at every generation it serves.
+//!
+//! `tests/prop_replicas.rs` pins the whole contract differentially:
+//! every replica against a sequential replay at every barrier, including
+//! a kill/restart mid-stream.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bimst_graphgen::Op;
+use bimst_primitives::VertexId;
+use bimst_sliding::{SwConn, SwConnEager, WindowCheckpoint};
+use bimst_wal::{
+    decode_op, encode_op, write_frame, Checkpoint, Frames, Meta, ReplayCursor, Store, SyncPolicy,
+};
+
+use crate::reader::{Partial, ReaderPool};
+use crate::shard::{serve, RunEntry, ServeScratch, SvcObs};
+use crate::{Answered, BarrierTicket, QueryReq, QueryTicket, ServeWindow, ServiceClosed};
+
+/// Shape of a [`ReplicaSet`].
+#[derive(Clone, Copy, Debug)]
+pub struct ReplicaSetConfig {
+    /// Number of replicas (logical copies of the window, each with its
+    /// own writer thread and reader pool). Clamped to ≥ 1.
+    pub replicas: usize,
+    /// Reader workers *per replica* (see [`crate::ServiceConfig::readers`]).
+    pub readers: usize,
+    /// Capacity of each bounded queue: the admission queue and every
+    /// per-replica apply queue. Clamped to ≥ 1.
+    pub queue_cap: usize,
+    /// Group-commit budget of the admission thread, in edges (see
+    /// [`crate::ServiceConfig::write_budget`]).
+    pub write_budget: usize,
+    /// Replica 0 installs an in-memory checkpoint after at least this
+    /// many admitted write ops (`0` = never; restarts then replay from
+    /// generation 0 or the store's newest on-disk checkpoint). The
+    /// durable constructors deliberately do **not** write mid-stream
+    /// on-disk checkpoints: the store's segment-naming invariant ties
+    /// checkpoint generation to the record count, which only the single
+    /// admission thread knows — so restart positioning uses
+    /// [`bimst_wal::ReplayCursor::seek`] instead.
+    pub checkpoint_every: u64,
+    /// How many log records a feeder hands its replica per apply message
+    /// while catching up (and per bus poll when live). Clamped to ≥ 1.
+    pub catchup_batch: usize,
+    /// When the admission thread fsyncs WAL appends (durable sets only;
+    /// see [`crate::ServiceConfig::sync`]). Under [`SyncPolicy::Always`] the
+    /// group-commit merge is disabled so record = op.
+    pub sync: SyncPolicy,
+}
+
+impl Default for ReplicaSetConfig {
+    fn default() -> Self {
+        ReplicaSetConfig {
+            replicas: 2,
+            readers: 2,
+            queue_cap: 1024,
+            write_budget: 1 << 14,
+            checkpoint_every: 1 << 12,
+            catchup_batch: 4096,
+            sync: SyncPolicy::GroupCommit,
+        }
+    }
+}
+
+/// The in-memory op bus: WAL-framed records appended once by the
+/// admission thread, tailed independently by every feeder. `base` is the
+/// generation of the first buffered record (> 0 only for a recovered
+/// set, whose prefix lives in the store); nothing is pruned after boot,
+/// so any feeder position ≥ `base` is always servable.
+struct LogInner {
+    base: u64,
+    /// Concatenated `[len][crc32][payload]` frames.
+    buf: Vec<u8>,
+    /// Byte offset of each record's frame in `buf` (index = gen − base).
+    offsets: Vec<usize>,
+    /// Newest in-memory checkpoint (installed by replica 0); restarts
+    /// rebuild from it instead of replaying the whole log.
+    ckpt: Option<Checkpoint>,
+    closed: bool,
+}
+
+struct OpLog {
+    inner: Mutex<LogInner>,
+    grew: Condvar,
+    /// Mirror of `base + offsets.len()`, readable without the lock.
+    gen: AtomicU64,
+}
+
+impl OpLog {
+    fn new(base: u64, ckpt: Option<Checkpoint>) -> OpLog {
+        OpLog {
+            inner: Mutex::new(LogInner {
+                base,
+                buf: Vec::new(),
+                offsets: Vec::new(),
+                ckpt,
+                closed: false,
+            }),
+            grew: Condvar::new(),
+            gen: AtomicU64::new(base),
+        }
+    }
+
+    /// Appends one record (one write group); returns the new generation.
+    fn append(&self, op: &Op) -> u64 {
+        let mut payload = Vec::with_capacity(bimst_wal::encoded_len(op));
+        encode_op(op, &mut payload);
+        let mut inner = self.inner.lock().unwrap();
+        let at = inner.buf.len();
+        inner.offsets.push(at);
+        write_frame(&mut inner.buf, &payload);
+        let gen = inner.base + inner.offsets.len() as u64;
+        // Publish the new generation before waking tailing feeders: a
+        // woken feeder re-reads under the lock anyway, the atomic is for
+        // lock-free reads (router, metrics, barrier answers).
+        self.gen.store(gen, Ordering::Release);
+        drop(inner);
+        self.grew.notify_all();
+        gen
+    }
+
+    /// Blocks until records past `from` exist, then decodes up to `max`
+    /// of them. `None` means no more will ever come: the log is closed
+    /// and drained past `from`, or `stop` was raised.
+    fn wait_batch(&self, from: u64, max: usize, stop: &AtomicBool) -> Option<Vec<Op>> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            assert!(
+                from >= inner.base,
+                "bimst-service: replica feeder at generation {from} fell behind \
+                 the bus base {} (restart from a checkpoint instead)",
+                inner.base
+            );
+            let have = inner.base + inner.offsets.len() as u64;
+            if from < have {
+                let first = (from - inner.base) as usize;
+                let count = ((have - from) as usize).min(max.max(1));
+                let mut frames = Frames::new(&inner.buf[inner.offsets[first]..]);
+                let mut ops = Vec::with_capacity(count);
+                while ops.len() < count {
+                    let payload = frames
+                        .next_frame()
+                        .expect("bimst-service: op bus frame missing for an indexed record");
+                    ops.push(
+                        decode_op(payload).expect("bimst-service: op bus record failed to decode"),
+                    );
+                }
+                return Some(ops);
+            }
+            if stop.load(Ordering::Acquire) || inner.closed {
+                return None;
+            }
+            let (guard, _) = self
+                .grew
+                .wait_timeout(inner, Duration::from_millis(50))
+                .unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Installs a checkpoint if it is newer than the current one.
+    fn install_ckpt(&self, ck: Checkpoint) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner
+            .ckpt
+            .as_ref()
+            .is_none_or(|old| old.generation < ck.generation)
+        {
+            inner.ckpt = Some(ck);
+        }
+    }
+
+    fn newest_ckpt(&self) -> Option<Checkpoint> {
+        self.inner.lock().unwrap().ckpt.clone()
+    }
+
+    /// Marks the log complete (no more appends) and wakes every tailer.
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.grew.notify_all();
+    }
+
+    /// Wakes every tailer so it can observe a raised stop flag.
+    fn nudge(&self) {
+        let _guard = self.inner.lock().unwrap();
+        self.grew.notify_all();
+    }
+
+    fn generation(&self) -> u64 {
+        self.gen.load(Ordering::Acquire)
+    }
+}
+
+/// A write or barrier, as submitted to the admission thread.
+enum LogReq {
+    Insert(Vec<(VertexId, VertexId)>),
+    Expire(u64),
+    /// Resolves with the generation once every prior write is logged (and
+    /// therefore, by bus order, bound for every replica).
+    Barrier(Sender<u64>),
+}
+
+/// What a feeder hands its replica's writer. Writes arrive pre-merged
+/// (`groups` log records folded into one apply — positions concatenate,
+/// deltas add), so the writer's generation still counts records exactly.
+enum RepReq {
+    Insert {
+        edges: Vec<(VertexId, VertexId)>,
+        groups: u64,
+    },
+    Expire {
+        delta: u64,
+        groups: u64,
+    },
+    Query {
+        req: QueryReq,
+        resp: Sender<Answered>,
+        at: Option<std::time::Instant>,
+    },
+    Metrics(Sender<bimst_obs::Snapshot>),
+}
+
+/// The admission loop: single consumer of the client-facing write queue,
+/// single producer of the op bus (and, for a durable set, the WAL store).
+/// Merging mirrors the single-service writer; the write path is **log
+/// before publish**: a group's record hits the store (and is fsynced,
+/// per policy) before any replica can observe it on the bus, so no
+/// served answer can ever out-run the disk — and a rejoining replica's
+/// disk replay always covers every generation the bus has published.
+fn admission_main(
+    rx: Receiver<LogReq>,
+    log: Arc<OpLog>,
+    mut store: Option<Store>,
+    cfg: ReplicaSetConfig,
+) {
+    let merge = !(store.is_some() && cfg.sync == SyncPolicy::Always);
+    let mut carry: Option<LogReq> = None;
+    let mut wbuf: Vec<(VertexId, VertexId)> = Vec::new();
+    loop {
+        let first = match carry.take() {
+            Some(r) => r,
+            None => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => break, // every handle dropped and queue drained
+            },
+        };
+        match first {
+            LogReq::Insert(edges) => {
+                wbuf.clear();
+                wbuf.extend_from_slice(&edges);
+                while merge && wbuf.len() < cfg.write_budget.max(1) {
+                    match rx.try_recv() {
+                        Ok(LogReq::Insert(more)) => wbuf.extend_from_slice(&more),
+                        Ok(other) => {
+                            carry = Some(other);
+                            break;
+                        }
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                if let Some(s) = store.as_mut() {
+                    s.append_insert(&wbuf)
+                        .expect("bimst-service: WAL append failed");
+                    if cfg.sync != SyncPolicy::None {
+                        s.sync().expect("bimst-service: WAL fsync failed");
+                    }
+                }
+                log.append(&Op::Insert(std::mem::take(&mut wbuf)));
+            }
+            LogReq::Expire(delta) => {
+                let mut delta = delta;
+                if merge {
+                    loop {
+                        match rx.try_recv() {
+                            Ok(LogReq::Expire(more)) => delta = delta.saturating_add(more),
+                            Ok(other) => {
+                                carry = Some(other);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                }
+                if let Some(s) = store.as_mut() {
+                    s.append_expire(delta)
+                        .expect("bimst-service: WAL append failed");
+                    if cfg.sync != SyncPolicy::None {
+                        s.sync().expect("bimst-service: WAL fsync failed");
+                    }
+                }
+                log.append(&Op::Expire(delta));
+            }
+            LogReq::Barrier(resp) => {
+                let _ = resp.send(log.generation());
+            }
+        }
+    }
+    // Orderly shutdown: whatever the policy deferred is synced now.
+    if let Some(s) = store.as_mut() {
+        let _ = s.sync();
+    }
+    log.close();
+}
+
+/// One feeder: tails the log (optionally a disk prefix first, for a
+/// rejoin) and pushes merged apply messages to its replica's writer.
+/// The `fed` watermark is published only *after* the records it covers
+/// are enqueued — that ordering is the entire freshness guarantee.
+struct Feeder {
+    log: Arc<OpLog>,
+    tx: SyncSender<RepReq>,
+    fed: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    notify: Arc<(Mutex<()>, Condvar)>,
+    /// `(cursor, until)`: replay from disk up to generation `until`
+    /// (the bus generation at restart time), then switch to the bus.
+    disk: Option<(ReplayCursor, u64)>,
+    pos: u64,
+    batch: usize,
+}
+
+impl Feeder {
+    fn run(mut self) {
+        if let Some((mut cur, until)) = self.disk.take() {
+            // Disk phase. The admission thread appends to the store
+            // before the bus, so the store always holds every record the
+            // bus has published: this loop terminates at `until` without
+            // ever waiting on the file.
+            while self.pos < until && !self.stop.load(Ordering::Acquire) {
+                let want = ((until - self.pos) as usize).min(self.batch.max(1));
+                let ops = cur
+                    .next_batch(want)
+                    .expect("bimst-service: replica rejoin replay failed");
+                assert!(
+                    !ops.is_empty(),
+                    "bimst-service: WAL ended at generation {} but the bus reached {until} \
+                     (log-before-publish violated?)",
+                    self.pos
+                );
+                if !self.ship(ops) {
+                    return;
+                }
+            }
+        }
+        // Bus phase: tail until the log closes (orderly shutdown, after
+        // draining — nothing admitted is skipped) or the stop flag is
+        // raised (kill).
+        while let Some(ops) = self.log.wait_batch(self.pos, self.batch, &self.stop) {
+            if !self.ship(ops) {
+                return;
+            }
+        }
+    }
+
+    /// Merges a decoded record run into apply messages and enqueues them;
+    /// then publishes the watermark and wakes the router. Returns `false`
+    /// if the writer is gone (killed replica).
+    fn ship(&mut self, ops: Vec<Op>) -> bool {
+        let advanced = ops.len() as u64;
+        let mut queue: Vec<RepReq> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(mut more) => {
+                    if matches!(queue.last(), Some(RepReq::Insert { .. })) {
+                        if let Some(RepReq::Insert { edges, groups }) = queue.last_mut() {
+                            edges.append(&mut more);
+                            *groups += 1;
+                        }
+                    } else {
+                        queue.push(RepReq::Insert {
+                            edges: more,
+                            groups: 1,
+                        });
+                    }
+                }
+                Op::Expire(more) => {
+                    if matches!(queue.last(), Some(RepReq::Expire { .. })) {
+                        if let Some(RepReq::Expire { delta, groups }) = queue.last_mut() {
+                            *delta = delta.saturating_add(more);
+                            *groups += 1;
+                        }
+                    } else {
+                        queue.push(RepReq::Expire {
+                            delta: more,
+                            groups: 1,
+                        });
+                    }
+                }
+                // The admission thread only logs writes; a foreign record
+                // kind still occupies a generation, so it must advance
+                // the replica's count to keep numbering aligned.
+                _ => queue.push(RepReq::Expire {
+                    delta: 0,
+                    groups: 1,
+                }),
+            }
+        }
+        for msg in queue {
+            if self.tx.send(msg).is_err() {
+                return false;
+            }
+        }
+        self.pos += advanced;
+        // Watermark after enqueue: a router that reads `fed ≥ g` and then
+        // sends a query on the same FIFO channel knows the apply messages
+        // for every generation ≤ g sit ahead of it.
+        self.fed.store(self.pos, Ordering::Release);
+        let _guard = self.notify.0.lock().unwrap();
+        self.notify.1.notify_all();
+        true
+    }
+}
+
+/// One replica's writer loop: applies pre-merged write groups, coalesces
+/// query runs, and serves them through the shared publish→serve→retire
+/// protocol. Replica 0 doubles as the set's checkpointer.
+#[allow(clippy::too_many_arguments)]
+fn replica_main<W: ServeWindow + WindowCheckpoint>(
+    mut w: W,
+    idx: usize,
+    readers: usize,
+    rx: Receiver<RepReq>,
+    mut generation: u64,
+    applied: Arc<AtomicU64>,
+    log: Arc<OpLog>,
+    checkpoint_every: u64,
+    rec: bimst_obs::Recorder,
+) {
+    let obs = SvcObs::new(rec);
+    obs.generation.set(generation);
+    // Per-replica staleness: bus generation minus applied generation,
+    // sampled after every apply. Keyed by index so a set-wide absorbed
+    // snapshot keeps them apart (`gauges_with_prefix("replica_")`).
+    let lag = obs.rec.gauge(&format!("replica_{idx}_lag"));
+    let mut since_ckpt = 0u64;
+    let mut pool: ReaderPool<W> = ReaderPool::spawn(readers);
+    let (done_tx, done_rx) = channel::<Partial>();
+    let mut carry: Option<RepReq> = None;
+    let mut run: Vec<RunEntry> = Vec::new();
+    let mut scratch = ServeScratch::default();
+
+    loop {
+        let first = match carry.take() {
+            Some(r) => r,
+            None => match rx.recv() {
+                Ok(r) => r,
+                Err(_) => break, // feeder and router both gone; drained
+            },
+        };
+        match first {
+            RepReq::Insert { edges, groups } => {
+                w.batch_insert(&edges);
+                generation += groups;
+                applied.store(generation, Ordering::Release);
+                obs.groups.add(groups);
+                obs.ops_insert.add(groups);
+                obs.generation.set(generation);
+                lag.set(log.generation().saturating_sub(generation));
+                since_ckpt += groups;
+            }
+            RepReq::Expire { delta, groups } => {
+                w.batch_expire(delta);
+                generation += groups;
+                applied.store(generation, Ordering::Release);
+                obs.groups.add(groups);
+                obs.ops_expire.add(groups);
+                obs.generation.set(generation);
+                lag.set(log.generation().saturating_sub(generation));
+                since_ckpt += groups;
+            }
+            RepReq::Metrics(resp) => {
+                let mut snap = obs.rec.snapshot();
+                if let Some(r) = w.obs_recorder() {
+                    snap.absorb(&r.snapshot());
+                }
+                let _ = resp.send(snap);
+            }
+            RepReq::Query { req, resp, at } => {
+                run.clear();
+                run.push((req, resp, at));
+                loop {
+                    match rx.try_recv() {
+                        Ok(RepReq::Query { req, resp, at }) => run.push((req, resp, at)),
+                        Ok(other) => {
+                            carry = Some(other);
+                            break;
+                        }
+                        Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                    }
+                }
+                serve(
+                    &w,
+                    generation,
+                    &mut pool,
+                    &done_tx,
+                    &done_rx,
+                    &mut run,
+                    &mut scratch,
+                    &obs,
+                );
+            }
+        }
+        // Replica 0 is the checkpointer: the checkpoint is installed on
+        // the bus, not the store (see `ReplicaSetConfig::checkpoint_every`),
+        // so any replica can restart from it regardless of durability.
+        if idx == 0 && checkpoint_every != 0 && since_ckpt >= checkpoint_every {
+            let (tw, t) = w.window();
+            log.install_ckpt(Checkpoint {
+                generation,
+                tw,
+                t,
+                edges: w.compact_edges(),
+            });
+            since_ckpt = 0;
+        }
+    }
+    drop(done_tx);
+    pool.shutdown();
+}
+
+/// One replica's runtime handles, as the router sees them. `tx: None`
+/// marks a killed replica (skipped by routing until restarted).
+struct ReplicaSlot {
+    tx: Option<SyncSender<RepReq>>,
+    /// Records enqueued on the apply channel (the freshness watermark).
+    fed: Arc<AtomicU64>,
+    /// Records applied by the writer (drives the lag gauge; also the
+    /// restart floor for tests).
+    applied: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    feeder: Option<JoinHandle<()>>,
+    writer: Option<JoinHandle<()>>,
+}
+
+/// `k` replicas of one logical sliding window behind one admission log.
+///
+/// Writes go through [`ReplicaSet::insert`] / [`ReplicaSet::expire`] and
+/// are applied by every replica in the same order; reads go through
+/// [`ReplicaSet::query`] (any replica) or [`ReplicaSet::serve_at`]
+/// (bounded staleness). See the module docs for the protocol and the
+/// README's *Replication* section for the freshness semantics table.
+///
+/// ```
+/// use bimst_service::{QueryReq, ReplicaSet, ReplicaSetConfig};
+///
+/// let set = ReplicaSet::eager(100, 42, ReplicaSetConfig::default());
+/// set.insert((0..98).map(|v| (v, v + 1)).collect()).unwrap();
+/// let g = set.barrier().unwrap().wait().unwrap();
+/// // Read-your-writes: served by any replica that has reached g.
+/// let t = set.serve_at(g, QueryReq::WindowConnected(vec![(0, 98), (0, 99)])).unwrap();
+/// let a = t.wait().unwrap();
+/// assert!(a.generation >= g);
+/// assert_eq!(a.resp.into_window_connected().unwrap(), vec![true, false]);
+/// set.shutdown();
+/// ```
+pub struct ReplicaSet {
+    log: Arc<OpLog>,
+    admission_tx: Option<SyncSender<LogReq>>,
+    admission: Option<JoinHandle<()>>,
+    replicas: Vec<ReplicaSlot>,
+    /// Round-robin cursor for fresh-enough replicas.
+    rr: AtomicUsize,
+    /// Router ↔ feeder rendezvous: feeders notify after advancing a
+    /// watermark, `serve_at` waits here when no replica is fresh enough.
+    notify: Arc<(Mutex<()>, Condvar)>,
+    /// Router metrics (`replica_route_*`), folded into
+    /// [`ReplicaSet::metrics_snapshot`].
+    rec: bimst_obs::Recorder,
+    route_queries: bimst_obs::Counter,
+    route_lagged: bimst_obs::Counter,
+    route_waits: bimst_obs::Counter,
+    n: usize,
+    seed: u64,
+    eager: bool,
+    dir: Option<PathBuf>,
+    cfg: ReplicaSetConfig,
+}
+
+impl ReplicaSet {
+    /// An in-memory replica set over eagerly-maintained windows
+    /// ([`SwConnEager`]), each seeded identically.
+    pub fn eager(n: usize, seed: u64, cfg: ReplicaSetConfig) -> ReplicaSet {
+        ReplicaSet::boot(n, seed, true, None, None, 0, None, &[], cfg)
+    }
+
+    /// An in-memory replica set over lazily-maintained windows
+    /// ([`SwConn`]).
+    pub fn lazy(n: usize, seed: u64, cfg: ReplicaSetConfig) -> ReplicaSet {
+        ReplicaSet::boot(n, seed, false, None, None, 0, None, &[], cfg)
+    }
+
+    /// A durable replica set: the admission thread writes every group to
+    /// a fresh WAL store at `path` *before* publishing it to the
+    /// replicas. [`ReplicaSet::recover`] resumes from the directory.
+    pub fn eager_durable(
+        path: impl AsRef<Path>,
+        n: usize,
+        seed: u64,
+        cfg: ReplicaSetConfig,
+    ) -> io::Result<ReplicaSet> {
+        let meta = Meta {
+            n: n as u64,
+            seed,
+            eager: true,
+            tenants: false,
+        };
+        let store = Store::create(&path, &meta)?;
+        Ok(ReplicaSet::boot(
+            n,
+            seed,
+            true,
+            Some(path.as_ref().to_path_buf()),
+            Some(store),
+            0,
+            None,
+            &[],
+            cfg,
+        ))
+    }
+
+    /// [`ReplicaSet::eager_durable`] over lazy windows.
+    pub fn lazy_durable(
+        path: impl AsRef<Path>,
+        n: usize,
+        seed: u64,
+        cfg: ReplicaSetConfig,
+    ) -> io::Result<ReplicaSet> {
+        let meta = Meta {
+            n: n as u64,
+            seed,
+            eager: false,
+            tenants: false,
+        };
+        let store = Store::create(&path, &meta)?;
+        Ok(ReplicaSet::boot(
+            n,
+            seed,
+            false,
+            Some(path.as_ref().to_path_buf()),
+            Some(store),
+            0,
+            None,
+            &[],
+            cfg,
+        ))
+    }
+
+    /// Recovers a durable replica set from `path`: every replica is
+    /// rebuilt from the newest on-disk checkpoint plus the intact log
+    /// tail (exactly the single-service recovery contract), and the set
+    /// resumes at the recovered generation.
+    pub fn recover(path: impl AsRef<Path>, cfg: ReplicaSetConfig) -> io::Result<ReplicaSet> {
+        let (store, meta, rec) = Store::open(&path)?;
+        Ok(ReplicaSet::boot(
+            meta.n as usize,
+            meta.seed,
+            meta.eager,
+            Some(path.as_ref().to_path_buf()),
+            Some(store),
+            rec.generation,
+            rec.checkpoint,
+            &rec.tail,
+            cfg,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn boot(
+        n: usize,
+        seed: u64,
+        eager: bool,
+        dir: Option<PathBuf>,
+        store: Option<Store>,
+        base: u64,
+        ckpt: Option<Checkpoint>,
+        tail: &[Op],
+        cfg: ReplicaSetConfig,
+    ) -> ReplicaSet {
+        let log = Arc::new(OpLog::new(base, ckpt.clone()));
+        let notify = Arc::new((Mutex::new(()), Condvar::new()));
+        let (admission_tx, admission_rx) = std::sync::mpsc::sync_channel(cfg.queue_cap.max(1));
+        let admission = {
+            let log = log.clone();
+            std::thread::Builder::new()
+                .name("bimst-replica-log".into())
+                .spawn(move || admission_main(admission_rx, log, store, cfg))
+                .expect("bimst-service: spawn replica admission thread")
+        };
+        let rec = bimst_obs::Recorder::new();
+        let mut set = ReplicaSet {
+            log,
+            admission_tx: Some(admission_tx),
+            admission: Some(admission),
+            replicas: Vec::new(),
+            rr: AtomicUsize::new(0),
+            notify,
+            route_queries: rec.counter("replica_route_queries"),
+            route_lagged: rec.counter("replica_route_lagged"),
+            route_waits: rec.counter("replica_route_waits"),
+            rec,
+            n,
+            seed,
+            eager,
+            dir,
+            cfg,
+        };
+        for i in 0..cfg.replicas.max(1) {
+            let slot = set.spawn_slot(i, base, ckpt.as_ref(), tail, None);
+            set.replicas.push(slot);
+        }
+        set
+    }
+
+    /// Builds one replica's window at `base` (checkpoint + replayed tail,
+    /// the recovery rebuild) and spawns its writer + feeder. `disk` is a
+    /// positioned replay cursor for a rejoin's catch-up phase.
+    fn spawn_slot(
+        &self,
+        idx: usize,
+        base: u64,
+        ckpt: Option<&Checkpoint>,
+        tail: &[Op],
+        disk: Option<(ReplayCursor, u64)>,
+    ) -> ReplicaSlot {
+        fn rebuild<W: ServeWindow + WindowCheckpoint>(
+            w: &mut W,
+            ckpt: Option<&Checkpoint>,
+            tail: &[Op],
+        ) {
+            if let Some(ck) = ckpt {
+                w.restore(&ck.edges, ck.tw, ck.t);
+            }
+            for op in tail {
+                match op {
+                    Op::Insert(edges) => {
+                        w.batch_insert(edges);
+                    }
+                    Op::Expire(delta) => w.batch_expire(*delta),
+                    _ => {}
+                }
+            }
+        }
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<RepReq>(self.cfg.queue_cap.max(1));
+        let fed = Arc::new(AtomicU64::new(base));
+        let applied = Arc::new(AtomicU64::new(base));
+        let stop = Arc::new(AtomicBool::new(false));
+        let rec = bimst_obs::Recorder::new();
+        let (log, readers) = (self.log.clone(), self.cfg.readers);
+        let (ap, ckpt_every) = (applied.clone(), self.cfg.checkpoint_every);
+        let writer = {
+            let name = format!("bimst-replica-writer-{idx}");
+            let b = std::thread::Builder::new().name(name);
+            if self.eager {
+                let mut w = SwConnEager::new(self.n, self.seed);
+                rebuild(&mut w, ckpt, tail);
+                b.spawn(move || replica_main(w, idx, readers, rx, base, ap, log, ckpt_every, rec))
+            } else {
+                let mut w = SwConn::new(self.n, self.seed);
+                rebuild(&mut w, ckpt, tail);
+                b.spawn(move || replica_main(w, idx, readers, rx, base, ap, log, ckpt_every, rec))
+            }
+            .expect("bimst-service: spawn replica writer")
+        };
+        let feeder = Feeder {
+            log: self.log.clone(),
+            tx: tx.clone(),
+            fed: fed.clone(),
+            stop: stop.clone(),
+            notify: self.notify.clone(),
+            disk,
+            pos: base,
+            batch: self.cfg.catchup_batch.max(1),
+        };
+        let feeder = std::thread::Builder::new()
+            .name(format!("bimst-replica-feeder-{idx}"))
+            .spawn(move || feeder.run())
+            .expect("bimst-service: spawn replica feeder");
+        ReplicaSlot {
+            tx: Some(tx),
+            fed,
+            applied,
+            stop,
+            feeder: Some(feeder),
+            writer: Some(writer),
+        }
+    }
+
+    /// Number of replica slots (alive or killed).
+    pub fn replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The admission log's generation: write groups admitted so far.
+    pub fn generation(&self) -> u64 {
+        self.log.generation()
+    }
+
+    /// Admits an insert batch (blocking under backpressure). Applied by
+    /// every replica in admission order.
+    pub fn insert(&self, edges: Vec<(VertexId, VertexId)>) -> Result<(), ServiceClosed> {
+        self.admission_tx
+            .as_ref()
+            .ok_or(ServiceClosed)?
+            .send(LogReq::Insert(edges))
+            .map_err(|_| ServiceClosed)
+    }
+
+    /// Admits an expiration of the `delta` oldest stream positions.
+    pub fn expire(&self, delta: u64) -> Result<(), ServiceClosed> {
+        self.admission_tx
+            .as_ref()
+            .ok_or(ServiceClosed)?
+            .send(LogReq::Expire(delta))
+            .map_err(|_| ServiceClosed)
+    }
+
+    /// Admits a write barrier: resolves with the generation `g` at which
+    /// every previously-admitted write is logged and bus-visible.
+    /// `serve_at(g, ..)` after it is read-your-writes on any replica.
+    pub fn barrier(&self) -> Result<BarrierTicket, ServiceClosed> {
+        let (resp, rx) = std::sync::mpsc::channel();
+        self.admission_tx
+            .as_ref()
+            .ok_or(ServiceClosed)?
+            .send(LogReq::Barrier(resp))
+            .map_err(|_| ServiceClosed)?;
+        Ok(BarrierTicket { rx })
+    }
+
+    /// Serves a query batch from any live replica (no freshness floor:
+    /// the answering generation is whatever that replica has applied).
+    pub fn query(&self, req: QueryReq) -> Result<QueryTicket, ServiceClosed> {
+        self.serve_at(0, req)
+    }
+
+    /// Serves a query batch from a replica whose watermark has reached
+    /// `min_gen` (lag-bounded freshness). Blocks while every live
+    /// replica is behind; fails with [`ServiceClosed`] when none is
+    /// alive. The answer's [`Answered::generation`] is ≥ `min_gen`.
+    pub fn serve_at(&self, min_gen: u64, req: QueryReq) -> Result<QueryTicket, ServiceClosed> {
+        let (resp, rx) = std::sync::mpsc::channel();
+        let at = bimst_obs::enabled().then(std::time::Instant::now);
+        let mut msg = RepReq::Query { req, resp, at };
+        loop {
+            let k = self.replicas.len();
+            let start = self.rr.fetch_add(1, Ordering::Relaxed);
+            let mut alive = 0usize;
+            let mut lagged = false;
+            for j in 0..k {
+                let slot = &self.replicas[(start + j) % k];
+                let Some(tx) = slot.tx.as_ref() else { continue };
+                alive += 1;
+                if slot.fed.load(Ordering::Acquire) < min_gen {
+                    lagged = true;
+                    continue;
+                }
+                match tx.send(msg) {
+                    Ok(()) => {
+                        self.route_queries.inc();
+                        if lagged {
+                            self.route_lagged.inc();
+                        }
+                        return Ok(QueryTicket { rx });
+                    }
+                    // Writer died (killed mid-route); try the next one.
+                    Err(std::sync::mpsc::SendError(m)) => msg = m,
+                }
+            }
+            if alive == 0 {
+                return Err(ServiceClosed);
+            }
+            // Every live replica is behind `min_gen`: wait for a feeder
+            // to advance a watermark (or time out and re-scan, in case
+            // the only fresh replica was killed while we slept).
+            self.route_waits.inc();
+            let guard = self.notify.0.lock().unwrap();
+            let _ = self
+                .notify
+                .1
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+        }
+    }
+
+    /// [`ReplicaSet::serve_at`] pinned to replica `i` — for tests and
+    /// benchmarks that compare replicas directly. Blocks until replica
+    /// `i`'s watermark reaches `min_gen`; [`ServiceClosed`] if it is
+    /// killed.
+    pub fn query_on(
+        &self,
+        i: usize,
+        min_gen: u64,
+        req: QueryReq,
+    ) -> Result<QueryTicket, ServiceClosed> {
+        let (resp, rx) = std::sync::mpsc::channel();
+        let at = bimst_obs::enabled().then(std::time::Instant::now);
+        let slot = &self.replicas[i];
+        loop {
+            let tx = slot.tx.as_ref().ok_or(ServiceClosed)?;
+            if slot.fed.load(Ordering::Acquire) >= min_gen {
+                self.route_queries.inc();
+                return match tx.send(RepReq::Query { req, resp, at }) {
+                    Ok(()) => Ok(QueryTicket { rx }),
+                    Err(_) => Err(ServiceClosed),
+                };
+            }
+            self.route_waits.inc();
+            let guard = self.notify.0.lock().unwrap();
+            let _ = self
+                .notify
+                .1
+                .wait_timeout(guard, Duration::from_millis(10))
+                .unwrap();
+        }
+    }
+
+    /// Fail-stops replica `i`: its feeder is stopped and joined, its
+    /// writer drains and exits, and the router skips the slot. Writes
+    /// keep flowing — the log and the other replicas are untouched.
+    pub fn kill(&mut self, i: usize) {
+        let slot = &mut self.replicas[i];
+        slot.stop.store(true, Ordering::Release);
+        self.log.nudge();
+        if let Some(f) = slot.feeder.take() {
+            let _ = f.join();
+        }
+        slot.tx = None; // last sender: the writer drains and exits
+        if let Some(w) = slot.writer.take() {
+            let _ = w.join();
+        }
+    }
+
+    /// Restarts a killed replica from the newest checkpoint. In-memory
+    /// sets rebuild from the bus checkpoint (or generation 0) and replay
+    /// the retained bus; durable sets position a [`ReplayCursor`] on the
+    /// store and replay *from disk* up to the bus generation at restart
+    /// time, then hand over to live bus tailing. Either way the rejoined
+    /// replica is bit-identical to the others at every generation it
+    /// serves (`tests/prop_replicas.rs` pins this differentially).
+    pub fn restart(&mut self, i: usize) -> io::Result<()> {
+        assert!(
+            self.replicas[i].tx.is_none(),
+            "bimst-service: restart of a live replica {i} (kill it first)"
+        );
+        let bus_ck = self.log.newest_ckpt();
+        let (base, ck, disk) = match &self.dir {
+            Some(dir) => {
+                let start = ReplayCursor::open(dir)?;
+                // Rebuild from the newer of the bus checkpoint and the
+                // disk one (a recovered set's prefix lives only on disk).
+                let bus_gen = bus_ck.as_ref().map_or(0, |c| c.generation);
+                let disk_gen = start.checkpoint.as_ref().map_or(0, |c| c.generation);
+                let (base, ck) = if bus_gen >= disk_gen {
+                    (bus_gen, bus_ck)
+                } else {
+                    (disk_gen, start.checkpoint)
+                };
+                let mut cursor = start.cursor;
+                cursor.seek(base);
+                // Everything the bus has published is on disk already
+                // (log-before-publish), so replay to the current bus
+                // generation always terminates; the feeder then switches
+                // to the bus, whose retained records cover `base ≥
+                // log.base` onward.
+                (base, ck, Some((cursor, self.log.generation())))
+            }
+            None => (bus_ck.as_ref().map_or(0, |c| c.generation), bus_ck, None),
+        };
+        let slot = self.spawn_slot(i, base, ck.as_ref(), &[], disk);
+        self.replicas[i] = slot;
+        Ok(())
+    }
+
+    /// Watermark diagnostics for replica `i`: `(fed, applied)` record
+    /// counts (equal when the replica is idle and caught up).
+    pub fn watermarks(&self, i: usize) -> (u64, u64) {
+        let slot = &self.replicas[i];
+        (
+            slot.fed.load(Ordering::Acquire),
+            slot.applied.load(Ordering::Acquire),
+        )
+    }
+
+    /// One metrics snapshot for the whole set: router counters, every
+    /// live replica's registry (per-replica lag gauges keyed
+    /// `replica_<i>_lag`), and the process-global recorder.
+    pub fn metrics_snapshot(&self) -> bimst_obs::Snapshot {
+        let mut snap = self.rec.snapshot();
+        for slot in &self.replicas {
+            let Some(tx) = slot.tx.as_ref() else { continue };
+            let (resp, rx) = std::sync::mpsc::channel();
+            if tx.send(RepReq::Metrics(resp)).is_ok() {
+                if let Ok(s) = rx.recv() {
+                    snap.absorb(&s);
+                }
+            }
+        }
+        snap.absorb(&bimst_obs::global().snapshot());
+        snap
+    }
+
+    /// Stops admission and drains everything, in dependency order: the
+    /// admission thread finishes logging every admitted write and closes
+    /// the bus; each feeder drains the bus tail into its replica and
+    /// exits; each writer applies and answers everything queued, retires
+    /// its readers, and exits. Every admitted op is applied by every
+    /// live replica; every admitted query's ticket resolves.
+    pub fn shutdown(mut self) {
+        self.admission_tx = None;
+        if let Some(a) = self.admission.take() {
+            let _ = a.join();
+        }
+        for slot in &mut self.replicas {
+            if let Some(f) = slot.feeder.take() {
+                let _ = f.join();
+            }
+            slot.tx = None;
+            if let Some(w) = slot.writer.take() {
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+impl Drop for ReplicaSet {
+    /// Dropping without [`ReplicaSet::shutdown`] still drains, but
+    /// detached: admission and replica threads finish in the background.
+    fn drop(&mut self) {
+        self.admission_tx = None;
+        for slot in &mut self.replicas {
+            slot.tx = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::QueryResp;
+
+    fn ring(n: u32) -> Vec<(u32, u32)> {
+        (0..n).map(|v| (v, (v + 1) % n)).collect()
+    }
+
+    /// Every replica answers bit-identically at a barrier generation,
+    /// and `Answered::generation` respects the freshness floor.
+    #[test]
+    fn replicas_agree_at_barriers() {
+        let set = ReplicaSet::eager(
+            200,
+            7,
+            ReplicaSetConfig {
+                replicas: 3,
+                ..ReplicaSetConfig::default()
+            },
+        );
+        let mut expect_gen = 0u64;
+        for round in 0..10 {
+            set.insert(ring(200)).unwrap();
+            set.expire(50).unwrap();
+            expect_gen += 2;
+            let g = set.barrier().unwrap().wait().unwrap();
+            assert_eq!(
+                g, expect_gen,
+                "round {round}: barrier counts admitted groups"
+            );
+            let req = QueryReq::WindowConnected(vec![(0, 100), (0, 199), (3, 4)]);
+            let answers: Vec<Answered> = (0..3)
+                .map(|i| {
+                    let t = set.query_on(i, g, req.clone()).unwrap();
+                    let a = t.wait().unwrap();
+                    assert!(a.generation >= g, "replica {i} served below the floor");
+                    a
+                })
+                .collect();
+            assert_eq!(answers[0].resp, answers[1].resp, "round {round}");
+            assert_eq!(answers[1].resp, answers[2].resp, "round {round}");
+        }
+        set.shutdown();
+    }
+
+    /// serve_at routes around a killed replica; restart rejoins from the
+    /// bus checkpoint and answers identically again.
+    #[test]
+    fn kill_restart_rejoins_in_memory() {
+        let mut set = ReplicaSet::lazy(
+            100,
+            11,
+            ReplicaSetConfig {
+                replicas: 2,
+                checkpoint_every: 4,
+                ..ReplicaSetConfig::default()
+            },
+        );
+        for _ in 0..6 {
+            set.insert(ring(100)).unwrap();
+            set.expire(30).unwrap();
+        }
+        let g = set.barrier().unwrap().wait().unwrap();
+        set.kill(1);
+        // Routing skips the dead slot but stays serviceable.
+        let t = set
+            .serve_at(g, QueryReq::ComponentSize(vec![0, 50]))
+            .unwrap();
+        let live = t.wait().unwrap();
+        for _ in 0..4 {
+            set.insert(ring(100)).unwrap();
+        }
+        set.restart(1).unwrap();
+        let g2 = set.barrier().unwrap().wait().unwrap();
+        let a0 = set
+            .query_on(0, g2, QueryReq::ComponentSize(vec![0, 50]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let a1 = set
+            .query_on(1, g2, QueryReq::ComponentSize(vec![0, 50]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(a0.resp, a1.resp, "rejoined replica diverged");
+        assert_eq!(live.resp, QueryResp::ComponentSize(vec![100, 100]));
+        set.shutdown();
+    }
+
+    /// A durable set's restart replays from disk; recover resumes the
+    /// whole set at the logged generation.
+    #[test]
+    fn durable_restart_and_recover() {
+        let dir = std::env::temp_dir().join(format!(
+            "bimst-replica-dur-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let cfg = ReplicaSetConfig {
+            replicas: 2,
+            checkpoint_every: 0, // force restart to replay from gen 0
+            ..ReplicaSetConfig::default()
+        };
+        let mut set = ReplicaSet::eager_durable(&dir, 64, 3, cfg).unwrap();
+        for _ in 0..5 {
+            set.insert(ring(64)).unwrap();
+            set.expire(16).unwrap();
+        }
+        let g = set.barrier().unwrap().wait().unwrap();
+        set.kill(0);
+        set.insert(ring(64)).unwrap();
+        set.restart(0).unwrap();
+        let g2 = set.barrier().unwrap().wait().unwrap();
+        assert!(g2 > g);
+        let req = QueryReq::WindowConnected(vec![(0, 32), (1, 63)]);
+        let a0 = set.query_on(0, g2, req.clone()).unwrap().wait().unwrap();
+        let a1 = set.query_on(1, g2, req.clone()).unwrap().wait().unwrap();
+        assert_eq!(a0.resp, a1.resp, "disk-replayed replica diverged");
+        set.shutdown();
+
+        // The same directory recovers into a fresh set at the same
+        // generation, answering identically.
+        let set = ReplicaSet::recover(&dir, cfg).unwrap();
+        assert_eq!(set.generation(), g2);
+        let a = set.serve_at(g2, req).unwrap().wait().unwrap();
+        assert_eq!(a.resp, a0.resp, "recovered set diverged");
+        set.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The watermark/lag plumbing: metrics expose per-replica lag keys
+    /// and the router counters move.
+    #[test]
+    fn metrics_expose_replica_lag() {
+        bimst_obs::set_enabled(true);
+        if !bimst_obs::enabled() {
+            return; // no-op obs build: nothing to observe
+        }
+        let set = ReplicaSet::eager(
+            50,
+            5,
+            ReplicaSetConfig {
+                replicas: 2,
+                ..ReplicaSetConfig::default()
+            },
+        );
+        set.insert(ring(50)).unwrap();
+        let g = set.barrier().unwrap().wait().unwrap();
+        let _ = set
+            .serve_at(g, QueryReq::WindowConnected(vec![(0, 25)]))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let snap = set.metrics_snapshot();
+        assert!(snap.counter("replica_route_queries").unwrap_or(0) >= 1);
+        assert!(snap.gauge("replica_0_lag").is_some());
+        assert!(snap.gauge("replica_1_lag").is_some());
+        let (fed, applied) = set.watermarks(0);
+        assert!(fed >= applied);
+        set.shutdown();
+    }
+}

@@ -27,8 +27,9 @@ use crate::{Answered, QueryReq, QueryResp, ServeWindow, ServiceConfig};
 type DedPlan = (u32, Arc<Vec<(VertexId, VertexId)>>, usize);
 
 /// One coalesced query: request, reply channel, admission timestamp
-/// (`None` when recording is off).
-type RunEntry = (QueryReq, Sender<Answered>, Option<std::time::Instant>);
+/// (`None` when recording is off). Shared with the replica tier, whose
+/// per-replica writers coalesce and [`serve`] exactly like this one.
+pub(crate) type RunEntry = (QueryReq, Sender<Answered>, Option<std::time::Instant>);
 
 /// An admitted operation (see `ServiceHandle` for the client-side view).
 pub(crate) enum Req {
@@ -69,15 +70,17 @@ pub(crate) struct SvcObs {
     /// `service_serve_ns`: publish→serve→retire latency of each coalesced
     /// query run (one span per `serve`).
     serve_ns: bimst_obs::Histogram,
-    /// `service_generation`: the writer's current generation.
-    generation: bimst_obs::Gauge,
+    /// `service_generation`: the writer's current generation. (These
+    /// four are shared with the replica tier's per-replica writers,
+    /// hence `pub(crate)`.)
+    pub(crate) generation: bimst_obs::Gauge,
     /// `service_write_groups`: applied write groups (== generation
     /// increments == WAL records appended for a durable service).
-    groups: bimst_obs::Counter,
+    pub(crate) groups: bimst_obs::Counter,
     /// `service_ops_insert` / `service_ops_expire`: admitted write ops by
     /// kind (a group of width k counts k).
-    ops_insert: bimst_obs::Counter,
-    ops_expire: bimst_obs::Counter,
+    pub(crate) ops_insert: bimst_obs::Counter,
+    pub(crate) ops_expire: bimst_obs::Counter,
     /// `service_queries_*`: admitted queries by kind (a batch of q pairs
     /// counts q).
     q_conn: bimst_obs::Counter,
@@ -482,7 +485,7 @@ pub(crate) fn writer_main<W: ServeWindow>(
 /// next generation. Steady-state dispatches allocate only the per-client
 /// answer vectors (which the clients keep).
 #[allow(clippy::too_many_arguments)]
-fn serve<W: ServeWindow>(
+pub(crate) fn serve<W: ServeWindow>(
     w: &W,
     generation: u64,
     pool: &mut ReaderPool<W>,
@@ -560,6 +563,10 @@ fn serve<W: ServeWindow>(
     let conn = Arc::new(std::mem::take(&mut ws.conn));
     let pm = Arc::new(std::mem::take(&mut ws.pm));
     let cs = Arc::new(std::mem::take(&mut ws.cs));
+    // A dead reader (its thread gone before dispatch) is recorded here and
+    // folded into the poisoned-barrier fail-stop below — the same path a
+    // reader that panicked *during* a serve takes. See `fan_out`.
+    let mut dead_reader = false;
     let mut expected = 0usize;
     expected += fan_out(
         pool,
@@ -567,14 +574,23 @@ fn serve<W: ServeWindow>(
         Work::WindowConnected(conn.clone()),
         conn.len(),
         done_tx,
+        &mut dead_reader,
     );
-    expected += fan_out(pool, snap, Work::PathMax(pm.clone()), pm.len(), done_tx);
+    expected += fan_out(
+        pool,
+        snap,
+        Work::PathMax(pm.clone()),
+        pm.len(),
+        done_tx,
+        &mut dead_reader,
+    );
     expected += fan_out(
         pool,
         snap,
         Work::ComponentSize(cs.clone()),
         cs.len(),
         done_tx,
+        &mut dead_reader,
     );
     let tconn = Arc::new(std::mem::take(&mut ws.tconn));
     let tcut = Arc::new(std::mem::take(&mut ws.tcut));
@@ -587,6 +603,7 @@ fn serve<W: ServeWindow>(
         },
         tconn.len(),
         done_tx,
+        &mut dead_reader,
     );
     let pf = Arc::new(std::mem::take(&mut ws.pf));
     let pfk = Arc::new(std::mem::take(&mut ws.pfk));
@@ -599,6 +616,7 @@ fn serve<W: ServeWindow>(
         },
         pf.len(),
         done_tx,
+        &mut dead_reader,
     );
     for (tenant, pairs, base) in &ded_plans {
         expected += fan_out(
@@ -611,6 +629,7 @@ fn serve<W: ServeWindow>(
             },
             pairs.len(),
             done_tx,
+            &mut dead_reader,
         );
     }
 
@@ -657,10 +676,14 @@ fn serve<W: ServeWindow>(
     // Fail stop, but only after the join barrier: every reader is parked
     // again, so unwinding the writer (dropping the structure) is safe, and
     // pending tickets resolve with `ServiceClosed` instead of hanging.
+    // A worker that was already dead at dispatch time (`dead_reader`)
+    // surfaces through this same path — previously it panicked the writer
+    // mid-fan-out with a bare channel error, before the barrier drained.
     assert!(
-        !poisoned,
-        "bimst-service: a reader worker panicked serving a query batch \
-         (malformed batch, e.g. an out-of-range vertex id?)"
+        !(poisoned || dead_reader),
+        "bimst-service: a reader worker {} serving a query batch \
+         (malformed batch, e.g. an out-of-range vertex id?)",
+        if poisoned { "panicked" } else { "died" }
     );
 
     // Split the merged answers back per request, in run order. A client
@@ -728,13 +751,20 @@ fn serve<W: ServeWindow>(
 }
 
 /// Cuts one plan into contiguous ranges and hands them to the pool
-/// round-robin. Returns the number of tasks dispatched.
+/// round-robin. Returns the number of tasks *accepted* — a range refused
+/// by a dead worker sets `dead` instead of counting, because no
+/// [`Partial`] will ever arrive for it; the caller joins only on accepted
+/// tasks and then fails stop. Dispatching must keep going past a dead
+/// worker (rather than panicking on the spot) because the snapshot is
+/// already published: unwinding before the join barrier would drop the
+/// structure while live readers still borrow it.
 fn fan_out<W: ServeWindow>(
     pool: &mut ReaderPool<W>,
     snap: Snapshot<W>,
     work: Work,
     len: usize,
     done: &Sender<Partial>,
+    dead: &mut bool,
 ) -> usize {
     if len == 0 {
         return 0;
@@ -744,14 +774,17 @@ fn fan_out<W: ServeWindow>(
     let mut lo = 0;
     while lo < len {
         let hi = (lo + chunk).min(len);
-        pool.dispatch(ServeTask {
+        if pool.dispatch(ServeTask {
             snap,
             work: work.clone(),
             range: lo..hi,
             done: done.clone(),
-        });
+        }) {
+            parts += 1;
+        } else {
+            *dead = true;
+        }
         lo = hi;
-        parts += 1;
     }
     parts
 }
@@ -869,6 +902,51 @@ mod tests {
         let got = rx.recv().unwrap().resp.into_window_connected().unwrap();
         let want: Vec<bool> = pairs.iter().map(|&(u, v)| w.is_connected(u, v)).collect();
         assert_eq!(got, want);
+        pool.shutdown();
+    }
+
+    /// A reader thread that died *outside* a serve (so its channel is
+    /// already disconnected at dispatch time) must surface through the
+    /// poisoned-barrier fail-stop — the same error a reader that panicked
+    /// mid-serve produces — not the old bare
+    /// `expect("bimst-service reader worker alive")` panic, which fired
+    /// mid-fan-out while the surviving readers still held the published
+    /// snapshot. The surviving workers' partials are drained first (the
+    /// join barrier counts only accepted tasks), then the writer fails
+    /// stop.
+    #[test]
+    fn dead_reader_routes_through_the_poisoned_barrier() {
+        let mut w = SwConnEager::new(200, 5);
+        let ring: Vec<(u32, u32)> = (0..199).map(|v| (v, v + 1)).collect();
+        w.batch_insert(&ring);
+
+        let mut pool: ReaderPool<SwConnEager> = ReaderPool::spawn(2);
+        pool.kill_worker(1);
+        // 200 pairs with 2 workers → chunk 100 ≥ MIN_SHARD → two tasks:
+        // one lands on the live worker, one on the dead slot.
+        let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| (i, (i * 3 + 1) % 200)).collect();
+        let (done_tx, done_rx) = channel();
+        let (tx, answer_rx) = channel();
+        let mut run = vec![(QueryReq::WindowConnected(pairs), tx, None)];
+        let mut ws = ServeScratch::default();
+        let obs = SvcObs::new(bimst_obs::Recorder::new());
+        let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            serve(
+                &w, 1, &mut pool, &done_tx, &done_rx, &mut run, &mut ws, &obs,
+            );
+        }))
+        .expect_err("a dead reader must fail stop the serve");
+        let msg = unwind.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("a reader worker died serving a query batch"),
+            "fail-stop message names the dead-reader cause: {msg}"
+        );
+        // The ticket was never answered: the writer unwound before the
+        // split, so the run (and with it the answer sender) is what a
+        // real writer thread would drop on unwind — exactly like a
+        // poisoned serve, the client sees a closed channel, not a hang.
+        drop(run);
+        assert!(answer_rx.recv().is_err());
         pool.shutdown();
     }
 

@@ -47,32 +47,40 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 pub const FRAME_HEADER: usize = 8;
 
 /// Appends one frame around `payload` to `out`.
-pub(crate) fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+///
+/// Public because the replicated serving tier reuses the WAL's exact
+/// record framing for its in-memory fan-out bus: the bytes a durable
+/// replica set appends to disk and the bytes its replicas replay from
+/// memory are the same bytes.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
 }
 
 /// Cursor over the frames of a byte buffer; see the module docs for the
-/// torn-tail contract.
-pub(crate) struct Frames<'a> {
+/// torn-tail contract. Public for the same reason as [`write_frame`]: the
+/// replica tier's in-memory bus replays records through the identical
+/// framing the on-disk segments use.
+pub struct Frames<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Frames<'a> {
-    pub(crate) fn new(buf: &'a [u8]) -> Self {
+    /// Starts a cursor at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
         Frames { buf, pos: 0 }
     }
 
     /// Byte offset just past the last intact frame yielded so far.
-    pub(crate) fn valid_len(&self) -> usize {
+    pub fn valid_len(&self) -> usize {
         self.pos
     }
 
     /// The next intact frame's payload, or `None` at the first torn /
     /// corrupted frame (which leaves [`Frames::valid_len`] untouched).
-    pub(crate) fn next_frame(&mut self) -> Option<&'a [u8]> {
+    pub fn next_frame(&mut self) -> Option<&'a [u8]> {
         let rest = &self.buf[self.pos..];
         if rest.len() < FRAME_HEADER {
             return None;

@@ -21,7 +21,8 @@
 //!   tmp-then-rename and retained two deep, so a crash *during* a
 //!   checkpoint falls back to the previous one. Recovery = newest valid
 //!   checkpoint + replay of the segment tail ([`recover_dir`] to inspect,
-//!   [`Store::open`] to resume appending).
+//!   [`Store::open`] to resume appending, [`ReplayCursor`] to *tail* the
+//!   live log read-only — the replica tier's rejoin path).
 //!
 //! What a crash can cost is the [`SyncPolicy`] the service writer runs
 //! with — per-op fsync (`Always`), one fsync per merged write group
@@ -34,7 +35,9 @@
 pub mod codec;
 pub mod frame;
 mod store;
+mod tail;
 
 pub use codec::{decode_op, encode_op, encoded_len, DecodeError};
-pub use frame::{crc32, FRAME_HEADER};
+pub use frame::{crc32, write_frame, Frames, FRAME_HEADER};
 pub use store::{recover_dir, Checkpoint, Meta, Recovery, Store, SyncPolicy, FILE_HEADER};
+pub use tail::{ReplayCursor, ReplayStart};

@@ -40,7 +40,7 @@ use crate::frame::{write_frame, Frames};
 pub const FILE_HEADER: usize = 8;
 
 const MAGIC_META: &[u8; FILE_HEADER] = b"BWALMET1";
-const MAGIC_SEG: &[u8; FILE_HEADER] = b"BWALSEG1";
+pub(crate) const MAGIC_SEG: &[u8; FILE_HEADER] = b"BWALSEG1";
 const MAGIC_CKPT: &[u8; FILE_HEADER] = b"BWALCKP1";
 const META: &str = "meta";
 
@@ -84,6 +84,53 @@ pub struct Meta {
     /// `true` for eager expiry (`SwConnEager`), `false` for lazy
     /// (`SwConn`).
     pub eager: bool,
+    /// `true` when the store is (or would be) tagged as backing a
+    /// multi-tenant window set. Durable recovery of a tenant registry —
+    /// per-tenant cutoffs, dedicated fallback structures — is future
+    /// work, so the tag exists only to fail loudly: [`Store::create`]
+    /// refuses to create a tenant-tagged store and every recovery entry
+    /// point refuses to open one, instead of silently rebuilding a
+    /// single-window structure under a registry that was never logged.
+    pub tenants: bool,
+}
+
+impl Meta {
+    /// Checks this (stored) identity against a caller-supplied
+    /// expectation. `Err` names every disagreeing field, so a recovery
+    /// pointed at the wrong directory reports *what* is wrong (vertex
+    /// count, seed, expiry discipline, tenant tag) rather than silently
+    /// rebuilding a structure the caller's config does not describe.
+    pub fn matches(&self, expect: &Meta) -> Result<(), String> {
+        let disc = |eager: bool| if eager { "eager" } else { "lazy" };
+        let mut bad: Vec<String> = Vec::new();
+        if self.n != expect.n {
+            bad.push(format!("n {} != expected {}", self.n, expect.n));
+        }
+        if self.seed != expect.seed {
+            bad.push(format!(
+                "seed {:#x} != expected {:#x}",
+                self.seed, expect.seed
+            ));
+        }
+        if self.eager != expect.eager {
+            bad.push(format!(
+                "discipline {} != expected {}",
+                disc(self.eager),
+                disc(expect.eager)
+            ));
+        }
+        if self.tenants != expect.tenants {
+            bad.push(format!(
+                "tenant tag {} != expected {}",
+                self.tenants, expect.tenants
+            ));
+        }
+        if bad.is_empty() {
+            Ok(())
+        } else {
+            Err(bad.join(", "))
+        }
+    }
 }
 
 /// A compacted prefix of the admitted-op sequence: everything a fresh
@@ -115,7 +162,7 @@ pub struct Recovery {
     pub generation: u64,
 }
 
-fn seg_name(g: u64) -> String {
+pub(crate) fn seg_name(g: u64) -> String {
     format!("wal-{g:020}.seg")
 }
 
@@ -123,7 +170,7 @@ fn ckpt_name(g: u64) -> String {
     format!("ckpt-{g:020}.ckpt")
 }
 
-fn parse_gen(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
+pub(crate) fn parse_gen(name: &str, prefix: &str, suffix: &str) -> Option<u64> {
     name.strip_prefix(prefix)?
         .strip_suffix(suffix)?
         .parse()
@@ -156,6 +203,15 @@ fn corrupt(what: &str) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("bimst-wal: {what}"))
 }
 
+fn tenants_unsupported() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::Unsupported,
+        "bimst-wal: tenant-tagged store: durable recovery of a tenant \
+         registry (per-tenant cutoffs, dedicated fallbacks) is not \
+         implemented — serve tenant window sets in-memory",
+    )
+}
+
 /// Reads the single framed payload of a magic-headed file; `None` when the
 /// file is missing, torn, or fails its CRC (log files degrade gracefully).
 fn read_framed(path: &Path, magic: &[u8; FILE_HEADER]) -> Option<Vec<u8>> {
@@ -177,16 +233,24 @@ fn encode_meta(meta: &Meta, out: &mut Vec<u8>) {
     out.extend_from_slice(&meta.n.to_le_bytes());
     out.extend_from_slice(&meta.seed.to_le_bytes());
     out.push(meta.eager as u8);
+    out.push(meta.tenants as u8);
 }
 
 fn decode_meta(payload: &[u8]) -> Option<Meta> {
-    if payload.len() != 17 || payload[16] > 1 {
+    // 17-byte payloads predate the tenant tag; absence means untagged.
+    let tenants = match payload.len() {
+        17 => false,
+        18 if payload[17] <= 1 => payload[17] == 1,
+        _ => return None,
+    };
+    if payload[16] > 1 {
         return None;
     }
     Some(Meta {
         n: u64::from_le_bytes(payload[0..8].try_into().unwrap()),
         seed: u64::from_le_bytes(payload[8..16].try_into().unwrap()),
         eager: payload[16] == 1,
+        tenants,
     })
 }
 
@@ -229,23 +293,31 @@ fn decode_ckpt(payload: &[u8]) -> Option<Checkpoint> {
 }
 
 /// Everything one pass over the directory learns; shared by the read-only
-/// and resuming entry points so they cannot disagree.
-struct Scan {
-    meta: Meta,
-    checkpoint: Option<Checkpoint>,
-    tail: Vec<Op>,
-    generation: u64,
+/// and resuming entry points (and the tailing [`crate::ReplayCursor`]) so
+/// they cannot disagree.
+pub(crate) struct Scan {
+    pub(crate) meta: Meta,
+    pub(crate) checkpoint: Option<Checkpoint>,
+    pub(crate) tail: Vec<Op>,
+    pub(crate) generation: u64,
     /// Segment appends resume into: (start generation, path, valid bytes).
-    resume: Option<(u64, PathBuf, u64)>,
+    pub(crate) resume: Option<(u64, PathBuf, u64)>,
     /// Files the scan proved dead: segments past a tear and `*.tmp` files.
-    dead: Vec<PathBuf>,
+    pub(crate) dead: Vec<PathBuf>,
 }
 
-fn scan(dir: &Path) -> io::Result<Scan> {
+pub(crate) fn scan(dir: &Path) -> io::Result<Scan> {
     let meta = read_framed(&dir.join(META), MAGIC_META)
         .as_deref()
         .and_then(decode_meta)
         .ok_or_else(|| corrupt("store meta missing or corrupt (not a WAL store?)"))?;
+    if meta.tenants {
+        // A tenant-tagged store can only come from a foreign writer:
+        // Store::create refuses to make one precisely because recovery
+        // of a tenant registry is future work. Refusing here covers every
+        // entry point (open, recover_dir, the replay cursor) at once.
+        return Err(tenants_unsupported());
+    }
 
     let mut ckpt_gens: Vec<u64> = Vec::new();
     let mut seg_gens: Vec<u64> = Vec::new();
@@ -390,6 +462,13 @@ impl Store {
     /// Creates a fresh store in `dir` (created if missing; must not
     /// already hold a store).
     pub fn create(dir: impl AsRef<Path>, meta: &Meta) -> io::Result<Store> {
+        if meta.tenants {
+            // Refuse before touching the filesystem: a caller asking for a
+            // durable tenant registry must get a loud error, not a store
+            // that silently logs only the single-window subset of its
+            // state. (See `Meta::tenants`.)
+            return Err(tenants_unsupported());
+        }
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         if dir.join(META).exists() {
@@ -433,8 +512,38 @@ impl Store {
     /// replays `tail` and resumes at `generation` — appends continue the
     /// record sequence exactly there.
     pub fn open(dir: impl AsRef<Path>) -> io::Result<(Store, Meta, Recovery)> {
-        let dir = dir.as_ref().to_path_buf();
+        Store::open_impl(dir.as_ref(), None)
+    }
+
+    /// [`Store::open`], but the caller states the identity it expects the
+    /// store to have. Any disagreement between the stored `meta` and
+    /// `expect` — vertex count, seed, expiry discipline — is a loud
+    /// [`io::ErrorKind::InvalidInput`] naming the mismatched fields,
+    /// raised **before** any file is touched, instead of trusting the
+    /// store and silently rebuilding a structure the caller's recover
+    /// config does not describe.
+    pub fn open_expecting(
+        dir: impl AsRef<Path>,
+        expect: &Meta,
+    ) -> io::Result<(Store, Meta, Recovery)> {
+        Store::open_impl(dir.as_ref(), Some(expect))
+    }
+
+    fn open_impl(dir: &Path, expect: Option<&Meta>) -> io::Result<(Store, Meta, Recovery)> {
+        let dir = dir.to_path_buf();
         let s = scan(&dir)?;
+        if let Some(expect) = expect {
+            if let Err(why) = s.meta.matches(expect) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "bimst-wal: store at {} is not the one the recover \
+                         config describes: {why}",
+                        dir.display()
+                    ),
+                ));
+            }
+        }
         for p in &s.dead {
             let _ = fs::remove_file(p);
         }
@@ -592,6 +701,7 @@ mod tests {
             n: 64,
             seed: 9,
             eager: true,
+            tenants: false,
         };
         let mut store = Store::create(&dir, &meta).unwrap();
         assert!(
@@ -632,6 +742,7 @@ mod tests {
             n: 8,
             seed: 1,
             eager: false,
+            tenants: false,
         };
         let mut store = Store::create(&dir, &meta).unwrap();
         store.append_insert(&[(0, 1)]).unwrap();
@@ -661,6 +772,7 @@ mod tests {
             n: 8,
             seed: 1,
             eager: true,
+            tenants: false,
         };
         let mut store = Store::create(&dir, &meta).unwrap();
         for g in 1..=4u64 {
@@ -701,6 +813,7 @@ mod tests {
             n: 4,
             seed: 2,
             eager: true,
+            tenants: false,
         };
         let mut store = Store::create(&dir, &meta).unwrap();
         store.append_insert(&[(0, 1)]).unwrap();
@@ -742,6 +855,7 @@ mod tests {
             n: 4,
             seed: 3,
             eager: true,
+            tenants: false,
         };
         let mut store = Store::create(&dir, &meta).unwrap();
         let ops = [Op::Insert(vec![(0, 1), (2, 3)]), Op::Expire(7)];
@@ -757,6 +871,104 @@ mod tests {
                 .sum::<usize>();
         let got = fs::metadata(dir.join(seg_name(0))).unwrap().len();
         assert_eq!(got as usize, expect);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Durable tenant registries are future work, so the tag must be a
+    /// loud `Unsupported` everywhere: `create` refuses to make a tagged
+    /// store (before touching the filesystem), and every recovery entry
+    /// point refuses to open one that a foreign writer produced.
+    #[test]
+    fn tenant_tagged_stores_are_refused_everywhere() {
+        let dir = tmpdir("tenants");
+        let meta = Meta {
+            n: 8,
+            seed: 1,
+            eager: false,
+            tenants: true,
+        };
+        let err = Store::create(&dir, &meta).err().expect("tagged create");
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        assert!(!dir.exists(), "refusal must leave no store behind");
+
+        // Hand-craft the tagged store create refuses to make.
+        fs::create_dir_all(&dir).unwrap();
+        let mut payload = Vec::new();
+        encode_meta(&meta, &mut payload);
+        let mut bytes = MAGIC_META.to_vec();
+        write_frame(&mut bytes, &payload);
+        fs::write(dir.join(META), &bytes).unwrap();
+        let err = Store::open(&dir).err().expect("tagged open");
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        let err = recover_dir(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Pre-tenant-tag stores carry a 17-byte meta; they must keep opening
+    /// (as untagged), while anything else stays corrupt.
+    #[test]
+    fn legacy_17_byte_meta_still_decodes() {
+        let meta = Meta {
+            n: 64,
+            seed: 9,
+            eager: true,
+            tenants: false,
+        };
+        let mut payload = Vec::new();
+        encode_meta(&meta, &mut payload);
+        assert_eq!(payload.len(), 18);
+        assert_eq!(decode_meta(&payload), Some(meta));
+        assert_eq!(decode_meta(&payload[..17]), Some(meta), "legacy width");
+        let mut bad = payload.clone();
+        bad[17] = 2;
+        assert_eq!(decode_meta(&bad), None, "non-boolean tenant byte");
+        bad.push(0);
+        assert_eq!(decode_meta(&bad[..16]), None);
+        assert_eq!(decode_meta(&bad), None, "over-long meta");
+    }
+
+    /// `open_expecting` pins recovery to the caller's config: a store
+    /// whose identity disagrees is rejected (naming every bad field)
+    /// before any file is mutated, instead of being trusted silently.
+    #[test]
+    fn open_expecting_rejects_identity_mismatch() {
+        let dir = tmpdir("expect");
+        let meta = Meta {
+            n: 64,
+            seed: 9,
+            eager: true,
+            tenants: false,
+        };
+        let mut store = Store::create(&dir, &meta).unwrap();
+        store.append_insert(&[(0, 1)]).unwrap();
+        store.sync().unwrap();
+        drop(store);
+
+        let (store, got, rec) = Store::open_expecting(&dir, &meta).unwrap();
+        assert_eq!(got, meta);
+        assert_eq!(rec.generation, 1);
+        drop(store);
+
+        let wrong = Meta {
+            n: 63,
+            seed: 10,
+            eager: false,
+            tenants: false,
+        };
+        let err = Store::open_expecting(&dir, &wrong).err().expect("mismatch");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("n 64 != expected 63")
+                && msg.contains("seed")
+                && msg.contains("discipline eager != expected lazy"),
+            "every disagreeing field is named: {msg}"
+        );
+        // The refusal must not have mutated anything: the store still
+        // opens cleanly under its true identity.
+        let (_, _, rec) = Store::open_expecting(&dir, &meta).unwrap();
+        assert_eq!(rec.generation, 1);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

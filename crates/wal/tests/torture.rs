@@ -118,6 +118,7 @@ fn run_store(dir: &Path, n: u32, seed: u64, ops: &[Op], ckpt_every: usize) -> Sw
         n: n as u64,
         seed,
         eager: true,
+        tenants: false,
     };
     let mut store = Store::create(dir, &meta).unwrap();
     let mut w = SwConnEager::new(n as usize, seed);
